@@ -1,0 +1,36 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one paper artifact (table or figure); see
+DESIGN.md's experiment index.  Session-scoped dataset fixtures keep the
+suite's wall time dominated by the experiments themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import binary_coat_vs_shirt, multiclass_fashion
+
+
+@pytest.fixture(scope="session")
+def table3_split():
+    """The exact Sec. VII.B binary task: 200 train + 50 test per class."""
+    return binary_coat_vs_shirt()
+
+
+@pytest.fixture(scope="session")
+def table4_split():
+    """The Table IV task: 400 train samples evenly over ten classes."""
+    return multiclass_fashion()
+
+
+@pytest.fixture(scope="session")
+def small_split():
+    """Reduced split for the ablation benches (pruning, shots)."""
+    return binary_coat_vs_shirt(train_per_class=60, test_per_class=20, seed=5)
+
+
+def flatten_angles(x: np.ndarray) -> np.ndarray:
+    """Angles -> unit-scaled design matrix for the classical baselines."""
+    return x.reshape(x.shape[0], -1) / (2 * np.pi)

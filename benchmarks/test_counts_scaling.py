@@ -1,0 +1,62 @@
+"""E4 -- Eq. 16 / Eq. 18 ensemble-size scaling (construction cost of the
+Fig. 3/4 circuit families).
+
+Prints the circuit count ``sum_l C(k,l) 2^l`` over parameter counts k and
+derivative orders R, and the observable count ``sum_l C(n,l) 3^l`` over
+qubit counts n and localities L, verifying enumeration == closed form and
+the O(2^R k^R) / O(3^L n^L) growth the paper quotes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.shifts import count_shift_configurations, enumerate_shift_configurations
+from repro.quantum.observables import count_local_paulis, local_pauli_strings
+
+
+def run_counts():
+    shift_grid = {
+        (k, r): count_shift_configurations(k, r)
+        for k in (2, 4, 8, 12)
+        for r in (0, 1, 2, 3)
+    }
+    pauli_grid = {
+        (n, l): count_local_paulis(n, l) for n in (2, 4, 6, 10) for l in (0, 1, 2, 3)
+    }
+    return shift_grid, pauli_grid
+
+
+def test_counts_scaling(benchmark):
+    shift_grid, pauli_grid = benchmark.pedantic(run_counts, rounds=1, iterations=1)
+
+    print("\n=== Eq. 16: circuits = sum_l C(k,l) 2^l ===")
+    print(f"{'k':>4}" + "".join(f"  R={r:<8}" for r in (0, 1, 2, 3)))
+    for k in (2, 4, 8, 12):
+        print(f"{k:>4}" + "".join(f"  {shift_grid[(k, r)]:<9}" for r in (0, 1, 2, 3)))
+
+    print("=== Eq. 18: observables = sum_l C(n,l) 3^l ===")
+    print(f"{'n':>4}" + "".join(f"  L={l:<8}" for l in (0, 1, 2, 3)))
+    for n in (2, 4, 6, 10):
+        print(f"{n:>4}" + "".join(f"  {pauli_grid[(n, l)]:<9}" for l in (0, 1, 2, 3)))
+
+    # Enumeration matches closed form on a subsample.
+    for k, r in ((4, 2), (8, 1)):
+        assert len(enumerate_shift_configurations(k, r)) == shift_grid[(k, r)]
+    for n, l in ((4, 2), (6, 1)):
+        assert len(local_pauli_strings(n, l)) == pauli_grid[(n, l)]
+
+    # Paper's quoted values for its own configuration.
+    assert shift_grid[(8, 1)] == 17 and shift_grid[(8, 2)] == 129
+    assert pauli_grid[(4, 1)] == 13 and pauli_grid[(4, 2)] == 67
+
+    # Polynomial-in-k growth at fixed R: count <= (2k + 1)^R * e (crude),
+    # and the paper's O(2^R k^R) envelope holds with constant 2.
+    for k in (4, 8, 12):
+        for r in (1, 2, 3):
+            assert shift_grid[(k, r)] <= 2 * (2 * k) ** r + 1
+
+    # Exponential-in-L growth at fixed n: ratios increase.
+    ratios = [pauli_grid[(10, l + 1)] / pauli_grid[(10, l)] for l in (0, 1, 2)]
+    assert ratios[0] > 10  # 1 -> 31
+    assert all(r > 1 for r in ratios)

@@ -1,0 +1,52 @@
+"""E3 -- paper Table II: measurement upper bounds per design principle.
+
+Prints the four-row grid (direct vs classical shadows) in both the paper's
+asymptotic form and with explicit constants, for the paper's concrete
+configuration (k=8 parameters, n=4 qubits, d=400 data points).  The bold
+pattern asserted: direct wins for Ansatz expansion and the generic hybrid,
+shadows win for observable construction and the L-local hybrid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.measurement_budget import table2_grid
+
+
+def run_grids():
+    asym = table2_grid(
+        k=8, n=4, d=400, order=1, locality=2, epsilon=0.1, delta=0.05, asymptotic=True
+    )
+    concrete = table2_grid(
+        k=8, n=4, d=400, order=1, locality=2, epsilon=0.1, delta=0.05, asymptotic=False
+    )
+    return asym, concrete
+
+
+def test_table2(benchmark):
+    asym, concrete = benchmark.pedantic(run_grids, rounds=1, iterations=1)
+
+    print("\n=== Table II reproduction (measurement bounds, k=8 n=4 d=400) ===")
+    for label, rows in (("asymptotic (paper form)", asym), ("explicit constants", concrete)):
+        print(f"-- {label} --")
+        print(f"{'strategy':<26} {'p':>5} {'q':>5} {'direct':>14} {'shadows':>14}  winner")
+        for r in rows:
+            print(
+                f"{r.strategy:<26} {r.p:>5} {r.q:>5} {r.direct:>14.3e} "
+                f"{r.shadows:>14.3e}  {r.winner}"
+            )
+
+    # The paper's bold pattern (asymptotic).
+    assert [r.winner for r in asym] == ["direct", "shadows", "direct", "shadows"]
+
+    # Asymptotic ratio identity: direct/shadows = q / ||O||_S^2.
+    obs_row = asym[1]
+    np.testing.assert_allclose(obs_row.direct / obs_row.shadows, obs_row.q / 16.0, rtol=1e-6)
+
+    # Budgets grow with m: hybrid > observable-only > ansatz-only (direct).
+    assert asym[2].direct > asym[1].direct > asym[0].direct
+
+    # Explicit constants preserve the global-observable conclusion.
+    assert concrete[0].winner == "direct"
+    assert concrete[2].winner == "direct"

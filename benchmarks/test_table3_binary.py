@@ -1,0 +1,143 @@
+"""E1 -- paper Table III: binary coat-vs-shirt across all design principles.
+
+Regenerates every row (classical logistic, MLP, variational, Ansatz
+expansion R=1/2, observable construction L=1/2/3, hybrid 1+1/2+1/1+2) and
+prints the table.  Absolute numbers differ from the paper (synthetic data,
+own simulator -- see DESIGN.md); the assertions pin the paper's *shape*:
+
+  (i)   the variational baseline sits near chance;
+  (ii)  every post-variational strategy with >= 2-local observables or
+        >= 1-order derivatives beats the variational baseline in train acc;
+  (iii) observable construction is monotone in locality;
+  (iv)  >= 2-local strategies beat plain logistic regression in train acc;
+  (v)   the largest hybrid reaches/tops MLP train accuracy while its test
+        loss exceeds the train loss (overfitting, as in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import flatten_angles
+from repro.core.model import PostVariationalClassifier
+from repro.core.strategies import (
+    AnsatzExpansion,
+    HybridStrategy,
+    ObservableConstruction,
+)
+from repro.core.variational import VariationalClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import accuracy
+from repro.ml.mlp import MLPClassifier
+
+PAPER_TABLE3 = {
+    # name: (train_loss, train_acc, test_loss, test_acc) from the paper.
+    "logistic": (0.5379, 0.6925, 0.5913, 0.6533),
+    "mlp": (0.4457, 0.7792, 0.7176, 0.6767),
+    "variational": (None, 0.5583, None, 0.5067),
+    "ansatz_1": (0.6849, 0.5608, 0.6996, 0.5500),
+    "ansatz_2": (0.6593, 0.5775, 0.7078, 0.5367),
+    "observable_1": (0.6228, 0.6542, 0.6630, 0.6000),
+    "observable_2": (0.5441, 0.7242, 0.7313, 0.5867),
+    "observable_3": (0.4610, 0.7867, 0.7482, 0.5967),
+    "hybrid_1_1": (0.5912, 0.6733, 0.6977, 0.6167),
+    "hybrid_2_1": (0.4971, 0.7542, 0.8017, 0.5567),
+    "hybrid_1_2": (0.4337, 0.7800, 0.8881, 0.5767),
+}
+
+
+def run_table3(split) -> dict[str, dict[str, float]]:
+    rows: dict[str, dict[str, float]] = {}
+    xtr = flatten_angles(split.x_train)
+    xte = flatten_angles(split.x_test)
+
+    logistic = LogisticRegression().fit(xtr, split.y_train)
+    rows["logistic"] = _row(logistic, xtr, split.y_train, xte, split.y_test)
+
+    mlp = MLPClassifier(hidden=8, epochs=300, seed=0).fit(xtr, split.y_train)
+    rows["mlp"] = _row(mlp, xtr, split.y_train, xte, split.y_test)
+
+    var = VariationalClassifier(epochs=30).fit(split.x_train, split.y_train)
+    rows["variational"] = {
+        "train_loss": float("nan"),
+        "train_acc": var.score(split.x_train, split.y_train),
+        "test_loss": float("nan"),
+        "test_acc": var.score(split.x_test, split.y_test),
+        "m": 0,
+    }
+
+    strategies = {
+        "ansatz_1": AnsatzExpansion(order=1),
+        "ansatz_2": AnsatzExpansion(order=2),
+        "observable_1": ObservableConstruction(qubits=4, locality=1),
+        "observable_2": ObservableConstruction(qubits=4, locality=2),
+        "observable_3": ObservableConstruction(qubits=4, locality=3),
+        "hybrid_1_1": HybridStrategy(order=1, locality=1),
+        "hybrid_2_1": HybridStrategy(order=2, locality=1),
+        "hybrid_1_2": HybridStrategy(order=1, locality=2),
+    }
+    for name, strategy in strategies.items():
+        clf = PostVariationalClassifier(strategy=strategy).fit(
+            split.x_train, split.y_train
+        )
+        rows[name] = {
+            "train_loss": clf.loss(split.x_train, split.y_train),
+            "train_acc": clf.score(split.x_train, split.y_train),
+            "test_loss": clf.loss(split.x_test, split.y_test),
+            "test_acc": clf.score(split.x_test, split.y_test),
+            "m": strategy.num_features,
+        }
+    return rows
+
+
+def _row(model, xtr, ytr, xte, yte) -> dict[str, float]:
+    return {
+        "train_loss": model.loss(xtr, ytr),
+        "train_acc": accuracy(ytr, model.predict(xtr)),
+        "test_loss": model.loss(xte, yte),
+        "test_acc": accuracy(yte, model.predict(xte)),
+        "m": xtr.shape[1],
+    }
+
+
+def print_table(rows: dict[str, dict[str, float]]) -> None:
+    print("\n=== Table III reproduction (binary coat vs shirt) ===")
+    header = (
+        f"{'model':<14} {'m':>5} {'train loss':>10} {'train acc':>9} "
+        f"{'test loss':>10} {'test acc':>9}   paper(train/test acc)"
+    )
+    print(header)
+    for name, r in rows.items():
+        paper = PAPER_TABLE3[name]
+        print(
+            f"{name:<14} {r['m']:>5} {r['train_loss']:>10.4f} {r['train_acc']:>9.3f} "
+            f"{r['test_loss']:>10.4f} {r['test_acc']:>9.3f}   "
+            f"{paper[1]:.3f}/{paper[3]:.3f}"
+        )
+
+
+def test_table3(benchmark, table3_split):
+    rows = benchmark.pedantic(run_table3, args=(table3_split,), rounds=1, iterations=1)
+    print_table(rows)
+
+    # (i) variational near chance.
+    assert rows["variational"]["train_acc"] < 0.65
+    # (ii) PV strategies beat variational in train accuracy.
+    for name in ("observable_2", "observable_3", "hybrid_1_1", "hybrid_2_1", "hybrid_1_2"):
+        assert rows[name]["train_acc"] > rows["variational"]["train_acc"], name
+    # (iii) locality-monotone observable construction.
+    assert (
+        rows["observable_1"]["train_acc"]
+        <= rows["observable_2"]["train_acc"] + 0.02
+        <= rows["observable_3"]["train_acc"] + 0.04
+    )
+    # (iv) >=2-local PV beats plain logistic in train accuracy.
+    assert rows["observable_2"]["train_acc"] > rows["logistic"]["train_acc"]
+    assert rows["observable_3"]["train_acc"] > rows["logistic"]["train_acc"]
+    # (v) the largest hybrid reaches MLP-level train accuracy (paper:
+    # 0.780 vs 0.779; we allow a 5-point band) and overfits.
+    assert rows["hybrid_1_2"]["train_acc"] >= rows["mlp"]["train_acc"] - 0.05
+    assert rows["hybrid_1_2"]["test_loss"] > rows["hybrid_1_2"]["train_loss"]
+    # Ansatz expansion improves with derivative order (paper rows 4-5).
+    assert rows["ansatz_2"]["train_acc"] >= rows["ansatz_1"]["train_acc"] - 0.01

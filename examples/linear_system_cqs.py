@@ -1,0 +1,50 @@
+"""CQS linear-system solving and the post-variational bridge (Sec. III.E).
+
+Solves a random Pauli-sparse system ``A x = b`` with the classical
+combination of quantum states: Ansatz-tree candidate unitaries, convex
+classical coefficients, monotone residual.  Then demonstrates the paper's
+identity L_Ham = L_MAE (ground truth 0) = sum_j alpha_j tr(O_j |b><b|),
+i.e. CQS is a problem-inspired post-variational method.
+
+Run:  python examples/linear_system_cqs.py
+"""
+
+import numpy as np
+
+from repro.core import decompose_hamiltonian_loss, solve_cqs
+from repro.data import random_linear_system
+from repro.ml import mae_loss, rmse_loss
+
+
+def main() -> None:
+    a, b, x_true = random_linear_system(3, num_terms=3, seed=4)
+    print(f"A = {a}")
+    print(f"||b|| = {np.linalg.norm(b):.3f},  dim = {b.size}")
+
+    print("\nAnsatz-tree growth:")
+    for max_terms in (1, 2, 4, 8, 16):
+        result = solve_cqs(a, b, max_terms=max_terms)
+        print(
+            f"  m_CQS={result.num_terms:>3}  residual={result.residual_norm:.3e}  "
+            f"L_Ham={result.hamiltonian_loss:.3e}"
+        )
+
+    result = solve_cqs(a, b, max_terms=16)
+    error = np.linalg.norm(result.x - x_true)
+    print(f"\nsolution error ||x - x_true|| = {error:.3e}")
+
+    alphas, observables = decompose_hamiltonian_loss(a, b, result)
+    rho_b = np.outer(b, b.conj())
+    combo = float(
+        sum(al * np.trace(o @ rho_b).real for al, o in zip(alphas, observables))
+    )
+    print("\nSec. III.E identity (post-variational view of CQS):")
+    print(f"  L_Ham                    = {result.hamiltonian_loss:.6e}")
+    print(f"  sum_j alpha_j tr(O_j rho_b) = {combo:.6e}")
+    print(f"  L_MAE (truth 0)          = {mae_loss([0.0], [combo]):.6e}")
+    print(f"  L_RMSE (truth 0)         = {rmse_loss([0.0], [combo]):.6e}")
+    print(f"  observables used: {len(alphas)} (m_CQS^2-style counting)")
+
+
+if __name__ == "__main__":
+    main()

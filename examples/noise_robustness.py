@@ -1,0 +1,60 @@
+"""Noise robustness of the post-variational ensemble (NISQ story).
+
+Sweeps a depolarizing noise model over the full encode+measure pipeline
+(exact Kraus evolution, no sampling noise) and tracks:
+
+* how much the ensemble's feature magnitudes contract, and
+* what survives of train/test accuracy,
+
+for the 2-local observable-construction strategy, alongside the data
+re-uploading variational baseline at matched qubit count.
+
+Run:  python examples/noise_robustness.py   (~1 minute)
+"""
+
+import numpy as np
+
+from repro.core import (
+    ObservableConstruction,
+    ReuploadingClassifier,
+    generate_features,
+    generate_features_noisy,
+)
+from repro.data import binary_coat_vs_shirt
+from repro.ml import LogisticRegression, accuracy
+from repro.quantum import NoiseModel
+
+
+def main() -> None:
+    split = binary_coat_vs_shirt(train_per_class=40, test_per_class=10)
+    strategy = ObservableConstruction(qubits=4, locality=2)
+
+    ideal_train = generate_features(strategy, split.x_train)
+    ideal_test = generate_features(strategy, split.x_test)
+
+    print(f"{'1q error rate':>13} {'mean |feature|':>15} {'train acc':>10} {'test acc':>9}")
+    for p1 in (0.0, 0.005, 0.02, 0.05):
+        if p1 == 0.0:
+            q_train, q_test = ideal_train, ideal_test
+        else:
+            noise = NoiseModel.depolarizing(p1)
+            q_train = generate_features_noisy(strategy, split.x_train, noise)
+            q_test = generate_features_noisy(strategy, split.x_test, noise)
+        head = LogisticRegression().fit(q_train, split.y_train)
+        print(
+            f"{p1:>13.3f} {np.mean(np.abs(q_train[:, 1:])):>15.4f} "
+            f"{accuracy(split.y_train, head.predict(q_train)):>10.3f} "
+            f"{accuracy(split.y_test, head.predict(q_test)):>9.3f}"
+        )
+
+    print("\ndata re-uploading baseline (2 re-uploads, ideal simulation):")
+    model = ReuploadingClassifier(reuploads=2, epochs=10)
+    model.fit(split.x_train, split.y_train)
+    print(
+        f"  train acc {model.score(split.x_train, split.y_train):.3f}  "
+        f"test acc {model.score(split.x_test, split.y_test):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Learning an unknown observable by regression (the paper's Sec. III.A
+problem in its regression form).
+
+A hidden 2-local observable ``O*`` generates labels ``y_i = tr(O* rho(x_i))``
+for encoded images.  Because the 2-local Pauli expectations span exactly the
+space O* lives in, the post-variational regressor with the Eq. 29 closed
+form recovers the labels to machine precision -- and its fitted alpha
+recovers O*'s Pauli coefficients (the CQO decomposition, learned from data).
+With finite shots, the Theorem 4 budget predicts the loss degradation.
+
+Run:  python examples/observable_regression.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ObservableConstruction,
+    PostVariationalRegressor,
+    theorem4_required_entry_error,
+)
+from repro.data import binary_coat_vs_shirt, encode_batch
+from repro.quantum import expectation
+from repro.quantum.hamiltonians import random_local_hamiltonian
+
+
+def main() -> None:
+    split = binary_coat_vs_shirt(train_per_class=40, test_per_class=10)
+    states_train = encode_batch(split.x_train)
+    states_test = encode_batch(split.x_test)
+
+    # Hidden observable: random 2-local Hamiltonian with 5 terms.
+    hidden = random_local_hamiltonian(4, locality=2, num_terms=5, seed=3)
+    y_train = np.asarray(expectation(states_train, hidden))
+    y_test = np.asarray(expectation(states_test, hidden))
+    print(f"hidden observable: {hidden.num_terms} Pauli terms, locality <= 2")
+
+    strategy = ObservableConstruction(qubits=4, locality=2)
+    model = PostVariationalRegressor(strategy=strategy, head="pinv")
+    model.fit(split.x_train, y_train)
+    print(f"train RMSE (exact estimator): {model.loss(split.x_train, y_train):.2e}")
+    print(f"test  RMSE (exact estimator): {model.loss(split.x_test, y_test):.2e}")
+
+    # The fitted alpha IS the Pauli decomposition of the hidden observable.
+    recovered = dict(
+        zip((o.string for o in strategy.observables()), model.model_.coef_)
+    )
+    print("recovered coefficients vs truth (nonzero terms):")
+    for coeff, pauli in hidden.items():
+        print(f"  {pauli.string}: fitted {recovered[pauli.string]:+.4f}  "
+              f"true {coeff.real:+.4f}")
+
+    # Finite shots: Theorem 4 budgeting.
+    m = strategy.num_features
+    epsilon = 0.1
+    eps_h = theorem4_required_entry_error(m, epsilon)
+    shots = int(np.ceil(2.0 / eps_h**2 * np.log(2 * m * split.num_train / 0.05)))
+    noisy = PostVariationalRegressor(
+        strategy=strategy, head="constrained", estimator="shots", shots=shots
+    )
+    noisy.fit(split.x_train, y_train)
+    print(f"\nshots/neuron for eps={epsilon} (Thm 4): {shots}")
+    print(f"train RMSE (shot estimator, constrained head): "
+          f"{noisy.loss(split.x_train, y_train):.4f}")
+
+
+if __name__ == "__main__":
+    main()

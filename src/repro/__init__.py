@@ -1,0 +1,20 @@
+"""repro -- Post-variational quantum neural networks on a hybrid HPC-QC system.
+
+Reproduction of Huang & Rebentrost, "Post-variational quantum neural
+networks" (arXiv:2307.10560), with a simulated hybrid HPC-QC execution
+substrate.  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Public API highlights
+---------------------
+* :mod:`repro.quantum` -- batched statevector simulator, Pauli observables,
+  classical shadows, parameter-shift differentiation.
+* :mod:`repro.core` -- the post-variational strategies (Ansatz expansion,
+  observable construction, hybrid), models, measurement budgets, CQS.
+* :mod:`repro.hpc` -- MPI-style communicator, parallel executors, schedulers
+  and a deterministic simulated-cluster timing model.
+* :mod:`repro.ml` -- the classical heads and baselines (linear/logistic/MLP).
+* :mod:`repro.data` -- synthetic Fashion-MNIST and the Fig. 7 data encoding.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,158 @@
+"""Command-line entry point: quick experiment runs without writing code.
+
+Usage::
+
+    python -m repro table3   [--train N] [--test N]
+    python -m repro table4   [--train N] [--test N]
+    python -m repro scaling  [--nodes 1 2 4 8 ...]
+    python -m repro budgets  [--epsilon E] [--delta D]
+    python -m repro counts
+
+Each subcommand is a reduced-size version of the corresponding benchmark
+(see benchmarks/ for the full experiment definitions and assertions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.core import (
+        HybridStrategy,
+        ObservableConstruction,
+        PostVariationalClassifier,
+        VariationalClassifier,
+    )
+    from repro.data import binary_coat_vs_shirt
+    from repro.ml import LogisticRegression, accuracy
+
+    split = binary_coat_vs_shirt(train_per_class=args.train, test_per_class=args.test)
+    flat = split.x_train.reshape(split.num_train, -1) / (2 * np.pi)
+    flat_test = split.x_test.reshape(split.num_test, -1) / (2 * np.pi)
+    logistic = LogisticRegression().fit(flat, split.y_train)
+    print(
+        f"logistic        train {accuracy(split.y_train, logistic.predict(flat)):.3f} "
+        f"test {accuracy(split.y_test, logistic.predict(flat_test)):.3f}"
+    )
+    var = VariationalClassifier(epochs=args.epochs).fit(split.x_train, split.y_train)
+    print(
+        f"variational     train {var.score(split.x_train, split.y_train):.3f} "
+        f"test {var.score(split.x_test, split.y_test):.3f}"
+    )
+    for name, strat in (
+        ("observable L=2", ObservableConstruction(qubits=4, locality=2)),
+        ("hybrid 1+1", HybridStrategy(order=1, locality=1)),
+    ):
+        clf = PostVariationalClassifier(strategy=strat).fit(split.x_train, split.y_train)
+        print(
+            f"{name:<15} train {clf.score(split.x_train, split.y_train):.3f} "
+            f"test {clf.score(split.x_test, split.y_test):.3f}  (m={strat.num_features})"
+        )
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from repro.core import HybridStrategy, PostVariationalClassifier
+    from repro.data import multiclass_fashion
+    from repro.ml import SoftmaxRegression, accuracy
+
+    split = multiclass_fashion(train_total=args.train, test_total=args.test)
+    flat = split.x_train.reshape(split.num_train, -1) / (2 * np.pi)
+    flat_test = split.x_test.reshape(split.num_test, -1) / (2 * np.pi)
+    logistic = SoftmaxRegression(num_classes=10).fit(flat, split.y_train)
+    print(
+        f"logistic   train {accuracy(split.y_train, logistic.predict(flat)):.3f} "
+        f"test {accuracy(split.y_test, logistic.predict(flat_test)):.3f}"
+    )
+    pv = PostVariationalClassifier(
+        strategy=HybridStrategy(order=1, locality=2), num_classes=10
+    ).fit(split.x_train, split.y_train)
+    print(
+        f"PV 1o+2l   train {pv.score(split.x_train, split.y_train):.3f} "
+        f"test {pv.score(split.x_test, split.y_test):.3f}"
+    )
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.hpc import CircuitTask, NodeSpec, scaling_report, strong_scaling
+
+    tasks = [
+        CircuitTask(num_circuits=25, shots=1024, result_bytes=25 * 13 * 8)
+        for _ in range(args.tasks)
+    ]
+    points = strong_scaling(tasks, NodeSpec(shot_rate=1e5), args.nodes)
+    print(scaling_report(points))
+    return 0
+
+
+def _cmd_budgets(args: argparse.Namespace) -> int:
+    from repro.core import table2_grid
+
+    for label, asym in (("asymptotic", True), ("explicit constants", False)):
+        print(f"-- {label} --")
+        rows = table2_grid(
+            k=8, n=4, d=400, order=1, locality=2,
+            epsilon=args.epsilon, delta=args.delta, asymptotic=asym,
+        )
+        for r in rows:
+            print(
+                f"{r.strategy:<26} p={r.p:<4} q={r.q:<4} direct={r.direct:.3e} "
+                f"shadows={r.shadows:.3e}  -> {r.winner}"
+            )
+    return 0
+
+
+def _cmd_counts(_: argparse.Namespace) -> int:
+    from repro.core import count_shift_configurations
+    from repro.quantum import count_local_paulis
+
+    print("Eq.16 circuits (k=8): " + ", ".join(
+        f"R={r}: {count_shift_configurations(8, r)}" for r in range(4)
+    ))
+    print("Eq.18 observables (n=4): " + ", ".join(
+        f"L={l}: {count_local_paulis(4, l)}" for l in range(5)
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t3 = sub.add_parser("table3", help="reduced Table III run")
+    t3.add_argument("--train", type=int, default=60)
+    t3.add_argument("--test", type=int, default=20)
+    t3.add_argument("--epochs", type=int, default=15)
+    t3.set_defaults(fn=_cmd_table3)
+
+    t4 = sub.add_parser("table4", help="reduced Table IV run")
+    t4.add_argument("--train", type=int, default=100)
+    t4.add_argument("--test", type=int, default=50)
+    t4.set_defaults(fn=_cmd_table4)
+
+    sc = sub.add_parser("scaling", help="simulated-cluster strong scaling")
+    sc.add_argument("--tasks", type=int, default=128)
+    sc.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32])
+    sc.set_defaults(fn=_cmd_scaling)
+
+    bu = sub.add_parser("budgets", help="Table II measurement budgets")
+    bu.add_argument("--epsilon", type=float, default=0.1)
+    bu.add_argument("--delta", type=float, default=0.05)
+    bu.set_defaults(fn=_cmd_budgets)
+
+    co = sub.add_parser("counts", help="Eq. 16/18 ensemble sizes")
+    co.set_defaults(fn=_cmd_counts)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Ansatz builders.
+
+:func:`fig8_ansatz` is the paper's exact circuit (Fig. 8): "a simple Ansatz
+made of 2 alternations of RY gates and circular CNOT gates", with all
+parameters initialised to zero so the Ansatz evaluates to the identity --
+the initialisation shown by Grant et al. [21] to avoid barren plateaus and
+the expansion point of the Ansatz-expansion strategy.
+
+:func:`hardware_efficient_ansatz` generalises to arbitrary depth/rotation
+axes for ablations.
+"""
+
+from __future__ import annotations
+
+from repro.quantum.circuit import Circuit
+
+__all__ = ["fig8_ansatz", "hardware_efficient_ansatz"]
+
+
+def fig8_ansatz(num_qubits: int = 4, layers: int = 2) -> Circuit:
+    """RY layer + circular CNOT ring, repeated ``layers`` times, mirrored.
+
+    Odd layers apply the CNOT ring in *reversed* order, so with all
+    parameters at zero (RY(0) = I) adjacent rings cancel pairwise and the
+    whole Ansatz evaluates to the identity -- the paper's Sec. VII.A
+    statement "We set initial parameters to 0, on which the Ansatz would
+    evaluate to identity" and the Grant et al. [21] identity-block
+    initialisation that avoids barren plateaus.
+
+    Parameters are named ``theta_{layer}_{qubit}`` in application order, so
+    the parameter vector has length ``layers * num_qubits`` (k = 8 in the
+    paper's 4-qubit configuration).
+    """
+    return hardware_efficient_ansatz(num_qubits, layers, rotation="ry", mirror=True)
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    layers: int,
+    rotation: str = "ry",
+    entangle: str = "ring",
+    mirror: bool = True,
+) -> Circuit:
+    """Generic problem-agnostic Ansatz (Kandala et al. style).
+
+    ``rotation`` in {rx, ry, rz}; ``entangle`` in {ring, line}.  The ring
+    couples qubit i to (i+1) mod n -- "circular CNOT gates"; the line drops
+    the wrap-around link.  With ``mirror=True`` odd layers reverse the
+    entangler order so an even-layer Ansatz is the identity at theta = 0.
+    """
+    if rotation not in ("rx", "ry", "rz"):
+        raise ValueError(f"rotation must be rx/ry/rz, got {rotation!r}")
+    if entangle not in ("ring", "line"):
+        raise ValueError(f"entangle must be ring/line, got {entangle!r}")
+    if num_qubits < 2:
+        raise ValueError("ansatz needs >= 2 qubits")
+    if layers < 1:
+        raise ValueError("layers must be >= 1")
+    circuit = Circuit(num_qubits, name=f"ansatz[{rotation}x{layers}]")
+    last = num_qubits if entangle == "ring" else num_qubits - 1
+    pairs = [(q, (q + 1) % num_qubits) for q in range(last)]
+    for layer in range(layers):
+        for q in range(num_qubits):
+            circuit.append(rotation, q, f"theta_{layer}_{q}")
+        ordered = pairs if (not mirror or layer % 2 == 0) else list(reversed(pairs))
+        for control, target in ordered:
+            circuit.append("cnot", (control, target))
+    return circuit

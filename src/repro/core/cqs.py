@@ -1,0 +1,157 @@
+"""Classical combination of quantum states (CQS) and the Sec. III.E bridge.
+
+The CQS linear-system solver of Huang et al. [27] is the problem-inspired
+ancestor of post-variational strategies.  This module implements
+
+* an Ansatz-tree CQS solver for ``A x = b`` with ``A`` a Pauli sum:
+  candidate unitaries are products of A's Pauli terms applied to |b>, grown
+  breadth-first; the combination coefficients solve a classical least
+  squares -- convex, terminable, global optimum, exactly Table I's pitch;
+* the Sec. III.E identity: the CQS Hamiltonian loss
+  ``L_Ham = <x|A^dag (I - |b><b|) A|x>`` rewritten as the post-variational
+  MAE loss ``sum_j alpha_j tr(O_j |b><b|)`` with ground truth 0 (Eqs. 8-13),
+  including the m = m_CQS^2 observable counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quantum.observables import PauliString, PauliSum
+from repro.utils.validation import require
+
+__all__ = [
+    "hamiltonian_observable",
+    "CQSResult",
+    "solve_cqs",
+    "ansatz_tree_unitaries",
+    "decompose_hamiltonian_loss",
+]
+
+
+def hamiltonian_observable(a: PauliSum, b: np.ndarray) -> np.ndarray:
+    """Dense ``O = A^dag (I - |b><b|) A`` (paper Eq. after (8))."""
+    b = np.asarray(b, dtype=np.complex128).ravel()
+    require(abs(np.linalg.norm(b) - 1.0) < 1e-9, "b must be normalised")
+    a_dense = a.to_matrix()
+    projector = np.eye(b.size) - np.outer(b, b.conj())
+    return a_dense.conj().T @ projector @ a_dense
+
+
+def ansatz_tree_unitaries(a: PauliSum, max_terms: int) -> list[PauliString]:
+    """Breadth-first Ansatz tree over products of A's Pauli terms.
+
+    Root is the identity; each node U spawns children ``P_k U`` for every
+    term P_k of A (phases dropped: a global phase on U_i is absorbed by
+    gamma_i).  Duplicate strings are visited once -- the tree is really a
+    lattice, matching the CQS paper's de-duplicated expansion.
+    """
+    require(max_terms >= 1, "max_terms must be >= 1")
+    n = a.num_qubits
+    identity = PauliString("I" * n)
+    frontier = [identity]
+    seen = {identity.string}
+    out = [identity]
+    terms = [p for _, p in a.items()]
+    while frontier and len(out) < max_terms:
+        next_frontier: list[PauliString] = []
+        for node in frontier:
+            for term in terms:
+                _, child = term * node
+                if child.string not in seen:
+                    seen.add(child.string)
+                    out.append(child)
+                    next_frontier.append(child)
+                    if len(out) >= max_terms:
+                        return out
+        frontier = next_frontier
+    return out
+
+
+@dataclass
+class CQSResult:
+    """Solver output: coefficients, solution vector and diagnostics."""
+
+    gamma: np.ndarray
+    unitaries: list[PauliString]
+    x: np.ndarray
+    residual_norm: float
+    hamiltonian_loss: float
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.unitaries)
+
+
+def solve_cqs(a: PauliSum, b: np.ndarray, max_terms: int = 8) -> CQSResult:
+    """Solve ``A x = b`` with x restricted to span{U_i |b>} (real gamma).
+
+    Minimises ``||A x - b||_2^2`` over real gamma -- a convex quadratic
+    solved in closed form via a real-stacked least squares (mirroring the
+    regression-loss formulation of [27]).  Real gamma keeps the Sec. III.E
+    observable decomposition Hermitian term by term.
+    """
+    b = np.asarray(b, dtype=np.complex128).ravel()
+    require(abs(np.linalg.norm(b) - 1.0) < 1e-9, "b must be normalised")
+    unitaries = ansatz_tree_unitaries(a, max_terms)
+    dim = b.size
+
+    # Basis states |u_i> = U_i |b> (Pauli strings act cheaply).
+    basis = np.empty((len(unitaries), dim), dtype=np.complex128)
+    for i, u in enumerate(unitaries):
+        basis[i] = u.to_matrix() @ b if dim <= 64 else _apply_pauli(u, b)
+
+    a_dense = a.to_matrix()
+    design = (a_dense @ basis.T)  # columns A U_i |b>
+    stacked = np.vstack([design.real, design.imag])
+    target = np.concatenate([b.real, b.imag])
+    gamma, *_ = np.linalg.lstsq(stacked, target, rcond=None)
+
+    x = basis.T @ gamma
+    residual = float(np.linalg.norm(a_dense @ x - b))
+    o_matrix = hamiltonian_observable(a, b)
+    ham = float((x.conj() @ o_matrix @ x).real)
+    return CQSResult(
+        gamma=gamma,
+        unitaries=unitaries,
+        x=x,
+        residual_norm=residual,
+        hamiltonian_loss=ham,
+    )
+
+
+def _apply_pauli(p: PauliString, vec: np.ndarray) -> np.ndarray:
+    from repro.quantum.observables import _apply_pauli_batch
+
+    return _apply_pauli_batch(vec[None, :], p)[0]
+
+
+def decompose_hamiltonian_loss(
+    a: PauliSum, b: np.ndarray, result: CQSResult
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Sec. III.E decomposition: ``L_Ham = sum_j alpha_j tr(O_j |b><b|)``.
+
+    Returns (alphas, observables) with m = m_CQS^2 terms: the diagonal
+    observables ``U_i^dag O U_i`` with weight ``gamma_i^2`` (Eq. 9 first sum)
+    and the symmetrised cross terms ``(U_i^dag O U_j + U_j^dag O U_i)/2``
+    with weight ``2 gamma_i gamma_j`` (second sum).  Each observable is
+    Hermitian; ``sum_j alpha_j tr(O_j rho_b)`` equals the MAE loss against
+    ground truth 0 (Eqs. 10-12), which the tests assert.
+    """
+    b = np.asarray(b, dtype=np.complex128).ravel()
+    o_matrix = hamiltonian_observable(a, b)
+    mats = [u.to_matrix() for u in result.unitaries]
+    alphas: list[float] = []
+    observables: list[np.ndarray] = []
+    gamma = result.gamma
+    m_cqs = len(mats)
+    for i in range(m_cqs):
+        observables.append(mats[i].conj().T @ o_matrix @ mats[i])
+        alphas.append(float(gamma[i] ** 2))
+        for j in range(i + 1, m_cqs):
+            cross = mats[i].conj().T @ o_matrix @ mats[j]
+            observables.append(0.5 * (cross + cross.conj().T))
+            alphas.append(float(2.0 * gamma[i] * gamma[j]))
+    return np.asarray(alphas), observables

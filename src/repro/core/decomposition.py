@@ -1,0 +1,104 @@
+"""Appendix A: deconstruction of a variational Ansatz into Pauli observables.
+
+The CQO (classical combination of quantum observables) framework rests on
+``O(theta) = U^dag(theta) O U(theta) = sum_j F_j(theta) O_j`` with at most
+``4^n`` Hermitian terms (Eqs. 3, A5-A7).  This module computes that
+decomposition *exactly* for bound circuits: the Heisenberg-picture
+observable as a :class:`~repro.quantum.observables.PauliSum`, plus helpers
+to truncate it by locality or coefficient weight and to quantify how much
+of the observable the truncation keeps -- the quantitative backing for the
+"low-degree approximation" argument of Sec. IV.B.
+
+Cost is O(4^n * poly) dense algebra; intended for the analysis of small
+registers (the paper's n=4), not as a simulation path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import gate_matrix
+from repro.quantum.observables import PauliString, PauliSum, local_pauli_strings
+
+__all__ = [
+    "circuit_unitary",
+    "heisenberg_observable",
+    "truncate_by_locality",
+    "truncate_by_weight",
+    "decomposition_weight_profile",
+]
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Dense unitary of a bound circuit (column = image of basis state)."""
+    if not circuit.is_bound:
+        raise ValueError("circuit_unitary requires a bound circuit")
+    from repro.quantum.statevector import apply_matrix_batch
+
+    dim = 2**circuit.num_qubits
+    u = np.eye(dim, dtype=np.complex128)
+    # Evolve all basis states at once (columns as a batch of kets).
+    states = np.ascontiguousarray(u)
+    for op in circuit:
+        states = apply_matrix_batch(states, gate_matrix(op.gate, op.param), op.qubits)
+    return states.T  # row b of batch is U|b>; columns of U are U|b>
+
+
+def heisenberg_observable(
+    circuit: Circuit, observable: PauliString | PauliSum, tol: float = 1e-12
+) -> PauliSum:
+    """Exact Pauli decomposition of ``U^dag O U`` (Appendix A, Eq. A7).
+
+    Returns a :class:`PauliSum` with real coefficients (Hermiticity is
+    preserved by conjugation); terms below ``tol`` are dropped.
+    """
+    if not circuit.is_bound:
+        raise ValueError("heisenberg_observable requires a bound circuit")
+    n = circuit.num_qubits
+    u = circuit_unitary(circuit)
+    o_matrix = (
+        observable.to_matrix()
+        if isinstance(observable, (PauliString, PauliSum))
+        else np.asarray(observable, dtype=np.complex128)
+    )
+    conjugated = u.conj().T @ o_matrix @ u
+    dim = 2**n
+    terms: list[tuple[complex, PauliString]] = []
+    for pauli in local_pauli_strings(n, n):
+        coeff = np.trace(pauli.to_matrix() @ conjugated) / dim
+        if abs(coeff) > tol:
+            # Hermitian matrix in a Hermitian basis: coefficients are real.
+            terms.append((coeff.real, pauli))
+    return PauliSum(terms)
+
+
+def truncate_by_locality(observable: PauliSum, locality: int) -> PauliSum:
+    """Keep only terms of weight <= ``locality`` (Sec. IV.B's low-degree
+    approximation)."""
+    return PauliSum(
+        [(c, p) for c, p in observable.items() if p.locality <= locality]
+    )
+
+
+def truncate_by_weight(observable: PauliSum, top_k: int) -> PauliSum:
+    """Keep the ``top_k`` largest-|coefficient| terms."""
+    if top_k < 0:
+        raise ValueError("top_k must be >= 0")
+    ranked = sorted(observable.items(), key=lambda cp: -abs(cp[0]))
+    return PauliSum(ranked[:top_k])
+
+
+def decomposition_weight_profile(observable: PauliSum) -> dict[int, float]:
+    """Squared-coefficient mass per locality.
+
+    Under the normalised Pauli inner product this is the Fourier-weight
+    profile of the observable; ``sum_l profile[l] = ||O||_F^2 / 2^n``.
+    The Sec. IV.B heuristic ("most physical observables are local") is
+    quantified by how much mass sits at small l.
+    """
+    profile: dict[int, float] = {}
+    for coeff, pauli in observable.items():
+        weight = float(abs(coeff) ** 2)
+        profile[pauli.locality] = profile.get(pauli.locality, 0.0) + weight
+    return dict(sorted(profile.items()))

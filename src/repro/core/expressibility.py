@@ -1,0 +1,90 @@
+"""Expressibility and entangling-capability metrics (Sim et al.).
+
+The post-variational trade (paper Sec. III.C): "exchange expressibility of
+the circuit with trainability of the entire model".  These metrics make the
+exchanged quantity measurable:
+
+* :func:`expressibility_kl` -- KL divergence between the Ansatz's pairwise
+  state-fidelity distribution and the Haar distribution
+  ``P_Haar(F) = (2^n - 1)(1 - F)^{2^n - 2}`` (smaller = more expressive);
+* :func:`entangling_capability` -- mean Meyer-Wallach entanglement Q over
+  random parameters.
+
+Benchmark users can thereby quantify how much expressibility each strategy
+keeps (the order-R shift ensembles sample the Ansatz at finitely many
+points, bounding their reachable set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.density import partial_trace, pure_density
+from repro.quantum.statevector import run_circuit
+from repro.utils.rng import as_rng
+
+__all__ = ["haar_fidelity_pdf", "expressibility_kl", "meyer_wallach_q", "entangling_capability"]
+
+
+def haar_fidelity_pdf(fidelity: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Haar-random pure-state pairwise fidelity density."""
+    dim = 2**num_qubits
+    f = np.asarray(fidelity, dtype=float)
+    return (dim - 1) * np.power(np.clip(1.0 - f, 0.0, 1.0), dim - 2)
+
+
+def expressibility_kl(
+    circuit: Circuit,
+    num_pairs: int = 300,
+    bins: int = 30,
+    seed: int | np.random.Generator | None = 0,
+) -> float:
+    """KL(P_circuit || P_Haar) over binned pairwise fidelities.
+
+    0 means Haar-indistinguishable (maximally expressive); an identity-only
+    circuit gives a large value (all fidelities = 1).
+    """
+    rng = as_rng(seed)
+    k = circuit.num_parameters
+    fids = np.empty(num_pairs)
+    for i in range(num_pairs):
+        a = run_circuit(circuit, params=rng.uniform(-np.pi, np.pi, k))
+        b = run_circuit(circuit, params=rng.uniform(-np.pi, np.pi, k))
+        fids[i] = abs(np.vdot(a, b)) ** 2
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    counts, _ = np.histogram(fids, bins=edges)
+    p = counts / counts.sum()
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    q = haar_fidelity_pdf(centers, circuit.num_qubits)
+    q = q / q.sum()
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / np.maximum(q[mask], 1e-12))))
+
+
+def meyer_wallach_q(state: np.ndarray, num_qubits: int) -> float:
+    """Meyer-Wallach global entanglement: ``Q = 2 (1 - mean_k tr(rho_k^2))``.
+
+    0 for product states, -> 1 for highly entangled states.
+    """
+    rho = pure_density(np.asarray(state, dtype=np.complex128))
+    purities = []
+    for q in range(num_qubits):
+        marginal = partial_trace(rho, keep=[q])
+        purities.append(float(np.trace(marginal @ marginal).real))
+    return float(2.0 * (1.0 - np.mean(purities)))
+
+
+def entangling_capability(
+    circuit: Circuit,
+    num_samples: int = 100,
+    seed: int | np.random.Generator | None = 0,
+) -> float:
+    """Mean Meyer-Wallach Q of the Ansatz over random parameters."""
+    rng = as_rng(seed)
+    k = circuit.num_parameters
+    total = 0.0
+    for _ in range(num_samples):
+        psi = run_circuit(circuit, params=rng.uniform(-np.pi, np.pi, k))
+        total += meyer_wallach_q(psi, circuit.num_qubits)
+    return total / num_samples

@@ -1,0 +1,205 @@
+"""Post-variational feature generation -- paper Algorithm 1.
+
+Builds the Q matrix ``Q_ij = tr(O_j rho_theta(x_i))`` (Eq. 26): every data
+point is encoded (Fig. 7), pushed through each fixed Ansatz instance of the
+strategy, and measured against each observable.  Feature columns are ordered
+Ansatz-major: column ``a * q + b`` holds (parameter set a, observable b),
+matching Definition 1's (p, q) indexing.
+
+Three estimators exercise the paper's three measurement models:
+
+* ``exact``   -- analytic expectations (ideal simulator, Tables III/IV);
+* ``shots``   -- finite-sample direct measurement (Proposition 1 regime);
+* ``shadows`` -- classical-shadow estimation, one shadow batch per
+  (data point, Ansatz) reused across all q observables (Proposition 2).
+
+The work grid (Ansatz instance x data chunk) is embarrassingly parallel and
+is dispatched through :class:`repro.hpc.executor.ParallelExecutor`; all
+backends produce identical matrices for ``exact`` and seed-deterministic
+matrices otherwise (child RNG streams are derived per task, independent of
+schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.strategies import Strategy
+from repro.data.encoding import encode_batch
+from repro.hpc.executor import ParallelExecutor
+from repro.hpc.partition import chunk_ranges
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import PauliString, expectation
+from repro.quantum.sampling import measure_pauli_batch
+from repro.quantum.shadows import collect_shadows, estimate_pauli
+from repro.quantum.statevector import run_circuit
+from repro.utils.rng import as_rng, spawn_rngs
+
+__all__ = ["FeatureJob", "generate_features", "evaluate_features"]
+
+ESTIMATORS = ("exact", "shots", "shadows")
+
+
+@dataclass(frozen=True)
+class FeatureJob:
+    """One schedulable unit: Ansatz instance ``a`` on data rows [lo, hi)."""
+
+    ansatz_index: int
+    lo: int
+    hi: int
+
+
+def _bound_ansatz(strategy: Strategy, params: np.ndarray) -> Circuit | None:
+    circuit = strategy.ansatz
+    if circuit is None or circuit.num_parameters == 0:
+        return None
+    return circuit.bind(params)
+
+
+def _evaluate_block(
+    states: np.ndarray,
+    bound: Circuit | None,
+    observables: list[PauliString],
+    estimator: str,
+    shots: int,
+    snapshots: int,
+    rng: np.random.Generator | None,
+) -> np.ndarray:
+    """Feature block for one Ansatz instance on a chunk of encoded states.
+
+    Returns (chunk, q).  This is the module-level worker so the process
+    executor backend can pickle it via functools.partial-free closures.
+    """
+    evolved = run_circuit(bound, state=states) if bound is not None else states
+    q = len(observables)
+    block = np.empty((evolved.shape[0], q))
+    if estimator == "exact":
+        for b, obs in enumerate(observables):
+            block[:, b] = expectation(evolved, obs)
+    elif estimator == "shots":
+        for b, obs in enumerate(observables):
+            block[:, b] = measure_pauli_batch(evolved, obs, shots, rng)
+    elif estimator == "shadows":
+        for i in range(evolved.shape[0]):
+            shadow = collect_shadows(evolved[i], snapshots, rng)
+            for b, obs in enumerate(observables):
+                block[i, b] = estimate_pauli(shadow, obs)
+    else:
+        raise ValueError(f"unknown estimator {estimator!r}; choose from {ESTIMATORS}")
+    return block
+
+
+class _BlockWorker:
+    """Picklable task callable for the process executor backend."""
+
+    def __init__(
+        self,
+        strategy: Strategy,
+        states: np.ndarray,
+        estimator: str,
+        shots: int,
+        snapshots: int,
+        seeds: list[int] | None,
+    ):
+        self.strategy = strategy
+        self.states = states
+        self.observables = strategy.observables()
+        self.parameter_sets = strategy.parameter_sets()
+        self.estimator = estimator
+        self.shots = shots
+        self.snapshots = snapshots
+        self.seeds = seeds
+
+    def __call__(self, job_with_index: tuple[int, FeatureJob]) -> tuple[FeatureJob, np.ndarray]:
+        task_id, job = job_with_index
+        bound = _bound_ansatz(self.strategy, self.parameter_sets[job.ansatz_index])
+        rng = None if self.seeds is None else np.random.default_rng(self.seeds[task_id])
+        block = _evaluate_block(
+            self.states[job.lo : job.hi],
+            bound,
+            self.observables,
+            self.estimator,
+            self.shots,
+            self.snapshots,
+            rng,
+        )
+        return job, block
+
+
+def generate_features(
+    strategy: Strategy,
+    angles: np.ndarray,
+    estimator: str = "exact",
+    shots: int = 1024,
+    snapshots: int = 512,
+    executor: ParallelExecutor | None = None,
+    chunk_size: int = 128,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Algorithm 1: the full Q matrix for pooled-angle images ``angles``.
+
+    ``angles`` is (d, rows, cols) with cols == strategy.num_qubits; returns
+    (d, m).  ``shots``/``snapshots`` apply per (data point, Ansatz,
+    observable) and per (data point, Ansatz) respectively.
+    """
+    angles = np.asarray(angles, dtype=float)
+    if angles.ndim != 3:
+        raise ValueError("angles must be (d, rows, cols)")
+    if angles.shape[2] != strategy.num_qubits:
+        raise ValueError(
+            f"angles encode {angles.shape[2]} qubits, strategy expects {strategy.num_qubits}"
+        )
+    states = encode_batch(angles)
+    return evaluate_features(
+        strategy,
+        states,
+        estimator=estimator,
+        shots=shots,
+        snapshots=snapshots,
+        executor=executor,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
+
+
+def evaluate_features(
+    strategy: Strategy,
+    states: np.ndarray,
+    estimator: str = "exact",
+    shots: int = 1024,
+    snapshots: int = 512,
+    executor: ParallelExecutor | None = None,
+    chunk_size: int = 128,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Q matrix from pre-encoded statevectors ``states`` (d, 2**n)."""
+    if estimator not in ESTIMATORS:
+        raise ValueError(f"unknown estimator {estimator!r}; choose from {ESTIMATORS}")
+    states = np.asarray(states, dtype=np.complex128)
+    d = states.shape[0]
+    p = strategy.num_ansatze
+    q = strategy.num_observables
+    executor = executor or ParallelExecutor()
+
+    jobs = [
+        FeatureJob(a, lo, hi)
+        for a in range(p)
+        for (lo, hi) in chunk_ranges(d, chunk_size)
+    ]
+    # Per-task independent RNG streams: results do not depend on the
+    # executor backend or completion order.
+    if estimator == "exact":
+        seeds = None
+    else:
+        children = spawn_rngs(seed, len(jobs))
+        seeds = [int(c.integers(0, 2**63)) for c in children]
+
+    worker = _BlockWorker(strategy, states, estimator, shots, snapshots, seeds)
+    results = executor.map(worker, list(enumerate(jobs)))
+
+    out = np.empty((d, p * q))
+    for job, block in results:
+        out[job.lo : job.hi, job.ansatz_index * q : (job.ansatz_index + 1) * q] = block
+    return out

@@ -1,0 +1,180 @@
+"""End-to-end hybrid HPC-QC pipeline orchestrator.
+
+This is the SC-track system layer: it stages the post-variational workflow
+(encode -> dispatch circuit ensemble -> gather Q -> convex fit) through the
+HPC substrate, instruments every stage (profiling guide: measure first), and
+-- because real quantum hardware is replaced by the simulator -- also
+projects wall-clock onto the deterministic cluster model so dispatch
+policies can be compared reproducibly.
+
+The quantum workload dispatched per node is exactly what a real deployment
+would ship: (fixed circuit, data chunk, shot budget) triples returning
+Q-matrix blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.core.features import FeatureJob, generate_features
+from repro.core.strategies import Strategy
+from repro.hpc.cluster import CircuitTask, ClusterModel
+from repro.hpc.executor import ParallelExecutor
+from repro.hpc.partition import chunk_ranges
+from repro.hpc.profiling import Counter, StageTimer
+from repro.ml.logistic import LogisticRegression, SoftmaxRegression
+from repro.ml.metrics import accuracy
+
+__all__ = ["PipelineReport", "HybridPipeline"]
+
+
+@dataclass
+class PipelineReport:
+    """Everything a run log needs: sizes, timings, projected makespan."""
+
+    num_features: int
+    num_ansatze: int
+    num_observables: int
+    num_train: int
+    timer: StageTimer
+    counter: Counter
+    projected_makespan: float | None = None
+    scheduling_policy: str | None = None
+
+    def summary(self) -> str:
+        lines = [
+            f"ensemble: p={self.num_ansatze} x q={self.num_observables} "
+            f"= m={self.num_features} features, d={self.num_train} samples",
+            self.timer.report(),
+        ]
+        if self.projected_makespan is not None:
+            lines.append(
+                f"projected cluster makespan ({self.scheduling_policy}): "
+                f"{self.projected_makespan:.4f}s"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class HybridPipeline:
+    """Strategy + estimator + executor + classical head, fully instrumented."""
+
+    strategy: Strategy = None  # type: ignore[assignment]
+    num_classes: int = 2
+    estimator: str = "exact"
+    shots: int = 1024
+    snapshots: int = 512
+    l2: float = 1.0
+    executor: ParallelExecutor | None = None
+    cluster: ClusterModel | None = None
+    scheduling_policy: str = "lpt"
+    chunk_size: int = 128
+    seed: int = 0
+    report_: PipelineReport | None = field(default=None, repr=False)
+    head_: object = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.strategy is None:
+            raise ValueError("strategy is required")
+        self.executor = self.executor or ParallelExecutor()
+
+    # ------------------------------------------------------------ workload
+    def circuit_tasks(self, num_samples: int) -> list[CircuitTask]:
+        """The dispatch units a real cluster would receive."""
+        q = self.strategy.num_observables
+        shots_per_circuit = 0 if self.estimator == "exact" else (
+            self.shots * q if self.estimator == "shots" else self.snapshots
+        )
+        tasks = []
+        for _ in range(self.strategy.num_ansatze):
+            for lo, hi in chunk_ranges(num_samples, self.chunk_size):
+                chunk = hi - lo
+                tasks.append(
+                    CircuitTask(
+                        num_circuits=chunk,
+                        shots=shots_per_circuit,
+                        result_bytes=8 * chunk * q,
+                        classical_flops=float(chunk * q * 2 ** self.strategy.num_qubits),
+                    )
+                )
+        return tasks
+
+    # ----------------------------------------------------------------- fit
+    def fit(self, angles: np.ndarray, y: np.ndarray) -> "HybridPipeline":
+        timer = StageTimer()
+        counter = Counter()
+        angles = np.asarray(angles, dtype=float)
+        y = np.asarray(y)
+
+        with timer.stage("generate_features"):
+            q_matrix = generate_features(
+                self.strategy,
+                angles,
+                estimator=self.estimator,
+                shots=self.shots,
+                snapshots=self.snapshots,
+                executor=self.executor,
+                chunk_size=self.chunk_size,
+                seed=self.seed,
+            )
+        counter.add("circuits_executed", self.strategy.num_ansatze * angles.shape[0])
+        counter.add(
+            "shots_fired",
+            0 if self.estimator == "exact" else self.shots * q_matrix.size,
+        )
+
+        with timer.stage("fit_head"):
+            if self.num_classes == 2:
+                self.head_ = LogisticRegression(l2=self.l2).fit(q_matrix, y)
+            else:
+                self.head_ = SoftmaxRegression(
+                    num_classes=self.num_classes, l2=self.l2
+                ).fit(q_matrix, y)
+
+        projected = None
+        if self.cluster is not None:
+            with timer.stage("cluster_projection"):
+                projected, _ = self.cluster.makespan(
+                    self.circuit_tasks(angles.shape[0]), self.scheduling_policy
+                )
+
+        self.report_ = PipelineReport(
+            num_features=self.strategy.num_features,
+            num_ansatze=self.strategy.num_ansatze,
+            num_observables=self.strategy.num_observables,
+            num_train=angles.shape[0],
+            timer=timer,
+            counter=counter,
+            projected_makespan=projected,
+            scheduling_policy=self.scheduling_policy if projected is not None else None,
+        )
+        return self
+
+    # ------------------------------------------------------------- predict
+    def _features(self, angles: np.ndarray) -> np.ndarray:
+        return generate_features(
+            self.strategy,
+            np.asarray(angles, dtype=float),
+            estimator=self.estimator,
+            shots=self.shots,
+            snapshots=self.snapshots,
+            executor=self.executor,
+            chunk_size=self.chunk_size,
+            seed=self.seed,
+        )
+
+    def predict(self, angles: np.ndarray) -> np.ndarray:
+        if self.head_ is None:
+            raise RuntimeError("pipeline is not fitted")
+        return self.head_.predict(self._features(angles))
+
+    def score(self, angles: np.ndarray, y: np.ndarray) -> float:
+        return accuracy(np.asarray(y), self.predict(angles))
+
+    def loss(self, angles: np.ndarray, y: np.ndarray) -> float:
+        if self.head_ is None:
+            raise RuntimeError("pipeline is not fitted")
+        return self.head_.loss(self._features(angles), np.asarray(y))

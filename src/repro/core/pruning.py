@@ -1,0 +1,117 @@
+"""Circuit pruning heuristics (paper Sec. IV.A and IV.C).
+
+Two tests decide whether the +-pi/2 pair of circuits for parameter ``u`` can
+be dropped from the ensemble:
+
+* **Gradient pruning** (Eq. 17): if the mean squared difference of the
+  shifted expectations over the data is small, the gradient on theta_u is
+  small everywhere and the pair (and all higher-order shifts through u)
+  contributes little.
+* **Fidelity pruning** (Eqs. 21-25): the observable-free variant for the
+  hybrid strategy -- if ``F(rho(x, theta + pi/2 e_u), rho(x, theta - pi/2
+  e_u))`` is close to 1 for all data, every observable's shifted difference
+  is bounded by ``4(1 - F)`` and the pair is dropped without measuring any
+  observable.
+
+Both return the surviving :class:`ShiftConfiguration` list so strategies can
+be rebuilt with a reduced ensemble; benchmark E9 sweeps the thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.shifts import ShiftConfiguration
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import PauliString, expectation
+from repro.quantum.statevector import fidelity, run_circuit
+
+__all__ = ["PruningReport", "gradient_prune", "fidelity_prune", "apply_pruning"]
+
+
+@dataclass(frozen=True)
+class PruningReport:
+    """Per-parameter scores and the decision threshold used."""
+
+    scores: np.ndarray  # one score per parameter index
+    threshold: float
+    pruned_parameters: tuple[int, ...]
+
+    @property
+    def num_pruned(self) -> int:
+        return len(self.pruned_parameters)
+
+
+def _shifted_pair_states(
+    circuit: Circuit, states: np.ndarray, base: np.ndarray, u: int
+) -> tuple[np.ndarray, np.ndarray]:
+    plus = base.copy()
+    minus = base.copy()
+    plus[u] += np.pi / 2
+    minus[u] -= np.pi / 2
+    return (
+        run_circuit(circuit.bind(plus), state=states),
+        run_circuit(circuit.bind(minus), state=states),
+    )
+
+
+def gradient_prune(
+    circuit: Circuit,
+    states: np.ndarray,
+    observable: PauliString,
+    threshold: float,
+    base_parameters: np.ndarray | None = None,
+) -> PruningReport:
+    """Eq. 17 test: MSE of shifted-expectation differences per parameter.
+
+    ``states`` are the encoded data states rho(x_i); a parameter is pruned
+    when its score falls below ``threshold``.
+    """
+    k = circuit.num_parameters
+    base = np.zeros(k) if base_parameters is None else np.asarray(base_parameters, float)
+    scores = np.empty(k)
+    for u in range(k):
+        psi_plus, psi_minus = _shifted_pair_states(circuit, states, base, u)
+        diff = expectation(psi_plus, observable) - expectation(psi_minus, observable)
+        scores[u] = float(np.mean(np.square(diff)))
+    pruned = tuple(int(u) for u in range(k) if scores[u] < threshold)
+    return PruningReport(scores=scores, threshold=threshold, pruned_parameters=pruned)
+
+
+def fidelity_prune(
+    circuit: Circuit,
+    states: np.ndarray,
+    threshold: float,
+    base_parameters: np.ndarray | None = None,
+) -> PruningReport:
+    """Eq. 25 test: prune when ``4 * (1 - mean fidelity)`` is small.
+
+    The score is the paper's bound on the squared expectation difference, so
+    the same threshold scale as :func:`gradient_prune` applies, and the
+    guarantee ``score_grad <= score_fid`` holds per Eq. 23-25 (tested).
+    """
+    k = circuit.num_parameters
+    base = np.zeros(k) if base_parameters is None else np.asarray(base_parameters, float)
+    scores = np.empty(k)
+    for u in range(k):
+        psi_plus, psi_minus = _shifted_pair_states(circuit, states, base, u)
+        f = np.asarray(fidelity(psi_plus, psi_minus))
+        scores[u] = float(np.mean(4.0 * (1.0 - f)))
+    pruned = tuple(int(u) for u in range(k) if scores[u] < threshold)
+    return PruningReport(scores=scores, threshold=threshold, pruned_parameters=pruned)
+
+
+def apply_pruning(
+    configs: list[ShiftConfiguration], pruned_parameters: tuple[int, ...]
+) -> list[ShiftConfiguration]:
+    """Drop every configuration that shifts a pruned parameter.
+
+    Sec. IV.A: "further higher-order gradients based on the gradient circuits
+    would also be small" -- so the subset test is on membership, killing all
+    orders through the pruned coordinates.  The order-0 base circuit always
+    survives.
+    """
+    dead = set(pruned_parameters)
+    return [c for c in configs if not (set(c.subset) & dead)]

@@ -1,0 +1,88 @@
+"""Shift-configuration enumeration for the Ansatz-expansion strategy.
+
+Paper Sec. IV.A: "truncating at the R-th derivative order, ... we simply
+select all combinations of size <= L from the k parameters in theta, where
+each parameter corresponds to a single rotational gate, and set each
+parameter to +-pi/2."  Eq. 16 counts ``sum_{l<=R} C(k,l) 2^l`` circuits.
+
+The enumeration order is deterministic (derivative order, then parameter
+subset lexicographic, then sign pattern with + before -) and fixes the
+feature-column order of the Q matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.combinatorics import bounded_subsets, count_bounded_subsets, signed_assignments
+
+__all__ = ["ShiftConfiguration", "enumerate_shift_configurations", "count_shift_configurations"]
+
+_SHIFT = np.pi / 2
+
+
+@dataclass(frozen=True)
+class ShiftConfiguration:
+    """One fixed Ansatz instance: parameters shifted on a subset.
+
+    ``subset``/``signs`` describe which parameters are at +-pi/2; ``order``
+    is the derivative order this circuit contributes to (= len(subset)).
+    """
+
+    subset: tuple[int, ...]
+    signs: tuple[int, ...]
+    num_parameters: int
+
+    @property
+    def order(self) -> int:
+        return len(self.subset)
+
+    def vector(self, base: np.ndarray | None = None) -> np.ndarray:
+        """The concrete parameter vector: ``base`` (default zeros) with the
+        subset entries shifted by ``sign * pi/2``."""
+        theta = (
+            np.zeros(self.num_parameters)
+            if base is None
+            else np.array(base, dtype=float, copy=True)
+        )
+        if theta.shape != (self.num_parameters,):
+            raise ValueError("base vector length mismatch")
+        for index, sign in zip(self.subset, self.signs):
+            theta[index] += sign * _SHIFT
+        return theta
+
+    @property
+    def label(self) -> str:
+        """Human-readable tag, e.g. ``d2[+3,-5]`` (used in traces/reports)."""
+        if not self.subset:
+            return "d0[]"
+        inner = ",".join(
+            f"{'+' if s > 0 else '-'}{i}" for i, s in zip(self.subset, self.signs)
+        )
+        return f"d{self.order}[{inner}]"
+
+
+def enumerate_shift_configurations(
+    num_parameters: int, max_order: int
+) -> list[ShiftConfiguration]:
+    """All configurations of derivative order 0..max_order (Eq. 16 set)."""
+    if num_parameters < 0:
+        raise ValueError("num_parameters must be >= 0")
+    if max_order < 0:
+        raise ValueError("max_order must be >= 0")
+    configs: list[ShiftConfiguration] = []
+    for subset in bounded_subsets(num_parameters, max_order):
+        for signs in signed_assignments(subset, (1, -1)):
+            configs.append(
+                ShiftConfiguration(
+                    subset=tuple(subset), signs=tuple(signs), num_parameters=num_parameters
+                )
+            )
+    return configs
+
+
+def count_shift_configurations(num_parameters: int, max_order: int) -> int:
+    """Closed form of paper Eq. 16: ``sum_{l<=R} C(k,l) 2^l``."""
+    return count_bounded_subsets(num_parameters, max_order, 2)

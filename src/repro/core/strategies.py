@@ -1,0 +1,215 @@
+"""The three post-variational design principles (paper Sec. IV).
+
+A strategy is a recipe for the ensemble of quantum neurons (Definition 1):
+``p`` fixed Ansaetze x ``q`` fixed observables, producing ``m = p*q``
+features ``tr(U_a^dag O_b U_a rho(x))``.
+
+* :class:`AnsatzExpansion` (Sec. IV.A / Fig. 3): Taylor-expand the
+  variational Ansatz around theta=0 via parameter shifts; p = Eq. 16, q = 1.
+* :class:`ObservableConstruction` (Sec. IV.B / Fig. 4): drop the Ansatz and
+  measure all L-local Paulis directly; p = 1, q = Eq. 18.
+* :class:`HybridStrategy` (Sec. IV.C / Fig. 5): both -- shifted Ansaetze and
+  local Paulis; m = Eq. 16 x Eq. 18.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ansatz import fig8_ansatz
+from repro.core.shifts import ShiftConfiguration, enumerate_shift_configurations
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import PauliString, local_pauli_strings
+
+__all__ = [
+    "Strategy",
+    "AnsatzExpansion",
+    "ObservableConstruction",
+    "HybridStrategy",
+    "strategy_from_name",
+]
+
+
+class Strategy(ABC):
+    """Recipe for a (p, q)-hybrid ensemble (paper Definition 1)."""
+
+    @property
+    @abstractmethod
+    def num_qubits(self) -> int:
+        """Width of the quantum register."""
+
+    @abstractmethod
+    def parameter_sets(self) -> list[np.ndarray]:
+        """The p concrete parameter vectors defining the fixed Ansaetze."""
+
+    @abstractmethod
+    def observables(self) -> list[PauliString]:
+        """The q measurement observables."""
+
+    @property
+    @abstractmethod
+    def ansatz(self) -> Circuit | None:
+        """The parameterised backbone circuit, or None if no Ansatz is used."""
+
+    # ------------------------------------------------------------- derived
+    @property
+    def num_ansatze(self) -> int:
+        """p of Definition 1."""
+        return len(self.parameter_sets())
+
+    @property
+    def num_observables(self) -> int:
+        """q of Definition 1."""
+        return len(self.observables())
+
+    @property
+    def num_features(self) -> int:
+        """m = p * q, the Q-matrix column count."""
+        return self.num_ansatze * self.num_observables
+
+    def max_locality(self) -> int:
+        """Largest observable locality (controls the shadow norm bound)."""
+        return max(o.locality for o in self.observables())
+
+    def describe(self) -> str:
+        return (
+            f"{type(self).__name__}(p={self.num_ansatze}, q={self.num_observables}, "
+            f"m={self.num_features}, L={self.max_locality()})"
+        )
+
+
+@dataclass
+class AnsatzExpansion(Strategy):
+    """Sec. IV.A: fixed Ansaetze from truncated Taylor expansion.
+
+    ``order`` is R, the derivative-order truncation; ``observable`` is the
+    single measurement observable O of the underlying variational circuit
+    (default Z on qubit 0, the conventional readout).  ``base_parameters``
+    is the expansion point theta^(0) (default zeros = identity Ansatz).
+    """
+
+    circuit: Circuit = field(default_factory=fig8_ansatz)
+    order: int = 1
+    observable: PauliString | None = None
+    base_parameters: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.order < 0:
+            raise ValueError("order must be >= 0")
+        if self.observable is None:
+            self.observable = PauliString("Z" + "I" * (self.circuit.num_qubits - 1))
+        if self.observable.num_qubits != self.circuit.num_qubits:
+            raise ValueError("observable width mismatch")
+        self._configs: list[ShiftConfiguration] = enumerate_shift_configurations(
+            self.circuit.num_parameters, self.order
+        )
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    @property
+    def ansatz(self) -> Circuit:
+        return self.circuit
+
+    @property
+    def shift_configurations(self) -> list[ShiftConfiguration]:
+        return list(self._configs)
+
+    def parameter_sets(self) -> list[np.ndarray]:
+        return [c.vector(self.base_parameters) for c in self._configs]
+
+    def observables(self) -> list[PauliString]:
+        return [self.observable]
+
+
+@dataclass
+class ObservableConstruction(Strategy):
+    """Sec. IV.B: no Ansatz; measure all Paulis of locality <= ``locality``.
+
+    The identity string is included (its expectation is exactly 1, acting as
+    the bias/intercept feature -- the l=0 term of Eq. 18).
+    """
+
+    qubits: int = 4
+    locality: int = 1
+
+    def __post_init__(self) -> None:
+        if self.locality < 0:
+            raise ValueError("locality must be >= 0")
+        if self.qubits < 1:
+            raise ValueError("qubits must be >= 1")
+        self._observables = local_pauli_strings(self.qubits, self.locality)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.qubits
+
+    @property
+    def ansatz(self) -> Circuit | None:
+        return None
+
+    def parameter_sets(self) -> list[np.ndarray]:
+        # p = 1: the identity "Ansatz" (no circuit beyond the encoder).
+        return [np.zeros(0)]
+
+    def observables(self) -> list[PauliString]:
+        return list(self._observables)
+
+
+@dataclass
+class HybridStrategy(Strategy):
+    """Sec. IV.C: shifted Ansaetze x local Paulis.
+
+    ``order``/``locality`` are R and L.  With the identity initialisation the
+    order-0 circuit reproduces the pure observable-construction features and
+    the derivative circuits add expressibility beyond locality L (the
+    heuristic argued in Sec. IV.C).
+    """
+
+    circuit: Circuit = field(default_factory=fig8_ansatz)
+    order: int = 1
+    locality: int = 1
+    base_parameters: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.order < 0 or self.locality < 0:
+            raise ValueError("order and locality must be >= 0")
+        self._configs = enumerate_shift_configurations(
+            self.circuit.num_parameters, self.order
+        )
+        self._observables = local_pauli_strings(self.circuit.num_qubits, self.locality)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    @property
+    def ansatz(self) -> Circuit:
+        return self.circuit
+
+    @property
+    def shift_configurations(self) -> list[ShiftConfiguration]:
+        return list(self._configs)
+
+    def parameter_sets(self) -> list[np.ndarray]:
+        return [c.vector(self.base_parameters) for c in self._configs]
+
+    def observables(self) -> list[PauliString]:
+        return list(self._observables)
+
+
+def strategy_from_name(
+    name: str, num_qubits: int = 4, layers: int = 2, **kwargs
+) -> Strategy:
+    """Factory used by benchmarks: 'ansatz', 'observable' or 'hybrid'."""
+    if name == "ansatz":
+        return AnsatzExpansion(circuit=fig8_ansatz(num_qubits, layers), **kwargs)
+    if name == "observable":
+        return ObservableConstruction(qubits=num_qubits, **kwargs)
+    if name == "hybrid":
+        return HybridStrategy(circuit=fig8_ansatz(num_qubits, layers), **kwargs)
+    raise ValueError(f"unknown strategy {name!r}")

@@ -1,0 +1,31 @@
+"""Data substrate: synthetic Fashion-MNIST, Fig. 7 encoding, linear systems."""
+
+from repro.data.synthetic_fashion import (
+    CLASS_NAMES,
+    class_prototype,
+    generate_dataset,
+    sample_class,
+)
+from repro.data.encoding import encode_batch, encoding_circuit
+from repro.data.datasets import (
+    Split,
+    binary_coat_vs_shirt,
+    multiclass_fashion,
+    train_test_split,
+)
+from repro.data.linear_system import random_linear_system, random_pauli_operator
+
+__all__ = [
+    "CLASS_NAMES",
+    "class_prototype",
+    "generate_dataset",
+    "sample_class",
+    "encode_batch",
+    "encoding_circuit",
+    "Split",
+    "binary_coat_vs_shirt",
+    "multiclass_fashion",
+    "train_test_split",
+    "random_linear_system",
+    "random_pauli_operator",
+]

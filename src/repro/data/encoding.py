@@ -1,0 +1,90 @@
+"""Data-encoding circuit of paper Fig. 7.
+
+"We then encode each column into a single qubit by iterating between RZ and
+RX gates": qubit ``c`` carries column ``c`` of the pooled 4x4 image; row 0
+enters as RZ, row 1 as RX, row 2 as RZ, row 3 as RX.  An initial Hadamard
+layer precedes the rotations so the leading RZ acts non-trivially on |0>
+(RZ is diagonal, hence a global phase on |0> -- the H layer is the standard
+choice that makes the alternating RZ/RX encoding injective in all angles).
+
+Two code paths produce identical states (tested):
+
+* :func:`encoding_circuit` -- the explicit Fig. 7 :class:`Circuit`, gate for
+  gate, for inspection/transpilation;
+* :func:`encode_batch` -- a vectorised kernel that prepares all d states in
+  one pass using per-sample batched rotations (the HPC-friendly hot path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import H
+from repro.quantum.statevector import apply_matrix_batch, zero_state
+
+__all__ = ["encoding_circuit", "encode_batch", "encoded_dimension"]
+
+
+def encoded_dimension(num_qubits: int) -> int:
+    """Hilbert-space dimension of the encoded register."""
+    return 2**num_qubits
+
+
+def encoding_circuit(features: np.ndarray) -> Circuit:
+    """Fig. 7 circuit for one pooled image (rows x cols, cols = qubits)."""
+    feats = np.asarray(features, dtype=float)
+    if feats.ndim != 2:
+        raise ValueError("features must be a (rows, cols) array")
+    rows, cols = feats.shape
+    circuit = Circuit(cols, name="encode")
+    for q in range(cols):
+        circuit.append("h", q)
+    for r in range(rows):
+        gate = "rz" if r % 2 == 0 else "rx"
+        for q in range(cols):
+            circuit.append(gate, q, float(feats[r, q]))
+    return circuit
+
+
+def _rz_batch(angles: np.ndarray) -> np.ndarray:
+    """(batch, 2, 2) stack of RZ(angle) matrices."""
+    e = np.exp(-0.5j * angles)
+    out = np.zeros((angles.size, 2, 2), dtype=np.complex128)
+    out[:, 0, 0] = e
+    out[:, 1, 1] = e.conjugate()
+    return out
+
+
+def _rx_batch(angles: np.ndarray) -> np.ndarray:
+    """(batch, 2, 2) stack of RX(angle) matrices."""
+    c = np.cos(angles / 2)
+    s = np.sin(angles / 2)
+    out = np.zeros((angles.size, 2, 2), dtype=np.complex128)
+    out[:, 0, 0] = c
+    out[:, 1, 1] = c
+    out[:, 0, 1] = -1j * s
+    out[:, 1, 0] = -1j * s
+    return out
+
+
+def encode_batch(features: np.ndarray) -> np.ndarray:
+    """Vectorised Fig. 7 encoding of a whole dataset.
+
+    ``features`` is (d, rows, cols); returns (d, 2**cols) statevectors.
+    Equivalent to running :func:`encoding_circuit` per sample but ~d times
+    fewer Python-level gate applications (each gate is applied to the whole
+    batch with per-sample angles).
+    """
+    feats = np.asarray(features, dtype=float)
+    if feats.ndim != 3:
+        raise ValueError("features must be a (d, rows, cols) batch")
+    d, rows, cols = feats.shape
+    states = zero_state(cols, batch=d)
+    for q in range(cols):
+        states = apply_matrix_batch(states, H, (q,))
+    for r in range(rows):
+        maker = _rz_batch if r % 2 == 0 else _rx_batch
+        for q in range(cols):
+            states = apply_matrix_batch(states, maker(feats[:, r, q]), (q,))
+    return states

@@ -1,0 +1,72 @@
+"""Random Pauli-sparse linear systems for the CQS comparison (Sec. III.E).
+
+The CQS approach [27] solves ``A x = b`` where ``A`` is given as a sparse
+linear combination of Pauli strings (the access model of near-term linear
+solvers).  These generators produce well-conditioned Hermitian instances
+together with a normalised right-hand-side state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.observables import PauliString, PauliSum, local_pauli_strings
+from repro.utils.rng import as_rng
+
+__all__ = ["random_pauli_operator", "random_linear_system"]
+
+
+def random_pauli_operator(
+    num_qubits: int,
+    num_terms: int,
+    seed: int | np.random.Generator | None = None,
+    locality: int | None = None,
+    identity_weight: float = 2.0,
+    hermitian: bool = True,
+) -> PauliSum:
+    """A random ``A = sum_k c_k P_k`` with real coefficients.
+
+    ``identity_weight`` adds ``identity_weight * I`` to push the spectrum
+    away from zero (invertibility, the regime where the CQS Ansatz tree
+    converges quickly).  ``locality=None`` draws from all non-identity
+    strings.
+    """
+    rng = as_rng(seed)
+    pool = [
+        p
+        for p in local_pauli_strings(num_qubits, locality or num_qubits)
+        if not p.is_identity
+    ]
+    if num_terms > len(pool):
+        raise ValueError(f"requested {num_terms} terms but only {len(pool)} available")
+    chosen = rng.choice(len(pool), size=num_terms, replace=False)
+    coeffs = rng.uniform(-1.0, 1.0, size=num_terms)
+    terms: list[tuple[complex, PauliString]] = [
+        (complex(c), pool[i]) for c, i in zip(coeffs, chosen)
+    ]
+    if identity_weight:
+        terms.append((complex(identity_weight), PauliString("I" * num_qubits)))
+    op = PauliSum(terms)
+    if hermitian:
+        # Real coefficients on Hermitian strings => already Hermitian.
+        pass
+    return op
+
+
+def random_linear_system(
+    num_qubits: int,
+    num_terms: int = 4,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[PauliSum, np.ndarray, np.ndarray]:
+    """Returns (A, b, x_true) with ``A x_true = b`` and ``||b||_2 = 1``.
+
+    ``x_true`` is the exact dense solution ``A^+ b`` for verification.
+    """
+    rng = as_rng(seed)
+    a = random_pauli_operator(num_qubits, num_terms, rng)
+    dim = 2**num_qubits
+    b = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    b = b / np.linalg.norm(b)
+    a_dense = a.to_matrix()
+    x_true = np.linalg.pinv(a_dense) @ b
+    return a, b, x_true

@@ -1,0 +1,56 @@
+"""HPC substrate: communicator, executors, schedulers, cluster model.
+
+Substitutes the paper's HPC stack (see DESIGN.md): an mpi4py-style SPMD
+communicator, real thread/process execution backends, scheduling policies
+with analytic makespans and a deterministic simulated-cluster timing model
+for reproducible scaling studies.
+"""
+
+from repro.hpc.comm import Communicator, Request, SpmdError, run_spmd
+from repro.hpc.executor import ExecutorConfig, ParallelExecutor
+from repro.hpc.partition import (
+    balanced_cost_partition,
+    block_partition,
+    chunk_ranges,
+    cyclic_partition,
+)
+from repro.hpc.scheduler import SCHEDULING_POLICIES, Assignment, schedule
+from repro.hpc.cluster import (
+    CircuitTask,
+    ClusterModel,
+    NodeSpec,
+    ScalingPoint,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.hpc.shotalloc import allocate_shots
+from repro.hpc.profiling import Counter, StageTimer, scaling_report
+from repro.hpc.tracing import Trace, TraceEvent
+
+__all__ = [
+    "Communicator",
+    "Request",
+    "SpmdError",
+    "run_spmd",
+    "ExecutorConfig",
+    "ParallelExecutor",
+    "balanced_cost_partition",
+    "block_partition",
+    "chunk_ranges",
+    "cyclic_partition",
+    "SCHEDULING_POLICIES",
+    "Assignment",
+    "schedule",
+    "CircuitTask",
+    "ClusterModel",
+    "NodeSpec",
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+    "allocate_shots",
+    "Counter",
+    "StageTimer",
+    "scaling_report",
+    "Trace",
+    "TraceEvent",
+]

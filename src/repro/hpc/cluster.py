@@ -1,0 +1,173 @@
+"""Deterministic simulated-cluster timing model.
+
+Real strong/weak-scaling numbers on a laptop are hostage to core count and
+load; the SC-style evaluation therefore uses an explicit analytic model of a
+hybrid HPC-QC cluster, the standard methodology for scheduling studies.  A
+:class:`ClusterModel` is a set of :class:`NodeSpec` (QPU sampling rate,
+per-circuit setup latency) plus an interconnect (latency/bandwidth); given a
+list of :class:`CircuitTask` it produces per-node busy times, communication
+time and the end-to-end makespan for any scheduling policy.
+
+The model captures the three regimes the paper's workflow exposes:
+* QPU-bound: many shots per circuit -- near-linear scaling;
+* latency-bound: many tiny circuits -- setup overhead dominates;
+* comm-bound: results (Q-matrix blocks) large relative to link bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.hpc.scheduler import Assignment, schedule
+
+__all__ = ["NodeSpec", "CircuitTask", "ClusterModel", "ScalingPoint", "strong_scaling", "weak_scaling"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One hybrid node: a QPU (or QPU partition) plus classical cores.
+
+    ``shot_rate``        -- measurement shots per second.
+    ``circuit_overhead`` -- seconds of setup (compile/load/arm) per circuit.
+    ``flops``            -- classical flops for local post-processing.
+    """
+
+    shot_rate: float = 1e4
+    circuit_overhead: float = 1e-3
+    flops: float = 1e10
+
+    def __post_init__(self) -> None:
+        if self.shot_rate <= 0 or self.circuit_overhead < 0 or self.flops <= 0:
+            raise ValueError("invalid NodeSpec parameters")
+
+
+@dataclass(frozen=True)
+class CircuitTask:
+    """One unit of dispatch: a fixed circuit evaluated on a data chunk.
+
+    ``num_circuits``  -- distinct circuit executions in the task (e.g. one per
+                         data point in the chunk).
+    ``shots``         -- shots per circuit execution (0 = analytic/simulated).
+    ``result_bytes``  -- bytes shipped back to the host (Q-matrix block).
+    ``classical_flops`` -- local post-processing work.
+    """
+
+    num_circuits: int
+    shots: int = 0
+    result_bytes: int = 0
+    classical_flops: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_circuits < 0 or self.shots < 0 or self.result_bytes < 0:
+            raise ValueError("invalid CircuitTask parameters")
+
+
+@dataclass
+class ClusterModel:
+    """Homogeneous-node cluster with a star interconnect to the host."""
+
+    node: NodeSpec = field(default_factory=NodeSpec)
+    num_nodes: int = 1
+    link_latency: float = 1e-4  # seconds per message
+    link_bandwidth: float = 1e9  # bytes per second
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.link_latency < 0 or self.link_bandwidth <= 0:
+            raise ValueError("invalid interconnect parameters")
+
+    # ------------------------------------------------------------ cost model
+    def task_compute_time(self, task: CircuitTask) -> float:
+        """Node-local execution time for one task."""
+        shots = max(task.shots, 1)  # analytic evaluation still occupies the QPU/simulator once
+        quantum = task.num_circuits * (self.node.circuit_overhead + shots / self.node.shot_rate)
+        classical = task.classical_flops / self.node.flops
+        return quantum + classical
+
+    def task_comm_time(self, task: CircuitTask) -> float:
+        """Host link time to return one task's results."""
+        return self.link_latency + task.result_bytes / self.link_bandwidth
+
+    # ------------------------------------------------------------ simulation
+    def makespan(
+        self, tasks: Sequence[CircuitTask], policy: str = "lpt"
+    ) -> tuple[float, Assignment]:
+        """End-to-end time: max over nodes of (compute + serialised comm).
+
+        Communication to the host is serialised per node (one NIC) and
+        overlapped across nodes; the host gather adds one final latency.
+        """
+        compute = np.array([self.task_compute_time(t) for t in tasks])
+        assignment = schedule(compute, self.num_nodes, policy)
+        node_times = []
+        for node_tasks in assignment.tasks_per_node:
+            comp = float(sum(compute[list(node_tasks)])) if node_tasks else 0.0
+            comm = float(sum(self.task_comm_time(tasks[i]) for i in node_tasks))
+            node_times.append(comp + comm)
+        total = max(node_times, default=0.0) + self.link_latency
+        return total, assignment
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point on a scaling curve."""
+
+    num_nodes: int
+    time: float
+    speedup: float
+    efficiency: float
+
+
+def strong_scaling(
+    tasks: Sequence[CircuitTask],
+    node: NodeSpec,
+    node_counts: Sequence[int],
+    policy: str = "lpt",
+    link_latency: float = 1e-4,
+    link_bandwidth: float = 1e9,
+) -> list[ScalingPoint]:
+    """Fixed total problem, growing cluster (classic strong scaling)."""
+    baseline = None
+    out: list[ScalingPoint] = []
+    for n in node_counts:
+        model = ClusterModel(
+            node=node, num_nodes=n, link_latency=link_latency, link_bandwidth=link_bandwidth
+        )
+        t, _ = model.makespan(tasks, policy)
+        if baseline is None:
+            base_model = ClusterModel(
+                node=node, num_nodes=1, link_latency=link_latency, link_bandwidth=link_bandwidth
+            )
+            baseline, _ = base_model.makespan(tasks, policy)
+        sp = baseline / t if t > 0 else float("inf")
+        out.append(ScalingPoint(num_nodes=n, time=t, speedup=sp, efficiency=sp / n))
+    return out
+
+
+def weak_scaling(
+    tasks_per_node: Sequence[CircuitTask],
+    node: NodeSpec,
+    node_counts: Sequence[int],
+    policy: str = "lpt",
+    link_latency: float = 1e-4,
+    link_bandwidth: float = 1e9,
+) -> list[ScalingPoint]:
+    """Problem grows with the cluster: each node receives a copy of
+    ``tasks_per_node``; ideal efficiency stays at 1."""
+    base_model = ClusterModel(
+        node=node, num_nodes=1, link_latency=link_latency, link_bandwidth=link_bandwidth
+    )
+    baseline, _ = base_model.makespan(list(tasks_per_node), policy)
+    out: list[ScalingPoint] = []
+    for n in node_counts:
+        model = ClusterModel(
+            node=node, num_nodes=n, link_latency=link_latency, link_bandwidth=link_bandwidth
+        )
+        t, _ = model.makespan(list(tasks_per_node) * n, policy)
+        eff = baseline / t if t > 0 else 1.0
+        out.append(ScalingPoint(num_nodes=n, time=t, speedup=eff * n, efficiency=eff))
+    return out

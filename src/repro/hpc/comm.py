@@ -1,0 +1,280 @@
+"""In-process SPMD communicator with mpi4py-style semantics.
+
+The SC-track system runs its ensemble dispatch over MPI.  This module
+reproduces the mpi4py programming model -- ``Get_rank``/``Get_size``,
+point-to-point ``send``/``recv``/``isend``/``irecv`` and the collectives
+``bcast``/``scatter``/``gather``/``allgather``/``alltoall``/``reduce``/
+``allreduce``/``barrier`` -- inside one Python process using threads and
+queues.  Programs written against :class:`Communicator` follow the same
+rank-based structure as their mpi4py equivalents (see the guide's tutorial
+examples, which the tests mirror), so porting to a real cluster is a
+one-line import swap.
+
+Two API layers mirror mpi4py's convention:
+
+* lowercase (``send``/``recv``/...) -- arbitrary Python objects;
+* capitalised (``Send``/``Recv``/``Bcast``/``Allreduce``) -- NumPy buffers,
+  received *into* a caller-provided array (zero-copy discipline).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Communicator", "Request", "run_spmd", "SpmdError"]
+
+ANY_SOURCE = -1
+
+
+class SpmdError(RuntimeError):
+    """Raised when a rank raises; carries all per-rank exceptions."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = failures
+        detail = "; ".join(f"rank {r}: {e!r}" for r, e in sorted(failures.items()))
+        super().__init__(f"SPMD execution failed on {len(failures)} rank(s): {detail}")
+
+
+class _World:
+    """Shared state for one SPMD execution: mailboxes and barriers."""
+
+    def __init__(self, size: int):
+        self.size = size
+        # One mailbox per (destination, tag-agnostic); messages carry
+        # (source, tag, payload) and receivers filter.
+        self.mailboxes: list[queue.Queue] = [queue.Queue() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        # Collective staging area, reallocated per collective via a lock +
+        # generation counter.
+        self.lock = threading.Lock()
+        self.staging: dict[str, list[Any]] = {}
+        self.generation: dict[str, int] = {}
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation (mpi4py ``isend``/``irecv``)."""
+
+    _result: Callable[[], Any]
+    _done: threading.Event
+
+    def wait(self) -> Any:
+        """Block until completion; returns the received object (or None)."""
+        self._done.wait()
+        return self._result()
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion probe: (flag, value-or-None)."""
+        if self._done.is_set():
+            return True, self._result()
+        return False, None
+
+
+class Communicator:
+    """A rank's endpoint in the simulated world.
+
+    All collectives are synchronising (every rank must call them in the same
+    order -- the MPI contract); mismatched calls deadlock just as real MPI
+    would, so tests exercise the contract honestly.
+    """
+
+    def __init__(self, world: _World, rank: int):
+        self._world = world
+        self._rank = rank
+        self._pending: list[tuple[int, int, Any]] = []  # out-of-order stash
+
+    # ----------------------------------------------------------- identity
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._world.size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._world.size
+
+    # ----------------------------------------------------- point-to-point
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-send semantics (buffered: enqueue and return)."""
+        if not 0 <= dest < self._world.size:
+            raise ValueError(f"dest={dest} out of range")
+        self._world.mailboxes[dest].put((self._rank, tag, obj))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
+        """Blocking receive matching ``source`` (or any) and ``tag``."""
+        # First scan the stash for an already-delivered match.
+        for i, (src, t, obj) in enumerate(self._pending):
+            if (source in (ANY_SOURCE, src)) and t == tag:
+                del self._pending[i]
+                return obj
+        while True:
+            src, t, obj = self._world.mailboxes[self._rank].get()
+            if (source in (ANY_SOURCE, src)) and t == tag:
+                return obj
+            self._pending.append((src, t, obj))
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completion is immediate (buffered)."""
+        self.send(obj, dest, tag)
+        done = threading.Event()
+        done.set()
+        return Request(_result=lambda: None, _done=done)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = 0) -> Request:
+        """Non-blocking receive; ``wait()`` performs the blocking match."""
+        done = threading.Event()
+        box: dict[str, Any] = {}
+
+        def _resolve() -> Any:
+            return box["value"]
+
+        def _worker() -> None:
+            box["value"] = self.recv(source, tag)
+            done.set()
+
+        threading.Thread(target=_worker, daemon=True).start()
+        return Request(_result=_resolve, _done=done)
+
+    # NumPy-buffer layer -----------------------------------------------
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer send: ships a copy so the sender may reuse its array."""
+        self.send(np.array(array, copy=True), dest, tag)
+
+    def Recv(self, out: np.ndarray, source: int = ANY_SOURCE, tag: int = 0) -> None:
+        """Buffer receive *into* ``out`` (shape/dtype must be compatible)."""
+        data = self.recv(source, tag)
+        np.copyto(out, data)
+
+    # ---------------------------------------------------------- collectives
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        self._world.barrier.wait()
+
+    def _staged(self, op: str, contribution: Any) -> list[Any]:
+        """Deposit ``contribution`` and return all ranks' contributions.
+
+        Implements the rendezvous every collective reduces to: a shared
+        list indexed by rank, fenced by two barriers.
+        """
+        world = self._world
+        with world.lock:
+            if op not in world.staging or len(world.staging[op]) != world.size:
+                world.staging[op] = [None] * world.size
+            world.staging[op][self._rank] = contribution
+        world.barrier.wait()
+        values = list(world.staging[op])
+        world.barrier.wait()  # ensure all read before next collective reuses
+        return values
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank."""
+        values = self._staged("bcast", obj if self._rank == root else None)
+        return values[root]
+
+    def Bcast(self, array: np.ndarray, root: int = 0) -> None:
+        """Buffer broadcast in place."""
+        data = self.bcast(np.array(array, copy=True) if self._rank == root else None, root)
+        if self._rank != root:
+            np.copyto(array, data)
+
+    def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
+        """Root supplies one item per rank; each rank gets its item."""
+        if self._rank == root:
+            if sendobj is None or len(sendobj) != self._world.size:
+                raise ValueError("scatter requires size items at root")
+        items = self.bcast(list(sendobj) if self._rank == root else None, root)
+        return items[self._rank]
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Inverse of scatter: root receives a list indexed by rank."""
+        values = self._staged("gather", obj)
+        return values if self._rank == root else None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather to every rank."""
+        return self._staged("allgather", obj)
+
+    def alltoall(self, sendobj: Sequence[Any]) -> list[Any]:
+        """Personalised exchange: item j of rank i reaches slot i of rank j."""
+        if len(sendobj) != self._world.size:
+            raise ValueError("alltoall requires size items")
+        matrix = self._staged("alltoall", list(sendobj))
+        return [matrix[src][self._rank] for src in range(self._world.size)]
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any] | None = None, root: int = 0
+    ) -> Any:
+        """Reduce with ``op`` (default elementwise +) onto ``root``."""
+        values = self._staged("reduce", obj)
+        if self._rank != root:
+            return None
+        return _fold(values, op)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce with result available on every rank."""
+        values = self._staged("allreduce", obj)
+        return _fold(values, op)
+
+    def Allreduce(self, send: np.ndarray, recv: np.ndarray, op=None) -> None:
+        """Buffer allreduce into ``recv``."""
+        result = self.allreduce(np.array(send, copy=True), op)
+        np.copyto(recv, result)
+
+
+def _fold(values: list[Any], op: Callable[[Any, Any], Any] | None) -> Any:
+    if op is None:
+        op = lambda a, b: a + b  # noqa: E731 - mpi4py SUM default
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+def run_spmd(
+    fn: Callable[[Communicator], Any], size: int, timeout: float | None = 60.0
+) -> list[Any]:
+    """Run ``fn(comm)`` on ``size`` ranks; return per-rank results.
+
+    The SPMD analogue of ``mpiexec -n size python script.py``.  Exceptions on
+    any rank are collected and re-raised as :class:`SpmdError` after all
+    threads finish (a hung collective surfaces as a timeout).
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    world = _World(size)
+    results: list[Any] = [None] * size
+    failures: dict[int, BaseException] = {}
+
+    def _runner(rank: int) -> None:
+        try:
+            results[rank] = fn(Communicator(world, rank))
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            failures[rank] = exc
+            world.barrier.abort()  # release peers stuck in collectives
+
+    threads = [
+        threading.Thread(target=_runner, args=(r,), daemon=True) for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            raise TimeoutError("SPMD ranks did not finish (deadlock?)")
+    if failures:
+        # Broken-barrier errors on peer ranks are a side effect of the abort.
+        primary = {
+            r: e for r, e in failures.items() if not isinstance(e, threading.BrokenBarrierError)
+        }
+        raise SpmdError(primary or failures)
+    return results

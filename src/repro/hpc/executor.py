@@ -1,0 +1,84 @@
+"""Parallel execution backends for circuit-ensemble fan-out.
+
+One interface, three backends:
+
+* ``serial``  -- plain loop (reference semantics, zero overhead);
+* ``thread``  -- ``ThreadPoolExecutor``: effective here because the simulator
+  kernels spend their time inside NumPy (GIL released in BLAS/einsum);
+* ``process`` -- ``ProcessPoolExecutor`` for CPU-bound Python-heavy tasks
+  (task callables must be picklable module-level functions).
+
+Results preserve task order regardless of completion order, so all backends
+are bit-for-bit interchangeable -- the property the tests pin down.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["ParallelExecutor", "ExecutorConfig"]
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Executor settings; a plain dataclass so pipelines can log/serialise it."""
+
+    backend: str = "serial"
+    max_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+
+
+class ParallelExecutor:
+    """Order-preserving parallel ``map`` over independent tasks."""
+
+    def __init__(self, backend: str = "serial", max_workers: int = 1):
+        self.config = ExecutorConfig(backend=backend, max_workers=max_workers)
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def max_workers(self) -> int:
+        return self.config.max_workers
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every task; results ordered like ``tasks``."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.config.backend == "serial" or self.config.max_workers == 1:
+            return [fn(t) for t in tasks]
+        if self.config.backend == "thread":
+            with ThreadPoolExecutor(max_workers=self.config.max_workers) as pool:
+                return list(pool.map(fn, tasks))
+        with ProcessPoolExecutor(max_workers=self.config.max_workers) as pool:
+            return list(pool.map(fn, tasks))
+
+    def starmap(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
+        """``map`` with argument tuples unpacked."""
+        return self.map(lambda args: fn(*args), list(tasks)) \
+            if self.config.backend != "process" \
+            else self.map(_Star(fn), list(tasks))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelExecutor({self.config.backend}, workers={self.config.max_workers})"
+
+
+class _Star:
+    """Picklable star-unpacking wrapper for the process backend."""
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, args: tuple) -> Any:
+        return self.fn(*args)

@@ -1,0 +1,70 @@
+"""Timers, counters and scaling reports.
+
+"No optimization without measuring" -- the profiling guide's rule is baked
+into the pipeline: every stage (encode, dispatch, estimate, fit) runs under a
+:class:`StageTimer`, and scaling studies are condensed by
+:func:`scaling_report` into the table the HPC benchmarks print.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["StageTimer", "Counter", "scaling_report"]
+
+
+@dataclass
+class StageTimer:
+    """Accumulating named timers (wall clock)."""
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a with-block under ``name``; nested/repeated use accumulates."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def report(self) -> str:
+        """Human-readable table sorted by total time, descending."""
+        rows = sorted(self.totals.items(), key=lambda kv: -kv[1])
+        width = max((len(k) for k in self.totals), default=5)
+        lines = [f"{'stage':<{width}}  {'total_s':>10}  {'calls':>6}"]
+        for name, total in rows:
+            lines.append(f"{name:<{width}}  {total:>10.4f}  {self.counts[name]:>6}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Counter:
+    """Named event counters (circuits executed, shots fired, bytes moved)."""
+
+    values: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.values[name] = self.values.get(name, 0) + int(amount)
+
+    def get(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+
+def scaling_report(points) -> str:
+    """Format a list of :class:`repro.hpc.cluster.ScalingPoint` as a table."""
+    lines = [f"{'nodes':>6}  {'time_s':>12}  {'speedup':>9}  {'efficiency':>10}"]
+    for p in points:
+        lines.append(
+            f"{p.num_nodes:>6}  {p.time:>12.6f}  {p.speedup:>9.2f}  {p.efficiency:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Task-to-node scheduling policies with analytical makespans.
+
+The hybrid HPC-QC system must place heterogeneous circuit batches (costs vary
+with shift configuration after transpilation, with shot counts, with data
+chunk sizes) onto QPU-equipped nodes.  Four policies are provided; each
+returns an :class:`Assignment` whose makespan is computed analytically so
+policies can be compared deterministically in benchmark E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.hpc.partition import block_partition, balanced_cost_partition, cyclic_partition
+
+__all__ = ["Assignment", "schedule", "SCHEDULING_POLICIES", "work_stealing_schedule"]
+
+SCHEDULING_POLICIES = ("block", "cyclic", "lpt", "work_stealing")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A complete schedule: per-node task index arrays and derived metrics."""
+
+    policy: str
+    tasks_per_node: tuple[tuple[int, ...], ...]
+    loads: tuple[float, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.tasks_per_node)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time assuming nodes run their tasks back to back."""
+        return max(self.loads, default=0.0)
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(self.loads))
+
+    @property
+    def imbalance(self) -> float:
+        """makespan / mean-load; 1.0 is a perfectly balanced schedule."""
+        mean = self.total_work / max(self.num_nodes, 1)
+        return self.makespan / mean if mean > 0 else 1.0
+
+    def speedup(self) -> float:
+        """Speedup over a single node executing all tasks serially."""
+        return self.total_work / self.makespan if self.makespan > 0 else 1.0
+
+    def efficiency(self) -> float:
+        """Parallel efficiency: speedup / nodes."""
+        return self.speedup() / max(self.num_nodes, 1)
+
+
+def schedule(costs: Sequence[float], num_nodes: int, policy: str = "lpt") -> Assignment:
+    """Assign tasks (given per-task ``costs``) to ``num_nodes`` nodes."""
+    costs = np.asarray(costs, dtype=float)
+    if policy not in SCHEDULING_POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {SCHEDULING_POLICIES}")
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if np.any(costs < 0):
+        raise ValueError("costs must be non-negative")
+
+    if policy == "block":
+        parts = block_partition(costs.size, num_nodes)
+    elif policy == "cyclic":
+        parts = cyclic_partition(costs.size, num_nodes)
+    elif policy == "lpt":
+        parts = balanced_cost_partition(costs, num_nodes)
+    else:
+        return work_stealing_schedule(costs, num_nodes)
+
+    loads = tuple(float(costs[p].sum()) for p in parts)
+    return Assignment(
+        policy=policy,
+        tasks_per_node=tuple(tuple(int(i) for i in p) for p in parts),
+        loads=loads,
+    )
+
+
+def work_stealing_schedule(costs: Sequence[float], num_nodes: int) -> Assignment:
+    """Simulate a central-queue/work-stealing execution.
+
+    Tasks are pulled from a shared queue in index order by whichever node
+    becomes idle first -- an event-driven simulation that models dynamic
+    self-scheduling (the behaviour of the runtime's dynamic dispatcher).
+    Near-optimal makespan when tasks are plentiful; exactly what a
+    greedy list scheduler achieves.
+    """
+    costs = np.asarray(costs, dtype=float)
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    finish = np.zeros(num_nodes)
+    owners: list[list[int]] = [[] for _ in range(num_nodes)]
+    for idx, cost in enumerate(costs):
+        node = int(np.argmin(finish))  # first idle node pulls the next task
+        owners[node].append(idx)
+        finish[node] += cost
+    return Assignment(
+        policy="work_stealing",
+        tasks_per_node=tuple(tuple(o) for o in owners),
+        loads=tuple(float(f) for f in finish),
+    )

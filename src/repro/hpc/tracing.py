@@ -1,0 +1,83 @@
+"""Gantt-style execution traces for dispatch debugging.
+
+Each trace event records (node, task, start, stop); traces can be rendered
+as ASCII timelines -- enough to eyeball load imbalance without matplotlib,
+which is not available offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled interval on one node."""
+
+    node: int
+    label: str
+    start: float
+    stop: float
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise ValueError("TraceEvent stop precedes start")
+
+    @property
+    def duration(self) -> float:
+        return self.stop - self.start
+
+
+@dataclass
+class Trace:
+    """An append-only event log with summary statistics."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, node: int, label: str, start: float, stop: float) -> None:
+        self.events.append(TraceEvent(node, label, start, stop))
+
+    @property
+    def makespan(self) -> float:
+        return max((e.stop for e in self.events), default=0.0)
+
+    def node_busy(self, node: int) -> float:
+        return sum(e.duration for e in self.events if e.node == node)
+
+    def utilization(self, num_nodes: int) -> float:
+        """Mean busy fraction across ``num_nodes`` over the makespan."""
+        span = self.makespan
+        if span == 0 or num_nodes == 0:
+            return 0.0
+        busy = sum(self.node_busy(n) for n in range(num_nodes))
+        return busy / (span * num_nodes)
+
+    @classmethod
+    def from_assignment(cls, assignment, costs: Sequence[float]) -> "Trace":
+        """Materialise a trace from a scheduler assignment (back-to-back)."""
+        trace = cls()
+        for node, tasks in enumerate(assignment.tasks_per_node):
+            clock = 0.0
+            for idx in tasks:
+                trace.record(node, f"task{idx}", clock, clock + costs[idx])
+                clock += costs[idx]
+        return trace
+
+    def ascii_gantt(self, num_nodes: int, width: int = 60) -> str:
+        """Render as fixed-width ASCII rows, '#' = busy."""
+        span = self.makespan or 1.0
+        lines = []
+        for node in range(num_nodes):
+            row = [" "] * width
+            for e in self.events:
+                if e.node != node:
+                    continue
+                lo = int(e.start / span * (width - 1))
+                hi = max(lo + 1, int(e.stop / span * (width - 1)))
+                for i in range(lo, min(hi, width)):
+                    row[i] = "#"
+            lines.append(f"node{node:>3} |{''.join(row)}|")
+        return "\n".join(lines)

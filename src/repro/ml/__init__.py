@@ -1,0 +1,51 @@
+"""Classical ML substrate: losses, linear/logistic/MLP models, convex solvers."""
+
+from repro.ml.losses import (
+    bce_loss,
+    cross_entropy_loss,
+    mae_loss,
+    rmse_loss,
+    sigmoid,
+    softmax,
+)
+from repro.ml.linear import LinearRegression, RidgeRegression, lstsq_pinv
+from repro.ml.convex import ConstrainedLeastSquares, ConstrainedLogistic, project_l2_ball
+from repro.ml.logistic import LogisticRegression, SoftmaxRegression
+from repro.ml.mlp import MLPClassifier
+from repro.ml.optimizers import SGD, Adam
+from repro.ml.spsa import SPSA
+from repro.ml.metrics import accuracy, confusion_matrix, one_hot
+from repro.ml.preprocessing import (
+    flatten_images,
+    max_pool,
+    preprocess_images,
+    rescale_to_angle,
+)
+
+__all__ = [
+    "bce_loss",
+    "cross_entropy_loss",
+    "mae_loss",
+    "rmse_loss",
+    "sigmoid",
+    "softmax",
+    "LinearRegression",
+    "RidgeRegression",
+    "lstsq_pinv",
+    "ConstrainedLeastSquares",
+    "ConstrainedLogistic",
+    "project_l2_ball",
+    "LogisticRegression",
+    "SoftmaxRegression",
+    "MLPClassifier",
+    "SGD",
+    "Adam",
+    "SPSA",
+    "accuracy",
+    "confusion_matrix",
+    "one_hot",
+    "max_pool",
+    "preprocess_images",
+    "rescale_to_angle",
+    "flatten_images",
+]

@@ -1,0 +1,105 @@
+"""Linear regression heads: closed form, ridge, and the pseudoinverse path.
+
+Paper Sec. V: the post-variational head minimises
+``L_RMSE = (1/sqrt(d)) ||Y - Q alpha||_2`` whose closed-form solution is
+``alpha = Q^+ Y`` (Eq. 29 discussion).  Ridge (Tikhonov, Sec. VI.B second
+method) trades bias for the noise robustness Theorem 4 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.losses import rmse_loss
+
+__all__ = ["LinearRegression", "RidgeRegression", "lstsq_pinv"]
+
+
+def lstsq_pinv(q: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``alpha = Q^+ Y`` via SVD pseudoinverse (paper's closed form)."""
+    q = np.asarray(q, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if q.ndim != 2 or y.shape[0] != q.shape[0]:
+        raise ValueError(f"incompatible shapes Q{q.shape}, Y{y.shape}")
+    return np.linalg.pinv(q) @ y
+
+
+@dataclass
+class LinearRegression:
+    """Ordinary least squares with optional intercept.
+
+    ``fit_intercept`` augments Q with a ones column -- the identity Pauli
+    observable plays this role in the observable-construction strategy, so
+    post-variational heads default to no intercept.
+    """
+
+    fit_intercept: bool = False
+    coef_: np.ndarray | None = field(default=None, repr=False)
+    intercept_: float = 0.0
+
+    def _design(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=float)
+        if self.fit_intercept:
+            return np.hstack([q, np.ones((q.shape[0], 1))])
+        return q
+
+    def fit(self, q: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        design = self._design(q)
+        sol = lstsq_pinv(design, np.asarray(y, dtype=float))
+        if self.fit_intercept:
+            self.coef_, self.intercept_ = sol[:-1], float(sol[-1])
+        else:
+            self.coef_, self.intercept_ = sol, 0.0
+        return self
+
+    def predict(self, q: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        return np.asarray(q, dtype=float) @ self.coef_ + self.intercept_
+
+    def loss(self, q: np.ndarray, y: np.ndarray) -> float:
+        """Training-objective value (RMSE, the paper's L)."""
+        return rmse_loss(np.asarray(y, dtype=float), self.predict(q))
+
+
+@dataclass
+class RidgeRegression:
+    """Tikhonov-regularised least squares.
+
+    Solves ``(Q^T Q + lambda d I) alpha = Q^T Y`` -- the MAP estimate with a
+    Gaussian prior of variance ``1/(2 lambda)`` noted in Sec. VI.B.  The
+    ``lambda_`` is scaled by d so its effect is dataset-size invariant.
+    """
+
+    lambda_: float = 1e-3
+    fit_intercept: bool = False
+    coef_: np.ndarray | None = field(default=None, repr=False)
+    intercept_: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lambda_ < 0:
+            raise ValueError("lambda_ must be >= 0")
+
+    def fit(self, q: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        q = np.asarray(q, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if self.fit_intercept:
+            mu_q, mu_y = q.mean(axis=0), y.mean()
+            qc, yc = q - mu_q, y - mu_y
+        else:
+            qc, yc = q, y
+        d, m = qc.shape
+        gram = qc.T @ qc + self.lambda_ * d * np.eye(m)
+        self.coef_ = np.linalg.solve(gram, qc.T @ yc)
+        self.intercept_ = float(mu_y - mu_q @ self.coef_) if self.fit_intercept else 0.0
+        return self
+
+    def predict(self, q: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        return np.asarray(q, dtype=float) @ self.coef_ + self.intercept_
+
+    def loss(self, q: np.ndarray, y: np.ndarray) -> float:
+        return rmse_loss(np.asarray(y, dtype=float), self.predict(q))

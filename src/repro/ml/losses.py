@@ -1,0 +1,81 @@
+"""Loss functions exactly as defined in paper Sec. II.A.
+
+* RMSE:  ``(1/sqrt(d)) ||y - yhat||_2``
+* MAE:   ``(1/d) ||y - yhat||_1``
+* BCE:   ``(1/d) sum_i -y_i log(yhat_i) - (1-y_i) log(1-yhat_i)``
+* CE:    multiclass cross-entropy (softmax targets one-hot)
+
+Gradients are provided where the optimisers need them; the BCE/sigmoid pair
+exposes the 1-Lipschitz property Theorem 4's extension relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rmse_loss",
+    "mae_loss",
+    "bce_loss",
+    "cross_entropy_loss",
+    "sigmoid",
+    "softmax",
+]
+
+_EPS = 1e-12
+
+
+def rmse_loss(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root-mean-square error, paper's L_RMSE."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch {y_true.shape} vs {y_pred.shape}")
+    d = y_true.size
+    return float(np.linalg.norm(y_true - y_pred) / np.sqrt(d))
+
+
+def mae_loss(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error, paper's L_MAE."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch {y_true.shape} vs {y_pred.shape}")
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    z = np.asarray(z, dtype=float)
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def bce_loss(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Binary cross-entropy with probability clipping for stability."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_prob = np.clip(np.asarray(y_prob, dtype=float), _EPS, 1.0 - _EPS)
+    if y_true.shape != y_prob.shape:
+        raise ValueError(f"shape mismatch {y_true.shape} vs {y_prob.shape}")
+    return float(np.mean(-y_true * np.log(y_prob) - (1 - y_true) * np.log(1 - y_prob)))
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction stabilisation."""
+    z = np.asarray(z, dtype=float)
+    z = z - z.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_loss(y_true_onehot: np.ndarray, y_prob: np.ndarray) -> float:
+    """Multiclass cross-entropy; ``y_true_onehot`` is (d, C)."""
+    y_true_onehot = np.asarray(y_true_onehot, dtype=float)
+    y_prob = np.clip(np.asarray(y_prob, dtype=float), _EPS, 1.0)
+    if y_true_onehot.shape != y_prob.shape:
+        raise ValueError("shape mismatch in cross-entropy")
+    return float(-np.mean(np.sum(y_true_onehot * np.log(y_prob), axis=1)))

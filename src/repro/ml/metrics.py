@@ -1,0 +1,39 @@
+"""Evaluation metrics for the experiment tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion_matrix", "one_hot"]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> np.ndarray:
+    """(num_classes, num_classes) count matrix, rows = true, cols = predicted."""
+    y_true = np.asarray(y_true).ravel().astype(int)
+    y_pred = np.asarray(y_pred).ravel().astype(int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    out = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(out, (y_true, y_pred), 1)
+    return out
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """(d, num_classes) one-hot encoding."""
+    labels = np.asarray(labels).ravel().astype(int)
+    if labels.min(initial=0) < 0 or labels.max(initial=-1) >= num_classes:
+        raise ValueError("labels out of range")
+    out = np.zeros((labels.size, num_classes))
+    out[np.arange(labels.size), labels] = 1.0
+    return out

@@ -1,0 +1,123 @@
+"""Two-layer multilayer perceptron -- the paper's strongest classical baseline.
+
+Paper Sec. I and Tables III/IV compare post-variational networks to
+"two-layer feedforward classical neural networks"; Sec. V draws the explicit
+structural analogy (fixed quantum feature extractors ~ first layer,
+measurement ~ activation, classical combination ~ second layer).  This is a
+self-contained NumPy implementation: one tanh hidden layer, sigmoid or
+softmax output, Adam, full-batch training (the datasets are small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.losses import bce_loss, cross_entropy_loss, sigmoid, softmax
+from repro.ml.optimizers import Adam
+from repro.utils.rng import as_rng
+
+__all__ = ["MLPClassifier"]
+
+
+@dataclass
+class MLPClassifier:
+    """Two-layer perceptron: ``x -> tanh(x W1 + b1) -> softmax/sigmoid``.
+
+    ``num_classes == 2`` uses a single sigmoid output and BCE; more classes
+    use softmax + cross-entropy.  Weight init is Glorot-uniform under the
+    supplied seed so runs are exactly reproducible.
+    """
+
+    hidden: int = 32
+    num_classes: int = 2
+    lr: float = 1e-2
+    epochs: int = 300
+    l2: float = 0.0
+    seed: int | None = 0
+    w1: np.ndarray | None = field(default=None, repr=False)
+    b1: np.ndarray | None = field(default=None, repr=False)
+    w2: np.ndarray | None = field(default=None, repr=False)
+    b2: np.ndarray | None = field(default=None, repr=False)
+    history_: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.hidden < 1:
+            raise ValueError("hidden must be >= 1")
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+    # ----------------------------------------------------------------- train
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y).ravel().astype(int)
+        d, m = x.shape
+        out_dim = 1 if self.num_classes == 2 else self.num_classes
+        rng = as_rng(self.seed)
+        limit1 = np.sqrt(6.0 / (m + self.hidden))
+        limit2 = np.sqrt(6.0 / (self.hidden + out_dim))
+        self.w1 = rng.uniform(-limit1, limit1, size=(m, self.hidden))
+        self.b1 = np.zeros(self.hidden)
+        self.w2 = rng.uniform(-limit2, limit2, size=(self.hidden, out_dim))
+        self.b2 = np.zeros(out_dim)
+
+        if self.num_classes > 2:
+            onehot = np.zeros((d, self.num_classes))
+            onehot[np.arange(d), y] = 1.0
+
+        optimizer = Adam(lr=self.lr)
+        self.history_ = []
+        for _ in range(self.epochs):
+            hidden_pre = x @ self.w1 + self.b1
+            hidden = np.tanh(hidden_pre)
+            logits = hidden @ self.w2 + self.b2
+            if self.num_classes == 2:
+                probs = sigmoid(logits.ravel())
+                self.history_.append(bce_loss(y.astype(float), probs))
+                grad_logits = ((probs - y) / d)[:, None]
+            else:
+                probs = softmax(logits)
+                self.history_.append(cross_entropy_loss(onehot, probs))
+                grad_logits = (probs - onehot) / d
+            g_w2 = hidden.T @ grad_logits + self.l2 * self.w2
+            g_b2 = grad_logits.sum(axis=0)
+            grad_hidden = (grad_logits @ self.w2.T) * (1.0 - hidden**2)
+            g_w1 = x.T @ grad_hidden + self.l2 * self.w1
+            g_b1 = grad_hidden.sum(axis=0)
+            self.w2 = optimizer.step(self.w2, g_w2, key="w2")
+            self.b2 = optimizer.step(self.b2, g_b2, key="b2")
+            self.w1 = optimizer.step(self.w1, g_w1, key="w1")
+            self.b1 = optimizer.step(self.b1, g_b1, key="b1")
+        return self
+
+    # --------------------------------------------------------------- predict
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        if self.w1 is None:
+            raise RuntimeError("model is not fitted")
+        hidden = np.tanh(np.asarray(x, dtype=float) @ self.w1 + self.b1)
+        return hidden @ self.w2 + self.b2
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        logits = self._forward(x)
+        if self.num_classes == 2:
+            return sigmoid(logits.ravel())
+        return softmax(logits)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(x)
+        if self.num_classes == 2:
+            return (probs >= 0.5).astype(int)
+        return np.argmax(probs, axis=1)
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """BCE (binary) or cross-entropy (multiclass), as in Tables III/IV."""
+        y = np.asarray(y).ravel().astype(int)
+        probs = self.predict_proba(x)
+        if self.num_classes == 2:
+            return bce_loss(y.astype(float), probs)
+        onehot = np.zeros((y.size, self.num_classes))
+        onehot[np.arange(y.size), y] = 1.0
+        return cross_entropy_loss(onehot, probs)

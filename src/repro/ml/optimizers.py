@@ -1,0 +1,76 @@
+"""First-order optimisers for the MLP baseline and the variational QNN.
+
+Minimal, dependency-free implementations of SGD (+momentum) and Adam with
+the standard bias correction.  Each optimiser owns its state keyed by
+parameter id, so a single instance can drive several parameter arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+@dataclass
+class SGD:
+    """Stochastic gradient descent with optional classical momentum."""
+
+    lr: float = 0.1
+    momentum: float = 0.0
+    _velocity: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+
+    def step(self, params: np.ndarray, grad: np.ndarray, key: str | int | None = None) -> np.ndarray:
+        """Return updated parameters (functional style: no in-place write).
+
+        ``key`` identifies the parameter tensor across steps (required for
+        stateful momentum when the caller rebinds arrays each step).
+        """
+        key = id(params) if key is None else key
+        if self.momentum > 0:
+            v = self._velocity.get(key, np.zeros_like(params))
+            v = self.momentum * v - self.lr * grad
+            self._velocity[key] = v
+            return params + v
+        return params - self.lr * grad
+
+
+@dataclass
+class Adam:
+    """Adam with bias-corrected first/second moments (Kingma & Ba)."""
+
+    lr: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    _m: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _v: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _t: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0 <= self.beta1 < 1 and 0 <= self.beta2 < 1):
+            raise ValueError("betas must lie in [0, 1)")
+
+    def step(self, params: np.ndarray, grad: np.ndarray, key: str | int | None = None) -> np.ndarray:
+        """Return updated parameters; ``key`` as in :meth:`SGD.step`."""
+        key = id(params) if key is None else key
+        m = self._m.get(key, np.zeros_like(params))
+        v = self._v.get(key, np.zeros_like(params))
+        t = self._t.get(key, 0) + 1
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad**2
+        mhat = m / (1 - self.beta1**t)
+        vhat = v / (1 - self.beta2**t)
+        out = params - self.lr * mhat / (np.sqrt(vhat) + self.eps)
+        self._m[key], self._v[key], self._t[key] = m, v, t
+        return out

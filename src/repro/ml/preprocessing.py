@@ -1,0 +1,57 @@
+"""Image preprocessing exactly as paper Sec. VII.A.
+
+"we first reduce the dimensions of the image to 4x4 ... we instead apply max
+pooling over 7x7 patches and rescaling the parameters to a range of
+[0, 2pi)".  Max pooling (not PCA) is a deliberate paper choice to keep the
+task non-trivial; we follow it to the letter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_pool", "rescale_to_angle", "preprocess_images", "flatten_images"]
+
+
+def max_pool(images: np.ndarray, pool: int) -> np.ndarray:
+    """Non-overlapping max pooling over ``pool x pool`` patches.
+
+    ``images`` is (d, H, W) or (H, W); H and W must be divisible by ``pool``.
+    """
+    arr = np.asarray(images, dtype=float)
+    squeeze = arr.ndim == 2
+    if squeeze:
+        arr = arr[None]
+    d, h, w = arr.shape
+    if h % pool or w % pool:
+        raise ValueError(f"image size {h}x{w} not divisible by pool={pool}")
+    pooled = arr.reshape(d, h // pool, pool, w // pool, pool).max(axis=(2, 4))
+    return pooled[0] if squeeze else pooled
+
+
+def rescale_to_angle(images: np.ndarray, max_angle: float = 2 * np.pi) -> np.ndarray:
+    """Affinely map values into [0, max_angle) per the encoding circuit.
+
+    Uses the global min/max of the batch (a fixed, data-independent scaling
+    would also work; global scaling matches "rescaling the parameters to a
+    range of [0, 2pi)" while keeping the transform monotone).  A strictly
+    open upper end is enforced by a (1 - 1e-9) factor.
+    """
+    arr = np.asarray(images, dtype=float)
+    lo, hi = arr.min(), arr.max()
+    if hi == lo:
+        return np.zeros_like(arr)
+    return (arr - lo) / (hi - lo) * max_angle * (1.0 - 1e-9)
+
+
+def preprocess_images(images: np.ndarray, pool: int = 7) -> np.ndarray:
+    """Full Sec. VII.A pipeline: pool 28x28 -> 4x4, rescale to [0, 2pi)."""
+    return rescale_to_angle(max_pool(images, pool))
+
+
+def flatten_images(images: np.ndarray) -> np.ndarray:
+    """(d, H, W) -> (d, H*W) design matrix for the classical baselines."""
+    arr = np.asarray(images, dtype=float)
+    if arr.ndim != 3:
+        raise ValueError("expected (d, H, W) image batch")
+    return arr.reshape(arr.shape[0], -1)

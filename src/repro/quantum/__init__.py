@@ -1,0 +1,94 @@
+"""Quantum simulation substrate.
+
+A from-scratch, NumPy-only replacement for the qiskit simulator the paper
+uses: batched statevector evolution, Pauli observables, density matrices
+with Kraus noise, a transpiler for fixed circuits, finite-shot sampling,
+parameter-shift differentiation and classical shadows.
+"""
+
+from repro.quantum.circuit import Circuit, Operation, Parameter
+from repro.quantum.gates import gate_matrix
+from repro.quantum.observables import (
+    PauliString,
+    PauliSum,
+    count_local_paulis,
+    expectation,
+    local_pauli_strings,
+)
+from repro.quantum.statevector import (
+    StatevectorSimulator,
+    basis_state,
+    fidelity,
+    probabilities,
+    run_circuit,
+    sample_counts,
+    zero_state,
+)
+from repro.quantum.sampling import hoeffding_shots, measure_pauli, measure_pauli_batch
+from repro.quantum.shadows import (
+    ShadowData,
+    collect_shadows,
+    estimate_many,
+    estimate_pauli,
+    shadow_budget,
+)
+from repro.quantum.parameter_shift import expectation_function, gradient, hessian
+from repro.quantum.transpile import TranspileReport, optimize
+from repro.quantum.noise import NoiseModel
+from repro.quantum.grouping import (
+    MeasurementGroup,
+    group_qubit_wise,
+    measure_group,
+    qubit_wise_commute,
+)
+from repro.quantum.hamiltonians import (
+    heisenberg_xxz,
+    random_local_hamiltonian,
+    transverse_field_ising,
+)
+from repro.quantum.mitigation import fold_circuit, richardson_extrapolate, zne_expectation
+from repro.quantum.drawing import draw_circuit
+
+__all__ = [
+    "Circuit",
+    "Operation",
+    "Parameter",
+    "gate_matrix",
+    "PauliString",
+    "PauliSum",
+    "count_local_paulis",
+    "expectation",
+    "local_pauli_strings",
+    "StatevectorSimulator",
+    "basis_state",
+    "fidelity",
+    "probabilities",
+    "run_circuit",
+    "sample_counts",
+    "zero_state",
+    "hoeffding_shots",
+    "measure_pauli",
+    "measure_pauli_batch",
+    "ShadowData",
+    "collect_shadows",
+    "estimate_many",
+    "estimate_pauli",
+    "shadow_budget",
+    "expectation_function",
+    "gradient",
+    "hessian",
+    "TranspileReport",
+    "optimize",
+    "NoiseModel",
+    "MeasurementGroup",
+    "group_qubit_wise",
+    "measure_group",
+    "qubit_wise_commute",
+    "heisenberg_xxz",
+    "random_local_hamiltonian",
+    "transverse_field_ising",
+    "fold_circuit",
+    "richardson_extrapolate",
+    "zne_expectation",
+    "draw_circuit",
+]

@@ -1,0 +1,236 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`Circuit` is an ordered list of :class:`Operation` instances acting
+on ``num_qubits`` wires.  Parametric gates may carry either a concrete angle
+(``float``) or a symbolic :class:`Parameter`.  Binding a parameter vector
+produces a fully concrete circuit that the simulators accept.
+
+The IR is deliberately minimal -- the post-variational method (paper Sec. III)
+only ever needs: data-encoding circuits, a fixed Ansatz evaluated at a finite
+set of shift configurations, composition of the two, and inverses for
+fidelity tests (paper Eq. 25).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.quantum.gates import GATE_NUM_QUBITS, is_parametric
+
+__all__ = ["Parameter", "Operation", "Circuit"]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named symbolic circuit parameter.
+
+    ``index`` is the position in the circuit's parameter vector; binding
+    replaces the symbol with ``values[index]``.
+    """
+
+    name: str
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name}@{self.index})"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single gate application.
+
+    ``param`` is ``None`` for fixed gates, a ``float`` for bound parametric
+    gates, or a :class:`Parameter` for unbound ones.
+    """
+
+    gate: str
+    qubits: tuple[int, ...]
+    param: float | Parameter | None = None
+
+    @property
+    def is_bound(self) -> bool:
+        """True when this operation carries no unbound symbol."""
+        return not isinstance(self.param, Parameter)
+
+    def bound(self, values: Sequence[float]) -> "Operation":
+        """Return a copy with any symbolic parameter resolved from ``values``."""
+        if isinstance(self.param, Parameter):
+            return replace(self, param=float(values[self.param.index]))
+        return self
+
+
+class Circuit:
+    """An ordered gate list on ``num_qubits`` qubits.
+
+    Parameters are registered in first-use order via :meth:`add_parameter` or
+    implicitly by :meth:`append` with a string parameter name.
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit"):
+        if num_qubits < 1:
+            raise ValueError(f"num_qubits={num_qubits} must be >= 1")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self.operations: list[Operation] = []
+        self._parameters: dict[str, Parameter] = {}
+
+    # ------------------------------------------------------------------ build
+    def add_parameter(self, name: str) -> Parameter:
+        """Register (or fetch) the symbolic parameter called ``name``."""
+        if name not in self._parameters:
+            self._parameters[name] = Parameter(name, len(self._parameters))
+        return self._parameters[name]
+
+    @property
+    def parameters(self) -> list[Parameter]:
+        """Registered parameters in index order."""
+        return sorted(self._parameters.values(), key=lambda p: p.index)
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self._parameters)
+
+    def append(
+        self,
+        gate: str,
+        qubits: int | Sequence[int],
+        param: float | str | Parameter | None = None,
+    ) -> "Circuit":
+        """Append a gate; returns ``self`` for chaining.
+
+        ``param`` may be a float (bound), a string (auto-registered symbol),
+        or an existing :class:`Parameter`.
+        """
+        key = gate.lower()
+        if key not in GATE_NUM_QUBITS:
+            raise KeyError(f"unknown gate {gate!r}")
+        qs = (qubits,) if isinstance(qubits, (int, np.integer)) else tuple(int(q) for q in qubits)
+        if len(qs) != GATE_NUM_QUBITS[key]:
+            raise ValueError(
+                f"gate {gate!r} acts on {GATE_NUM_QUBITS[key]} qubit(s), got {qs}"
+            )
+        if len(set(qs)) != len(qs):
+            raise ValueError(f"duplicate qubits in {qs}")
+        for q in qs:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(f"qubit {q} out of range for {self.num_qubits}-qubit circuit")
+        if is_parametric(key):
+            if param is None:
+                raise ValueError(f"gate {gate!r} requires a parameter")
+            if isinstance(param, str):
+                param = self.add_parameter(param)
+            elif isinstance(param, Parameter):
+                registered = self._parameters.get(param.name)
+                if registered is None or registered.index != param.index:
+                    raise ValueError(f"parameter {param} not registered on this circuit")
+            else:
+                param = float(param)
+        elif param is not None:
+            raise ValueError(f"gate {gate!r} takes no parameter")
+        self.operations.append(Operation(key, qs, param))
+        return self
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def is_bound(self) -> bool:
+        """True when every operation has a concrete angle."""
+        return all(op.is_bound for op in self.operations)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.operations)
+
+    def depth(self) -> int:
+        """Circuit depth under greedy ASAP layering."""
+        frontier = [0] * self.num_qubits
+        for op in self.operations:
+            layer = max(frontier[q] for q in op.qubits) + 1
+            for q in op.qubits:
+                frontier[q] = layer
+        return max(frontier, default=0)
+
+    def gate_counts(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        counts: dict[str, int] = {}
+        for op in self.operations:
+            counts[op.gate] = counts.get(op.gate, 0) + 1
+        return counts
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name!r}, qubits={self.num_qubits}, "
+            f"gates={self.num_gates}, params={self.num_parameters})"
+        )
+
+    # ------------------------------------------------------------- transforms
+    def bind(self, values: Sequence[float]) -> "Circuit":
+        """Return a concrete copy with parameter ``i`` set to ``values[i]``."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.num_parameters,):
+            raise ValueError(
+                f"expected {self.num_parameters} parameter values, got shape {values.shape}"
+            )
+        out = Circuit(self.num_qubits, name=f"{self.name}[bound]")
+        out.operations = [op.bound(values) for op in self.operations]
+        return out
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Return ``self`` followed by ``other`` (both must be bound).
+
+        Composition of unbound circuits would require merging parameter
+        tables; the post-variational workflow never needs it, so we keep the
+        invariant simple and explicit.
+        """
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit count mismatch in compose")
+        if not (self.is_bound and other.is_bound):
+            raise ValueError("compose requires bound circuits; call .bind() first")
+        out = Circuit(self.num_qubits, name=f"{self.name}+{other.name}")
+        out.operations = list(self.operations) + list(other.operations)
+        return out
+
+    def inverse(self) -> "Circuit":
+        """Return the adjoint circuit (bound circuits only).
+
+        Uses gate-level inverses: self-inverse gates stay, rotations negate
+        their angle, S <-> Sdg, T -> phase(-pi/4).
+        """
+        if not self.is_bound:
+            raise ValueError("inverse requires a bound circuit")
+        out = Circuit(self.num_qubits, name=f"{self.name}^-1")
+        for op in reversed(self.operations):
+            out.operations.append(_inverse_op(op))
+        return out
+
+    def copy(self) -> "Circuit":
+        out = Circuit(self.num_qubits, name=self.name)
+        out.operations = list(self.operations)
+        out._parameters = dict(self._parameters)
+        return out
+
+
+_SELF_INVERSE = {"i", "x", "y", "z", "h", "cnot", "cx", "cz", "swap"}
+_ROTATIONS = {"rx", "ry", "rz", "phase", "crx", "cry", "crz"}
+
+
+def _inverse_op(op: Operation) -> Operation:
+    if op.gate in _SELF_INVERSE:
+        return op
+    if op.gate in _ROTATIONS:
+        return replace(op, param=-float(op.param))  # type: ignore[arg-type]
+    if op.gate == "s":
+        return Operation("sdg", op.qubits)
+    if op.gate == "sdg":
+        return Operation("s", op.qubits)
+    if op.gate == "t":
+        return Operation("phase", op.qubits, -np.pi / 4)
+    raise KeyError(f"no inverse rule for gate {op.gate!r}")

@@ -1,0 +1,253 @@
+"""Distributed statevector simulation over the SPMD communicator.
+
+The HPC-QC system's second parallel axis: when circuit-ensemble parallelism
+is exhausted (or a register outgrows one node), the *statevector itself* is
+partitioned across ranks.  Standard amplitude-slab decomposition:
+
+* rank ``r`` of ``2^g`` ranks stores amplitudes whose top ``g`` bits equal
+  ``r`` -- a contiguous slab of ``2^(n-g)`` amplitudes;
+* gates on qubits ``>= g`` ("local" qubits) touch only the slab and apply
+  with the node-local batched kernel;
+* single-qubit gates on qubits ``< g`` ("global" qubits) pair each rank
+  with a partner differing in that bit: one pairwise exchange + local
+  linear combination (the textbook distributed update);
+* CNOT/CZ with global qubits reduce to a conditional exchange / local
+  phase.
+
+Every public function is verified against the single-node simulator in the
+test suite, rank counts 2/4/8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpc.comm import Communicator
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import gate_matrix
+from repro.quantum.statevector import apply_matrix_batch
+
+__all__ = [
+    "DistributedState",
+    "distributed_zero_state",
+    "scatter_state",
+    "gather_state",
+    "apply_gate_distributed",
+    "run_circuit_distributed",
+    "expectation_z_distributed",
+]
+
+
+class DistributedState:
+    """One rank's slab of a distributed statevector.
+
+    ``num_qubits`` total register width; ``comm.size`` must be a power of
+    two; ``g = log2(size)`` qubits are "global" (their bits select the
+    owning rank).
+    """
+
+    def __init__(self, comm: Communicator, num_qubits: int, slab: np.ndarray):
+        size = comm.size
+        if size & (size - 1):
+            raise ValueError("communicator size must be a power of two")
+        g = size.bit_length() - 1
+        if num_qubits < g:
+            raise ValueError(f"{num_qubits} qubits cannot span {size} ranks")
+        expected = 2 ** (num_qubits - g)
+        if slab.shape != (expected,):
+            raise ValueError(f"slab shape {slab.shape} != ({expected},)")
+        self.comm = comm
+        self.num_qubits = num_qubits
+        self.global_qubits = g
+        self.slab = np.ascontiguousarray(slab, dtype=np.complex128)
+
+    @property
+    def local_qubits(self) -> int:
+        return self.num_qubits - self.global_qubits
+
+    def local_norm_sq(self) -> float:
+        return float(np.sum(np.abs(self.slab) ** 2))
+
+    def norm(self) -> float:
+        """Global 2-norm (collective call)."""
+        total = self.comm.allreduce(self.local_norm_sq())
+        return float(np.sqrt(total))
+
+
+def distributed_zero_state(comm: Communicator, num_qubits: int) -> DistributedState:
+    """|0...0> distributed: rank 0 holds the single nonzero amplitude."""
+    size = comm.size
+    g = size.bit_length() - 1
+    slab = np.zeros(2 ** (num_qubits - g), dtype=np.complex128)
+    if comm.rank == 0:
+        slab[0] = 1.0
+    return DistributedState(comm, num_qubits, slab)
+
+
+def scatter_state(comm: Communicator, state: np.ndarray | None, num_qubits: int) -> DistributedState:
+    """Rank 0 scatters a full statevector into per-rank slabs."""
+    size = comm.size
+    g = size.bit_length() - 1
+    chunk = 2 ** (num_qubits - g)
+    if comm.rank == 0:
+        state = np.asarray(state, dtype=np.complex128).ravel()
+        if state.size != 2**num_qubits:
+            raise ValueError("state dimension mismatch")
+        parts = [state[r * chunk : (r + 1) * chunk] for r in range(size)]
+    else:
+        parts = None
+    slab = comm.scatter(parts, root=0)
+    return DistributedState(comm, num_qubits, np.array(slab, copy=True))
+
+
+def gather_state(dist: DistributedState) -> np.ndarray | None:
+    """Gather slabs to rank 0; other ranks receive None."""
+    parts = dist.comm.gather(dist.slab, root=0)
+    if dist.comm.rank != 0:
+        return None
+    return np.concatenate(parts)
+
+
+def _apply_local(dist: DistributedState, matrix: np.ndarray, qubits: list[int]) -> None:
+    """Gate entirely on local qubits: node-local batched kernel."""
+    local_idx = [q - dist.global_qubits for q in qubits]
+    dist.slab = apply_matrix_batch(dist.slab[None, :], matrix, local_idx)[0]
+
+
+def _apply_global_single(dist: DistributedState, matrix: np.ndarray, qubit: int) -> None:
+    """Single-qubit gate on a global qubit: pairwise exchange + combine.
+
+    Partner rank differs in bit ``qubit`` (counted from the top).  The rank
+    whose bit is 0 holds the |0> component; after exchanging slabs each rank
+    forms its own updated slab from the 2x2 action.
+    """
+    comm = dist.comm
+    g = dist.global_qubits
+    bit = g - 1 - qubit  # position of this qubit inside the rank index
+    partner = comm.rank ^ (1 << bit)
+    my_bit = (comm.rank >> bit) & 1
+
+    comm.send(dist.slab, dest=partner, tag=400 + qubit)
+    other = comm.recv(source=partner, tag=400 + qubit)
+    if my_bit == 0:
+        dist.slab = matrix[0, 0] * dist.slab + matrix[0, 1] * other
+    else:
+        dist.slab = matrix[1, 0] * other + matrix[1, 1] * dist.slab
+
+
+def _apply_cnot_global_control(dist: DistributedState, control: int, target: int) -> None:
+    """CNOT with global control: ranks with control bit 1 apply X(target)."""
+    g = dist.global_qubits
+    bit = g - 1 - control
+    if (dist.comm.rank >> bit) & 1:
+        if target >= g:
+            _apply_local(dist, gate_matrix("x"), [target])
+        else:
+            _apply_global_single(dist, gate_matrix("x"), target)
+    elif target < g:
+        # Global-target exchange is collective: partner ranks with control
+        # bit 0 still participate in the send/recv pattern of the 1-bit
+        # exchange *only* among control=1 ranks, so nothing to do here.
+        pass
+
+
+def _apply_cnot_global_target(dist: DistributedState, control: int, target: int) -> None:
+    """CNOT with local control, global target: conditional slab exchange.
+
+    Amplitudes with control bit 1 swap between the target-bit partners; the
+    control bit is local, so each rank exchanges only the control=1 half of
+    its slab.
+    """
+    comm = dist.comm
+    g = dist.global_qubits
+    bit = g - 1 - target
+    partner = comm.rank ^ (1 << bit)
+    local_control = control - g
+    # Mask of local indices with control bit set.
+    idx = np.arange(dist.slab.size)
+    shift = dist.local_qubits - 1 - local_control
+    mask = ((idx >> shift) & 1).astype(bool)
+
+    comm.send(dist.slab[mask], dest=partner, tag=500 + target)
+    other = comm.recv(source=partner, tag=500 + target)
+    new_slab = dist.slab.copy()
+    new_slab[mask] = other
+    dist.slab = new_slab
+
+
+def apply_gate_distributed(
+    dist: DistributedState, gate: str, qubits: tuple[int, ...], param: float | None = None
+) -> None:
+    """Apply one gate to the distributed state (collective call).
+
+    Supports all 1-qubit gates anywhere, and CNOT/CZ on any qubit pair.
+    """
+    g = dist.global_qubits
+    matrix = gate_matrix(gate, param)
+    if len(qubits) == 1:
+        q = qubits[0]
+        if q >= g:
+            _apply_local(dist, matrix, [q])
+        else:
+            _apply_global_single(dist, matrix, q)
+        return
+    if gate in ("cnot", "cx"):
+        control, target = qubits
+        if control >= g and target >= g:
+            _apply_local(dist, matrix, list(qubits))
+        elif control < g:
+            _apply_cnot_global_control(dist, control, target)
+        else:
+            _apply_cnot_global_target(dist, control, target)
+        return
+    if gate == "cz":
+        control, target = qubits
+        if control >= g and target >= g:
+            _apply_local(dist, matrix, list(qubits))
+        else:
+            # CZ is diagonal: phase -1 where both bits are 1; no exchange.
+            idx = np.arange(dist.slab.size)
+            phase = np.ones(dist.slab.size)
+            both = np.ones(dist.slab.size, dtype=bool)
+            for q in (control, target):
+                if q < g:
+                    bit = (dist.comm.rank >> (g - 1 - q)) & 1
+                    if not bit:
+                        both &= False
+                else:
+                    shift = dist.local_qubits - 1 - (q - g)
+                    both &= ((idx >> shift) & 1).astype(bool)
+            phase[both] = -1.0
+            dist.slab = dist.slab * phase
+        return
+    raise NotImplementedError(f"distributed application of {gate!r} on {qubits}")
+
+
+def run_circuit_distributed(dist: DistributedState, circuit: Circuit) -> DistributedState:
+    """Evolve the distributed state through a bound circuit (collective)."""
+    if not circuit.is_bound:
+        raise ValueError("run_circuit_distributed requires a bound circuit")
+    if circuit.num_qubits != dist.num_qubits:
+        raise ValueError("circuit width mismatch")
+    for op in circuit:
+        apply_gate_distributed(dist, op.gate, op.qubits, op.param)
+    return dist
+
+
+def expectation_z_distributed(dist: DistributedState, qubit: int) -> float:
+    """``<Z_qubit>`` without gathering (collective allreduce).
+
+    Z is diagonal, so each rank sums |amp|^2 with the qubit-bit sign and one
+    allreduce finishes the job -- the communication-avoiding pattern used
+    for diagonal observables in production distributed simulators.
+    """
+    g = dist.global_qubits
+    if qubit < g:
+        bit = (dist.comm.rank >> (g - 1 - qubit)) & 1
+        local = (1.0 - 2.0 * bit) * dist.local_norm_sq()
+    else:
+        idx = np.arange(dist.slab.size)
+        shift = dist.local_qubits - 1 - (qubit - g)
+        signs = 1.0 - 2.0 * ((idx >> shift) & 1)
+        local = float(np.sum(signs * np.abs(dist.slab) ** 2))
+    return float(dist.comm.allreduce(local))

@@ -1,0 +1,87 @@
+"""ASCII circuit rendering (no matplotlib offline).
+
+Renders circuits as fixed-width wire diagrams, e.g. the Fig. 7 encoder::
+
+    q0: -H--RZ(1.2)--RX(0.4)-
+    q1: -H--RZ(0.7)--RX(2.2)-
+
+Used by the examples and handy in test failure output; layout follows the
+same greedy ASAP layering as :meth:`Circuit.depth`, so columns correspond
+to depth layers.
+"""
+
+from __future__ import annotations
+
+from repro.quantum.circuit import Circuit, Operation, Parameter
+
+__all__ = ["draw_circuit"]
+
+
+def _gate_label(op: Operation) -> str:
+    name = op.gate.upper()
+    if op.param is None:
+        return name
+    if isinstance(op.param, Parameter):
+        return f"{name}({op.param.name})"
+    return f"{name}({float(op.param):.3g})"
+
+
+def draw_circuit(circuit: Circuit, max_width: int = 120) -> str:
+    """Render ``circuit`` as an ASCII diagram (one row per qubit).
+
+    Two-qubit gates draw a vertical connector: control marked ``*``, target
+    boxed; long circuits wrap at ``max_width`` columns into stacked panels.
+    """
+    n = circuit.num_qubits
+    # Assign ops to layers (ASAP).
+    frontier = [0] * n
+    layers: list[list[Operation]] = []
+    for op in circuit:
+        layer = max(frontier[q] for q in op.qubits)
+        while len(layers) <= layer:
+            layers.append([])
+        layers[layer].append(op)
+        for q in op.qubits:
+            frontier[q] = layer + 1
+
+    # Build cell grid: one label per (qubit, layer).
+    grid: list[list[str]] = [["" for _ in layers] for _ in range(n)]
+    for li, layer_ops in enumerate(layers):
+        for op in layer_ops:
+            label = _gate_label(op)
+            if len(op.qubits) == 1:
+                grid[op.qubits[0]][li] = label
+            else:
+                control, target = op.qubits
+                grid[control][li] = "*"
+                grid[target][li] = label
+
+    widths = [
+        max((len(grid[q][li]) for q in range(n)), default=1) for li in range(len(layers))
+    ]
+
+    rows = []
+    for q in range(n):
+        cells = []
+        for li, width in enumerate(widths):
+            label = grid[q][li]
+            pad = width - len(label)
+            filler = "-" if label else "-" * width
+            cell = label + "-" * pad if label else "-" * width
+            cells.append(cell)
+        rows.append(f"q{q}: -" + "--".join(cells) + "-")
+
+    # Wrap into panels if too wide.
+    if not rows or len(rows[0]) <= max_width:
+        return "\n".join(rows)
+    panels = []
+    start = 0
+    prefix = len(f"q{n - 1}: -")
+    body_width = max_width - prefix
+    body = [r[prefix:] for r in rows]
+    heads = [r[:prefix] for r in rows]
+    while start < len(body[0]):
+        chunk = [h + b[start : start + body_width] for h, b in zip(heads, body)]
+        panels.append("\n".join(chunk))
+        start += body_width
+    return ("\n" + "." * 8 + "\n").join(panels)

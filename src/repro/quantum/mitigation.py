@@ -1,0 +1,90 @@
+"""Zero-noise extrapolation (ZNE) -- error mitigation for the ensemble.
+
+The standard NISQ mitigation: evaluate each expectation at amplified noise
+levels and Richardson-extrapolate to zero.  Noise amplification uses global
+*unitary folding*: the circuit ``C`` becomes ``C (C^dag C)^k``, multiplying
+the effective error rate by ``2k + 1`` while preserving the ideal unitary.
+
+Works with the density-matrix simulator and any gate-level
+:class:`~repro.quantum.noise.NoiseModel`; the tests confirm that mitigated
+expectations land closer to the ideal value than raw noisy ones across the
+encoded-image workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.density import expectation_density, run_circuit_density
+from repro.quantum.noise import NoiseModel
+
+__all__ = ["fold_circuit", "richardson_extrapolate", "zne_expectation"]
+
+
+def fold_circuit(circuit: Circuit, scale: int) -> Circuit:
+    """Global unitary folding: ``C -> C (C^dag C)^k`` with scale = 2k + 1.
+
+    ``scale`` must be an odd positive integer; scale 1 returns the circuit
+    unchanged.  The folded circuit implements the same unitary but executes
+    ``scale`` times the gates, amplifying gate noise proportionally.
+    """
+    if scale < 1 or scale % 2 == 0:
+        raise ValueError(f"scale={scale} must be an odd positive integer")
+    if not circuit.is_bound:
+        raise ValueError("fold_circuit requires a bound circuit")
+    if scale == 1:
+        return circuit
+    folded = circuit.copy()
+    inverse = circuit.inverse()
+    for _ in range((scale - 1) // 2):
+        folded = folded.compose(inverse).compose(circuit)
+    return folded
+
+
+def richardson_extrapolate(scales: np.ndarray, values: np.ndarray) -> float:
+    """Zero-noise value from (scale, expectation) pairs.
+
+    Fits the unique degree-(len-1) interpolating polynomial and evaluates at
+    scale 0 -- classic Richardson.  Two points give linear extrapolation,
+    three quadratic, etc.
+    """
+    scales = np.asarray(scales, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if scales.shape != values.shape or scales.size < 2:
+        raise ValueError("need >= 2 matching (scale, value) pairs")
+    if len(set(scales.tolist())) != scales.size:
+        raise ValueError("scales must be distinct")
+    # Lagrange evaluation at 0: sum_i v_i * prod_{j != i} (-s_j)/(s_i - s_j).
+    total = 0.0
+    for i in range(scales.size):
+        weight = 1.0
+        for j in range(scales.size):
+            if j != i:
+                weight *= (-scales[j]) / (scales[i] - scales[j])
+        total += values[i] * weight
+    return float(total)
+
+
+def zne_expectation(
+    circuit: Circuit,
+    observable,
+    noise_model: NoiseModel,
+    scales: tuple[int, ...] = (1, 3, 5),
+) -> tuple[float, dict[int, float]]:
+    """Mitigated expectation of ``observable`` after ``circuit`` under noise.
+
+    Returns ``(zero_noise_estimate, {scale: noisy_value})``.  Exact Kraus
+    evolution (no sampling), so the only residual error is the
+    extrapolation model mismatch.
+    """
+    values = {}
+    for scale in scales:
+        folded = fold_circuit(circuit, scale)
+        rho = run_circuit_density(folded, noise_model=noise_model)
+        values[scale] = expectation_density(rho, observable)
+    estimate = richardson_extrapolate(
+        np.array(list(values.keys()), dtype=float),
+        np.array(list(values.values())),
+    )
+    return estimate, values

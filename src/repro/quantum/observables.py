@@ -1,0 +1,282 @@
+"""Pauli-string observables and their algebra.
+
+The observable-construction strategy (paper Sec. IV.B) decomposes the target
+observable against the Pauli basis ``{I, X, Y, Z}^{\\otimes n}`` truncated to
+weight (locality) at most ``L`` -- Eq. 18 counts ``sum_l C(n,l) 3^l`` strings.
+This module provides the strings, their products/commutators (needed for the
+Baker-Campbell-Hausdorff expansion of Appendix A), dense matrices for
+verification, locality metadata for the classical-shadows bounds, and fast
+batched expectation kernels.
+
+String convention: character ``i`` of ``"XIZY"`` acts on qubit ``i``; qubit 0
+is the most significant bit (consistent with the simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.quantum.gates import PAULI_MATRICES
+from repro.utils.combinatorics import bounded_subsets, count_bounded_subsets, signed_assignments
+
+__all__ = [
+    "PauliString",
+    "PauliSum",
+    "local_pauli_strings",
+    "count_local_paulis",
+    "expectation",
+    "pauli_product",
+]
+
+_VALID = frozenset("IXYZ")
+
+# Single-qubit Pauli multiplication table: (a, b) -> (phase, c) with a@b = phase*c.
+_MULT: dict[tuple[str, str], tuple[complex, str]] = {}
+for _a in "IXYZ":
+    _MULT[("I", _a)] = (1.0, _a)
+    _MULT[(_a, "I")] = (1.0, _a)
+    _MULT[(_a, _a)] = (1.0, "I")
+_MULT[("X", "Y")] = (1j, "Z")
+_MULT[("Y", "X")] = (-1j, "Z")
+_MULT[("Y", "Z")] = (1j, "X")
+_MULT[("Z", "Y")] = (-1j, "X")
+_MULT[("Z", "X")] = (1j, "Y")
+_MULT[("X", "Z")] = (-1j, "Y")
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A tensor product of single-qubit Paulis, e.g. ``XIZ``.
+
+    Immutable and hashable so strings can key caches and sets.
+    """
+
+    string: str
+
+    def __post_init__(self) -> None:
+        if not self.string or set(self.string) - _VALID:
+            raise ValueError(f"invalid Pauli string {self.string!r}")
+
+    # ----------------------------------------------------------- properties
+    @property
+    def num_qubits(self) -> int:
+        return len(self.string)
+
+    @property
+    def locality(self) -> int:
+        """Number of non-identity sites (paper: |P|, the observable locality)."""
+        return sum(1 for c in self.string if c != "I")
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """Indices of non-identity sites."""
+        return tuple(i for i, c in enumerate(self.string) if c != "I")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.locality == 0
+
+    def shadow_norm_squared(self) -> float:
+        """Pauli-basis shadow-norm bound ``4**locality`` (paper Sec. II.B,
+        with spectral norm 1 for Pauli strings)."""
+        return float(4**self.locality)
+
+    # ------------------------------------------------------------- algebra
+    def __mul__(self, other: "PauliString") -> tuple[complex, "PauliString"]:
+        """Product ``self @ other`` as (phase, PauliString)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit count mismatch in Pauli product")
+        phase: complex = 1.0
+        chars = []
+        for a, b in zip(self.string, other.string):
+            ph, c = _MULT[(a, b)]
+            phase *= ph
+            chars.append(c)
+        return phase, PauliString("".join(chars))
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True iff the strings commute (even number of anticommuting sites)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit count mismatch")
+        anti = sum(
+            1
+            for a, b in zip(self.string, other.string)
+            if a != "I" and b != "I" and a != b
+        )
+        return anti % 2 == 0
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``(2**n, 2**n)`` matrix (verification/small-n only)."""
+        out = np.array([[1.0 + 0j]])
+        for c in self.string:
+            out = np.kron(out, PAULI_MATRICES[c])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PauliString({self.string})"
+
+
+def pauli_product(a: PauliString, b: PauliString) -> tuple[complex, PauliString]:
+    """Module-level alias for ``a * b`` (phase, string)."""
+    return a * b
+
+
+class PauliSum:
+    """A real/complex linear combination of Pauli strings.
+
+    This is the ``O(alpha) = sum_j alpha_j O_j`` object of paper Eq. 7; it
+    also represents problem matrices ``A`` in the CQS comparison (Sec. III.E).
+    Terms with equal strings are merged; zero terms dropped.
+    """
+
+    def __init__(self, terms: Iterable[tuple[complex, PauliString | str]] = ()):
+        merged: dict[str, complex] = {}
+        n: int | None = None
+        for coeff, ps in terms:
+            ps = ps if isinstance(ps, PauliString) else PauliString(ps)
+            if n is None:
+                n = ps.num_qubits
+            elif ps.num_qubits != n:
+                raise ValueError("mixed qubit counts in PauliSum")
+            merged[ps.string] = merged.get(ps.string, 0.0) + complex(coeff)
+        self._terms: dict[str, complex] = {
+            s: c for s, c in merged.items() if abs(c) > 1e-15
+        }
+        self._num_qubits = n
+
+    @property
+    def num_qubits(self) -> int:
+        if self._num_qubits is None:
+            raise ValueError("empty PauliSum has no qubit count")
+        return self._num_qubits
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._terms)
+
+    def items(self) -> Iterator[tuple[complex, PauliString]]:
+        for s, c in sorted(self._terms.items()):
+            yield c, PauliString(s)
+
+    def coefficient(self, string: str | PauliString) -> complex:
+        key = string.string if isinstance(string, PauliString) else string
+        return self._terms.get(key, 0.0)
+
+    def __add__(self, other: "PauliSum") -> "PauliSum":
+        return PauliSum(list(self.items()) + list(other.items()))
+
+    def __rmul__(self, scalar: complex) -> "PauliSum":
+        return PauliSum([(scalar * c, p) for c, p in self.items()])
+
+    def __matmul__(self, other: "PauliSum") -> "PauliSum":
+        """Operator product, expanded term by term."""
+        out: list[tuple[complex, PauliString]] = []
+        for ca, pa in self.items():
+            for cb, pb in other.items():
+                phase, pc = pa * pb
+                out.append((ca * cb * phase, pc))
+        return PauliSum(out)
+
+    def adjoint(self) -> "PauliSum":
+        """Hermitian adjoint (conjugate coefficients; strings are Hermitian)."""
+        return PauliSum([(np.conj(c), p) for c, p in self.items()])
+
+    def to_matrix(self) -> np.ndarray:
+        dim = 2**self.num_qubits
+        out = np.zeros((dim, dim), dtype=np.complex128)
+        for c, p in self.items():
+            out += c * p.to_matrix()
+        return out
+
+    def max_locality(self) -> int:
+        return max((p.locality for _, p in self.items()), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = " + ".join(f"{c:.3g}*{p.string}" for c, p in self.items())
+        return f"PauliSum({inner})"
+
+
+def local_pauli_strings(num_qubits: int, locality: int) -> list[PauliString]:
+    """All Pauli strings on ``num_qubits`` qubits with weight <= ``locality``.
+
+    Enumeration order is deterministic: by weight, then site subset
+    (lexicographic), then letter assignment in (X, Y, Z) order -- this fixes
+    the feature-column ordering of the observable-construction strategy.
+    Paper Eq. 18: the count is ``sum_{l<=L} C(n,l) 3^l``.
+    """
+    if locality < 0:
+        raise ValueError(f"locality={locality} must be >= 0")
+    out: list[PauliString] = []
+    for subset in bounded_subsets(num_qubits, locality):
+        for letters in signed_assignments(subset, "XYZ"):
+            chars = ["I"] * num_qubits
+            for pos, letter in zip(subset, letters):
+                chars[pos] = letter
+            out.append(PauliString("".join(chars)))
+    return out
+
+
+def count_local_paulis(num_qubits: int, locality: int) -> int:
+    """Closed form of paper Eq. 18."""
+    return count_bounded_subsets(num_qubits, locality, 3)
+
+
+# --------------------------------------------------------------------------
+# Expectation kernels
+# --------------------------------------------------------------------------
+
+def _apply_pauli_batch(states: np.ndarray, pauli: PauliString) -> np.ndarray:
+    """Apply a Pauli string to a ``(batch, dim)`` state array.
+
+    Pauli strings permute/phase basis amplitudes, so instead of a generic
+    matrix product we compute the permutation and the per-basis-state phase
+    directly -- O(batch * dim) with pure NumPy indexing.
+    """
+    b, dim = states.shape
+    n = pauli.num_qubits
+    if dim != 2**n:
+        raise ValueError(f"state dim {dim} incompatible with {n}-qubit Pauli")
+    indices = np.arange(dim)
+    flip = 0  # XOR mask from X/Y sites
+    phase = np.ones(dim, dtype=np.complex128)
+    for i, c in enumerate(pauli.string):
+        bit = (indices >> (n - 1 - i)) & 1
+        if c == "X":
+            flip |= 1 << (n - 1 - i)
+        elif c == "Y":
+            flip |= 1 << (n - 1 - i)
+            # Y|0> = i|1>, Y|1> = -i|0>: phase depends on source bit.
+            phase = phase * np.where(bit == 0, 1j, -1j)
+        elif c == "Z":
+            phase = phase * np.where(bit == 0, 1.0, -1.0)
+    # amplitude at index j of P|psi> comes from index j ^ flip of |psi>,
+    # with the phase accumulated at the *source* index.
+    src = indices ^ flip
+    return states[:, src] * phase[src]
+
+
+def expectation(state: np.ndarray, observable) -> np.ndarray | float:
+    """``<psi|O|psi>`` for PauliString, PauliSum, or dense matrix ``O``.
+
+    Batched: a ``(batch, dim)`` state yields a length-``batch`` real vector.
+    Values are real for Hermitian observables; the real part is returned.
+    """
+    arr = np.asarray(state, dtype=np.complex128)
+    squeeze = arr.ndim == 1
+    batch = arr[None, :] if squeeze else arr
+
+    if isinstance(observable, PauliString):
+        applied = _apply_pauli_batch(batch, observable)
+        vals = np.einsum("bi,bi->b", batch.conj(), applied).real
+    elif isinstance(observable, PauliSum):
+        vals = np.zeros(batch.shape[0])
+        for coeff, ps in observable.items():
+            applied = _apply_pauli_batch(batch, ps)
+            vals = vals + (coeff * np.einsum("bi,bi->b", batch.conj(), applied)).real
+    else:
+        matrix = np.asarray(observable, dtype=np.complex128)
+        vals = np.einsum("bi,ij,bj->b", batch.conj(), matrix, batch).real
+    return float(vals[0]) if squeeze else vals

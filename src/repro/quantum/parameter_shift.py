@@ -1,0 +1,109 @@
+"""Parameter-shift differentiation of circuit expectation values.
+
+The Ansatz-expansion strategy (paper Sec. IV.A) is built on the observation
+(Mari et al. [59]) that for Pauli-rotation gates, any derivative of
+``f(theta) = <0|S^dag U(theta)^dag O U(theta) S|0>`` is a linear combination
+of the same circuit evaluated at shifted parameter vectors in ``{0, +-pi/2}``
+around the expansion point.  This module provides
+
+* :func:`gradient` -- first derivatives, the two-term rule
+  ``df/du = (f(theta + pi/2 e_u) - f(theta - pi/2 e_u)) / 2``;
+* :func:`hessian` -- second derivatives via the iterated rule;
+* both are also used as the *exact-gradient* engine of the variational
+  baseline (Table I, left column).
+
+``f`` is abstracted as a callable ``theta -> float`` so the same rules apply
+to exact simulation, finite shots, or hardware backends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import expectation
+from repro.quantum.statevector import run_circuit
+
+__all__ = [
+    "expectation_function",
+    "gradient",
+    "hessian",
+    "shift_rule_terms",
+]
+
+SHIFT = np.pi / 2
+
+
+def expectation_function(
+    circuit: Circuit,
+    observable,
+    state: np.ndarray | None = None,
+) -> Callable[[np.ndarray], float]:
+    """Build ``f(theta) = <psi(theta)|O|psi(theta)>`` for an unbound circuit.
+
+    ``state`` is the input ket before the parameterised circuit (e.g. the
+    data-encoded state); default |0...0>.
+    """
+    def f(theta: np.ndarray) -> float:
+        psi = run_circuit(circuit, state=state, params=np.asarray(theta, dtype=float))
+        return float(expectation(psi, observable))
+
+    return f
+
+
+def gradient(
+    f: Callable[[np.ndarray], float], theta: Sequence[float]
+) -> np.ndarray:
+    """Exact gradient of ``f`` at ``theta`` via the two-term shift rule.
+
+    Valid when every parameter feeds exactly one Pauli rotation (the library's
+    Ansatz builders guarantee this); 2k evaluations for k parameters.
+    """
+    theta = np.asarray(theta, dtype=float)
+    grad = np.empty_like(theta)
+    for u in range(theta.size):
+        e = np.zeros_like(theta)
+        e[u] = SHIFT
+        grad[u] = 0.5 * (f(theta + e) - f(theta - e))
+    return grad
+
+
+def hessian(
+    f: Callable[[np.ndarray], float], theta: Sequence[float]
+) -> np.ndarray:
+    """Exact Hessian via the iterated parameter-shift rule.
+
+    Off-diagonal: four evaluations at ``theta +- pi/2 e_u +- pi/2 e_v`` with
+    coefficient 1/4.  Diagonal: the trigonometric identity
+    ``f''_u = (f(theta + pi e_u) - f(theta)) / 2`` (single-frequency gates).
+    """
+    theta = np.asarray(theta, dtype=float)
+    k = theta.size
+    hess = np.empty((k, k))
+    f0 = f(theta)
+    for u in range(k):
+        eu = np.zeros(k)
+        eu[u] = 1.0
+        hess[u, u] = 0.5 * (f(theta + np.pi * eu) - f0)
+        for v in range(u + 1, k):
+            ev = np.zeros(k)
+            ev[v] = 1.0
+            val = 0.25 * (
+                f(theta + SHIFT * (eu + ev))
+                - f(theta + SHIFT * (eu - ev))
+                - f(theta - SHIFT * (eu - ev))
+                + f(theta - SHIFT * (eu + ev))
+            )
+            hess[u, v] = hess[v, u] = val
+    return hess
+
+
+def shift_rule_terms(k: int, u: int) -> list[tuple[float, np.ndarray]]:
+    """The (coefficient, shift-vector) pairs of the first-order rule for
+    parameter ``u`` of ``k`` -- exposed so the Ansatz-expansion strategy can
+    show that its enumerated circuits linearly span all gradients."""
+    plus = np.zeros(k)
+    plus[u] = SHIFT
+    return [(0.5, plus), (-0.5, -plus)]

@@ -1,0 +1,132 @@
+"""Finite-shot estimation of Pauli expectation values.
+
+Implements the *direct measurement* column of paper Table II: each quantum
+neuron ``tr(O_j rho(x_i))`` is estimated by rotating the state into the
+eigenbasis of the Pauli string and averaging +-1 eigenvalue outcomes over
+``shots`` repetitions (sample mean; Hoeffding analysis in Proposition 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.quantum.observables import PauliString, PauliSum
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_power_of_two
+
+__all__ = [
+    "measure_pauli",
+    "measure_pauli_batch",
+    "measure_pauli_sum",
+    "hoeffding_shots",
+]
+
+
+def _rotated_probabilities(states: np.ndarray, pauli: PauliString) -> np.ndarray:
+    """Outcome probabilities after rotating into the eigenbasis of ``pauli``.
+
+    X sites get H, Y sites get H S^dag (so Z-basis measurement reads the
+    Pauli eigenvalue); I/Z sites need no rotation.
+    """
+    from repro.quantum.gates import H, SDG
+    from repro.quantum.statevector import apply_matrix_batch
+
+    rotated = states
+    for qubit, letter in enumerate(pauli.string):
+        if letter == "X":
+            rotated = apply_matrix_batch(rotated, H, (qubit,))
+        elif letter == "Y":
+            rotated = apply_matrix_batch(rotated, H @ SDG, (qubit,))
+    return np.abs(rotated) ** 2
+
+
+def _eigenvalue_signs(num_qubits: int, support: Sequence[int]) -> np.ndarray:
+    """Vector of +-1: parity of measured bits on ``support`` per basis index."""
+    indices = np.arange(2**num_qubits)
+    parity = np.zeros_like(indices)
+    for q in support:
+        parity ^= (indices >> (num_qubits - 1 - q)) & 1
+    return 1.0 - 2.0 * parity
+
+
+def measure_pauli(
+    state: np.ndarray,
+    pauli: PauliString,
+    shots: int,
+    seed: int | np.random.Generator | None = None,
+) -> float:
+    """Shot-based estimate of ``<psi|P|psi>`` (single state)."""
+    est = measure_pauli_batch(np.asarray(state)[None, :], pauli, shots, seed)
+    return float(est[0])
+
+
+def measure_pauli_batch(
+    states: np.ndarray,
+    pauli: PauliString,
+    shots: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Shot-based estimates for a batch of states; returns shape (batch,).
+
+    ``shots == 0`` returns the exact expectation (useful for estimator
+    interchangeability in the pipeline).
+    """
+    states = np.asarray(states, dtype=np.complex128)
+    if states.ndim != 2:
+        raise ValueError("measure_pauli_batch expects a (batch, dim) array")
+    n = check_power_of_two(states.shape[1], "state dimension")
+    if pauli.num_qubits != n:
+        raise ValueError("Pauli width mismatch")
+    if shots < 0:
+        raise ValueError(f"shots={shots} must be >= 0")
+
+    if pauli.is_identity:
+        return np.ones(states.shape[0])
+
+    from repro.quantum.observables import expectation
+
+    if shots == 0:
+        return np.asarray(expectation(states, pauli))
+
+    rng = as_rng(seed)
+    probs = _rotated_probabilities(states, pauli)
+    probs = probs / probs.sum(axis=1, keepdims=True)
+    signs = _eigenvalue_signs(n, pauli.support)
+    out = np.empty(states.shape[0])
+    for b in range(states.shape[0]):
+        counts = rng.multinomial(shots, probs[b])
+        out[b] = float(np.dot(counts, signs)) / shots
+    return out
+
+
+def measure_pauli_sum(
+    state: np.ndarray,
+    observable: PauliSum,
+    shots_per_term: int,
+    seed: int | np.random.Generator | None = None,
+) -> float:
+    """Estimate ``<psi|sum_j c_j P_j|psi>`` term by term.
+
+    Each term gets its own ``shots_per_term`` budget (the naive allocation;
+    :mod:`repro.hpc.shotalloc` provides smarter splits).
+    """
+    rng = as_rng(seed)
+    total = 0.0
+    for coeff, pauli in observable.items():
+        total += float(np.real(coeff)) * measure_pauli(state, pauli, shots_per_term, rng)
+    return total
+
+
+def hoeffding_shots(epsilon: float, delta: float) -> int:
+    """Shots so one +-1-bounded mean is within ``epsilon`` w.p. >= 1-delta.
+
+    Hoeffding for variables in [-1, 1]: ``t >= (2/eps^2) ln(2/delta)``
+    (paper Appendix B uses exactly this bound before the union bound).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    return int(np.ceil(2.0 / epsilon**2 * np.log(2.0 / delta)))

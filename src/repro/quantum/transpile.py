@@ -1,0 +1,190 @@
+"""Circuit optimisation passes for fixed post-variational circuits.
+
+Paper Sec. VIII argues that post-variational circuits, being *fixed*, can be
+transpiled aggressively: shift configurations leave most rotation angles at
+zero (the Ansatz initialises to identity), so identity rotations vanish and
+CNOT pairs cancel.  These passes implement exactly that argument and are
+benchmarked in E11 (``benchmarks/test_transpile_gains.py``).
+
+Passes operate on *bound* circuits and preserve the unitary exactly (verified
+by property tests against dense matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit, Operation
+
+__all__ = [
+    "remove_identity_rotations",
+    "cancel_adjacent_pairs",
+    "merge_rotations",
+    "optimize",
+    "TranspileReport",
+]
+
+_ROTS = {"rx", "ry", "rz", "phase"}
+_SELF_INVERSE_2Q = {"cnot", "cx", "cz", "swap"}
+_SELF_INVERSE_1Q = {"x", "y", "z", "h"}
+
+
+def _angle_is_zero(angle: float, atol: float) -> bool:
+    """True when the rotation is the identity: angle == 0 mod 4pi for
+    rx/ry/rz (they are 4pi-periodic as matrices only up to global phase;
+    2pi gives -I, which *is* a global phase, so we accept 2pi multiples)."""
+    return bool(np.isclose(np.mod(angle, 2 * np.pi), 0.0, atol=atol) or
+                np.isclose(np.mod(angle, 2 * np.pi), 2 * np.pi, atol=atol))
+
+
+def remove_identity_rotations(circuit: Circuit, atol: float = 1e-12) -> Circuit:
+    """Drop rotation gates whose angle is a multiple of 2*pi.
+
+    Note rx/ry/rz(2pi) = -I: a global phase, irrelevant for expectation
+    values, so these are removed too (the paper's zero-initialised Ansatz
+    only ever produces exact zeros anyway).
+    """
+    if not circuit.is_bound:
+        raise ValueError("transpilation requires a bound circuit")
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for op in circuit:
+        if op.gate in _ROTS and _angle_is_zero(float(op.param), atol):
+            continue
+        out.operations.append(op)
+    return out
+
+
+def cancel_adjacent_pairs(circuit: Circuit) -> Circuit:
+    """Cancel adjacent self-inverse gate pairs on identical qubits.
+
+    "Adjacent" means no intervening gate touches any of the pair's qubits.
+    Applied to fixed-point: one sweep may expose new pairs, so we iterate
+    until no change.
+    """
+    if not circuit.is_bound:
+        raise ValueError("transpilation requires a bound circuit")
+    ops = list(circuit.operations)
+    changed = True
+    while changed:
+        changed = False
+        result: list[Operation] = []
+        skip = set()
+        for i, op in enumerate(ops):
+            if i in skip:
+                continue
+            if op.gate in _SELF_INVERSE_2Q | _SELF_INVERSE_1Q:
+                j = _next_touching(ops, i, skip)
+                if (
+                    j is not None
+                    and ops[j].gate == op.gate
+                    and ops[j].qubits == op.qubits
+                ):
+                    skip.add(i)
+                    skip.add(j)
+                    changed = True
+                    continue
+            result.append(op)
+        ops = result
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    out.operations = ops
+    return out
+
+
+def _next_touching(ops: list[Operation], i: int, skip: set[int]) -> int | None:
+    """Index of the next op sharing a qubit with ops[i]; None if blocked.
+
+    Returns the index only if that op touches *exactly* the same qubit set
+    check is done by the caller; here we stop at the first op sharing any
+    qubit (a different gate there blocks cancellation).
+    """
+    target = set(ops[i].qubits)
+    for j in range(i + 1, len(ops)):
+        if j in skip:
+            continue
+        if target & set(ops[j].qubits):
+            return j
+    return None
+
+
+def merge_rotations(circuit: Circuit, atol: float = 1e-12) -> Circuit:
+    """Fuse runs of same-axis rotations on the same qubit into one gate.
+
+    ``rx(a) rx(b) = rx(a+b)``; a fused angle of 2*pi*k is dropped entirely.
+    """
+    if not circuit.is_bound:
+        raise ValueError("transpilation requires a bound circuit")
+    ops = list(circuit.operations)
+    result: list[Operation] = []
+    i = 0
+    while i < len(ops):
+        op = ops[i]
+        if op.gate in _ROTS:
+            total = float(op.param)
+            j = i + 1
+            consumed = i
+            while j < len(ops):
+                nxt = ops[j]
+                if nxt.gate == op.gate and nxt.qubits == op.qubits:
+                    total += float(nxt.param)
+                    consumed = j
+                    j += 1
+                elif set(nxt.qubits) & set(op.qubits):
+                    break  # blocked by a different gate on this qubit
+                else:
+                    j += 1
+            if consumed > i:
+                # Emit fused gate; copy through non-touching ops in between.
+                inter = [
+                    ops[k]
+                    for k in range(i + 1, consumed + 1)
+                    if not (ops[k].gate == op.gate and ops[k].qubits == op.qubits)
+                ]
+                if not _angle_is_zero(total, atol):
+                    result.append(Operation(op.gate, op.qubits, total))
+                result.extend(inter)
+                i = consumed + 1
+                continue
+        result.append(op)
+        i += 1
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    out.operations = result
+    return out
+
+
+@dataclass(frozen=True)
+class TranspileReport:
+    """Before/after metrics for a transpilation run."""
+
+    gates_before: int
+    gates_after: int
+    depth_before: int
+    depth_after: int
+
+    @property
+    def gate_reduction(self) -> float:
+        """Fraction of gates removed."""
+        if self.gates_before == 0:
+            return 0.0
+        return 1.0 - self.gates_after / self.gates_before
+
+
+def optimize(circuit: Circuit, atol: float = 1e-12) -> tuple[Circuit, TranspileReport]:
+    """Run all passes to fixed point; return (circuit, report)."""
+    before_gates, before_depth = circuit.num_gates, circuit.depth()
+    current = circuit
+    while True:
+        n = current.num_gates
+        current = remove_identity_rotations(current, atol)
+        current = merge_rotations(current, atol)
+        current = cancel_adjacent_pairs(current)
+        if current.num_gates == n:
+            break
+    report = TranspileReport(
+        gates_before=before_gates,
+        gates_after=current.num_gates,
+        depth_before=before_depth,
+        depth_after=current.depth(),
+    )
+    return current, report

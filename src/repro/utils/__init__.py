@@ -1,0 +1,36 @@
+"""Shared utilities: RNG handling, validation, combinatorics."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_power_of_two,
+    check_probability,
+    check_square,
+    require,
+)
+from repro.utils.combinatorics import (
+    bounded_subsets,
+    count_bounded_subsets,
+    signed_assignments,
+)
+from repro.utils.serialization import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_feature_matrix,
+    save_feature_matrix,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_power_of_two",
+    "check_probability",
+    "check_square",
+    "require",
+    "bounded_subsets",
+    "count_bounded_subsets",
+    "signed_assignments",
+    "circuit_from_dict",
+    "circuit_to_dict",
+    "load_feature_matrix",
+    "save_feature_matrix",
+]

@@ -1,0 +1,56 @@
+"""Combinatorial enumeration used by the post-variational strategies.
+
+The Ansatz-expansion strategy (paper Eq. 16) enumerates all subsets of at
+most ``R`` parameters, each member shifted to +pi/2 or -pi/2; the observable
+construction strategy (paper Eq. 18) enumerates all Pauli strings of weight
+at most ``L``, each non-identity site set to X, Y or Z.  Both are instances
+of the same pattern: bounded-size subsets with per-element sign/letter
+assignments.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from math import comb
+from typing import Iterator, Sequence
+
+__all__ = ["bounded_subsets", "signed_assignments", "count_bounded_subsets"]
+
+
+def bounded_subsets(n: int, max_size: int) -> Iterator[tuple[int, ...]]:
+    """Yield all subsets of ``range(n)`` of size 0..max_size in size order.
+
+    The empty subset is yielded first; within a size, subsets follow
+    lexicographic order.  Deterministic ordering matters: feature columns in
+    the Q matrix are indexed by enumeration position.
+    """
+    if max_size < 0:
+        raise ValueError(f"max_size={max_size} must be >= 0")
+    for size in range(min(max_size, n) + 1):
+        yield from combinations(range(n), size)
+
+
+def signed_assignments(
+    subset: Sequence[int], letters: Sequence
+) -> Iterator[tuple]:
+    """Yield every assignment of ``letters`` to the positions of ``subset``.
+
+    For Ansatz expansion ``letters`` is ``(+pi/2, -pi/2)``; for observable
+    construction it is ``("X", "Y", "Z")``.  Yields tuples aligned with
+    ``subset``.
+    """
+    if len(subset) == 0:
+        yield ()
+        return
+    yield from product(letters, repeat=len(subset))
+
+
+def count_bounded_subsets(n: int, max_size: int, branching: int) -> int:
+    """Closed-form count ``sum_{l<=max_size} C(n, l) * branching**l``.
+
+    With ``branching=2`` this is the circuit count of paper Eq. 16; with
+    ``branching=3`` it is the observable count of paper Eq. 18.
+    """
+    if max_size < 0:
+        raise ValueError(f"max_size={max_size} must be >= 0")
+    return sum(comb(n, size) * branching**size for size in range(min(max_size, n) + 1))

@@ -1,0 +1,79 @@
+"""Experiment artifact persistence (NumPy archives + JSON-safe dicts).
+
+A release needs feature matrices, circuits and experiment records to
+round-trip to disk: Q matrices are expensive (they stand for quantum
+runtime), so pipelines cache them; circuits serialise to plain dicts for
+provenance logging.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit, Parameter
+
+__all__ = [
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "save_feature_matrix",
+    "load_feature_matrix",
+]
+
+
+def circuit_to_dict(circuit: Circuit) -> dict[str, Any]:
+    """JSON-safe description of a circuit (gates, qubits, params)."""
+    ops = []
+    for op in circuit:
+        if isinstance(op.param, Parameter):
+            param: Any = {"symbol": op.param.name}
+        else:
+            param = op.param
+        ops.append({"gate": op.gate, "qubits": list(op.qubits), "param": param})
+    return {
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "operations": ops,
+    }
+
+
+def circuit_from_dict(data: dict[str, Any]) -> Circuit:
+    """Inverse of :func:`circuit_to_dict` (symbols re-registered in order)."""
+    circuit = Circuit(int(data["num_qubits"]), name=data.get("name", "circuit"))
+    for op in data["operations"]:
+        param = op.get("param")
+        if isinstance(param, dict):
+            param = str(param["symbol"])
+        circuit.append(op["gate"], tuple(op["qubits"]), param)
+    return circuit
+
+
+def save_feature_matrix(
+    path: str | Path,
+    q: np.ndarray,
+    y: np.ndarray | None = None,
+    metadata: dict[str, Any] | None = None,
+) -> None:
+    """Persist a Q matrix (+ labels, + JSON metadata) as one ``.npz``."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {"q": np.asarray(q)}
+    if y is not None:
+        arrays["y"] = np.asarray(y)
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(metadata or {}).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_feature_matrix(
+    path: str | Path,
+) -> tuple[np.ndarray, np.ndarray | None, dict[str, Any]]:
+    """Inverse of :func:`save_feature_matrix`: ``(q, y_or_None, metadata)``."""
+    with np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz") as data:
+        q = data["q"]
+        y = data["y"] if "y" in data.files else None
+        metadata = json.loads(bytes(data["metadata"].tobytes()).decode() or "{}")
+    return q, y, metadata

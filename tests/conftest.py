@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantum.statevector import zero_state
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def random_state(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """A Haar-ish random pure state (normalised complex Gaussian)."""
+    vec = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return vec / np.linalg.norm(vec)
+
+
+@pytest.fixture
+def random_state_3q(rng: np.random.Generator) -> np.ndarray:
+    return random_state(3, rng)

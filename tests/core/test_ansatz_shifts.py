@@ -1,0 +1,104 @@
+"""Ansatz (Fig. 8) and shift-enumeration (Eq. 16) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ansatz import fig8_ansatz, hardware_efficient_ansatz
+from repro.core.shifts import (
+    ShiftConfiguration,
+    count_shift_configurations,
+    enumerate_shift_configurations,
+)
+from repro.quantum.statevector import run_circuit, zero_state
+
+
+def test_fig8_structure():
+    """2 alternations of RY layer + circular CNOTs on 4 qubits: k = 8."""
+    c = fig8_ansatz()
+    assert c.num_qubits == 4
+    assert c.num_parameters == 8
+    counts = c.gate_counts()
+    assert counts == {"ry": 8, "cnot": 8}
+    # Ring topology: (0,1),(1,2),(2,3),(3,0) forward, then mirrored so the
+    # theta=0 circuit cancels to identity.
+    cnots = [op.qubits for op in c if op.gate == "cnot"]
+    assert cnots[:4] == [(0, 1), (1, 2), (2, 3), (3, 0)]
+    assert cnots[4:] == [(3, 0), (2, 3), (1, 2), (0, 1)]
+
+
+def test_fig8_identity_at_zero():
+    """Sec. VII.A: all parameters 0 => the Ansatz evaluates to identity."""
+    c = fig8_ansatz().bind(np.zeros(8))
+    rng = np.random.default_rng(0)
+    psi = rng.normal(size=16) + 1j * rng.normal(size=16)
+    psi /= np.linalg.norm(psi)
+    out = run_circuit(c, state=psi)
+    assert np.allclose(out, psi, atol=1e-12)
+
+
+def test_hardware_efficient_variants():
+    line = hardware_efficient_ansatz(3, 2, rotation="rx", entangle="line")
+    assert line.gate_counts() == {"rx": 6, "cnot": 4}
+    with pytest.raises(ValueError):
+        hardware_efficient_ansatz(3, 2, rotation="h")
+    with pytest.raises(ValueError):
+        hardware_efficient_ansatz(3, 2, entangle="star")
+    with pytest.raises(ValueError):
+        hardware_efficient_ansatz(1, 2)
+    with pytest.raises(ValueError):
+        hardware_efficient_ansatz(3, 0)
+
+
+@given(k=st.integers(0, 8), r=st.integers(0, 3))
+@settings(max_examples=60)
+def test_eq16_count_matches_enumeration(k, r):
+    configs = enumerate_shift_configurations(k, r)
+    assert len(configs) == count_shift_configurations(k, r)
+    # No duplicates.
+    keys = {(c.subset, c.signs) for c in configs}
+    assert len(keys) == len(configs)
+
+
+def test_eq16_paper_values():
+    """The paper's configuration: k=8, R=1 -> 17, R=2 -> 129 circuits."""
+    assert count_shift_configurations(8, 1) == 17
+    assert count_shift_configurations(8, 2) == 129
+
+
+def test_enumeration_order():
+    configs = enumerate_shift_configurations(3, 2)
+    assert configs[0].subset == ()  # base circuit first
+    orders = [c.order for c in configs]
+    assert orders == sorted(orders)
+
+
+def test_shift_vector_values():
+    config = ShiftConfiguration(subset=(1, 3), signs=(1, -1), num_parameters=5)
+    vec = config.vector()
+    expected = np.zeros(5)
+    expected[1] = np.pi / 2
+    expected[3] = -np.pi / 2
+    assert np.allclose(vec, expected)
+    base = np.full(5, 0.1)
+    assert np.allclose(config.vector(base), base + expected)
+
+
+def test_shift_label():
+    config = ShiftConfiguration(subset=(0, 2), signs=(1, -1), num_parameters=4)
+    assert config.label == "d2[+0,-2]"
+    assert ShiftConfiguration((), (), 4).label == "d0[]"
+
+
+def test_shift_base_length_validation():
+    config = ShiftConfiguration(subset=(0,), signs=(1,), num_parameters=3)
+    with pytest.raises(ValueError):
+        config.vector(np.zeros(5))
+
+
+def test_count_validation():
+    with pytest.raises(ValueError):
+        enumerate_shift_configurations(-1, 1)
+    with pytest.raises(ValueError):
+        enumerate_shift_configurations(2, -1)

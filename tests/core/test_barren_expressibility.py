@@ -1,0 +1,89 @@
+"""Barren-plateau diagnostics and expressibility metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ansatz import fig8_ansatz, hardware_efficient_ansatz
+from repro.core.barren import barren_plateau_sweep, gradient_variance
+from repro.core.expressibility import (
+    entangling_capability,
+    expressibility_kl,
+    haar_fidelity_pdf,
+    meyer_wallach_q,
+)
+from repro.quantum.circuit import Circuit
+from repro.quantum.statevector import run_circuit
+
+
+# ------------------------------------------------------------------ barren
+def test_gradient_variance_decays_with_qubits():
+    """The McClean et al. signature: Var[dE] shrinks as n grows (global
+    cost, random init).  Small n suffice to see a strict decrease."""
+    results = barren_plateau_sweep([2, 4, 6], layers=3, samples=30, seed=1)
+    variances = [r.variance for r in results]
+    assert variances[0] > variances[1] > variances[2]
+
+
+def test_identity_initialisation_escapes_plateau():
+    """Grant et al. [21] / paper Sec. VII.A: at theta=0 the mirrored Fig. 8
+    Ansatz gives an O(1) gradient for a local cost where random init has
+    tiny variance."""
+    from repro.quantum.observables import PauliString
+    from repro.quantum.parameter_shift import expectation_function, gradient
+    from repro.data.encoding import encode_batch
+
+    rng = np.random.default_rng(0)
+    state = encode_batch(rng.uniform(0, 2 * np.pi, (1, 4, 4)))[0]
+    f = expectation_function(fig8_ansatz(), PauliString("ZIII"), state=state)
+    g = gradient(f, np.zeros(8))
+    assert np.max(np.abs(g)) > 1e-2  # non-vanishing at identity init
+
+
+def test_gradient_variance_at_zero_mode():
+    res = gradient_variance(3, 2, samples=5, at_zero=True, seed=0)
+    assert res.samples == 1
+    assert res.variance == pytest.approx(res.mean_abs**2)
+
+
+def test_gradient_variance_validation():
+    with pytest.raises(ValueError):
+        gradient_variance(3, 2, parameter_index=99)
+
+
+# ---------------------------------------------------------- expressibility
+def test_haar_pdf_normalised():
+    f = np.linspace(0, 1, 10_001)
+    pdf = haar_fidelity_pdf(f, 3)
+    integral = np.trapezoid(pdf, f)
+    assert integral == pytest.approx(1.0, abs=1e-3)
+
+
+def test_expressibility_orders_ansaetze():
+    """Deeper entangling Ansatz is more expressive (smaller KL) than a
+    single non-entangling rotation layer."""
+    shallow = Circuit(2)
+    shallow.append("ry", 0, "a").append("ry", 1, "b")  # no entanglement
+    deep = hardware_efficient_ansatz(2, 3, mirror=False)
+    kl_shallow = expressibility_kl(shallow, num_pairs=250, seed=0)
+    kl_deep = expressibility_kl(deep, num_pairs=250, seed=0)
+    assert kl_deep < kl_shallow
+
+
+def test_meyer_wallach_product_state_zero():
+    psi = np.kron(np.array([1, 0]), np.array([1 / np.sqrt(2), 1 / np.sqrt(2)]))
+    assert meyer_wallach_q(psi.astype(complex), 2) == pytest.approx(0.0, abs=1e-10)
+
+
+def test_meyer_wallach_bell_state_one():
+    c = Circuit(2)
+    c.append("h", 0).append("cnot", (0, 1))
+    psi = run_circuit(c)
+    assert meyer_wallach_q(psi, 2) == pytest.approx(1.0, abs=1e-10)
+
+
+def test_entangling_capability_ordering():
+    no_ent = Circuit(2)
+    no_ent.append("ry", 0, "a").append("ry", 1, "b")
+    ent = hardware_efficient_ansatz(2, 2, mirror=False)
+    assert entangling_capability(no_ent, num_samples=40, seed=1) == pytest.approx(0.0, abs=1e-10)
+    assert entangling_capability(ent, num_samples=40, seed=1) > 0.2

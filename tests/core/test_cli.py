@@ -1,0 +1,37 @@
+"""CLI smoke tests (capsys-based)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_counts_command(capsys):
+    assert main(["counts"]) == 0
+    out = capsys.readouterr().out
+    assert "R=1: 17" in out
+    assert "L=2: 67" in out
+
+
+def test_budgets_command(capsys):
+    assert main(["budgets", "--epsilon", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "asymptotic" in out
+    assert "observable_construction" in out
+    assert "shadows" in out
+
+
+def test_scaling_command(capsys):
+    assert main(["scaling", "--tasks", "16", "--nodes", "1", "2", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "nodes" in out and "speedup" in out
+
+
+def test_table3_command_small(capsys):
+    assert main(["table3", "--train", "8", "--test", "4", "--epochs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "logistic" in out and "observable L=2" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,97 @@
+"""CQS solver and Sec. III.E equivalence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.cqs import (
+    ansatz_tree_unitaries,
+    decompose_hamiltonian_loss,
+    hamiltonian_observable,
+    solve_cqs,
+)
+from repro.data.linear_system import random_linear_system
+from repro.ml.losses import mae_loss, rmse_loss
+
+
+def test_hamiltonian_observable_properties():
+    a, b, _ = random_linear_system(2, 3, seed=0)
+    o = hamiltonian_observable(a, b)
+    assert np.allclose(o, o.conj().T)  # Hermitian
+    eigs = np.linalg.eigvalsh(o)
+    assert np.all(eigs > -1e-10)  # PSD: A^dag P A with P a projector
+
+
+def test_hamiltonian_loss_zero_iff_solution():
+    a, b, x_true = random_linear_system(2, 3, seed=1)
+    o = hamiltonian_observable(a, b)
+    val = (x_true.conj() @ o @ x_true).real
+    assert val == pytest.approx(0.0, abs=1e-10)
+
+
+def test_ansatz_tree_deduplicates():
+    a, _, _ = random_linear_system(2, 3, seed=2)
+    unitaries = ansatz_tree_unitaries(a, 10)
+    strings = [u.string for u in unitaries]
+    assert len(set(strings)) == len(strings)
+    assert strings[0] == "II"  # identity root
+
+
+def test_ansatz_tree_respects_max_terms():
+    a, _, _ = random_linear_system(3, 4, seed=3)
+    assert len(ansatz_tree_unitaries(a, 5)) == 5
+    assert len(ansatz_tree_unitaries(a, 1)) == 1
+
+
+def test_residual_decreases_with_tree_size():
+    a, b, _ = random_linear_system(3, 4, seed=4)
+    residuals = [solve_cqs(a, b, max_terms=m).residual_norm for m in (1, 4, 16)]
+    assert residuals[0] >= residuals[1] >= residuals[2] - 1e-12
+
+
+def test_full_tree_solves_exactly():
+    """With enough Pauli products the span covers the solution."""
+    a, b, x_true = random_linear_system(2, 3, seed=5)
+    result = solve_cqs(a, b, max_terms=16)
+    assert result.residual_norm < 1e-8
+    assert result.hamiltonian_loss == pytest.approx(0.0, abs=1e-10)
+    assert np.allclose(a.to_matrix() @ result.x, b, atol=1e-8)
+
+
+def test_section3e_identity():
+    """Eqs. 8-13: L_Ham = sum_j alpha_j tr(O_j rho_b) = L_MAE <= L_RMSE."""
+    a, b, _ = random_linear_system(3, 3, seed=6)
+    result = solve_cqs(a, b, max_terms=6)
+    alphas, observables = decompose_hamiltonian_loss(a, b, result)
+    rho_b = np.outer(b, b.conj())
+
+    # m = m_CQS^2 counting: diagonal + symmetrised cross terms.
+    m_cqs = result.num_terms
+    assert len(alphas) == m_cqs * (m_cqs + 1) // 2
+
+    traces = np.array([np.trace(o @ rho_b).real for o in observables])
+    total = float(alphas @ traces)
+    assert total == pytest.approx(result.hamiltonian_loss, abs=1e-9)
+
+    # MAE with ground truth 0 (Eq. 11-12), single data point d=1.
+    l_mae = mae_loss([0.0], [total])
+    l_rmse = rmse_loss([0.0], [total])
+    assert l_mae == pytest.approx(result.hamiltonian_loss, abs=1e-9)
+    assert l_mae <= l_rmse + 1e-12
+
+
+def test_decomposed_observables_hermitian():
+    a, b, _ = random_linear_system(2, 3, seed=7)
+    result = solve_cqs(a, b, max_terms=4)
+    _, observables = decompose_hamiltonian_loss(a, b, result)
+    for o in observables:
+        assert np.allclose(o, o.conj().T, atol=1e-10)
+
+
+def test_unnormalised_b_rejected():
+    a, b, _ = random_linear_system(2, 3, seed=8)
+    with pytest.raises(ValueError):
+        solve_cqs(a, 2.0 * b)
+    with pytest.raises(ValueError):
+        hamiltonian_observable(a, 2.0 * b)
+    with pytest.raises(ValueError):
+        ansatz_tree_unitaries(a, 0)

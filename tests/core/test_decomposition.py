@@ -1,0 +1,120 @@
+"""Appendix A decomposition tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ansatz import fig8_ansatz
+from repro.core.decomposition import (
+    circuit_unitary,
+    decomposition_weight_profile,
+    heisenberg_observable,
+    truncate_by_locality,
+    truncate_by_weight,
+)
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import PauliString, expectation
+from repro.quantum.statevector import run_circuit
+
+from tests.conftest import random_state
+
+
+def test_circuit_unitary_matches_statevector():
+    c = Circuit(2)
+    c.append("h", 0).append("cnot", (0, 1)).append("ry", 1, 0.4)
+    u = circuit_unitary(c)
+    assert np.allclose(u.conj().T @ u, np.eye(4), atol=1e-12)
+    for basis in range(4):
+        e = np.zeros(4, dtype=complex)
+        e[basis] = 1
+        assert np.allclose(u[:, basis], run_circuit(c, state=e), atol=1e-12)
+
+
+def test_circuit_unitary_requires_bound():
+    c = Circuit(1)
+    c.append("rx", 0, "t")
+    with pytest.raises(ValueError):
+        circuit_unitary(c)
+    with pytest.raises(ValueError):
+        heisenberg_observable(c, PauliString("Z"))
+
+
+def test_heisenberg_observable_reproduces_expectations():
+    """tr(O U rho U^dag) == tr(U^dag O U rho) for every state (Eq. 3)."""
+    rng = np.random.default_rng(0)
+    circuit = fig8_ansatz().bind(rng.uniform(-1, 1, 8))
+    o = PauliString("ZIII")
+    o_heis = heisenberg_observable(circuit, o)
+    for _ in range(5):
+        psi = random_state(4, rng)
+        direct = expectation(run_circuit(circuit, state=psi), o)
+        via_decomposition = expectation(psi, o_heis)
+        assert via_decomposition == pytest.approx(direct, abs=1e-9)
+
+
+def test_identity_circuit_decomposition_is_trivial():
+    circuit = fig8_ansatz().bind(np.zeros(8))
+    o_heis = heisenberg_observable(circuit, PauliString("ZIII"))
+    assert o_heis.num_terms == 1
+    assert o_heis.coefficient("ZIII") == pytest.approx(1.0)
+
+
+def test_term_count_bounded_by_4n():
+    rng = np.random.default_rng(1)
+    circuit = fig8_ansatz().bind(rng.uniform(-np.pi, np.pi, 8))
+    o_heis = heisenberg_observable(circuit, PauliString("ZZZZ"))
+    assert 1 <= o_heis.num_terms <= 4**4
+
+
+def test_coefficients_are_real():
+    rng = np.random.default_rng(2)
+    circuit = fig8_ansatz().bind(rng.uniform(-1, 1, 8))
+    o_heis = heisenberg_observable(circuit, PauliString("XIII"))
+    for c, _ in o_heis.items():
+        assert abs(np.imag(c)) < 1e-10
+
+
+def test_truncate_by_locality():
+    ps = PauliString
+    from repro.quantum.observables import PauliSum
+
+    o = PauliSum([(1.0, "ZII"), (0.5, "ZZI"), (0.2, "ZZZ")])
+    t1 = truncate_by_locality(o, 1)
+    assert t1.num_terms == 1
+    t2 = truncate_by_locality(o, 2)
+    assert t2.num_terms == 2
+
+
+def test_truncate_by_weight():
+    from repro.quantum.observables import PauliSum
+
+    o = PauliSum([(1.0, "ZII"), (0.5, "ZZI"), (-2.0, "XII")])
+    top = truncate_by_weight(o, 1)
+    assert top.num_terms == 1
+    assert top.coefficient("XII") == pytest.approx(-2.0)
+    with pytest.raises(ValueError):
+        truncate_by_weight(o, -1)
+
+
+def test_weight_profile_conservation():
+    """Total Fourier weight is invariant under unitary conjugation:
+    sum of squared coefficients equals that of the input observable."""
+    rng = np.random.default_rng(3)
+    circuit = fig8_ansatz().bind(rng.uniform(-1, 1, 8))
+    o_heis = heisenberg_observable(circuit, PauliString("ZIII"))
+    profile = decomposition_weight_profile(o_heis)
+    assert sum(profile.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_truncation_error_decreases_with_locality():
+    """Low-degree approximation quality improves with the cutoff L."""
+    rng = np.random.default_rng(4)
+    circuit = fig8_ansatz().bind(rng.uniform(-0.6, 0.6, 8))
+    full = heisenberg_observable(circuit, PauliString("ZZII"))
+    psi = random_state(4, rng)
+    exact = expectation(psi, full)
+    errors = []
+    for locality in (1, 2, 3, 4):
+        approx = truncate_by_locality(full, locality)
+        errors.append(abs(expectation(psi, approx) - exact))
+    assert errors[-1] == pytest.approx(0.0, abs=1e-10)
+    assert errors[0] >= errors[-1]

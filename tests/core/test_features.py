@@ -1,0 +1,135 @@
+"""Feature-generation (Algorithm 1) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import evaluate_features, generate_features
+from repro.core.strategies import (
+    AnsatzExpansion,
+    HybridStrategy,
+    ObservableConstruction,
+)
+from repro.data.encoding import encode_batch
+from repro.hpc.executor import ParallelExecutor
+from repro.quantum.observables import expectation
+from repro.quantum.statevector import run_circuit
+
+
+@pytest.fixture
+def angles():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0, 2 * np.pi, size=(9, 4, 4))
+
+
+def manual_algorithm1(strategy, angles):
+    """Literal Algorithm 1: nested loops over data, shifts and observables."""
+    states = encode_batch(angles)
+    q_cols = []
+    for params in strategy.parameter_sets():
+        circuit = strategy.ansatz
+        if circuit is not None and circuit.num_parameters:
+            evolved = run_circuit(circuit.bind(params), state=states)
+        else:
+            evolved = states
+        for obs in strategy.observables():
+            q_cols.append(expectation(evolved, obs))
+    return np.stack(q_cols, axis=1)
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    [
+        ObservableConstruction(qubits=4, locality=1),
+        AnsatzExpansion(order=1),
+        HybridStrategy(order=1, locality=1),
+    ],
+    ids=["observable", "ansatz", "hybrid"],
+)
+def test_matches_literal_algorithm1(strategy, angles):
+    q = generate_features(strategy, angles)
+    assert q.shape == (9, strategy.num_features)
+    assert np.allclose(q, manual_algorithm1(strategy, angles), atol=1e-12)
+
+
+def test_identity_observable_column_is_one(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    q = generate_features(s, angles)
+    assert np.allclose(q[:, 0], 1.0)  # identity Pauli first
+
+
+def test_features_bounded(angles):
+    q = generate_features(HybridStrategy(order=1, locality=2), angles)
+    assert np.all(q >= -1 - 1e-9) and np.all(q <= 1 + 1e-9)
+
+
+def test_executor_backends_identical(angles):
+    s = HybridStrategy(order=1, locality=1)
+    serial = generate_features(s, angles)
+    threaded = generate_features(
+        s, angles, executor=ParallelExecutor("thread", 4), chunk_size=3
+    )
+    assert np.array_equal(serial, threaded)
+
+
+def test_chunk_size_invariance(angles):
+    s = ObservableConstruction(qubits=4, locality=2)
+    a = generate_features(s, angles, chunk_size=2)
+    b = generate_features(s, angles, chunk_size=128)
+    assert np.array_equal(a, b)
+
+
+def test_shots_estimator_converges(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    exact = generate_features(s, angles)
+    noisy = generate_features(s, angles, estimator="shots", shots=8000, seed=5)
+    assert np.max(np.abs(exact - noisy)) < 0.1
+
+
+def test_shots_estimator_deterministic_under_seed(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    a = generate_features(s, angles, estimator="shots", shots=100, seed=3)
+    b = generate_features(s, angles, estimator="shots", shots=100, seed=3)
+    assert np.array_equal(a, b)
+    c = generate_features(s, angles, estimator="shots", shots=100, seed=4)
+    assert not np.array_equal(a, c)
+
+
+def test_shots_estimator_schedule_independent(angles):
+    """Per-task RNG spawning: results identical across executors."""
+    s = ObservableConstruction(qubits=4, locality=1)
+    serial = generate_features(s, angles, estimator="shots", shots=64, seed=11, chunk_size=4)
+    threaded = generate_features(
+        s,
+        angles,
+        estimator="shots",
+        shots=64,
+        seed=11,
+        chunk_size=4,
+        executor=ParallelExecutor("thread", 3),
+    )
+    assert np.array_equal(serial, threaded)
+
+
+def test_shadows_estimator_reasonable(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    exact = generate_features(s, angles[:3])
+    shadow = generate_features(s, angles[:3], estimator="shadows", snapshots=4000, seed=2)
+    assert np.max(np.abs(exact - shadow)) < 0.35
+
+
+def test_evaluate_features_on_states(angles):
+    states = encode_batch(angles)
+    s = ObservableConstruction(qubits=4, locality=1)
+    via_angles = generate_features(s, angles)
+    via_states = evaluate_features(s, states)
+    assert np.allclose(via_angles, via_states)
+
+
+def test_validation(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    with pytest.raises(ValueError):
+        generate_features(s, angles[0])  # not 3-D
+    with pytest.raises(ValueError):
+        generate_features(s, angles[:, :, :3])  # wrong qubit count
+    with pytest.raises(ValueError):
+        generate_features(s, angles, estimator="bogus")

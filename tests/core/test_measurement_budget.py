@@ -1,0 +1,151 @@
+"""Measurement-budget tests: Propositions 1-2, Theorems 3-4, Table II."""
+
+import numpy as np
+import pytest
+
+from repro.core.measurement_budget import (
+    proposition1_direct_measurements,
+    proposition2_shadow_measurements,
+    rmse_loss_difference,
+    table2_grid,
+    table2_row,
+    theorem3_required_entry_error,
+    theorem4_required_entry_error,
+)
+
+
+def test_prop1_scalings():
+    base = proposition1_direct_measurements(10, 100, 0.1, 0.05)
+    assert proposition1_direct_measurements(20, 100, 0.1, 0.05) > 2 * base * 0.9
+    assert proposition1_direct_measurements(10, 100, 0.05, 0.05) > 3 * base
+    assert proposition1_direct_measurements(10, 100, 0.1, 0.01) > base
+
+
+def test_prop2_scalings():
+    base = proposition2_shadow_measurements(5, 100, 4.0, 0.1, 0.05, q=2)
+    # Doubling q (same p, same norms) only grows logarithmically.
+    doubled_q = proposition2_shadow_measurements(5, 100, 4.0, 0.1, 0.05, q=4)
+    assert doubled_q < 1.5 * base
+    # Doubling p doubles the shadow batches.
+    doubled_p = proposition2_shadow_measurements(10, 100, 4.0, 0.1, 0.05, q=2)
+    assert doubled_p > 1.8 * base
+
+
+def test_shadows_win_iff_local_asymptotic():
+    """Table II bold pattern (asymptotic): direct/shadows = q / ||O||_S^2,
+    so shadows win exactly when the shared observable count exceeds the
+    worst shadow norm."""
+    row_local = table2_row(
+        "obs", p=1, q=67, d=100, epsilon=0.1, delta=0.05,
+        max_shadow_norm_sq=16.0, asymptotic=True,
+    )
+    assert row_local.winner == "shadows"
+    row_global = table2_row(
+        "ansatz", p=129, q=1, d=100, epsilon=0.1, delta=0.05,
+        max_shadow_norm_sq=4.0**10, asymptotic=True,
+    )
+    assert row_global.winner == "direct"
+
+
+def test_concrete_constants_shift_crossover():
+    """With the real Hoeffding/median-of-means constants the shadows
+    advantage needs a larger q (the honest engineering caveat)."""
+    row = table2_row(
+        "obs", p=1, q=67, d=100, epsilon=0.1, delta=0.05, max_shadow_norm_sq=16.0
+    )
+    assert row.winner == "direct"  # 34 * 16 > 67
+    big_q = table2_row(
+        "obs", p=1, q=1000, d=100, epsilon=0.1, delta=0.05, max_shadow_norm_sq=16.0
+    )
+    assert big_q.winner == "shadows"
+
+
+def test_table2_grid_structure():
+    rows = table2_grid(
+        k=8, n=4, d=100, order=1, locality=2, epsilon=0.2, delta=0.05, asymptotic=True
+    )
+    assert [r.strategy for r in rows] == [
+        "ansatz_expansion",
+        "observable_construction",
+        "hybrid",
+        "local_hybrid",
+    ]
+    ansatz = rows[0]
+    assert (ansatz.p, ansatz.q) == (17, 1)
+    assert ansatz.winner == "direct"  # no multi-observable reuse to exploit
+    obs = rows[1]
+    assert (obs.p, obs.q) == (1, 67)
+    assert obs.winner == "shadows"
+    # The paper's bold pattern across the grid: direct, shadows, direct, shadows.
+    assert [r.winner for r in rows] == ["direct", "shadows", "direct", "shadows"]
+
+
+def test_theorem4_formula():
+    assert theorem4_required_entry_error(4, 0.2) == pytest.approx(0.05)
+    with pytest.raises(ValueError):
+        theorem4_required_entry_error(0, 0.1)
+    with pytest.raises(ValueError):
+        theorem4_required_entry_error(4, -0.1)
+
+
+def test_theorem3_bound_positive_and_monotone():
+    rng = np.random.default_rng(0)
+    q = rng.normal(size=(30, 5))
+    y = rng.normal(size=30)
+    small = theorem3_required_entry_error(q, y, 0.01)
+    large = theorem3_required_entry_error(q, y, 1.0)
+    assert 0 < small <= large
+
+
+def test_theorem4_guarantee_empirical():
+    """Perturb Q within the Theorem 4 budget; the realised loss difference
+    must stay below epsilon (constrained head)."""
+    rng = np.random.default_rng(1)
+    d, m = 60, 8
+    q = rng.uniform(-1, 1, size=(d, m))
+    alpha = rng.normal(size=m)
+    alpha /= 2 * np.linalg.norm(alpha)
+    y = q @ alpha + 0.05 * rng.normal(size=d)
+    epsilon = 0.25
+    budget = theorem4_required_entry_error(m, epsilon)
+    for trial in range(5):
+        noise = rng.uniform(-budget, budget, size=(d, m))
+        delta_loss = rmse_loss_difference(q, q + noise, y, constrained=True)
+        assert delta_loss < epsilon
+
+
+def test_theorem3_guarantee_empirical():
+    """Same for the pseudoinverse head under the (tighter) Theorem 3 budget."""
+    rng = np.random.default_rng(2)
+    d, m = 40, 4
+    q = rng.uniform(-1, 1, size=(d, m)) + 0.1  # well-conditioned
+    y = q @ rng.normal(size=m)
+    epsilon = 0.3
+    budget = theorem3_required_entry_error(q, y, epsilon)
+    assert budget > 0
+    for trial in range(5):
+        noise = rng.uniform(-budget, budget, size=(d, m))
+        delta_loss = rmse_loss_difference(q, q + noise, y, constrained=False)
+        assert delta_loss < epsilon
+
+
+def test_loss_difference_nonnegative():
+    """Refitting on corrupted features cannot beat the optimum on the truth."""
+    rng = np.random.default_rng(3)
+    q = rng.normal(size=(30, 3))
+    y = rng.normal(size=30)
+    noise = 0.01 * rng.normal(size=q.shape)
+    assert rmse_loss_difference(q, q + noise, y) >= -1e-12
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        proposition1_direct_measurements(0, 10, 0.1, 0.05)
+    with pytest.raises(ValueError):
+        proposition1_direct_measurements(10, 10, 0.1, 2.0)
+    with pytest.raises(ValueError):
+        proposition2_shadow_measurements(0, 10, 4.0, 0.1, 0.05, q=2)
+    with pytest.raises(ValueError):
+        proposition2_shadow_measurements(1, 10, -1.0, 0.1, 0.05, q=2)
+    with pytest.raises(ValueError):
+        proposition2_shadow_measurements(1, 10, 4.0, 0.1, 0.05)  # neither m nor q

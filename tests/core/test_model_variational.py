@@ -1,0 +1,159 @@
+"""Post-variational model and variational baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PostVariationalClassifier, PostVariationalRegressor
+from repro.core.strategies import HybridStrategy, ObservableConstruction
+from repro.core.variational import VariationalClassifier
+
+
+@pytest.fixture(scope="module")
+def toy_task():
+    """Angles whose label depends on a product of two columns -- learnable by
+    2-local features, invisible to 1-local means."""
+    rng = np.random.default_rng(7)
+    angles = rng.uniform(0.3, 2 * np.pi - 0.3, size=(120, 4, 4))
+    latent = rng.choice([-1.0, 1.0], size=120)
+    angles[:, 0, 0] = np.pi + latent * 1.2
+    flip = rng.choice([-1.0, 1.0], size=120)
+    angles[:, 0, 3] = np.pi + latent * flip * 1.2
+    y = (flip > 0).astype(int)
+    return angles, y
+
+
+def test_classifier_learns_correlation_task(toy_task):
+    angles, y = toy_task
+    clf = PostVariationalClassifier(strategy=ObservableConstruction(qubits=4, locality=2))
+    clf.fit(angles, y)
+    assert clf.score(angles, y) > 0.8
+    # 1-local cannot see the product structure.
+    weak = PostVariationalClassifier(strategy=ObservableConstruction(qubits=4, locality=1))
+    weak.fit(angles, y)
+    assert weak.score(angles, y) < clf.score(angles, y)
+
+
+def test_classifier_caches_features(toy_task):
+    angles, y = toy_task
+    clf = PostVariationalClassifier(strategy=ObservableConstruction(qubits=4, locality=1))
+    clf.fit(angles, y)
+    assert clf.q_train_.shape == (120, 13)
+
+
+def test_classifier_proba_and_loss(toy_task):
+    angles, y = toy_task
+    clf = PostVariationalClassifier(strategy=ObservableConstruction(qubits=4, locality=2))
+    clf.fit(angles, y)
+    probs = clf.predict_proba(angles)
+    assert probs.shape == (120,)
+    assert np.all((probs >= 0) & (probs <= 1))
+    assert clf.loss(angles, y) < np.log(2)  # better than chance
+
+
+def test_constrained_head(toy_task):
+    angles, y = toy_task
+    clf = PostVariationalClassifier(
+        strategy=ObservableConstruction(qubits=4, locality=2), head="constrained"
+    )
+    clf.fit(angles, y)
+    assert np.linalg.norm(clf.model_.coef_) <= 1.0 + 1e-6
+    assert clf.score(angles, y) > 0.7
+
+
+def test_multiclass_classifier():
+    rng = np.random.default_rng(1)
+    angles = rng.uniform(0, 2 * np.pi, size=(60, 4, 4))
+    # Three classes keyed to the first-row mean: a 1-local-visible signal.
+    means = angles[:, 0, :].mean(axis=1)
+    y = np.digitize(means, np.quantile(means, [1 / 3, 2 / 3]))
+    clf = PostVariationalClassifier(
+        strategy=ObservableConstruction(qubits=4, locality=2), num_classes=3
+    )
+    clf.fit(angles, y)
+    assert clf.score(angles, y) > 0.6
+    assert clf.predict_proba(angles).shape == (60, 3)
+
+
+def test_regressor_heads():
+    rng = np.random.default_rng(2)
+    angles = rng.uniform(0, 2 * np.pi, size=(50, 4, 4))
+    strategy = ObservableConstruction(qubits=4, locality=1)
+    # Ground truth linear in the features: exactly representable.
+    from repro.core.features import generate_features
+
+    q = generate_features(strategy, angles)
+    alpha = rng.normal(size=q.shape[1]) * 0.2
+    y = q @ alpha
+    for head in ("pinv", "ridge", "constrained"):
+        reg = PostVariationalRegressor(strategy=strategy, head=head)
+        reg.fit(angles, y)
+        assert reg.loss(angles, y) < 0.05, head
+
+
+def test_regressor_pinv_exact():
+    rng = np.random.default_rng(3)
+    angles = rng.uniform(0, 2 * np.pi, size=(40, 4, 4))
+    strategy = ObservableConstruction(qubits=4, locality=1)
+    from repro.core.features import generate_features
+
+    q = generate_features(strategy, angles)
+    y = q @ (rng.normal(size=13) * 0.1)
+    reg = PostVariationalRegressor(strategy=strategy, head="pinv").fit(angles, y)
+    assert np.allclose(reg.predict(angles), y, atol=1e-8)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        PostVariationalClassifier(strategy=None)
+    with pytest.raises(ValueError):
+        PostVariationalClassifier(
+            strategy=ObservableConstruction(), num_classes=3, head="constrained"
+        )
+    clf = PostVariationalClassifier(strategy=ObservableConstruction())
+    with pytest.raises(RuntimeError):
+        clf.predict(np.zeros((1, 4, 4)))
+
+
+# ----------------------------------------------------------- variational
+def test_variational_loss_decreases():
+    rng = np.random.default_rng(4)
+    angles = rng.uniform(0, 2 * np.pi, size=(30, 4, 4))
+    y = (angles[:, 0, 0] > np.pi).astype(int)
+    v = VariationalClassifier(epochs=8, learning_rate=0.3)
+    v.fit(angles, y)
+    assert v.history_[-1] <= v.history_[0] + 1e-9
+    assert v.theta_.shape == (8,)
+
+
+def test_variational_predict_labels():
+    rng = np.random.default_rng(5)
+    angles = rng.uniform(0, 2 * np.pi, size=(10, 4, 4))
+    y = rng.integers(0, 2, 10)
+    v = VariationalClassifier(epochs=2).fit(angles, y)
+    preds = v.predict(angles)
+    assert set(np.unique(preds)) <= {0, 1}
+
+
+def test_variational_multiclass_probabilities():
+    rng = np.random.default_rng(6)
+    angles = rng.uniform(0, 2 * np.pi, size=(12, 4, 4))
+    y = rng.integers(0, 3, 12)
+    v = VariationalClassifier(num_classes=3, epochs=2)
+    v.fit(angles, y)
+    from repro.data.encoding import encode_batch
+
+    probs = v._class_probs(encode_batch(angles), v.theta_)
+    assert probs.shape == (12, 3)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    preds = v.predict(angles)
+    assert set(np.unique(preds)) <= {0, 1, 2}
+
+
+def test_variational_validation():
+    with pytest.raises(ValueError):
+        VariationalClassifier(num_classes=1)
+    with pytest.raises(ValueError):
+        VariationalClassifier(epochs=0)
+    v = VariationalClassifier()
+    with pytest.raises(RuntimeError):
+        v.predict(np.zeros((1, 4, 4)))

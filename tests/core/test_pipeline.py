@@ -1,0 +1,99 @@
+"""End-to-end pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import HybridPipeline
+from repro.core.strategies import HybridStrategy, ObservableConstruction
+from repro.hpc.cluster import ClusterModel, NodeSpec
+from repro.hpc.executor import ParallelExecutor
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    rng = np.random.default_rng(0)
+    angles = rng.uniform(0, 2 * np.pi, size=(40, 4, 4))
+    y = (angles[:, 0, 0] + angles[:, 1, 1] > 2 * np.pi).astype(int)
+    return angles, y
+
+
+def test_fit_predict_roundtrip(small_task):
+    angles, y = small_task
+    pipe = HybridPipeline(strategy=ObservableConstruction(qubits=4, locality=1))
+    pipe.fit(angles, y)
+    preds = pipe.predict(angles)
+    assert preds.shape == y.shape
+    assert pipe.score(angles, y) > 0.5
+    assert pipe.loss(angles, y) < 1.0
+
+
+def test_report_contents(small_task):
+    angles, y = small_task
+    pipe = HybridPipeline(
+        strategy=HybridStrategy(order=1, locality=1),
+        cluster=ClusterModel(node=NodeSpec(), num_nodes=4),
+    )
+    pipe.fit(angles, y)
+    report = pipe.report_
+    assert report.num_features == 221
+    assert report.num_ansatze == 17
+    assert report.num_train == 40
+    assert report.timer.total("generate_features") > 0
+    assert report.projected_makespan is not None
+    assert "ensemble" in report.summary()
+
+
+def test_circuit_tasks_grid(small_task):
+    angles, _ = small_task
+    pipe = HybridPipeline(
+        strategy=HybridStrategy(order=1, locality=1), chunk_size=16
+    )
+    tasks = pipe.circuit_tasks(angles.shape[0])
+    # p Ansatz instances x ceil(40/16)=3 chunks.
+    assert len(tasks) == 17 * 3
+    assert sum(t.num_circuits for t in tasks) == 17 * 40
+
+
+def test_executor_backend_equivalence(small_task):
+    angles, y = small_task
+    serial = HybridPipeline(strategy=ObservableConstruction(qubits=4, locality=1))
+    serial.fit(angles, y)
+    threaded = HybridPipeline(
+        strategy=ObservableConstruction(qubits=4, locality=1),
+        executor=ParallelExecutor("thread", 4),
+        chunk_size=8,
+    )
+    threaded.fit(angles, y)
+    assert np.allclose(serial.predict(angles), threaded.predict(angles))
+
+
+def test_shots_pipeline(small_task):
+    angles, y = small_task
+    pipe = HybridPipeline(
+        strategy=ObservableConstruction(qubits=4, locality=1),
+        estimator="shots",
+        shots=256,
+    )
+    pipe.fit(angles, y)
+    assert pipe.report_.counter.get("shots_fired") > 0
+    assert 0.0 <= pipe.score(angles, y) <= 1.0
+
+
+def test_multiclass_pipeline():
+    rng = np.random.default_rng(1)
+    angles = rng.uniform(0, 2 * np.pi, size=(30, 4, 4))
+    y = rng.integers(0, 3, 30)
+    pipe = HybridPipeline(
+        strategy=ObservableConstruction(qubits=4, locality=1), num_classes=3
+    )
+    pipe.fit(angles, y)
+    assert set(np.unique(pipe.predict(angles))) <= {0, 1, 2}
+
+
+def test_unfitted_errors(small_task):
+    angles, y = small_task
+    pipe = HybridPipeline(strategy=ObservableConstruction(qubits=4, locality=1))
+    with pytest.raises(RuntimeError):
+        pipe.predict(angles)
+    with pytest.raises(ValueError):
+        HybridPipeline(strategy=None)

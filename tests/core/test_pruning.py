@@ -1,0 +1,88 @@
+"""Pruning heuristic tests (Eqs. 17, 21-25)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ansatz import fig8_ansatz
+from repro.core.pruning import apply_pruning, fidelity_prune, gradient_prune
+from repro.core.shifts import enumerate_shift_configurations
+from repro.data.encoding import encode_batch
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import PauliString
+
+
+@pytest.fixture
+def states():
+    rng = np.random.default_rng(0)
+    return encode_batch(rng.uniform(0, 2 * np.pi, size=(12, 4, 4)))
+
+
+def test_gradient_scores_shape(states):
+    circuit = fig8_ansatz()
+    report = gradient_prune(circuit, states, PauliString("ZIII"), threshold=1e-3)
+    assert report.scores.shape == (8,)
+    assert np.all(report.scores >= 0)
+
+
+def test_dead_parameter_is_pruned(states):
+    """A rotation acting after the measurement support with no entanglement
+    has exactly zero gradient: a circuit where parameter 1 acts on qubit 3
+    while we measure Z on qubit 0 with no coupling."""
+    c = Circuit(4)
+    c.append("ry", 0, "live")
+    c.append("ry", 3, "dead")
+    report = gradient_prune(c, states, PauliString("ZIII"), threshold=1e-10)
+    assert 1 in report.pruned_parameters  # 'dead' has index 1
+    assert 0 not in report.pruned_parameters
+
+
+def test_fidelity_bound_dominates_gradient_score(states):
+    """Eqs. 23-25: 4(1 - F) upper bounds the squared expectation difference
+    for any Pauli observable, so fidelity scores >= gradient scores."""
+    circuit = fig8_ansatz()
+    grad = gradient_prune(circuit, states, PauliString("ZIII"), threshold=0.0)
+    fid = fidelity_prune(circuit, states, threshold=0.0)
+    assert np.all(fid.scores >= grad.scores - 1e-9)
+
+
+def test_fidelity_pruning_is_more_conservative(states):
+    """Anything fidelity-pruning keeps includes what it would prune under
+    the gradient test at the same threshold (score ordering)."""
+    circuit = fig8_ansatz()
+    thr = 0.05
+    grad = gradient_prune(circuit, states, PauliString("ZIII"), threshold=thr)
+    fid = fidelity_prune(circuit, states, threshold=thr)
+    assert set(fid.pruned_parameters) <= set(grad.pruned_parameters)
+
+
+def test_apply_pruning_removes_configs():
+    configs = enumerate_shift_configurations(4, 2)
+    kept = apply_pruning(configs, pruned_parameters=(1, 3))
+    assert all(not ({1, 3} & set(c.subset)) for c in kept)
+    # Base circuit survives.
+    assert any(c.subset == () for c in kept)
+    # Counting: subsets only over the 2 surviving parameters.
+    from repro.core.shifts import count_shift_configurations
+
+    assert len(kept) == count_shift_configurations(2, 2)
+
+
+def test_apply_pruning_empty_is_identity():
+    configs = enumerate_shift_configurations(3, 1)
+    assert apply_pruning(configs, ()) == configs
+
+
+def test_threshold_monotonicity(states):
+    circuit = fig8_ansatz()
+    reports = [
+        gradient_prune(circuit, states, PauliString("ZIII"), threshold=t)
+        for t in (1e-6, 1e-3, 1e-1)
+    ]
+    sizes = [r.num_pruned for r in reports]
+    assert sizes == sorted(sizes)
+
+
+def test_report_fields(states):
+    report = fidelity_prune(fig8_ansatz(), states, threshold=0.5)
+    assert report.threshold == 0.5
+    assert report.num_pruned == len(report.pruned_parameters)

@@ -1,0 +1,101 @@
+"""Strategy (Sec. IV) tests: ensemble sizes, observables, Definition 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.ansatz import fig8_ansatz
+from repro.core.strategies import (
+    AnsatzExpansion,
+    HybridStrategy,
+    ObservableConstruction,
+    strategy_from_name,
+)
+from repro.quantum.observables import PauliString
+
+
+def test_ansatz_expansion_counts():
+    s = AnsatzExpansion(order=1)
+    assert s.num_ansatze == 17  # Eq. 16 at k=8, R=1
+    assert s.num_observables == 1
+    assert s.num_features == 17
+    s2 = AnsatzExpansion(order=2)
+    assert s2.num_features == 129
+
+
+def test_ansatz_expansion_default_observable():
+    s = AnsatzExpansion(order=0)
+    assert s.observables() == [PauliString("ZIII")]
+    assert s.max_locality() == 1
+
+
+def test_ansatz_expansion_custom_observable_width_check():
+    with pytest.raises(ValueError):
+        AnsatzExpansion(order=1, observable=PauliString("Z"))
+
+
+def test_observable_construction_counts():
+    for locality, expected in [(0, 1), (1, 13), (2, 67), (3, 175)]:
+        s = ObservableConstruction(qubits=4, locality=locality)
+        assert s.num_observables == expected  # Eq. 18
+        assert s.num_ansatze == 1
+        assert s.ansatz is None
+
+
+def test_observable_construction_includes_identity():
+    s = ObservableConstruction(qubits=4, locality=1)
+    assert s.observables()[0].is_identity
+
+
+def test_hybrid_counts_definition1():
+    """m = p * q with p from Eq. 16 and q from Eq. 18."""
+    s = HybridStrategy(order=1, locality=1)
+    assert (s.num_ansatze, s.num_observables, s.num_features) == (17, 13, 221)
+    s = HybridStrategy(order=2, locality=1)
+    assert s.num_features == 129 * 13
+    s = HybridStrategy(order=1, locality=2)
+    assert s.num_features == 17 * 67
+
+
+def test_parameter_sets_are_shift_vectors():
+    s = AnsatzExpansion(order=1)
+    sets = s.parameter_sets()
+    assert np.allclose(sets[0], np.zeros(8))  # base config
+    # Every non-base set has exactly one entry at +-pi/2.
+    for vec in sets[1:]:
+        nonzero = vec[vec != 0]
+        assert nonzero.size == 1
+        assert abs(abs(nonzero[0]) - np.pi / 2) < 1e-12
+
+
+def test_base_parameters_offset():
+    base = np.full(8, 0.3)
+    s = AnsatzExpansion(order=1, base_parameters=base)
+    sets = s.parameter_sets()
+    assert np.allclose(sets[0], base)
+
+
+def test_max_locality():
+    assert HybridStrategy(order=1, locality=2).max_locality() == 2
+    assert ObservableConstruction(qubits=4, locality=3).max_locality() == 3
+
+
+def test_describe():
+    text = HybridStrategy(order=1, locality=1).describe()
+    assert "p=17" in text and "q=13" in text and "m=221" in text
+
+
+def test_factory():
+    assert strategy_from_name("ansatz", order=1).num_features == 17
+    assert strategy_from_name("observable", locality=2).num_features == 67
+    assert strategy_from_name("hybrid", order=1, locality=1).num_features == 221
+    with pytest.raises(ValueError):
+        strategy_from_name("bogus")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AnsatzExpansion(order=-1)
+    with pytest.raises(ValueError):
+        ObservableConstruction(qubits=0)
+    with pytest.raises(ValueError):
+        HybridStrategy(order=-1)

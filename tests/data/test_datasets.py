@@ -1,0 +1,72 @@
+"""Dataset split tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    binary_coat_vs_shirt,
+    multiclass_fashion,
+    train_test_split,
+)
+
+
+def test_binary_split_shapes():
+    sp = binary_coat_vs_shirt(train_per_class=10, test_per_class=5)
+    assert sp.x_train.shape == (20, 4, 4)
+    assert sp.x_test.shape == (10, 4, 4)
+    assert sp.num_train == 20 and sp.num_test == 10
+    assert set(np.unique(sp.y_train)) == {0, 1}
+    assert sp.class_names == ("coat", "shirt")
+
+
+def test_binary_split_balanced():
+    sp = binary_coat_vs_shirt(train_per_class=15, test_per_class=5)
+    assert np.sum(sp.y_train == 0) == 15
+    assert np.sum(sp.y_test == 1) == 5
+
+
+def test_angles_in_range():
+    sp = binary_coat_vs_shirt(train_per_class=10, test_per_class=5)
+    for arr in (sp.x_train, sp.x_test):
+        assert arr.min() >= 0.0
+        assert arr.max() < 2 * np.pi
+
+
+def test_test_scaling_uses_train_statistics():
+    """No leakage: the angle map is fit on train only, so test values are
+    clipped into the train range rather than rescaled to their own."""
+    sp = binary_coat_vs_shirt(train_per_class=30, test_per_class=10)
+    # Train attains (near) 0 and the (near) max angle; test need not.
+    assert sp.x_train.min() == pytest.approx(0.0, abs=1e-9)
+    assert sp.x_train.max() == pytest.approx(2 * np.pi, rel=1e-6)
+
+
+def test_determinism():
+    a = binary_coat_vs_shirt(train_per_class=5, test_per_class=2, seed=3)
+    b = binary_coat_vs_shirt(train_per_class=5, test_per_class=2, seed=3)
+    assert np.array_equal(a.x_train, b.x_train)
+    assert np.array_equal(a.y_test, b.y_test)
+
+
+def test_multiclass_split():
+    sp = multiclass_fashion(train_total=40, test_total=20)
+    assert sp.x_train.shape == (40, 4, 4)
+    assert len(np.unique(sp.y_train)) == 10
+    counts = np.bincount(sp.y_train, minlength=10)
+    assert np.all(counts == 4)
+
+
+def test_multiclass_divisibility_validation():
+    with pytest.raises(ValueError):
+        multiclass_fashion(train_total=45, test_total=20)
+
+
+def test_train_test_split():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(100, 3))
+    y = np.arange(100)
+    xtr, ytr, xte, yte = train_test_split(x, y, 0.25, seed=1)
+    assert xtr.shape == (75, 3) and xte.shape == (25, 3)
+    assert sorted(np.concatenate([ytr, yte]).tolist()) == list(range(100))
+    with pytest.raises(ValueError):
+        train_test_split(x, y, 0.0)

@@ -1,0 +1,94 @@
+"""Fig. 7 data-encoding tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.encoding import encode_batch, encoded_dimension, encoding_circuit
+from repro.quantum.statevector import run_circuit
+
+
+def test_circuit_structure_matches_fig7():
+    """H layer, then rows alternate RZ / RX, column c on qubit c."""
+    feats = np.arange(16, dtype=float).reshape(4, 4)
+    c = encoding_circuit(feats)
+    assert c.num_qubits == 4
+    ops = list(c)
+    assert [op.gate for op in ops[:4]] == ["h"] * 4
+    body = ops[4:]
+    assert len(body) == 16
+    for r in range(4):
+        for q in range(4):
+            op = body[r * 4 + q]
+            assert op.gate == ("rz" if r % 2 == 0 else "rx")
+            assert op.qubits == (q,)
+            assert op.param == pytest.approx(feats[r, q])
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_batch_kernel_equals_circuit_path(seed):
+    rng = np.random.default_rng(seed)
+    feats = rng.uniform(0, 2 * np.pi, size=(3, 4, 4))
+    batch = encode_batch(feats)
+    for i in range(3):
+        ref = run_circuit(encoding_circuit(feats[i]))
+        assert np.allclose(batch[i], ref, atol=1e-12)
+
+
+def test_encoded_states_normalised():
+    rng = np.random.default_rng(0)
+    states = encode_batch(rng.uniform(0, 2 * np.pi, size=(10, 4, 4)))
+    assert np.allclose(np.sum(np.abs(states) ** 2, axis=1), 1.0)
+
+
+def test_different_inputs_different_states():
+    a = encode_batch(np.full((1, 4, 4), 0.5))
+    b = encode_batch(np.full((1, 4, 4), 1.5))
+    overlap = abs(np.vdot(a[0], b[0])) ** 2
+    assert overlap < 0.999
+
+
+def test_product_structure():
+    """The encoding entangles nothing: single-qubit marginals are pure."""
+    from repro.quantum.density import partial_trace, pure_density, purity
+
+    feats = np.random.default_rng(1).uniform(0, 2 * np.pi, size=(1, 4, 4))
+    psi = encode_batch(feats)[0]
+    rho = pure_density(psi)
+    for q in range(4):
+        marginal = partial_trace(rho, keep=[q])
+        assert purity(marginal) == pytest.approx(1.0, abs=1e-10)
+
+
+def test_column_locality():
+    """Changing column c only changes qubit c's marginal."""
+    from repro.quantum.density import partial_trace, pure_density
+
+    feats = np.full((1, 4, 4), 1.0)
+    feats2 = feats.copy()
+    feats2[0, :, 2] = 2.0  # perturb column 2 only
+    rho_a = pure_density(encode_batch(feats)[0])
+    rho_b = pure_density(encode_batch(feats2)[0])
+    for q in range(4):
+        ma = partial_trace(rho_a, keep=[q])
+        mb = partial_trace(rho_b, keep=[q])
+        if q == 2:
+            assert not np.allclose(ma, mb, atol=1e-6)
+        else:
+            assert np.allclose(ma, mb, atol=1e-10)
+
+
+def test_non_square_grid_supported():
+    feats = np.random.default_rng(2).uniform(size=(2, 6, 3))  # 6 rows, 3 qubits
+    states = encode_batch(feats)
+    assert states.shape == (2, 8)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        encoding_circuit(np.zeros(4))
+    with pytest.raises(ValueError):
+        encode_batch(np.zeros((4, 4)))
+    assert encoded_dimension(4) == 16

@@ -1,0 +1,43 @@
+"""Linear-system generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.linear_system import random_linear_system, random_pauli_operator
+
+
+def test_operator_is_hermitian():
+    a = random_pauli_operator(3, 4, seed=0)
+    dense = a.to_matrix()
+    assert np.allclose(dense, dense.conj().T)
+
+
+def test_identity_shift_improves_conditioning():
+    shifted = random_pauli_operator(3, 4, seed=1, identity_weight=3.0)
+    bare = random_pauli_operator(3, 4, seed=1, identity_weight=0.0)
+    sv_shifted = np.linalg.svd(shifted.to_matrix(), compute_uv=False)
+    sv_bare = np.linalg.svd(bare.to_matrix(), compute_uv=False)
+    assert sv_shifted[-1] > sv_bare[-1] - 1e-9
+
+
+def test_locality_restriction():
+    a = random_pauli_operator(4, 5, seed=2, locality=2)
+    assert a.max_locality() <= 2
+
+
+def test_too_many_terms_rejected():
+    with pytest.raises(ValueError):
+        random_pauli_operator(1, 10, seed=0)
+
+
+def test_system_solution_exact():
+    a, b, x_true = random_linear_system(3, 4, seed=5)
+    assert np.linalg.norm(b) == pytest.approx(1.0)
+    assert np.linalg.norm(a.to_matrix() @ x_true - b) < 1e-8
+
+
+def test_system_determinism():
+    a1, b1, _ = random_linear_system(2, 3, seed=7)
+    a2, b2, _ = random_linear_system(2, 3, seed=7)
+    assert np.allclose(b1, b2)
+    assert np.allclose(a1.to_matrix(), a2.to_matrix())

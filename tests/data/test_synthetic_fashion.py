@@ -1,0 +1,110 @@
+"""Synthetic Fashion-MNIST generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_fashion import (
+    CLASS_NAMES,
+    class_prototype,
+    generate_dataset,
+    sample_class,
+)
+
+
+def test_ten_classes():
+    assert len(CLASS_NAMES) == 10
+    assert CLASS_NAMES.index("coat") == 4
+    assert CLASS_NAMES.index("shirt") == 6  # Fashion-MNIST label order
+
+
+def test_prototypes_valid_images():
+    for label in range(10):
+        img = class_prototype(label)
+        assert img.shape == (28, 28)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+        assert img.sum() > 0  # non-empty drawing
+
+
+def test_prototypes_pairwise_distinct():
+    protos = [class_prototype(l).ravel() for l in range(10)]
+    for i in range(10):
+        for j in range(i + 1, 10):
+            assert np.linalg.norm(protos[i] - protos[j]) > 1.0
+
+
+def test_coat_shirt_most_similar_torso_pair():
+    """The engineered hard pair: coat-shirt distance is smaller than
+    coat-trouser (a genuinely different silhouette)."""
+    coat = class_prototype(CLASS_NAMES.index("coat")).ravel()
+    shirt = class_prototype(CLASS_NAMES.index("shirt")).ravel()
+    trouser = class_prototype(CLASS_NAMES.index("trouser")).ravel()
+    assert np.linalg.norm(coat - shirt) < np.linalg.norm(coat - trouser)
+
+
+def test_prototype_geometry_jitter():
+    rng = np.random.default_rng(0)
+    a = class_prototype(4, rng)
+    draws = [class_prototype(4, rng) for _ in range(10)]
+    assert any(not np.array_equal(a, d) for d in draws)
+
+
+def test_prototype_label_validation():
+    with pytest.raises(ValueError):
+        class_prototype(10)
+    with pytest.raises(ValueError):
+        class_prototype(-1)
+
+
+def test_sample_class_shapes_and_range():
+    imgs = sample_class(4, 5, seed=0)
+    assert imgs.shape == (5, 28, 28)
+    assert imgs.min() >= 0.0 and imgs.max() <= 1.0
+
+
+def test_sampling_determinism():
+    a = sample_class(6, 4, seed=42)
+    b = sample_class(6, 4, seed=42)
+    assert np.array_equal(a, b)
+    c = sample_class(6, 4, seed=43)
+    assert not np.array_equal(a, c)
+
+
+def test_samples_vary_within_class():
+    imgs = sample_class(4, 4, seed=1)
+    assert not np.array_equal(imgs[0], imgs[1])
+
+
+def test_texture_channel_is_mean_free():
+    """The coat/shirt texture latent must not shift class means much --
+    that's what hides it from linear models."""
+    plain = sample_class(4, 200, seed=3, texture=0.0)
+    textured = sample_class(4, 200, seed=3, texture=0.5)
+    gap = abs(plain.mean() - textured.mean())
+    assert gap < 0.02
+
+
+def test_texture_creates_lr_correlation_signature():
+    """Sign of cov(left, right) separates coat (+) from shirt (-)."""
+    rng = np.random.default_rng(0)
+
+    def lr_cov(label):
+        imgs = sample_class(label, 300, seed=9, texture=0.6, texture_flip=0.0)
+        left = imgs[:, :, :9].mean(axis=(1, 2))
+        right = imgs[:, :, -9:].mean(axis=(1, 2))
+        return np.cov(left, right)[0, 1]
+
+    assert lr_cov(CLASS_NAMES.index("coat")) > 0
+    assert lr_cov(CLASS_NAMES.index("shirt")) < 0
+
+
+def test_generate_dataset_balanced_and_shuffled():
+    x, y = generate_dataset((4, 6), per_class=20, seed=0)
+    assert x.shape == (40, 28, 28)
+    assert np.sum(y == 0) == np.sum(y == 1) == 20
+    # Shuffled: labels not in two contiguous blocks.
+    assert not (np.all(y[:20] == y[0]))
+
+
+def test_generate_dataset_relabel_flag():
+    _, y = generate_dataset((4, 6), per_class=3, seed=0, relabel=False)
+    assert set(np.unique(y)) == {4, 6}

@@ -1,0 +1,104 @@
+"""Simulated-cluster timing model tests."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.cluster import (
+    CircuitTask,
+    ClusterModel,
+    NodeSpec,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+def make_tasks(n=32, circuits=10, shots=1000):
+    return [CircuitTask(num_circuits=circuits, shots=shots, result_bytes=80) for _ in range(n)]
+
+
+def test_task_compute_time_components():
+    model = ClusterModel(node=NodeSpec(shot_rate=1e3, circuit_overhead=0.01))
+    t = model.task_compute_time(CircuitTask(num_circuits=5, shots=100))
+    # 5 circuits x (0.01 overhead + 100/1000 shot time).
+    assert t == pytest.approx(5 * (0.01 + 0.1))
+
+
+def test_analytic_expectation_occupies_once():
+    model = ClusterModel(node=NodeSpec(shot_rate=1e3, circuit_overhead=0.01))
+    t = model.task_compute_time(CircuitTask(num_circuits=1, shots=0))
+    assert t > 0.01  # overhead plus one effective shot
+
+
+def test_comm_time():
+    model = ClusterModel(link_latency=1e-3, link_bandwidth=1e6)
+    t = model.task_comm_time(CircuitTask(num_circuits=1, result_bytes=1000))
+    assert t == pytest.approx(1e-3 + 1e-3)
+
+
+def test_makespan_decreases_with_nodes():
+    tasks = make_tasks(64)
+    times = []
+    for n in (1, 2, 4, 8):
+        model = ClusterModel(num_nodes=n)
+        t, _ = model.makespan(tasks)
+        times.append(t)
+    assert all(times[i + 1] < times[i] for i in range(len(times) - 1))
+
+
+def test_strong_scaling_near_linear_when_qpu_bound():
+    """Many shots per circuit: compute dominates, speedup ~ nodes."""
+    tasks = make_tasks(n=128, shots=10_000)
+    points = strong_scaling(tasks, NodeSpec(), [1, 2, 4, 8, 16])
+    for p in points:
+        assert p.efficiency > 0.9
+
+
+def test_strong_scaling_saturates_when_latency_bound():
+    """One task total: more nodes cannot help."""
+    tasks = make_tasks(n=1)
+    points = strong_scaling(tasks, NodeSpec(), [1, 4, 16])
+    assert points[-1].speedup == pytest.approx(points[0].speedup, rel=0.05)
+
+
+def test_weak_scaling_efficiency_near_one():
+    per_node = make_tasks(n=8)
+    points = weak_scaling(per_node, NodeSpec(), [1, 2, 4, 8])
+    for p in points:
+        assert p.efficiency > 0.9
+
+
+def test_comm_bound_regime():
+    """Huge result payloads on a slow link: adding nodes helps because each
+    node's NIC serialises only its own results (star topology), but
+    efficiency drops versus the compute-bound case with same layout."""
+    heavy = [
+        CircuitTask(num_circuits=1, shots=10, result_bytes=10_000_000) for _ in range(32)
+    ]
+    light = [CircuitTask(num_circuits=1, shots=10, result_bytes=80) for _ in range(32)]
+    slow_link = dict(link_latency=1e-3, link_bandwidth=1e7)
+    heavy_pts = strong_scaling(heavy, NodeSpec(), [1, 8], **slow_link)
+    light_pts = strong_scaling(light, NodeSpec(), [1, 8], **slow_link)
+    assert heavy_pts[1].time > light_pts[1].time
+
+
+def test_policies_affect_makespan():
+    rng = np.random.default_rng(1)
+    tasks = [
+        CircuitTask(num_circuits=int(c), shots=100)
+        for c in rng.integers(1, 100, size=40)
+    ]
+    model = ClusterModel(num_nodes=4)
+    t_lpt, _ = model.makespan(tasks, "lpt")
+    t_block, _ = model.makespan(tasks, "block")
+    assert t_lpt <= t_block + 1e-12
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(shot_rate=0)
+    with pytest.raises(ValueError):
+        CircuitTask(num_circuits=-1)
+    with pytest.raises(ValueError):
+        ClusterModel(num_nodes=0)
+    with pytest.raises(ValueError):
+        ClusterModel(link_bandwidth=0)

@@ -1,0 +1,201 @@
+"""Communicator tests mirroring the mpi4py tutorial programs."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.comm import Communicator, SpmdError, run_spmd
+
+
+def test_rank_and_size():
+    sizes = run_spmd(lambda c: (c.Get_rank(), c.Get_size()), 4)
+    assert sizes == [(r, 4) for r in range(4)]
+
+
+def test_send_recv_dict():
+    """The tutorial's first example: rank 0 sends a dict to rank 1."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+            return None
+        return comm.recv(source=0, tag=11)
+
+    results = run_spmd(prog, 2)
+    assert results[1] == {"a": 7, "b": 3.14}
+
+
+def test_isend_irecv():
+    def prog(comm):
+        if comm.rank == 0:
+            req = comm.isend([1, 2, 3], dest=1, tag=5)
+            req.wait()
+            return None
+        req = comm.irecv(source=0, tag=5)
+        return req.wait()
+
+    assert run_spmd(prog, 2)[1] == [1, 2, 3]
+
+
+def test_tag_filtering():
+    """Messages with mismatched tags are stashed, not lost."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("late", dest=1, tag=2)
+            comm.send("first", dest=1, tag=1)
+            return None
+        first = comm.recv(source=0, tag=1)
+        late = comm.recv(source=0, tag=2)
+        return (first, late)
+
+    assert run_spmd(prog, 2)[1] == ("first", "late")
+
+
+def test_ring_exchange():
+    def prog(comm):
+        r, s = comm.rank, comm.size
+        comm.send(r, dest=(r + 1) % s, tag=0)
+        return comm.recv(source=(r - 1) % s, tag=0)
+
+    assert run_spmd(prog, 5) == [(r - 1) % 5 for r in range(5)]
+
+
+def test_bcast():
+    def prog(comm):
+        data = {"key": [7, 2.72]} if comm.rank == 0 else None
+        return comm.bcast(data, root=0)
+
+    results = run_spmd(prog, 4)
+    assert all(r == {"key": [7, 2.72]} for r in results)
+
+
+def test_scatter_gather_roundtrip():
+    def prog(comm):
+        data = [(i + 1) ** 2 for i in range(comm.size)] if comm.rank == 0 else None
+        part = comm.scatter(data, root=0)
+        assert part == (comm.rank + 1) ** 2
+        return comm.gather(part, root=0)
+
+    results = run_spmd(prog, 4)
+    assert results[0] == [1, 4, 9, 16]
+    assert results[1] is None
+
+
+def test_allgather():
+    results = run_spmd(lambda c: c.allgather(c.rank * 10), 3)
+    assert all(r == [0, 10, 20] for r in results)
+
+
+def test_alltoall():
+    def prog(comm):
+        send = [f"{comm.rank}->{j}" for j in range(comm.size)]
+        return comm.alltoall(send)
+
+    results = run_spmd(prog, 3)
+    for j, received in enumerate(results):
+        assert received == [f"{i}->{j}" for i in range(3)]
+
+
+def test_reduce_and_allreduce():
+    def prog(comm):
+        total = comm.allreduce(comm.rank)
+        rooted = comm.reduce(comm.rank, root=1)
+        return (total, rooted)
+
+    results = run_spmd(prog, 5)
+    assert all(t == 10 for t, _ in results)
+    assert results[1][1] == 10
+    assert results[0][1] is None
+
+
+def test_allreduce_custom_op():
+    results = run_spmd(lambda c: c.allreduce(c.rank + 1, op=lambda a, b: a * b), 4)
+    assert all(r == 24 for r in results)
+
+
+def test_buffer_collectives():
+    def prog(comm):
+        send = np.full(3, float(comm.rank))
+        recv = np.empty(3)
+        comm.Allreduce(send, recv)
+        arr = np.arange(4.0) if comm.rank == 0 else np.empty(4)
+        comm.Bcast(arr, root=0)
+        return recv[0], arr.copy()
+
+    results = run_spmd(prog, 4)
+    for total, arr in results:
+        assert total == 6.0
+        assert np.array_equal(arr, np.arange(4.0))
+
+
+def test_buffer_send_recv_copies():
+    def prog(comm):
+        if comm.rank == 0:
+            data = np.arange(5.0)
+            comm.Send(data, dest=1)
+            data[:] = -1  # sender may reuse its buffer
+            return None
+        out = np.empty(5)
+        comm.Recv(out, source=0)
+        return out
+
+    results = run_spmd(prog, 2)
+    assert np.array_equal(results[1], np.arange(5.0))
+
+
+def test_barrier_synchronises():
+    log = []
+
+    def prog(comm):
+        if comm.rank == 0:
+            log.append("pre")
+        comm.barrier()
+        if comm.rank == 1:
+            # Rank 0's append must be visible after the barrier.
+            return list(log)
+        return None
+
+    results = run_spmd(prog, 2)
+    assert results[1] == ["pre"]
+
+
+def test_exception_propagates_as_spmd_error():
+    def prog(comm):
+        if comm.rank == 2:
+            raise RuntimeError("boom")
+        comm.barrier()  # would deadlock without abort handling
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_spmd(prog, 4)
+    assert 2 in exc_info.value.failures
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        run_spmd(lambda c: None, 0)
+
+    def bad_dest(comm):
+        comm.send(1, dest=99)
+
+    with pytest.raises(SpmdError):
+        run_spmd(bad_dest, 2)
+
+
+def test_matvec_allgather_pattern():
+    """The tutorial's parallel matvec: row-block A, allgather x."""
+    n_ranks = 4
+    rows_per = 2
+    rng = np.random.default_rng(0)
+    a_full = rng.normal(size=(rows_per * n_ranks, rows_per * n_ranks))
+    x_full = rng.normal(size=rows_per * n_ranks)
+
+    def prog(comm):
+        r = comm.rank
+        a_local = a_full[r * rows_per : (r + 1) * rows_per]
+        x_local = x_full[r * rows_per : (r + 1) * rows_per]
+        parts = comm.allgather(x_local)
+        xg = np.concatenate(parts)
+        return a_local @ xg
+
+    results = run_spmd(prog, n_ranks)
+    assert np.allclose(np.concatenate(results), a_full @ x_full)

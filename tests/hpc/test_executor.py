@@ -1,0 +1,67 @@
+"""Executor backend equivalence and ordering tests."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.executor import ExecutorConfig, ParallelExecutor
+
+
+def square(x):
+    return x * x
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExecutorConfig(backend="gpu")
+    with pytest.raises(ValueError):
+        ExecutorConfig(max_workers=0)
+
+
+def test_serial_map():
+    ex = ParallelExecutor()
+    assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
+
+
+def test_empty_tasks():
+    assert ParallelExecutor("thread", 4).map(square, []) == []
+
+
+@pytest.mark.parametrize("backend,workers", [("serial", 1), ("thread", 4), ("process", 2)])
+def test_backends_agree(backend, workers):
+    tasks = list(range(20))
+    expected = [square(t) for t in tasks]
+    ex = ParallelExecutor(backend, workers)
+    assert ex.map(square, tasks) == expected
+
+
+def test_order_preserved_despite_uneven_work():
+    """Results must follow task order, not completion order."""
+    import time
+
+    def slow_then_fast(x):
+        time.sleep(0.02 if x == 0 else 0.0)
+        return x
+
+    ex = ParallelExecutor("thread", 4)
+    assert ex.map(slow_then_fast, list(range(8))) == list(range(8))
+
+
+def test_starmap_thread():
+    ex = ParallelExecutor("thread", 2)
+    assert ex.starmap(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+
+def add(a, b):
+    return a + b
+
+
+def test_starmap_process():
+    ex = ParallelExecutor("process", 2)
+    assert ex.starmap(add, [(1, 2), (3, 4)]) == [3, 7]
+
+
+def test_numpy_payloads_roundtrip():
+    ex = ParallelExecutor("thread", 3)
+    arrays = [np.full(4, i) for i in range(6)]
+    out = ex.map(lambda a: a.sum(), arrays)
+    assert out == [0, 4, 8, 12, 16, 20]

@@ -1,0 +1,77 @@
+"""Partitioning tests: every scheme must cover all items exactly once."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc.partition import (
+    balanced_cost_partition,
+    block_partition,
+    chunk_ranges,
+    cyclic_partition,
+)
+
+
+@given(n=st.integers(0, 200), parts=st.integers(1, 16))
+@settings(max_examples=80)
+def test_block_partition_covers_exactly(n, parts):
+    blocks = block_partition(n, parts)
+    assert len(blocks) == parts
+    merged = np.concatenate(blocks) if n else np.array([])
+    assert np.array_equal(merged, np.arange(n))
+    sizes = [len(b) for b in blocks]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(n=st.integers(0, 200), parts=st.integers(1, 16))
+@settings(max_examples=80)
+def test_cyclic_partition_covers_exactly(n, parts):
+    blocks = cyclic_partition(n, parts)
+    merged = np.sort(np.concatenate(blocks)) if n else np.array([])
+    assert np.array_equal(merged, np.arange(n))
+    for r, block in enumerate(blocks):
+        assert np.all(block % parts == r)
+
+
+@given(n=st.integers(0, 100), size=st.integers(1, 40))
+@settings(max_examples=80)
+def test_chunk_ranges_cover(n, size):
+    ranges = chunk_ranges(n, size)
+    covered = [i for lo, hi in ranges for i in range(lo, hi)]
+    assert covered == list(range(n))
+    assert all(hi - lo <= size for lo, hi in ranges)
+
+
+@given(
+    costs=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=60),
+    parts=st.integers(1, 8),
+)
+@settings(max_examples=60)
+def test_balanced_cost_partition_covers(costs, parts):
+    blocks = balanced_cost_partition(np.array(costs), parts)
+    merged = sorted(int(i) for b in blocks for i in b)
+    assert merged == list(range(len(costs)))
+
+
+def test_balanced_beats_block_on_skewed_costs():
+    """LPT makespan <= block makespan on a pathological cost vector."""
+    costs = np.array([10.0] * 4 + [1.0] * 36)
+    lpt = balanced_cost_partition(costs, 4)
+    block = block_partition(len(costs), 4)
+    lpt_makespan = max(costs[b].sum() for b in lpt)
+    block_makespan = max(costs[b].sum() for b in block)
+    assert lpt_makespan < block_makespan
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        block_partition(5, 0)
+    with pytest.raises(ValueError):
+        block_partition(-1, 2)
+    with pytest.raises(ValueError):
+        cyclic_partition(5, 0)
+    with pytest.raises(ValueError):
+        chunk_ranges(5, 0)
+    with pytest.raises(ValueError):
+        balanced_cost_partition(np.array([-1.0]), 2)

@@ -1,0 +1,81 @@
+"""Profiling and tracing tests."""
+
+import time
+
+import pytest
+
+from repro.hpc.profiling import Counter, StageTimer, scaling_report
+from repro.hpc.scheduler import schedule
+from repro.hpc.tracing import Trace, TraceEvent
+
+
+def test_stage_timer_accumulates():
+    timer = StageTimer()
+    with timer.stage("a"):
+        time.sleep(0.01)
+    with timer.stage("a"):
+        time.sleep(0.01)
+    with timer.stage("b"):
+        pass
+    assert timer.total("a") >= 0.02
+    assert timer.counts["a"] == 2
+    assert "a" in timer.report() and "b" in timer.report()
+
+
+def test_stage_timer_records_on_exception():
+    timer = StageTimer()
+    with pytest.raises(RuntimeError):
+        with timer.stage("boom"):
+            raise RuntimeError()
+    assert timer.counts["boom"] == 1
+
+
+def test_counter():
+    c = Counter()
+    c.add("shots", 100)
+    c.add("shots", 50)
+    assert c.get("shots") == 150
+    assert c.get("missing") == 0
+
+
+def test_trace_event_validation():
+    with pytest.raises(ValueError):
+        TraceEvent(node=0, label="x", start=1.0, stop=0.5)
+
+
+def test_trace_metrics():
+    t = Trace()
+    t.record(0, "a", 0.0, 2.0)
+    t.record(1, "b", 0.0, 1.0)
+    assert t.makespan == 2.0
+    assert t.node_busy(0) == 2.0
+    assert t.node_busy(1) == 1.0
+    assert t.utilization(2) == pytest.approx(0.75)
+
+
+def test_trace_from_assignment():
+    costs = [1.0, 2.0, 3.0, 4.0]
+    a = schedule(costs, 2, "lpt")
+    trace = Trace.from_assignment(a, costs)
+    assert trace.makespan == pytest.approx(a.makespan)
+    total_busy = sum(trace.node_busy(n) for n in range(2))
+    assert total_busy == pytest.approx(sum(costs))
+
+
+def test_ascii_gantt_renders():
+    costs = [1.0, 1.0, 2.0]
+    a = schedule(costs, 2, "block")
+    trace = Trace.from_assignment(a, costs)
+    art = trace.ascii_gantt(2, width=40)
+    lines = art.splitlines()
+    assert len(lines) == 2
+    assert all("#" in line for line in lines)
+
+
+def test_scaling_report_format():
+    from repro.hpc.cluster import ScalingPoint
+
+    text = scaling_report(
+        [ScalingPoint(num_nodes=1, time=1.0, speedup=1.0, efficiency=1.0)]
+    )
+    assert "nodes" in text and "1.00" in text

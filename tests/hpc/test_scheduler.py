@@ -1,0 +1,85 @@
+"""Scheduler policy tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc.scheduler import SCHEDULING_POLICIES, schedule, work_stealing_schedule
+
+
+@given(
+    costs=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=50),
+    nodes=st.integers(1, 8),
+    policy=st.sampled_from(SCHEDULING_POLICIES),
+)
+@settings(max_examples=80)
+def test_every_policy_assigns_all_tasks_once(costs, nodes, policy):
+    a = schedule(np.array(costs), nodes, policy)
+    assigned = sorted(i for t in a.tasks_per_node for i in t)
+    assert assigned == list(range(len(costs)))
+    assert a.num_nodes == nodes
+    # Loads consistent with costs.
+    for node_tasks, load in zip(a.tasks_per_node, a.loads):
+        assert load == pytest.approx(sum(costs[i] for i in node_tasks))
+
+
+@given(
+    costs=st.lists(st.floats(0.1, 5.0), min_size=4, max_size=50),
+    nodes=st.integers(1, 8),
+)
+@settings(max_examples=60)
+def test_makespan_lower_bounds(costs, nodes):
+    """Any schedule's makespan >= max(total/nodes, max single task)."""
+    costs = np.array(costs)
+    lower = max(costs.sum() / nodes, costs.max())
+    for policy in SCHEDULING_POLICIES:
+        a = schedule(costs, nodes, policy)
+        assert a.makespan >= lower - 1e-9
+
+
+def test_lpt_quality_on_skew():
+    rng = np.random.default_rng(0)
+    costs = rng.lognormal(0, 1.5, 64)
+    lpt = schedule(costs, 8, "lpt")
+    block = schedule(costs, 8, "block")
+    assert lpt.makespan <= block.makespan + 1e-9
+    # LPT guarantee: <= 4/3 OPT; OPT >= max(total/8, max cost).
+    opt_lower = max(costs.sum() / 8, costs.max())
+    assert lpt.makespan <= (4 / 3) * opt_lower + costs.max() * 1e-9
+
+
+def test_work_stealing_is_greedy_list_schedule():
+    costs = np.array([3.0, 1.0, 1.0, 1.0, 2.0])
+    a = work_stealing_schedule(costs, 2)
+    # Task 0 -> node 0; tasks 1,2 -> node 1; task 3 -> node 1 (finish 3 vs 3
+    # ties to node 0 by argmin)... verify invariants rather than exact layout:
+    assert sorted(i for t in a.tasks_per_node for i in t) == [0, 1, 2, 3, 4]
+    assert a.makespan >= costs.sum() / 2
+
+
+def test_single_node_degenerates():
+    costs = np.array([1.0, 2.0, 3.0])
+    for policy in SCHEDULING_POLICIES:
+        a = schedule(costs, 1, policy)
+        assert a.makespan == pytest.approx(6.0)
+        assert a.speedup() == pytest.approx(1.0)
+        assert a.efficiency() == pytest.approx(1.0)
+
+
+def test_metrics():
+    a = schedule(np.array([1.0, 1.0, 1.0, 1.0]), 2, "block")
+    assert a.total_work == pytest.approx(4.0)
+    assert a.makespan == pytest.approx(2.0)
+    assert a.speedup() == pytest.approx(2.0)
+    assert a.efficiency() == pytest.approx(1.0)
+    assert a.imbalance == pytest.approx(1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        schedule([1.0], 2, "bogus")
+    with pytest.raises(ValueError):
+        schedule([1.0], 0, "lpt")
+    with pytest.raises(ValueError):
+        schedule([-1.0], 2, "lpt")

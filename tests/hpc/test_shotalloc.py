@@ -1,0 +1,79 @@
+"""Shot-allocation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc.shotalloc import allocate_shots
+
+
+@given(total=st.integers(0, 10_000), m=st.integers(1, 50))
+@settings(max_examples=80)
+def test_uniform_allocation_spends_exact_budget(total, m):
+    shots = allocate_shots(total, m)
+    assert shots.sum() == total
+    assert shots.min() >= 0
+    assert shots.max() - shots.min() <= 1
+
+
+@given(
+    total=st.integers(0, 10_000),
+    coeffs=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20),
+)
+@settings(max_examples=60)
+def test_weighted_allocation_spends_exact_budget(total, coeffs):
+    shots = allocate_shots(total, len(coeffs), coefficients=np.array(coeffs), policy="weighted")
+    assert shots.sum() == total
+    assert np.all(shots >= 0)
+
+
+def test_weighted_proportionality():
+    shots = allocate_shots(100, 3, coefficients=[1.0, 2.0, 7.0], policy="weighted")
+    assert list(shots) == [10, 20, 70]
+
+
+def test_variance_allocation_neyman():
+    """Neyman: n_j proportional to |c_j| sigma_j."""
+    shots = allocate_shots(
+        120,
+        2,
+        coefficients=[1.0, 1.0],
+        variances=[1.0, 4.0],
+        policy="variance",
+    )
+    assert list(shots) == [40, 80]
+
+
+def test_zero_weights_fall_back_to_uniform():
+    shots = allocate_shots(10, 2, coefficients=[0.0, 0.0], policy="weighted")
+    assert list(shots) == [5, 5]
+
+
+def test_variance_reduction_of_weighted_allocation():
+    """For sum_j c_j <P_j>, weighted allocation gives lower estimator
+    variance than uniform under equal per-shot variances."""
+    coeffs = np.array([1.0, 1.0, 8.0])
+    total = 900
+    uniform = allocate_shots(total, 3, policy="uniform")
+    weighted = allocate_shots(total, 3, coefficients=coeffs, policy="weighted")
+
+    def estimator_variance(shots):
+        return sum(c**2 / s for c, s in zip(coeffs, shots))
+
+    assert estimator_variance(weighted) < estimator_variance(uniform)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        allocate_shots(-1, 3)
+    with pytest.raises(ValueError):
+        allocate_shots(10, 0)
+    with pytest.raises(ValueError):
+        allocate_shots(10, 2, policy="bogus")
+    with pytest.raises(ValueError):
+        allocate_shots(10, 2, policy="weighted")  # missing coefficients
+    with pytest.raises(ValueError):
+        allocate_shots(10, 2, coefficients=[1, 1], policy="variance")  # missing variances
+    with pytest.raises(ValueError):
+        allocate_shots(10, 2, coefficients=[1, 1], variances=[-1, 1], policy="variance")

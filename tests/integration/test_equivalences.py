@@ -1,0 +1,139 @@
+"""Mathematical identities from the paper, verified numerically."""
+
+import numpy as np
+import pytest
+
+from repro.core.ansatz import fig8_ansatz
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import (
+    PauliString,
+    expectation,
+    local_pauli_strings,
+)
+from repro.quantum.statevector import run_circuit
+
+from tests.conftest import random_state
+
+
+def pauli_decompose(matrix: np.ndarray, n: int) -> dict[str, complex]:
+    """Coefficients of a 2^n x 2^n matrix in the Pauli basis."""
+    coeffs = {}
+    for p in local_pauli_strings(n, n):
+        c = np.trace(p.to_matrix() @ matrix) / 2**n
+        if abs(c) > 1e-12:
+            coeffs[p.string] = c
+    return coeffs
+
+
+def test_cqo_heisenberg_equivalence():
+    """Sec. III.D: tr(O rho(theta,x)) = tr(O(theta) rho(x)) with
+    O(theta) = U^dag(theta) O U(theta) -- the Heisenberg-picture move that
+    defines the whole post-variational framework."""
+    rng = np.random.default_rng(0)
+    circuit = fig8_ansatz()
+    theta = rng.uniform(-np.pi, np.pi, 8)
+    bound = circuit.bind(theta)
+    psi = random_state(4, rng)
+    o = PauliString("ZXIY")
+
+    # Schroedinger picture.
+    evolved = run_circuit(bound, state=psi)
+    schroedinger = expectation(evolved, o)
+
+    # Heisenberg picture: decompose U^dag O U in the Pauli basis (Eq. 3 /
+    # Appendix A: at most 4^n terms) and combine expectations on rho(x).
+    u = np.eye(16, dtype=complex)
+    for op in bound:
+        from repro.quantum.gates import gate_matrix
+
+        from tests.quantum.test_statevector import dense_embed
+
+        u = dense_embed(gate_matrix(op.gate, op.param), list(op.qubits), 4) @ u
+    o_theta = u.conj().T @ o.to_matrix() @ u
+    coeffs = pauli_decompose(o_theta, 4)
+    heisenberg = sum(
+        c.real * expectation(psi, PauliString(s)) for s, c in coeffs.items()
+    )
+    assert heisenberg == pytest.approx(schroedinger, abs=1e-9)
+
+
+def test_appendix_a_decomposition_is_real():
+    """U^dag O U is Hermitian, so its Pauli coefficients are real."""
+    rng = np.random.default_rng(1)
+    bound = fig8_ansatz().bind(rng.uniform(-1, 1, 8))
+    from repro.quantum.gates import gate_matrix
+
+    from tests.quantum.test_statevector import dense_embed
+
+    u = np.eye(16, dtype=complex)
+    for op in bound:
+        u = dense_embed(gate_matrix(op.gate, op.param), list(op.qubits), 4) @ u
+    o_theta = u.conj().T @ PauliString("ZIII").to_matrix() @ u
+    for c in pauli_decompose(o_theta, 4).values():
+        assert abs(c.imag) < 1e-10
+
+
+def test_parameter_shift_spans_gradient():
+    """Sec. IV.A: the +-pi/2 shifted circuits *linearly combine* to the
+    gradient -- the gradient is in the span of the enumerated ensemble."""
+    rng = np.random.default_rng(2)
+    circuit = fig8_ansatz()
+    psi = random_state(4, rng)
+    o = PauliString("ZIII")
+
+    def f(theta):
+        return expectation(run_circuit(circuit.bind(theta), state=psi), o)
+
+    from repro.core.shifts import enumerate_shift_configurations
+
+    configs = enumerate_shift_configurations(8, 1)
+    values = {c.label: f(c.vector()) for c in configs}
+    # Gradient on parameter u = (f(+e_u) - f(-e_u)) / 2 using only ensemble values.
+    eps = 1e-6
+    for u in (0, 3, 7):
+        plus = next(c for c in configs if c.subset == (u,) and c.signs == (1,))
+        minus = next(c for c in configs if c.subset == (u,) and c.signs == (-1,))
+        from_ensemble = 0.5 * (values[plus.label] - values[minus.label])
+        e = np.zeros(8)
+        e[u] = eps
+        fd = (f(e) - f(-e)) / (2 * eps)
+        assert from_ensemble == pytest.approx(fd, abs=1e-5)
+
+
+def test_trace_distance_bound_eq_23_25():
+    """Eqs. 23-25: |tr(P (rho1 - rho2))|^2 <= 4 (1 - F(rho1, rho2)) for
+    pure states and Pauli P."""
+    rng = np.random.default_rng(3)
+    for _ in range(20):
+        a = random_state(3, rng)
+        b = random_state(3, rng)
+        f = abs(np.vdot(a, b)) ** 2
+        for s in ("ZII", "XYZ", "IZX"):
+            p = PauliString(s)
+            diff = expectation(a, p) - expectation(b, p)
+            assert diff**2 <= 4.0 * (1.0 - f) + 1e-9
+
+
+def test_fidelity_circuit_evaluation():
+    """Sec. IV.C: F = |<0|S^dag U1^dag U2 S|0>|^2 computed as the 0...0
+    outcome probability of the compound circuit."""
+    rng = np.random.default_rng(4)
+    angles = rng.uniform(0, 2 * np.pi, (1, 4, 4))
+    from repro.data.encoding import encode_batch
+
+    psi = encode_batch(angles)[0]
+    circuit = fig8_ansatz()
+    t1 = np.zeros(8)
+    t1[2] = np.pi / 2
+    t2 = np.zeros(8)
+    t2[2] = -np.pi / 2
+    s1 = run_circuit(circuit.bind(t1), state=psi)
+    s2 = run_circuit(circuit.bind(t2), state=psi)
+    direct = abs(np.vdot(s1, s2)) ** 2
+
+    # Compound-circuit evaluation: U(t1)^dag U(t2) applied to the encoded
+    # state; probability of measuring the *encoded* state back == overlap
+    # with s1 after undoing.  Implemented as run U(t2) then inverse U(t1).
+    compound = run_circuit(circuit.bind(t1).inverse(), state=s2)
+    prob = abs(np.vdot(psi, compound)) ** 2
+    assert prob == pytest.approx(direct, abs=1e-10)

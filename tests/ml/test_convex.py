@@ -1,0 +1,111 @@
+"""Constrained convex solver tests (Theorem 4 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.convex import (
+    ConstrainedLeastSquares,
+    ConstrainedLogistic,
+    project_l2_ball,
+)
+
+
+@given(v=st.lists(st.floats(-100, 100), min_size=1, max_size=20), r=st.floats(0.1, 10))
+@settings(max_examples=80)
+def test_projection_properties(v, r):
+    arr = np.array(v)
+    proj = project_l2_ball(arr, r)
+    assert np.linalg.norm(proj) <= r + 1e-9
+    if np.linalg.norm(arr) <= r:
+        assert np.allclose(proj, arr)
+    else:
+        # Projection preserves direction.
+        assert np.allclose(proj / np.linalg.norm(proj), arr / np.linalg.norm(arr))
+
+
+def test_projection_idempotent():
+    v = np.array([3.0, 4.0])
+    once = project_l2_ball(v, 1.0)
+    assert np.allclose(project_l2_ball(once, 1.0), once)
+
+
+def test_projection_radius_validation():
+    with pytest.raises(ValueError):
+        project_l2_ball(np.ones(2), 0.0)
+
+
+def test_interior_solution_matches_ols():
+    """When the OLS solution lies inside the ball the constraint is inactive."""
+    rng = np.random.default_rng(0)
+    q = rng.normal(size=(60, 4))
+    alpha = rng.normal(size=4)
+    alpha = alpha / (2 * np.linalg.norm(alpha))  # ||alpha|| = 0.5 < 1
+    model = ConstrainedLeastSquares().fit(q, q @ alpha)
+    assert np.allclose(model.coef_, alpha, atol=1e-6)
+
+
+def test_boundary_solution_on_ball():
+    """When the unconstrained optimum is outside, the solution saturates."""
+    rng = np.random.default_rng(1)
+    q = rng.normal(size=(60, 4))
+    alpha = rng.normal(size=4)
+    alpha = alpha * (5.0 / np.linalg.norm(alpha))  # far outside
+    model = ConstrainedLeastSquares().fit(q, q @ alpha)
+    assert np.linalg.norm(model.coef_) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_kkt_optimality_on_boundary():
+    """At a boundary optimum the gradient is anti-parallel to alpha."""
+    rng = np.random.default_rng(2)
+    q = rng.normal(size=(80, 3))
+    y = q @ np.array([3.0, 0.0, 0.0])
+    model = ConstrainedLeastSquares(max_iter=5000, tol=1e-14).fit(q, y)
+    grad = 2.0 / q.shape[0] * (q.T @ (q @ model.coef_ - y))
+    # grad = -lambda * alpha for some lambda >= 0.
+    cos = grad @ model.coef_ / (np.linalg.norm(grad) * np.linalg.norm(model.coef_))
+    assert cos == pytest.approx(-1.0, abs=1e-4)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_global_optimality_vs_random_feasible_points(seed):
+    """Convexity promise: no feasible point beats the solver's objective."""
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(30, 3))
+    y = rng.normal(size=30)
+    model = ConstrainedLeastSquares().fit(q, y)
+    best = np.mean((q @ model.coef_ - y) ** 2)
+    for _ in range(20):
+        candidate = project_l2_ball(rng.normal(size=3) * 2, 1.0)
+        assert best <= np.mean((q @ candidate - y) ** 2) + 1e-6
+
+
+def test_constrained_logistic_learns_separable():
+    rng = np.random.default_rng(3)
+    x = np.vstack([rng.normal(-1, 0.3, (40, 2)), rng.normal(1, 0.3, (40, 2))])
+    y = np.array([0] * 40 + [1] * 40)
+    model = ConstrainedLogistic(fit_intercept=True).fit(x, y)
+    assert np.mean(model.predict(x) == y) > 0.95
+    assert np.linalg.norm(model.coef_) <= 1.0 + 1e-6
+
+
+def test_constrained_logistic_loss_bounded():
+    """||alpha|| <= 1 keeps probabilities away from 0/1 for bounded features,
+    so BCE stays moderate -- the noise-robustness rationale of Sec. VI.B."""
+    rng = np.random.default_rng(4)
+    x = rng.uniform(-1, 1, size=(50, 5))
+    y = rng.integers(0, 2, size=50)
+    model = ConstrainedLogistic().fit(x, y)
+    probs = model.predict_proba(x)
+    # |z| <= ||alpha|| * ||x||_2 <= sqrt(5).
+    z_max = np.sqrt(5)
+    assert probs.min() >= 1 / (1 + np.exp(z_max)) - 1e-9
+
+
+def test_unfitted_errors():
+    with pytest.raises(RuntimeError):
+        ConstrainedLeastSquares().predict(np.ones((2, 2)))
+    with pytest.raises(RuntimeError):
+        ConstrainedLogistic().predict_proba(np.ones((2, 2)))

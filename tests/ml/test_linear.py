@@ -1,0 +1,102 @@
+"""Linear / ridge regression tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.linear import LinearRegression, RidgeRegression, lstsq_pinv
+
+
+def test_pinv_matches_numpy_lstsq():
+    rng = np.random.default_rng(0)
+    q = rng.normal(size=(40, 6))
+    y = rng.normal(size=40)
+    ours = lstsq_pinv(q, y)
+    ref, *_ = np.linalg.lstsq(q, y, rcond=None)
+    assert np.allclose(ours, ref)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_exact_recovery(seed):
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(50, 5))
+    alpha = rng.normal(size=5)
+    model = LinearRegression().fit(q, q @ alpha)
+    assert np.allclose(model.coef_, alpha, atol=1e-8)
+    assert model.loss(q, q @ alpha) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_normal_equations_optimality():
+    """Residual orthogonal to column space: Q^T (y - Q a) = 0."""
+    rng = np.random.default_rng(1)
+    q = rng.normal(size=(30, 4))
+    y = rng.normal(size=30)
+    model = LinearRegression().fit(q, y)
+    grad = q.T @ (y - model.predict(q))
+    assert np.allclose(grad, 0, atol=1e-8)
+
+
+def test_intercept():
+    rng = np.random.default_rng(2)
+    q = rng.normal(size=(60, 3))
+    y = q @ np.array([1.0, -2.0, 0.5]) + 7.0
+    model = LinearRegression(fit_intercept=True).fit(q, y)
+    assert model.intercept_ == pytest.approx(7.0, abs=1e-8)
+
+
+def test_rank_deficient_pinv_least_norm():
+    """Duplicate columns: the pinv solution is the least-norm one."""
+    rng = np.random.default_rng(3)
+    base = rng.normal(size=(20, 2))
+    q = np.hstack([base, base[:, :1]])  # column 2 duplicates column 0
+    y = base @ np.array([1.0, 1.0])
+    model = LinearRegression().fit(q, y)
+    # least-norm splits the weight across the duplicated columns.
+    assert model.coef_[0] == pytest.approx(model.coef_[2])
+    assert np.allclose(model.predict(q), y, atol=1e-8)
+
+
+def test_ridge_shrinks_norm():
+    rng = np.random.default_rng(4)
+    q = rng.normal(size=(50, 8))
+    y = rng.normal(size=50)
+    ols = LinearRegression().fit(q, y)
+    norms = []
+    for lam in (1e-4, 1e-2, 1.0):
+        ridge = RidgeRegression(lambda_=lam).fit(q, y)
+        norms.append(np.linalg.norm(ridge.coef_))
+    assert norms[0] <= np.linalg.norm(ols.coef_) + 1e-9
+    assert norms[0] > norms[1] > norms[2]
+
+
+def test_ridge_limit_matches_ols():
+    rng = np.random.default_rng(5)
+    q = rng.normal(size=(50, 4))
+    y = rng.normal(size=50)
+    ridge = RidgeRegression(lambda_=1e-12).fit(q, y)
+    ols = LinearRegression().fit(q, y)
+    assert np.allclose(ridge.coef_, ols.coef_, atol=1e-6)
+
+
+def test_ridge_intercept_not_penalised():
+    rng = np.random.default_rng(6)
+    q = rng.normal(size=(80, 2))
+    y = q @ np.array([0.1, -0.1]) + 100.0
+    ridge = RidgeRegression(lambda_=10.0, fit_intercept=True).fit(q, y)
+    # Heavy penalty shrinks coefficients, but the intercept still absorbs
+    # the offset.
+    assert ridge.intercept_ == pytest.approx(100.0, abs=1.0)
+
+
+def test_unfitted_errors():
+    with pytest.raises(RuntimeError):
+        LinearRegression().predict(np.ones((2, 2)))
+    with pytest.raises(ValueError):
+        RidgeRegression(lambda_=-1.0)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        lstsq_pinv(np.ones((3, 2)), np.ones(4))

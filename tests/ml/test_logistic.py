@@ -1,0 +1,98 @@
+"""Logistic / softmax regression tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression, SoftmaxRegression
+from repro.ml.losses import sigmoid
+from repro.ml.metrics import accuracy
+
+
+def separable(rng, n=50, dim=3, gap=2.0):
+    x = np.vstack([rng.normal(-gap, 1.0, (n, dim)), rng.normal(gap, 1.0, (n, dim))])
+    y = np.array([0] * n + [1] * n)
+    return x, y
+
+
+def test_learns_separable_data():
+    rng = np.random.default_rng(0)
+    x, y = separable(rng)
+    model = LogisticRegression().fit(x, y)
+    assert accuracy(y, model.predict(x)) == 1.0
+    assert model.loss(x, y) < 0.1
+
+
+def test_probability_calibration_midpoint():
+    """A point on the decision boundary gets probability ~0.5."""
+    rng = np.random.default_rng(1)
+    x, y = separable(rng)
+    model = LogisticRegression().fit(x, y)
+    p = model.predict_proba(np.zeros((1, 3)))
+    assert 0.2 < p[0] < 0.8
+
+
+def test_l2_penalty_shrinks_weights():
+    rng = np.random.default_rng(2)
+    x, y = separable(rng)
+    weak = LogisticRegression(l2=1e-3).fit(x, y)
+    strong = LogisticRegression(l2=100.0).fit(x, y)
+    assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+
+def test_gradient_zero_at_optimum():
+    """L-BFGS solution satisfies the stationarity condition."""
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(60, 4))
+    y = (rng.random(60) < sigmoid(x @ np.array([1.0, -1.0, 0.5, 0.0]))).astype(float)
+    model = LogisticRegression(l2=1.0, fit_intercept=False).fit(x, y)
+    p = sigmoid(x @ model.coef_)
+    grad = x.T @ (p - y) + 1.0 * model.coef_
+    assert np.linalg.norm(grad) < 1e-4
+
+
+def test_binary_label_validation():
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.ones((3, 1)), np.array([0, 1, 2]))
+
+
+def test_softmax_matches_binary_logistic():
+    """2-class softmax and binary logistic agree on predictions."""
+    rng = np.random.default_rng(4)
+    x, y = separable(rng)
+    binary = LogisticRegression().fit(x, y)
+    multi = SoftmaxRegression(num_classes=2).fit(x, y)
+    assert np.array_equal(binary.predict(x), multi.predict(x))
+
+
+def test_softmax_multiclass_learning():
+    rng = np.random.default_rng(5)
+    centres = np.array([[-3, 0], [3, 0], [0, 4]])
+    x = np.vstack([rng.normal(c, 0.5, (30, 2)) for c in centres])
+    y = np.repeat([0, 1, 2], 30)
+    model = SoftmaxRegression(num_classes=3).fit(x, y)
+    assert accuracy(y, model.predict(x)) > 0.95
+    probs = model.predict_proba(x)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+def test_softmax_label_range_validation():
+    with pytest.raises(ValueError):
+        SoftmaxRegression(num_classes=2).fit(np.ones((2, 1)), np.array([0, 5]))
+
+
+def test_unfitted_errors():
+    with pytest.raises(RuntimeError):
+        LogisticRegression().predict(np.ones((1, 1)))
+    with pytest.raises(RuntimeError):
+        SoftmaxRegression().predict(np.ones((1, 1)))
+
+
+def test_loss_is_mean_bce():
+    rng = np.random.default_rng(6)
+    x, y = separable(rng, n=20)
+    model = LogisticRegression().fit(x, y)
+    from repro.ml.losses import bce_loss
+
+    assert model.loss(x, y) == pytest.approx(
+        bce_loss(y.astype(float), model.predict_proba(x))
+    )

@@ -1,0 +1,95 @@
+"""Loss-function tests, including the paper's MAE <= RMSE ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.losses import (
+    bce_loss,
+    cross_entropy_loss,
+    mae_loss,
+    rmse_loss,
+    sigmoid,
+    softmax,
+)
+
+vectors = st.lists(st.floats(-10, 10), min_size=1, max_size=50)
+
+
+def test_rmse_known_value():
+    assert rmse_loss([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0 / np.sqrt(2))
+
+
+def test_mae_known_value():
+    assert mae_loss([0.0, 0.0], [3.0, 4.0]) == pytest.approx(3.5)
+
+
+@given(y=vectors, data=st.data())
+@settings(max_examples=60)
+def test_mae_le_rmse(y, data):
+    """Paper Eq. 13: L_MAE <= L_RMSE (Cauchy-Schwarz)."""
+    yhat = data.draw(
+        st.lists(st.floats(-10, 10), min_size=len(y), max_size=len(y))
+    )
+    assert mae_loss(y, yhat) <= rmse_loss(y, yhat) + 1e-12
+
+
+@given(y=vectors)
+@settings(max_examples=30)
+def test_perfect_prediction_is_zero(y):
+    assert rmse_loss(y, y) == 0.0
+    assert mae_loss(y, y) == 0.0
+
+
+def test_bce_known_values():
+    assert bce_loss([1.0], [1.0]) == pytest.approx(0.0, abs=1e-9)
+    assert bce_loss([1.0, 0.0], [0.5, 0.5]) == pytest.approx(np.log(2))
+
+
+def test_bce_clipping_no_inf():
+    assert np.isfinite(bce_loss([1.0], [0.0]))
+
+
+@given(z=st.lists(st.floats(-500, 500), min_size=1, max_size=20))
+@settings(max_examples=60)
+def test_sigmoid_stable_and_bounded(z):
+    out = sigmoid(np.array(z))
+    assert np.all(np.isfinite(out))
+    assert np.all((out >= 0) & (out <= 1))
+
+
+def test_sigmoid_symmetry():
+    z = np.linspace(-5, 5, 11)
+    assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+
+@given(z=st.lists(st.floats(-300, 300), min_size=2, max_size=10))
+@settings(max_examples=60)
+def test_softmax_normalised(z):
+    p = softmax(np.array(z))
+    assert np.all(np.isfinite(p))
+    assert p.sum() == pytest.approx(1.0)
+
+
+def test_softmax_batch():
+    z = np.array([[1.0, 2.0], [0.0, 0.0]])
+    p = softmax(z)
+    assert np.allclose(p.sum(axis=1), 1.0)
+    assert p[1, 0] == pytest.approx(0.5)
+
+
+def test_cross_entropy_perfect():
+    onehot = np.eye(3)
+    assert cross_entropy_loss(onehot, onehot) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_shape_mismatches():
+    with pytest.raises(ValueError):
+        rmse_loss([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        mae_loss([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        bce_loss([1.0], [0.5, 0.5])
+    with pytest.raises(ValueError):
+        cross_entropy_loss(np.eye(2), np.eye(3))

@@ -1,0 +1,133 @@
+"""Metrics and preprocessing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import accuracy, confusion_matrix, one_hot
+from repro.ml.optimizers import SGD, Adam
+from repro.ml.preprocessing import (
+    flatten_images,
+    max_pool,
+    preprocess_images,
+    rescale_to_angle,
+)
+
+
+def test_accuracy():
+    assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        accuracy([1], [1, 2])
+    with pytest.raises(ValueError):
+        accuracy([], [])
+
+
+def test_confusion_matrix():
+    cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1], 2)
+    assert cm.tolist() == [[1, 1], [0, 2]]
+    assert cm.sum() == 4
+
+
+def test_one_hot():
+    oh = one_hot([0, 2, 1], 3)
+    assert oh.shape == (3, 3)
+    assert np.array_equal(oh.argmax(axis=1), [0, 2, 1])
+    with pytest.raises(ValueError):
+        one_hot([3], 3)
+
+
+def test_max_pool_correctness():
+    img = np.arange(16).reshape(4, 4).astype(float)
+    pooled = max_pool(img, 2)
+    assert pooled.tolist() == [[5, 7], [13, 15]]
+
+
+def test_max_pool_batch_and_validation():
+    batch = np.random.default_rng(0).uniform(size=(3, 28, 28))
+    pooled = max_pool(batch, 7)
+    assert pooled.shape == (3, 4, 4)
+    with pytest.raises(ValueError):
+        max_pool(batch, 5)  # 28 not divisible by 5
+
+
+def test_max_pool_dominance():
+    """Each pooled value equals the max of its patch (spot check)."""
+    rng = np.random.default_rng(1)
+    img = rng.uniform(size=(28, 28))
+    pooled = max_pool(img, 7)
+    assert pooled[0, 0] == img[:7, :7].max()
+    assert pooled[3, 2] == img[21:, 14:21].max()
+
+
+@given(lo=st.floats(-5, 5), span=st.floats(0.1, 10))
+@settings(max_examples=40)
+def test_rescale_range(lo, span):
+    rng = np.random.default_rng(0)
+    data = rng.uniform(lo, lo + span, size=(4, 4))
+    out = rescale_to_angle(data)
+    assert out.min() >= 0.0
+    assert out.max() < 2 * np.pi
+
+
+def test_rescale_constant_input():
+    out = rescale_to_angle(np.full((2, 2), 3.0))
+    assert np.all(out == 0.0)
+
+
+def test_rescale_monotone():
+    data = np.array([0.0, 1.0, 2.0])
+    out = rescale_to_angle(data)
+    assert out[0] < out[1] < out[2]
+
+
+def test_preprocess_pipeline():
+    rng = np.random.default_rng(2)
+    out = preprocess_images(rng.uniform(size=(5, 28, 28)))
+    assert out.shape == (5, 4, 4)
+    assert out.min() >= 0 and out.max() < 2 * np.pi
+
+
+def test_flatten():
+    batch = np.zeros((3, 4, 4))
+    assert flatten_images(batch).shape == (3, 16)
+    with pytest.raises(ValueError):
+        flatten_images(np.zeros((4, 4)))
+
+
+# ------------------------------------------------------------- optimisers
+def test_sgd_step_direction():
+    opt = SGD(lr=0.1)
+    p = np.array([1.0, 1.0])
+    g = np.array([1.0, -1.0])
+    out = opt.step(p, g)
+    assert np.allclose(out, [0.9, 1.1])
+
+
+def test_sgd_momentum_accumulates():
+    opt = SGD(lr=0.1, momentum=0.9)
+    p = np.zeros(1)
+    g = np.ones(1)
+    p1 = opt.step(p, g, key="p")
+    p2 = opt.step(p1, g, key="p")
+    # Second step is larger in magnitude than the first.
+    assert abs(p2 - p1) > abs(p1 - p)
+
+
+def test_adam_converges_on_quadratic():
+    opt = Adam(lr=0.1)
+    p = np.array([5.0])
+    for _ in range(300):
+        p = opt.step(p, 2 * p, key="x")  # f = p^2
+    assert abs(p[0]) < 0.05
+
+
+def test_optimizer_validation():
+    with pytest.raises(ValueError):
+        SGD(lr=0.0)
+    with pytest.raises(ValueError):
+        SGD(momentum=1.0)
+    with pytest.raises(ValueError):
+        Adam(lr=-1.0)
+    with pytest.raises(ValueError):
+        Adam(beta1=1.0)

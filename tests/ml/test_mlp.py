@@ -1,0 +1,67 @@
+"""MLP baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy
+from repro.ml.mlp import MLPClassifier
+
+
+def test_learns_xor():
+    """XOR is the canonical non-linear task a 2-layer net must solve."""
+    x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+    y = np.array([0, 1, 1, 0])
+    x_big = np.tile(x, (25, 1)) + np.random.default_rng(0).normal(0, 0.05, (100, 2))
+    y_big = np.tile(y, 25)
+    model = MLPClassifier(hidden=8, epochs=600, lr=0.05, seed=1).fit(x_big, y_big)
+    assert accuracy(y_big, model.predict(x_big)) > 0.95
+
+
+def test_loss_decreases():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(80, 4))
+    y = (x[:, 0] > 0).astype(int)
+    model = MLPClassifier(hidden=8, epochs=150, seed=0).fit(x, y)
+    assert model.history_[-1] < model.history_[0]
+
+
+def test_seeded_determinism():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(40, 3))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    a = MLPClassifier(hidden=4, epochs=50, seed=7).fit(x, y)
+    b = MLPClassifier(hidden=4, epochs=50, seed=7).fit(x, y)
+    assert np.array_equal(a.w1, b.w1)
+    assert np.array_equal(a.predict_proba(x), b.predict_proba(x))
+
+
+def test_multiclass():
+    rng = np.random.default_rng(4)
+    centres = np.array([[-2, 0], [2, 0], [0, 3]])
+    x = np.vstack([rng.normal(c, 0.4, (30, 2)) for c in centres])
+    y = np.repeat([0, 1, 2], 30)
+    model = MLPClassifier(hidden=16, num_classes=3, epochs=400, lr=0.02, seed=0).fit(x, y)
+    assert accuracy(y, model.predict(x)) > 0.9
+    probs = model.predict_proba(x)
+    assert probs.shape == (90, 3)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+def test_binary_proba_shape():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(20, 2))
+    y = (x[:, 0] > 0).astype(int)
+    model = MLPClassifier(hidden=4, epochs=20, seed=0).fit(x, y)
+    assert model.predict_proba(x).shape == (20,)
+    assert set(np.unique(model.predict(x))) <= {0, 1}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MLPClassifier(hidden=0)
+    with pytest.raises(ValueError):
+        MLPClassifier(num_classes=1)
+    with pytest.raises(ValueError):
+        MLPClassifier(epochs=0)
+    with pytest.raises(RuntimeError):
+        MLPClassifier().predict(np.ones((1, 2)))

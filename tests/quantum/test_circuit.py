@@ -1,0 +1,121 @@
+"""Circuit IR tests: construction, binding, composition, inversion."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import Circuit, Operation, Parameter
+from repro.quantum.statevector import run_circuit, zero_state
+
+
+def test_append_chaining_and_counts():
+    c = Circuit(3)
+    c.append("h", 0).append("cnot", (0, 1)).append("ry", 2, 0.5)
+    assert c.num_gates == 3
+    assert c.gate_counts() == {"h": 1, "cnot": 1, "ry": 1}
+
+
+def test_parameter_registration_order():
+    c = Circuit(2)
+    c.append("rx", 0, "a").append("ry", 1, "b").append("rz", 0, "a")
+    assert c.num_parameters == 2
+    assert [p.name for p in c.parameters] == ["a", "b"]
+    assert not c.is_bound
+
+
+def test_bind_produces_concrete_circuit():
+    c = Circuit(2)
+    c.append("rx", 0, "a").append("ry", 1, "b")
+    bound = c.bind([0.1, 0.2])
+    assert bound.is_bound
+    assert bound.operations[0].param == pytest.approx(0.1)
+    assert bound.operations[1].param == pytest.approx(0.2)
+    # Original unchanged.
+    assert not c.is_bound
+
+
+def test_bind_wrong_length():
+    c = Circuit(1)
+    c.append("rx", 0, "a")
+    with pytest.raises(ValueError):
+        c.bind([0.1, 0.2])
+
+
+def test_validation_errors():
+    c = Circuit(2)
+    with pytest.raises(KeyError):
+        c.append("bogus", 0)
+    with pytest.raises(ValueError):
+        c.append("cnot", (0,))  # arity mismatch
+    with pytest.raises(ValueError):
+        c.append("cnot", (1, 1))  # duplicate qubits
+    with pytest.raises(ValueError):
+        c.append("h", 5)  # out of range
+    with pytest.raises(ValueError):
+        c.append("rx", 0)  # missing parameter
+    with pytest.raises(ValueError):
+        c.append("h", 0, 0.3)  # parameter on fixed gate
+
+
+def test_depth_layering():
+    c = Circuit(3)
+    c.append("h", 0).append("h", 1).append("h", 2)  # one layer
+    assert c.depth() == 1
+    c.append("cnot", (0, 1))  # second layer
+    assert c.depth() == 2
+    c.append("h", 2)  # fits in layer 2
+    assert c.depth() == 2
+
+
+def test_compose_requires_bound():
+    a = Circuit(2)
+    a.append("rx", 0, "t")
+    b = Circuit(2)
+    b.append("h", 0)
+    with pytest.raises(ValueError):
+        a.compose(b)
+    bound = a.bind([0.3]).compose(b)
+    assert bound.num_gates == 2
+
+
+def test_compose_width_mismatch():
+    a = Circuit(2)
+    b = Circuit(3)
+    with pytest.raises(ValueError):
+        a.compose(b)
+
+
+def test_inverse_round_trip():
+    c = Circuit(2)
+    c.append("h", 0).append("s", 1).append("rx", 0, 0.8)
+    c.append("cnot", (0, 1)).append("t", 1)
+    forward = run_circuit(c)
+    back = run_circuit(c.inverse(), state=forward)
+    expected = zero_state(2)
+    # Global phase-insensitive comparison.
+    overlap = abs(np.vdot(expected, back))
+    assert overlap == pytest.approx(1.0, abs=1e-10)
+
+
+def test_inverse_requires_bound():
+    c = Circuit(1)
+    c.append("rx", 0, "t")
+    with pytest.raises(ValueError):
+        c.inverse()
+
+
+def test_copy_is_independent():
+    c = Circuit(2)
+    c.append("h", 0)
+    d = c.copy()
+    d.append("h", 1)
+    assert c.num_gates == 1
+    assert d.num_gates == 2
+
+
+def test_operation_bound_resolution():
+    p = Parameter("x", 0)
+    op = Operation("rx", (0,), p)
+    assert not op.is_bound
+    resolved = op.bound([1.5])
+    assert resolved.is_bound
+    assert resolved.param == pytest.approx(1.5)

@@ -1,0 +1,155 @@
+"""Density-matrix simulator and noise-channel tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.density import (
+    apply_kraus,
+    apply_unitary,
+    expectation_density,
+    partial_trace,
+    pure_density,
+    purity,
+    run_circuit_density,
+)
+from repro.quantum.gates import H, X, rx
+from repro.quantum.noise import (
+    NoiseModel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    phase_flip_channel,
+    validate_kraus,
+)
+from repro.quantum.observables import PauliString
+from repro.quantum.statevector import run_circuit
+
+from tests.conftest import random_state
+
+
+def test_pure_density_properties():
+    rng = np.random.default_rng(0)
+    psi = random_state(2, rng)
+    rho = pure_density(psi)
+    assert np.allclose(rho, rho.conj().T)
+    assert np.trace(rho) == pytest.approx(1.0)
+    assert purity(rho) == pytest.approx(1.0)
+
+
+def test_unitary_evolution_matches_statevector():
+    c = Circuit(3)
+    c.append("h", 0).append("cnot", (0, 2)).append("ry", 1, 0.9).append("cz", (1, 2))
+    rho = run_circuit_density(c)
+    psi = run_circuit(c)
+    assert np.allclose(rho, pure_density(psi), atol=1e-12)
+
+
+def test_apply_unitary_on_subsystem():
+    rng = np.random.default_rng(1)
+    psi = random_state(2, rng)
+    rho = pure_density(psi)
+    rho2 = apply_unitary(rho, H, [1])
+    from repro.quantum.statevector import apply_matrix
+
+    psi2 = apply_matrix(psi, H, [1])
+    assert np.allclose(rho2, pure_density(psi2), atol=1e-12)
+
+
+@given(p=st.floats(0.0, 1.0))
+@settings(max_examples=30)
+def test_channels_trace_preserving(p):
+    for chan in (
+        depolarizing_channel(p),
+        bit_flip_channel(p),
+        phase_flip_channel(p),
+        amplitude_damping_channel(p),
+    ):
+        validate_kraus(chan)
+
+
+@given(p=st.floats(0.01, 0.99), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_channels_preserve_density_properties(p, seed):
+    rng = np.random.default_rng(seed)
+    rho = pure_density(random_state(2, rng))
+    out = apply_kraus(rho, depolarizing_channel(p), [0])
+    assert np.trace(out).real == pytest.approx(1.0, abs=1e-10)
+    assert np.allclose(out, out.conj().T, atol=1e-10)
+    eigs = np.linalg.eigvalsh(out)
+    assert np.all(eigs > -1e-10)
+
+
+def test_depolarizing_shrinks_bloch_vector():
+    """<Z> of |0> shrinks by exactly (1 - 4p/3) under depolarizing."""
+    rho = pure_density(np.array([1, 0], dtype=complex))
+    p = 0.3
+    out = apply_kraus(rho, depolarizing_channel(p), [0])
+    z = expectation_density(out, PauliString("Z"))
+    assert z == pytest.approx(1 - 4 * p / 3)
+
+
+def test_amplitude_damping_fixed_point():
+    """|1><1| decays toward |0><0|."""
+    rho = pure_density(np.array([0, 1], dtype=complex))
+    out = apply_kraus(rho, amplitude_damping_channel(0.4), [0])
+    assert out[0, 0].real == pytest.approx(0.4)
+    assert out[1, 1].real == pytest.approx(0.6)
+
+
+def test_noise_model_inserts_channels():
+    c = Circuit(1)
+    c.append("x", 0)
+    model = NoiseModel(one_qubit=bit_flip_channel(0.25))
+    rho = run_circuit_density(c, noise_model=model)
+    # X then 25% bit flip: population of |1> is 0.75.
+    assert rho[1, 1].real == pytest.approx(0.75)
+    assert purity(rho) < 1.0
+
+
+def test_noise_model_depolarizing_factory():
+    model = NoiseModel.depolarizing(0.01)
+    assert model.one_qubit is not None and model.two_qubit is not None
+    c = Circuit(2)
+    c.append("h", 0).append("cnot", (0, 1))
+    rho = run_circuit_density(c, noise_model=model)
+    assert np.trace(rho).real == pytest.approx(1.0, abs=1e-10)
+    assert purity(rho) < 1.0
+
+
+def test_expectation_density_matches_pure():
+    rng = np.random.default_rng(4)
+    psi = random_state(2, rng)
+    from repro.quantum.observables import expectation
+
+    p = PauliString("XZ")
+    assert expectation_density(pure_density(psi), p) == pytest.approx(
+        expectation(psi, p)
+    )
+
+
+def test_partial_trace_product_state():
+    """Tracing B out of |psi_A> x |psi_B> returns |psi_A><psi_A|."""
+    rng = np.random.default_rng(6)
+    a = random_state(1, rng)
+    b = random_state(1, rng)
+    joint = np.kron(a, b)
+    reduced = partial_trace(pure_density(joint), keep=[0])
+    assert np.allclose(reduced, pure_density(a), atol=1e-12)
+
+
+def test_partial_trace_bell_state_is_maximally_mixed():
+    c = Circuit(2)
+    c.append("h", 0).append("cnot", (0, 1))
+    rho = run_circuit_density(c)
+    reduced = partial_trace(rho, keep=[0])
+    assert np.allclose(reduced, np.eye(2) / 2, atol=1e-12)
+
+
+def test_invalid_probability_rejected():
+    with pytest.raises(ValueError):
+        depolarizing_channel(1.5)
+    with pytest.raises(ValueError):
+        bit_flip_channel(-0.1)

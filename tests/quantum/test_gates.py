@@ -1,0 +1,98 @@
+"""Gate-matrix unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import gates
+
+
+ALL_FIXED = sorted(gates.FIXED_GATES)
+ALL_PARAM = sorted(gates.PARAMETRIC_GATES)
+
+
+@pytest.mark.parametrize("name", ALL_FIXED)
+def test_fixed_gates_are_unitary(name):
+    u = gates.FIXED_GATES[name]
+    assert np.allclose(u @ u.conj().T, np.eye(u.shape[0]), atol=1e-12)
+
+
+@given(theta=st.floats(-10, 10), name=st.sampled_from(ALL_PARAM))
+@settings(max_examples=60)
+def test_parametric_gates_are_unitary(theta, name):
+    u = gates.PARAMETRIC_GATES[name](theta)
+    assert np.allclose(u @ u.conj().T, np.eye(u.shape[0]), atol=1e-10)
+
+
+@given(a=st.floats(-5, 5), b=st.floats(-5, 5))
+@settings(max_examples=40)
+def test_rotation_composition(a, b):
+    """Same-axis rotations compose additively."""
+    for rot in (gates.rx, gates.ry, gates.rz):
+        assert np.allclose(rot(a) @ rot(b), rot(a + b), atol=1e-10)
+
+
+def test_rotations_at_zero_are_identity():
+    for rot in (gates.rx, gates.ry, gates.rz):
+        assert np.allclose(rot(0.0), np.eye(2))
+
+
+def test_rotation_generators():
+    """R_P(theta) = cos(theta/2) I - i sin(theta/2) P."""
+    theta = 0.7321
+    for rot, pauli in ((gates.rx, gates.X), (gates.ry, gates.Y), (gates.rz, gates.Z)):
+        expected = np.cos(theta / 2) * np.eye(2) - 1j * np.sin(theta / 2) * pauli
+        assert np.allclose(rot(theta), expected, atol=1e-12)
+
+
+def test_pauli_involutions():
+    for p in (gates.X, gates.Y, gates.Z):
+        assert np.allclose(p @ p, np.eye(2))
+
+
+def test_hadamard_conjugation():
+    """H X H = Z and H Z H = X."""
+    h = gates.H
+    assert np.allclose(h @ gates.X @ h, gates.Z, atol=1e-12)
+    assert np.allclose(h @ gates.Z @ h, gates.X, atol=1e-12)
+
+
+def test_s_dagger():
+    assert np.allclose(gates.S @ gates.SDG, np.eye(2))
+
+
+def test_cnot_action():
+    """CNOT with control = qubit 0 (MSB) flips the target for |10>, |11>."""
+    states = np.eye(4)
+    out = gates.CNOT @ states
+    assert np.allclose(out[:, 0], states[:, 0])
+    assert np.allclose(out[:, 1], states[:, 1])
+    assert np.allclose(out[:, 2], states[:, 3])
+    assert np.allclose(out[:, 3], states[:, 2])
+
+
+def test_controlled_rotations_block_structure():
+    theta = 1.234
+    cu = gates.crx(theta)
+    assert np.allclose(cu[:2, :2], np.eye(2))
+    assert np.allclose(cu[2:, 2:], gates.rx(theta))
+
+
+def test_gate_matrix_lookup():
+    assert np.allclose(gates.gate_matrix("h"), gates.H)
+    assert np.allclose(gates.gate_matrix("RX", 0.5), gates.rx(0.5))
+
+
+def test_gate_matrix_errors():
+    with pytest.raises(KeyError):
+        gates.gate_matrix("nope")
+    with pytest.raises(ValueError):
+        gates.gate_matrix("h", 0.5)  # fixed gate with a parameter
+    with pytest.raises(ValueError):
+        gates.gate_matrix("rx")  # parametric gate without one
+
+
+def test_is_parametric():
+    assert gates.is_parametric("rx")
+    assert not gates.is_parametric("h")

@@ -1,0 +1,141 @@
+"""Zero-noise extrapolation and circuit-drawing tests."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.drawing import draw_circuit
+from repro.quantum.mitigation import fold_circuit, richardson_extrapolate, zne_expectation
+from repro.quantum.noise import NoiseModel
+from repro.quantum.observables import PauliString, expectation
+from repro.quantum.statevector import run_circuit
+
+
+def sample_circuit() -> Circuit:
+    c = Circuit(2)
+    c.append("h", 0).append("cnot", (0, 1)).append("ry", 1, 0.9).append("rz", 0, 0.4)
+    return c
+
+
+# ------------------------------------------------------------------- folding
+def test_fold_preserves_unitary():
+    c = sample_circuit()
+    psi = run_circuit(c)
+    for scale in (1, 3, 5):
+        folded = fold_circuit(c, scale)
+        assert folded.num_gates == scale * c.num_gates
+        out = run_circuit(folded)
+        assert abs(abs(np.vdot(psi, out)) - 1.0) < 1e-10
+
+
+def test_fold_validation():
+    c = sample_circuit()
+    with pytest.raises(ValueError):
+        fold_circuit(c, 2)
+    with pytest.raises(ValueError):
+        fold_circuit(c, 0)
+    unbound = Circuit(1)
+    unbound.append("rx", 0, "t")
+    with pytest.raises(ValueError):
+        fold_circuit(unbound, 3)
+
+
+# -------------------------------------------------------------- Richardson
+def test_richardson_exact_on_polynomials():
+    scales = np.array([1.0, 3.0, 5.0])
+    # Quadratic in the scale: three points recover it exactly at 0.
+    f = lambda s: 2.0 - 0.3 * s + 0.04 * s**2  # noqa: E731
+    assert richardson_extrapolate(scales, f(scales)) == pytest.approx(2.0)
+
+
+def test_richardson_linear_two_points():
+    assert richardson_extrapolate(
+        np.array([1.0, 3.0]), np.array([0.9, 0.7])
+    ) == pytest.approx(1.0)
+
+
+def test_richardson_validation():
+    with pytest.raises(ValueError):
+        richardson_extrapolate(np.array([1.0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        richardson_extrapolate(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+
+
+# ---------------------------------------------------------------------- ZNE
+def test_zne_improves_noisy_expectation():
+    c = sample_circuit()
+    ideal = expectation(run_circuit(c), PauliString("ZZ"))
+    noise = NoiseModel.depolarizing(0.01)
+    mitigated, raw = zne_expectation(c, PauliString("ZZ"), noise, scales=(1, 3, 5))
+    raw_error = abs(raw[1] - ideal)
+    mitigated_error = abs(mitigated - ideal)
+    assert mitigated_error < raw_error
+    # Noisy values shrink monotonically with the fold scale (contraction).
+    assert abs(raw[5]) <= abs(raw[3]) <= abs(raw[1])
+
+
+def test_zne_noiseless_is_exact():
+    c = sample_circuit()
+    ideal = expectation(run_circuit(c), PauliString("XI"))
+    mitigated, raw = zne_expectation(
+        c, PauliString("XI"), NoiseModel.depolarizing(0.0), scales=(1, 3)
+    )
+    assert mitigated == pytest.approx(ideal, abs=1e-10)
+    assert raw[1] == pytest.approx(raw[3], abs=1e-10)
+
+
+def test_zne_on_encoded_feature():
+    """Mitigation recovers an ensemble feature under hardware-like noise."""
+    from repro.data.encoding import encoding_circuit
+
+    rng = np.random.default_rng(0)
+    circuit = encoding_circuit(rng.uniform(0, 2 * np.pi, (4, 4)))
+    obs = PauliString("ZZII")
+    ideal = expectation(run_circuit(circuit), obs)
+    noise = NoiseModel.depolarizing(0.005)
+    mitigated, raw = zne_expectation(circuit, obs, noise)
+    assert abs(mitigated - ideal) < abs(raw[1] - ideal) + 1e-12
+
+
+# ----------------------------------------------------------------- drawing
+def test_draw_simple_circuit():
+    text = draw_circuit(sample_circuit())
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("q0:")
+    assert "H" in lines[0]
+    assert "RY(0.9)" in lines[1]
+    assert "*" in lines[0]  # CNOT control marker
+
+
+def test_draw_symbolic_parameters():
+    c = Circuit(1)
+    c.append("rx", 0, "alpha")
+    assert "RX(alpha)" in draw_circuit(c)
+
+
+def test_draw_layering():
+    """Parallel gates share a column; dependent gates do not."""
+    c = Circuit(2)
+    c.append("h", 0).append("h", 1).append("cnot", (0, 1))
+    text = draw_circuit(c)
+    l0, l1 = text.splitlines()
+    assert l0.index("H") == l1.index("H")
+
+
+def test_draw_wraps_long_circuits():
+    c = Circuit(1)
+    for i in range(60):
+        c.append("rx", 0, float(i))
+    text = draw_circuit(c, max_width=80)
+    assert "....." in text  # panel separator present
+
+
+def test_draw_fig7_and_fig8_render():
+    from repro.core.ansatz import fig8_ansatz
+    from repro.data.encoding import encoding_circuit
+
+    enc = draw_circuit(encoding_circuit(np.zeros((4, 4))), max_width=200)
+    assert enc.count("\n") >= 3
+    ans = draw_circuit(fig8_ansatz(), max_width=200)
+    assert "RY(theta_0_0)" in ans

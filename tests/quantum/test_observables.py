@@ -1,0 +1,158 @@
+"""Pauli algebra and expectation-kernel tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.observables import (
+    PauliString,
+    PauliSum,
+    count_local_paulis,
+    expectation,
+    local_pauli_strings,
+    pauli_product,
+)
+
+from tests.conftest import random_state
+
+pauli_strings = st.text(alphabet="IXYZ", min_size=1, max_size=4)
+
+
+def test_invalid_strings_rejected():
+    with pytest.raises(ValueError):
+        PauliString("")
+    with pytest.raises(ValueError):
+        PauliString("XA")
+
+
+def test_locality_and_support():
+    p = PauliString("XIZI")
+    assert p.locality == 2
+    assert p.support == (0, 2)
+    assert not p.is_identity
+    assert PauliString("II").is_identity
+
+
+def test_shadow_norm():
+    assert PauliString("XIZ").shadow_norm_squared() == 16.0
+    assert PauliString("III").shadow_norm_squared() == 1.0
+
+
+@given(a=pauli_strings, b=pauli_strings)
+@settings(max_examples=100)
+def test_product_matches_matrices(a, b):
+    """phase * matrix(c) == matrix(a) @ matrix(b) for (phase, c) = a*b."""
+    if len(a) != len(b):
+        b = (b * len(a))[: len(a)]
+    pa, pb = PauliString(a), PauliString(b)
+    phase, pc = pa * pb
+    assert np.allclose(phase * pc.to_matrix(), pa.to_matrix() @ pb.to_matrix(), atol=1e-12)
+
+
+@given(a=pauli_strings, b=pauli_strings)
+@settings(max_examples=100)
+def test_commutation_matches_matrices(a, b):
+    if len(a) != len(b):
+        b = (b * len(a))[: len(a)]
+    pa, pb = PauliString(a), PauliString(b)
+    commutator = pa.to_matrix() @ pb.to_matrix() - pb.to_matrix() @ pa.to_matrix()
+    assert pa.commutes_with(pb) == np.allclose(commutator, 0, atol=1e-12)
+
+
+def test_known_products():
+    assert pauli_product(PauliString("X"), PauliString("Y")) == (1j, PauliString("Z"))
+    assert pauli_product(PauliString("Y"), PauliString("X")) == (-1j, PauliString("Z"))
+    phase, res = pauli_product(PauliString("Z"), PauliString("Z"))
+    assert phase == 1.0 and res.is_identity
+
+
+def test_local_pauli_counts_eq18():
+    """Eq. 18: sum_{l<=L} C(n,l) 3^l."""
+    assert len(local_pauli_strings(4, 0)) == 1
+    assert len(local_pauli_strings(4, 1)) == 13
+    assert len(local_pauli_strings(4, 2)) == 67
+    assert len(local_pauli_strings(4, 3)) == 175
+    assert len(local_pauli_strings(4, 4)) == 256  # the full 4^n basis
+    for n, l in [(2, 1), (3, 2), (5, 3)]:
+        assert len(local_pauli_strings(n, l)) == count_local_paulis(n, l)
+
+
+def test_local_pauli_enumeration_is_deterministic_and_unique():
+    strings = [p.string for p in local_pauli_strings(3, 2)]
+    assert strings == [p.string for p in local_pauli_strings(3, 2)]
+    assert len(set(strings)) == len(strings)
+    assert strings[0] == "III"  # identity first (bias feature)
+
+
+@given(s=pauli_strings, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_expectation_matches_dense(s, seed):
+    rng = np.random.default_rng(seed)
+    p = PauliString(s)
+    psi = random_state(p.num_qubits, rng)
+    ours = expectation(psi, p)
+    ref = float(np.real(np.vdot(psi, p.to_matrix() @ psi)))
+    assert ours == pytest.approx(ref, abs=1e-10)
+
+
+def test_expectation_batched():
+    rng = np.random.default_rng(0)
+    batch = np.stack([random_state(2, rng) for _ in range(6)])
+    p = PauliString("XY")
+    vals = expectation(batch, p)
+    assert vals.shape == (6,)
+    for i in range(6):
+        assert vals[i] == pytest.approx(expectation(batch[i], p))
+
+
+def test_expectation_bounds():
+    rng = np.random.default_rng(3)
+    psi = random_state(3, rng)
+    for p in local_pauli_strings(3, 3):
+        assert -1.0 - 1e-9 <= expectation(psi, p) <= 1.0 + 1e-9
+
+
+def test_pauli_sum_merging_and_ops():
+    ps = PauliSum([(1.0, "XI"), (2.0, "XI"), (0.5, "ZZ")])
+    assert ps.num_terms == 2
+    assert ps.coefficient("XI") == pytest.approx(3.0)
+    doubled = 2.0 * ps
+    assert doubled.coefficient("ZZ") == pytest.approx(1.0)
+    total = ps + ps
+    assert total.coefficient("XI") == pytest.approx(6.0)
+
+
+def test_pauli_sum_zero_terms_dropped():
+    ps = PauliSum([(1.0, "X"), (-1.0, "X")])
+    assert ps.num_terms == 0
+
+
+def test_pauli_sum_product_matches_dense():
+    a = PauliSum([(1.0, "XI"), (0.5, "ZZ")])
+    b = PauliSum([(2.0, "YI"), (1.0, "IZ")])
+    ours = (a @ b).to_matrix()
+    ref = a.to_matrix() @ b.to_matrix()
+    assert np.allclose(ours, ref, atol=1e-12)
+
+
+def test_pauli_sum_expectation_linear():
+    rng = np.random.default_rng(9)
+    psi = random_state(2, rng)
+    ps = PauliSum([(0.3, "XI"), (-0.7, "ZZ")])
+    expected = 0.3 * expectation(psi, PauliString("XI")) - 0.7 * expectation(
+        psi, PauliString("ZZ")
+    )
+    assert expectation(psi, ps) == pytest.approx(expected)
+
+
+def test_pauli_sum_mixed_widths_rejected():
+    with pytest.raises(ValueError):
+        PauliSum([(1.0, "X"), (1.0, "XX")])
+
+
+def test_expectation_dense_matrix_path():
+    rng = np.random.default_rng(11)
+    psi = random_state(2, rng)
+    m = PauliString("ZZ").to_matrix()
+    assert expectation(psi, m) == pytest.approx(expectation(psi, PauliString("ZZ")))

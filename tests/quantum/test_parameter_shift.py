@@ -1,0 +1,107 @@
+"""Parameter-shift rule tests against finite differences (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ansatz import fig8_ansatz
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import PauliString
+from repro.quantum.parameter_shift import (
+    expectation_function,
+    gradient,
+    hessian,
+    shift_rule_terms,
+)
+
+
+def two_param_circuit() -> Circuit:
+    c = Circuit(2)
+    c.append("ry", 0, "a").append("rx", 1, "b").append("cnot", (0, 1))
+    return c
+
+
+@given(
+    a=st.floats(-np.pi, np.pi),
+    b=st.floats(-np.pi, np.pi),
+)
+@settings(max_examples=25, deadline=None)
+def test_gradient_matches_finite_difference(a, b):
+    f = expectation_function(two_param_circuit(), PauliString("ZZ"))
+    theta = np.array([a, b])
+    g = gradient(f, theta)
+    eps = 1e-6
+    for u in range(2):
+        e = np.zeros(2)
+        e[u] = eps
+        fd = (f(theta + e) - f(theta - e)) / (2 * eps)
+        assert g[u] == pytest.approx(fd, abs=1e-5)
+
+
+@given(a=st.floats(-2.0, 2.0), b=st.floats(-2.0, 2.0))
+@settings(max_examples=10, deadline=None)
+def test_hessian_matches_finite_difference(a, b):
+    f = expectation_function(two_param_circuit(), PauliString("XZ"))
+    theta = np.array([a, b])
+    h = hessian(f, theta)
+    assert np.allclose(h, h.T)
+    eps = 1e-4
+    for u in range(2):
+        for v in range(2):
+            eu, ev = np.zeros(2), np.zeros(2)
+            eu[u], ev[v] = eps, eps
+            fd = (
+                f(theta + eu + ev) - f(theta + eu - ev) - f(theta - eu + ev) + f(theta - eu - ev)
+            ) / (4 * eps * eps)
+            assert h[u, v] == pytest.approx(fd, abs=1e-3)
+
+
+def test_gradient_of_fig8_ansatz_at_zero():
+    """Gradient at the identity initialisation is finite and mostly nonzero
+    for a 1-local readout (this Ansatz + init avoids barren plateaus)."""
+    circuit = fig8_ansatz()
+    from repro.data.encoding import encode_batch
+
+    rng = np.random.default_rng(0)
+    state = encode_batch(rng.uniform(0, 2 * np.pi, (1, 4, 4)))[0]
+    f = expectation_function(circuit, PauliString("ZIII"), state=state)
+    g = gradient(f, np.zeros(8))
+    assert g.shape == (8,)
+    assert np.any(np.abs(g) > 1e-3)
+
+
+def test_gradient_stationary_point():
+    """<Z> after ry(theta) is cos(theta): gradient at theta=0 is 0, at
+    theta=pi/2 it is -1."""
+    c = Circuit(1)
+    c.append("ry", 0, "t")
+    f = expectation_function(c, PauliString("Z"))
+    assert gradient(f, [0.0])[0] == pytest.approx(0.0, abs=1e-12)
+    assert gradient(f, [np.pi / 2])[0] == pytest.approx(-1.0)
+
+
+def test_hessian_diagonal_identity():
+    """For f = cos(theta), f'' = -cos(theta)."""
+    c = Circuit(1)
+    c.append("ry", 0, "t")
+    f = expectation_function(c, PauliString("Z"))
+    for theta in (0.0, 0.4, 1.3):
+        assert hessian(f, [theta])[0, 0] == pytest.approx(-np.cos(theta), abs=1e-10)
+
+
+def test_shift_rule_terms_structure():
+    terms = shift_rule_terms(3, 1)
+    assert len(terms) == 2
+    (c1, v1), (c2, v2) = terms
+    assert c1 == 0.5 and c2 == -0.5
+    assert v1[1] == pytest.approx(np.pi / 2)
+    assert np.all(v1 == -v2)
+
+
+def test_expectation_function_with_input_state():
+    psi = np.array([0, 1], dtype=complex)  # |1>
+    c = Circuit(1)
+    c.append("rx", 0, "t")
+    f = expectation_function(c, PauliString("Z"), state=psi)
+    assert f(np.zeros(1)) == pytest.approx(-1.0)

@@ -1,0 +1,120 @@
+"""Finite-shot estimator tests."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import PauliString, PauliSum, expectation
+from repro.quantum.sampling import (
+    hoeffding_shots,
+    measure_pauli,
+    measure_pauli_batch,
+    measure_pauli_sum,
+)
+from repro.quantum.statevector import run_circuit
+
+from tests.conftest import random_state
+
+
+def test_zero_shots_returns_exact():
+    rng = np.random.default_rng(0)
+    psi = random_state(3, rng)
+    p = PauliString("XZY")
+    assert measure_pauli(psi, p, shots=0) == pytest.approx(expectation(psi, p))
+
+
+def test_identity_always_one():
+    rng = np.random.default_rng(1)
+    psi = random_state(2, rng)
+    assert measure_pauli(psi, PauliString("II"), shots=7, seed=0) == 1.0
+
+
+def test_estimates_converge():
+    """Sample mean approaches the exact value as shots grow."""
+    c = Circuit(2)
+    c.append("h", 0).append("ry", 1, 0.8).append("cnot", (0, 1))
+    psi = run_circuit(c)
+    p = PauliString("ZX")
+    exact = expectation(psi, p)
+    errors = []
+    for shots in (100, 10_000):
+        est = measure_pauli(psi, p, shots, seed=42)
+        errors.append(abs(est - exact))
+    assert errors[1] < 0.05
+    assert errors[1] <= errors[0] + 0.02
+
+
+def test_eigenstate_is_deterministic():
+    """|0> is a Z eigenstate: every shot gives +1."""
+    psi = np.array([1, 0], dtype=complex)
+    assert measure_pauli(psi, PauliString("Z"), shots=50, seed=3) == 1.0
+
+
+def test_x_eigenstate():
+    """|+> gives +1 for X deterministically."""
+    psi = np.array([1, 1], dtype=complex) / np.sqrt(2)
+    assert measure_pauli(psi, PauliString("X"), shots=50, seed=3) == pytest.approx(1.0)
+
+
+def test_batch_shapes_and_seeding():
+    rng = np.random.default_rng(2)
+    batch = np.stack([random_state(2, rng) for _ in range(5)])
+    p = PauliString("ZI")
+    est1 = measure_pauli_batch(batch, p, shots=200, seed=7)
+    est2 = measure_pauli_batch(batch, p, shots=200, seed=7)
+    assert est1.shape == (5,)
+    assert np.array_equal(est1, est2)  # deterministic under seed
+    est3 = measure_pauli_batch(batch, p, shots=200, seed=8)
+    assert not np.array_equal(est1, est3)
+
+
+def test_estimates_bounded():
+    rng = np.random.default_rng(5)
+    batch = np.stack([random_state(3, rng) for _ in range(4)])
+    vals = measure_pauli_batch(batch, PauliString("XYZ"), shots=64, seed=1)
+    assert np.all(vals >= -1.0) and np.all(vals <= 1.0)
+
+
+def test_pauli_sum_measurement():
+    rng = np.random.default_rng(6)
+    psi = random_state(2, rng)
+    obs = PauliSum([(0.5, "ZI"), (-1.5, "XX")])
+    exact = expectation(psi, obs)
+    est = measure_pauli_sum(psi, obs, shots_per_term=40_000, seed=9)
+    assert est == pytest.approx(exact, abs=0.05)
+
+
+def test_hoeffding_shots_formula():
+    assert hoeffding_shots(0.1, 0.05) == int(np.ceil(2 / 0.01 * np.log(2 / 0.05)))
+    # Tighter epsilon => more shots; smaller delta => more shots.
+    assert hoeffding_shots(0.05, 0.05) > hoeffding_shots(0.1, 0.05)
+    assert hoeffding_shots(0.1, 0.01) > hoeffding_shots(0.1, 0.05)
+
+
+def test_hoeffding_empirical_coverage():
+    """The Hoeffding budget actually achieves the target error."""
+    c = Circuit(1)
+    c.append("ry", 0, 1.1)
+    psi = run_circuit(c)
+    p = PauliString("Z")
+    exact = expectation(psi, p)
+    shots = hoeffding_shots(0.1, 0.05)
+    rng = np.random.default_rng(123)
+    failures = sum(
+        abs(measure_pauli(psi, p, shots, rng) - exact) > 0.1 for _ in range(40)
+    )
+    assert failures <= 4  # 5% nominal, generous slack
+
+
+def test_validation_errors():
+    psi = np.array([1, 0], dtype=complex)
+    with pytest.raises(ValueError):
+        measure_pauli(psi, PauliString("Z"), shots=-1)
+    with pytest.raises(ValueError):
+        measure_pauli_batch(psi, PauliString("Z"), shots=1)  # not 2-D
+    with pytest.raises(ValueError):
+        measure_pauli(psi, PauliString("ZZ"), shots=1)  # width mismatch
+    with pytest.raises(ValueError):
+        hoeffding_shots(-1.0, 0.05)
+    with pytest.raises(ValueError):
+        hoeffding_shots(0.1, 1.5)

@@ -1,0 +1,122 @@
+"""Classical-shadows protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import PauliString, expectation, local_pauli_strings
+from repro.quantum.shadows import (
+    ShadowData,
+    collect_shadows,
+    estimate_many,
+    estimate_pauli,
+    median_of_means,
+    shadow_budget,
+)
+from repro.quantum.statevector import run_circuit
+
+from tests.conftest import random_state
+
+
+def entangled_state() -> np.ndarray:
+    c = Circuit(3)
+    c.append("h", 0).append("cnot", (0, 1)).append("ry", 2, 0.7).append("cz", (1, 2))
+    return run_circuit(c)
+
+
+def test_shadow_data_shapes():
+    psi = entangled_state()
+    shadow = collect_shadows(psi, 500, seed=0)
+    assert shadow.num_snapshots == 500
+    assert shadow.num_qubits == 3
+    assert shadow.bases.shape == shadow.outcomes.shape == (500, 3)
+    assert set(np.unique(shadow.bases)) <= {0, 1, 2}
+    assert set(np.unique(shadow.outcomes)) <= {0, 1}
+
+
+def test_estimator_unbiased_on_z_eigenstate():
+    """<Z> of |0> is 1; shadow estimate converges to it."""
+    psi = np.array([1, 0], dtype=complex)
+    shadow = collect_shadows(psi, 30_000, seed=1)
+    est = estimate_pauli(shadow, PauliString("Z"))
+    assert est == pytest.approx(1.0, abs=0.05)
+
+
+def test_estimator_converges_on_entangled_state():
+    psi = entangled_state()
+    shadow = collect_shadows(psi, 60_000, seed=2)
+    for s in ("ZII", "IXI", "ZZI", "XXI"):
+        p = PauliString(s)
+        est = estimate_pauli(shadow, p)
+        assert est == pytest.approx(expectation(psi, p), abs=0.1), s
+
+
+def test_identity_estimate_is_exact():
+    psi = entangled_state()
+    shadow = collect_shadows(psi, 10, seed=3)
+    assert estimate_pauli(shadow, PauliString("III")) == 1.0
+
+
+def test_higher_locality_has_higher_variance():
+    """Empirical check of the 4^L shadow-norm scaling: variance of the
+    per-snapshot estimator grows with locality."""
+    rng = np.random.default_rng(4)
+    psi = random_state(3, rng)
+    shadow = collect_shadows(psi, 20_000, seed=5)
+    from repro.quantum.shadows import _snapshot_values
+
+    var1 = np.var(_snapshot_values(shadow, PauliString("ZII")))
+    var3 = np.var(_snapshot_values(shadow, PauliString("ZZZ")))
+    assert var3 > var1
+
+
+def test_one_batch_estimates_many_observables():
+    """The protocol's point (paper Sec. II.B): one shadow batch serves all
+    1-local observables at once."""
+    psi = entangled_state()
+    shadow = collect_shadows(psi, 50_000, seed=6)
+    paulis = [p for p in local_pauli_strings(3, 1) if not p.is_identity]
+    estimates = estimate_many(shadow, paulis, delta=0.05)
+    exact = np.array([expectation(psi, p) for p in paulis])
+    assert np.max(np.abs(estimates - exact)) < 0.15
+
+
+def test_median_of_means_robust_to_outliers():
+    values = np.concatenate([np.zeros(100), np.array([1e6])])
+    assert abs(median_of_means(values, 11)) < 1.0  # plain mean would be ~1e4
+
+
+def test_median_of_means_group_clamping():
+    values = np.arange(5.0)
+    assert median_of_means(values, 100) == pytest.approx(np.median(values))
+
+
+def test_shadow_budget_scalings():
+    base = shadow_budget(4.0, 0.1, 0.05, 10)
+    assert shadow_budget(16.0, 0.1, 0.05, 10) > base  # locality up
+    assert shadow_budget(4.0, 0.05, 0.05, 10) > base  # tighter eps
+    # Log dependence on observable count: doubling M is cheap.
+    assert shadow_budget(4.0, 0.1, 0.05, 10_000) < 4 * base
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        shadow_budget(4.0, -0.1, 0.05, 10)
+    with pytest.raises(ValueError):
+        shadow_budget(4.0, 0.1, 1.5, 10)
+    with pytest.raises(ValueError):
+        collect_shadows(np.array([1, 0], dtype=complex), 0)
+
+
+def test_estimate_width_mismatch():
+    shadow = ShadowData(bases=np.zeros((5, 2), dtype=int), outcomes=np.zeros((5, 2), dtype=int))
+    with pytest.raises(ValueError):
+        estimate_pauli(shadow, PauliString("ZZZ"))
+
+
+def test_seeded_determinism():
+    psi = entangled_state()
+    a = collect_shadows(psi, 100, seed=9)
+    b = collect_shadows(psi, 100, seed=9)
+    assert np.array_equal(a.bases, b.bases)
+    assert np.array_equal(a.outcomes, b.outcomes)

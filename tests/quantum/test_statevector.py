@@ -1,0 +1,172 @@
+"""Statevector-kernel tests: correctness against dense linear algebra,
+batched/single equivalence, norm preservation (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import gates
+from repro.quantum.circuit import Circuit
+from repro.quantum.statevector import (
+    StatevectorSimulator,
+    apply_matrix,
+    apply_matrix_batch,
+    basis_state,
+    fidelity,
+    probabilities,
+    run_circuit,
+    sample_counts,
+    zero_state,
+)
+
+from tests.conftest import random_state
+
+
+def dense_embed(matrix: np.ndarray, qubits: list[int], n: int) -> np.ndarray:
+    """Reference embedding via explicit permutation (slow but obvious)."""
+    dim = 2**n
+    k = len(qubits)
+    full = np.zeros((dim, dim), dtype=complex)
+    for col in range(dim):
+        col_bits = [(col >> (n - 1 - q)) & 1 for q in range(n)]
+        sub_col = 0
+        for i, q in enumerate(qubits):
+            sub_col = (sub_col << 1) | col_bits[q]
+        for sub_row in range(2**k):
+            val = matrix[sub_row, sub_col]
+            if val == 0:
+                continue
+            row_bits = list(col_bits)
+            for i, q in enumerate(qubits):
+                row_bits[q] = (sub_row >> (k - 1 - i)) & 1
+            row = 0
+            for b in row_bits:
+                row = (row << 1) | b
+            full[row, col] += val
+    return full
+
+
+@pytest.mark.parametrize("n,qubits", [(1, [0]), (2, [0]), (2, [1]), (3, [1]), (3, [2])])
+def test_single_qubit_gate_matches_dense(n, qubits):
+    rng = np.random.default_rng(n)
+    psi = random_state(n, rng)
+    for gate in (gates.H, gates.X, gates.S, gates.rx(0.7)):
+        ours = apply_matrix(psi, gate, qubits)
+        ref = dense_embed(gate, qubits, n) @ psi
+        assert np.allclose(ours, ref, atol=1e-12)
+
+
+@pytest.mark.parametrize(
+    "n,qubits", [(2, [0, 1]), (2, [1, 0]), (3, [0, 2]), (3, [2, 0]), (4, [1, 3])]
+)
+def test_two_qubit_gate_matches_dense(n, qubits):
+    rng = np.random.default_rng(n + 10)
+    psi = random_state(n, rng)
+    for gate in (gates.CNOT, gates.CZ, gates.SWAP, gates.crz(0.3)):
+        ours = apply_matrix(psi, gate, qubits)
+        ref = dense_embed(gate, qubits, n) @ psi
+        assert np.allclose(ours, ref, atol=1e-12)
+
+
+def test_batch_matches_single():
+    rng = np.random.default_rng(0)
+    batch = np.stack([random_state(3, rng) for _ in range(7)])
+    out_batch = apply_matrix_batch(batch, gates.H, [1])
+    for i in range(7):
+        assert np.allclose(out_batch[i], apply_matrix(batch[i], gates.H, [1]))
+
+
+def test_per_sample_matrices():
+    """The (batch, 2, 2) path must apply matrix b to state b."""
+    rng = np.random.default_rng(5)
+    batch = np.stack([random_state(2, rng) for _ in range(4)])
+    angles = rng.uniform(0, 2 * np.pi, 4)
+    mats = np.stack([gates.rx(a) for a in angles])
+    out = apply_matrix_batch(batch, mats, [0])
+    for i in range(4):
+        assert np.allclose(out[i], apply_matrix(batch[i], gates.rx(angles[i]), [0]))
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(1, 4),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_gates_preserve_norm(seed, n, data):
+    rng = np.random.default_rng(seed)
+    psi = random_state(n, rng)
+    gate_name = data.draw(st.sampled_from(["h", "x", "s", "t"]))
+    qubit = data.draw(st.integers(0, n - 1))
+    out = apply_matrix(psi, gates.FIXED_GATES[gate_name], [qubit])
+    assert np.isclose(np.linalg.norm(out), 1.0, atol=1e-10)
+
+
+def test_zero_and_basis_states():
+    z = zero_state(3)
+    assert z[0] == 1 and np.count_nonzero(z) == 1
+    zb = zero_state(2, batch=5)
+    assert zb.shape == (5, 4) and np.all(zb[:, 0] == 1)
+    b = basis_state(2, 3)
+    assert b[3] == 1
+    with pytest.raises(ValueError):
+        basis_state(2, 4)
+
+
+def test_run_circuit_bell_state():
+    c = Circuit(2)
+    c.append("h", 0).append("cnot", (0, 1))
+    psi = run_circuit(c)
+    expected = np.zeros(4, dtype=complex)
+    expected[0] = expected[3] = 1 / np.sqrt(2)
+    assert np.allclose(psi, expected)
+
+
+def test_run_circuit_param_requirements():
+    c = Circuit(1)
+    c.append("rx", 0, "t")
+    with pytest.raises(ValueError):
+        run_circuit(c)  # unbound without params
+    psi = run_circuit(c, params=[np.pi])
+    assert np.allclose(np.abs(psi), [0, 1])  # RX(pi)|0> = -i|1>
+
+
+def test_probabilities_and_sampling():
+    c = Circuit(1)
+    c.append("h", 0)
+    psi = run_circuit(c)
+    probs = probabilities(psi)
+    assert np.allclose(probs, [0.5, 0.5])
+    counts = sample_counts(psi, shots=10_000, seed=1)
+    assert counts.sum() == 10_000
+    assert abs(counts[0] / 10_000 - 0.5) < 0.03
+
+
+def test_fidelity_properties():
+    rng = np.random.default_rng(2)
+    a = random_state(3, rng)
+    b = random_state(3, rng)
+    assert fidelity(a, a) == pytest.approx(1.0)
+    f = fidelity(a, b)
+    assert 0.0 <= f <= 1.0
+    # Symmetric.
+    assert f == pytest.approx(fidelity(b, a))
+
+
+def test_simulator_width_check():
+    sim = StatevectorSimulator(3)
+    c = Circuit(2)
+    c.append("h", 0)
+    with pytest.raises(ValueError):
+        sim.run(c)
+
+
+def test_simulator_expectation_entry_point():
+    from repro.quantum.observables import PauliString
+
+    sim = StatevectorSimulator(2)
+    c = Circuit(2)
+    c.append("x", 0)
+    psi = sim.run(c)
+    assert sim.expectation(psi, PauliString("ZI")) == pytest.approx(-1.0)

@@ -1,0 +1,142 @@
+"""Transpiler tests: passes must preserve the unitary and shrink circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.statevector import run_circuit
+from repro.quantum.transpile import (
+    cancel_adjacent_pairs,
+    merge_rotations,
+    optimize,
+    remove_identity_rotations,
+)
+
+from tests.conftest import random_state
+
+
+def random_circuit(rng: np.random.Generator, n: int = 3, gates: int = 20) -> Circuit:
+    c = Circuit(n)
+    for _ in range(gates):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            c.append(rng.choice(["h", "x", "s"]), int(rng.integers(0, n)))
+        elif kind == 1:
+            c.append(
+                rng.choice(["rx", "ry", "rz"]),
+                int(rng.integers(0, n)),
+                float(rng.uniform(-np.pi, np.pi)),
+            )
+        else:
+            a, b = rng.choice(n, size=2, replace=False)
+            c.append("cnot", (int(a), int(b)))
+    return c
+
+
+def states_equal_up_to_phase(a: np.ndarray, b: np.ndarray) -> bool:
+    return abs(abs(np.vdot(a, b)) - 1.0) < 1e-9
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_optimize_preserves_state(seed):
+    rng = np.random.default_rng(seed)
+    c = random_circuit(rng)
+    psi_in = random_state(3, rng)
+    opt, report = optimize(c)
+    assert report.gates_after <= report.gates_before
+    out_orig = run_circuit(c, state=psi_in)
+    out_opt = run_circuit(opt, state=psi_in)
+    assert states_equal_up_to_phase(out_orig, out_opt)
+
+
+def test_remove_identity_rotations():
+    c = Circuit(2)
+    c.append("rx", 0, 0.0).append("ry", 1, 2 * np.pi).append("rz", 0, 0.5)
+    out = remove_identity_rotations(c)
+    assert out.num_gates == 1
+    assert out.operations[0].gate == "rz"
+
+
+def test_cancel_cnot_pairs():
+    c = Circuit(2)
+    c.append("cnot", (0, 1)).append("cnot", (0, 1))
+    assert cancel_adjacent_pairs(c).num_gates == 0
+
+
+def test_cancel_blocked_by_intervening_gate():
+    c = Circuit(2)
+    c.append("cnot", (0, 1)).append("h", 0).append("cnot", (0, 1))
+    assert cancel_adjacent_pairs(c).num_gates == 3
+
+
+def test_cancel_not_blocked_by_disjoint_gate():
+    c = Circuit(3)
+    c.append("cnot", (0, 1)).append("h", 2).append("cnot", (0, 1))
+    out = cancel_adjacent_pairs(c)
+    assert out.num_gates == 1
+    assert out.operations[0].gate == "h"
+
+
+def test_cancel_different_qubit_order_not_cancelled():
+    c = Circuit(2)
+    c.append("cnot", (0, 1)).append("cnot", (1, 0))
+    assert cancel_adjacent_pairs(c).num_gates == 2
+
+
+def test_merge_rotations_additive():
+    c = Circuit(1)
+    c.append("rx", 0, 0.3).append("rx", 0, 0.4)
+    out = merge_rotations(c)
+    assert out.num_gates == 1
+    assert out.operations[0].param == pytest.approx(0.7)
+
+
+def test_merge_rotations_to_identity():
+    c = Circuit(1)
+    c.append("ry", 0, 0.5).append("ry", 0, -0.5)
+    assert merge_rotations(c).num_gates == 0
+
+
+def test_merge_blocked_by_other_axis():
+    c = Circuit(1)
+    c.append("rx", 0, 0.3).append("rz", 0, 0.1).append("rx", 0, 0.4)
+    out = merge_rotations(c)
+    assert out.num_gates == 3  # rz blocks the fusion
+
+
+def test_zero_initialised_ansatz_collapses():
+    """The paper's Sec. VIII claim: the theta=0 Fig. 8 circuit transpiles to
+    almost nothing (rotations vanish; CNOT rings remain as adjacent pairs
+    only if they align -- with a ring they do not fully cancel, but all 8
+    rotations must go)."""
+    from repro.core.ansatz import fig8_ansatz
+
+    bound = fig8_ansatz().bind(np.zeros(8))
+    opt, report = optimize(bound)
+    assert report.gates_before == 16
+    names = {op.gate for op in opt}
+    assert "ry" not in names
+    assert report.gate_reduction >= 0.5
+
+
+def test_requires_bound_circuit():
+    c = Circuit(1)
+    c.append("rx", 0, "t")
+    with pytest.raises(ValueError):
+        remove_identity_rotations(c)
+    with pytest.raises(ValueError):
+        merge_rotations(c)
+    with pytest.raises(ValueError):
+        cancel_adjacent_pairs(c)
+
+
+def test_report_metrics():
+    c = Circuit(2)
+    c.append("rx", 0, 0.0).append("cnot", (0, 1)).append("cnot", (0, 1))
+    _, report = optimize(c)
+    assert report.gates_before == 3
+    assert report.gates_after == 0
+    assert report.gate_reduction == pytest.approx(1.0)

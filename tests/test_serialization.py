@@ -1,0 +1,66 @@
+"""Serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ansatz import fig8_ansatz
+from repro.quantum.circuit import Circuit
+from repro.quantum.statevector import run_circuit
+from repro.utils.serialization import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_feature_matrix,
+    save_feature_matrix,
+)
+
+
+def test_circuit_roundtrip_bound():
+    c = Circuit(2, name="demo")
+    c.append("h", 0).append("cnot", (0, 1)).append("ry", 1, 0.7)
+    restored = circuit_from_dict(circuit_to_dict(c))
+    assert restored.name == "demo"
+    assert restored.num_qubits == 2
+    assert np.allclose(run_circuit(restored), run_circuit(c))
+
+
+def test_circuit_roundtrip_symbolic():
+    c = fig8_ansatz()
+    restored = circuit_from_dict(circuit_to_dict(c))
+    assert restored.num_parameters == c.num_parameters
+    assert [p.name for p in restored.parameters] == [p.name for p in c.parameters]
+    theta = np.linspace(-1, 1, 8)
+    assert np.allclose(
+        run_circuit(restored.bind(theta)), run_circuit(c.bind(theta))
+    )
+
+
+def test_circuit_dict_is_json_safe():
+    import json
+
+    c = fig8_ansatz()
+    text = json.dumps(circuit_to_dict(c))
+    restored = circuit_from_dict(json.loads(text))
+    assert restored.num_gates == c.num_gates
+
+
+def test_feature_matrix_roundtrip(tmp_path):
+    rng = np.random.default_rng(0)
+    q = rng.normal(size=(20, 13))
+    y = rng.integers(0, 2, 20)
+    meta = {"strategy": "observable", "locality": 2, "seed": 7}
+    path = tmp_path / "features.npz"
+    save_feature_matrix(path, q, y, meta)
+    q2, y2, meta2 = load_feature_matrix(path)
+    assert np.array_equal(q, q2)
+    assert np.array_equal(y, y2)
+    assert meta2 == meta
+
+
+def test_feature_matrix_without_labels(tmp_path):
+    q = np.ones((3, 2))
+    path = tmp_path / "q_only.npz"
+    save_feature_matrix(path, q)
+    q2, y2, meta = load_feature_matrix(path)
+    assert y2 is None
+    assert meta == {}
+    assert np.array_equal(q2, q)

@@ -1,0 +1,115 @@
+"""Tests for the shared utility layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.combinatorics import (
+    bounded_subsets,
+    count_bounded_subsets,
+    signed_assignments,
+)
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_power_of_two,
+    check_probability,
+    check_square,
+    require,
+)
+
+
+# ---------------------------------------------------------------------- rng
+def test_as_rng_identity_on_generator():
+    gen = np.random.default_rng(0)
+    assert as_rng(gen) is gen
+
+
+def test_as_rng_deterministic_from_seed():
+    a = as_rng(5).integers(0, 1000, 10)
+    b = as_rng(5).integers(0, 1000, 10)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    children_a = spawn_rngs(7, 4)
+    children_b = spawn_rngs(7, 4)
+    draws_a = [c.integers(0, 2**31) for c in children_a]
+    draws_b = [c.integers(0, 2**31) for c in children_b]
+    assert draws_a == draws_b  # deterministic fan-out
+    assert len(set(draws_a)) == 4  # streams differ from each other
+
+
+def test_spawn_rngs_validation():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+    assert spawn_rngs(0, 0) == []
+
+
+# ------------------------------------------------------------ combinatorics
+@given(n=st.integers(0, 10), k=st.integers(0, 5))
+@settings(max_examples=60)
+def test_bounded_subsets_count_and_uniqueness(n, k):
+    subsets = list(bounded_subsets(n, k))
+    assert len(set(subsets)) == len(subsets)
+    assert len(subsets) == count_bounded_subsets(n, k, 1)
+    assert subsets[0] == ()
+    sizes = [len(s) for s in subsets]
+    assert sizes == sorted(sizes)
+
+
+@given(n=st.integers(0, 8), k=st.integers(0, 4), branching=st.integers(1, 4))
+@settings(max_examples=60)
+def test_count_matches_explicit_enumeration(n, k, branching):
+    total = sum(
+        len(list(signed_assignments(s, tuple(range(branching)))))
+        for s in bounded_subsets(n, k)
+    )
+    assert total == count_bounded_subsets(n, k, branching)
+
+
+def test_signed_assignments_empty_subset():
+    assert list(signed_assignments((), (1, -1))) == [()]
+
+
+def test_signed_assignments_cartesian():
+    out = list(signed_assignments((0, 1), "ab"))
+    assert out == [("a", "a"), ("a", "b"), ("b", "a"), ("b", "b")]
+
+
+def test_combinatorics_validation():
+    with pytest.raises(ValueError):
+        list(bounded_subsets(3, -1))
+    with pytest.raises(ValueError):
+        count_bounded_subsets(3, -1, 2)
+
+
+# --------------------------------------------------------------- validation
+def test_require():
+    require(True, "fine")
+    with pytest.raises(ValueError, match="broken"):
+        require(False, "broken")
+
+
+def test_check_power_of_two():
+    assert check_power_of_two(1) == 0
+    assert check_power_of_two(16) == 4
+    for bad in (0, -4, 3, 12):
+        with pytest.raises(ValueError):
+            check_power_of_two(bad)
+
+
+def test_check_probability():
+    assert check_probability(0.5) == 0.5
+    for bad in (-0.1, 1.1):
+        with pytest.raises(ValueError):
+            check_probability(bad)
+
+
+def test_check_square():
+    m = check_square(np.eye(3))
+    assert m.shape == (3, 3)
+    with pytest.raises(ValueError):
+        check_square(np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        check_square(np.ones(4))
