@@ -1,0 +1,103 @@
+"""E12 -- compiled-circuit engine: naive vs fused wall time.
+
+The Q-matrix sweep (paper Algorithm 1) re-executes the same fixed circuit on
+every data chunk, so ahead-of-time fusion (paper Sec. VIII argument applied
+to execution rather than gate count) should amortise: blocks of support <= k
+collapse ~3-4 gates into one tensordot.  Measured here on the reference
+workload -- 8 qubits, depth >= 40, batch 256 -- with the acceptance bar of a
+>= 2x speedup over the naive per-gate engine.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.compile import DEFAULT_FUSION_WIDTH, compile_circuit
+from repro.quantum.statevector import run_circuit
+
+NUM_QUBITS = 8
+TARGET_DEPTH = 40
+BATCH = 256
+REPEATS = 5
+
+
+def build_workload() -> tuple[Circuit, np.ndarray]:
+    """A depth>=40 hardware-efficient circuit and a batch-256 state block."""
+    rng = np.random.default_rng(0)
+    circuit = Circuit(NUM_QUBITS, name="qmatrix-hotpath")
+    while circuit.depth() < TARGET_DEPTH:
+        for q in range(NUM_QUBITS):
+            circuit.append("ry", q, rng.uniform(-np.pi, np.pi))
+            circuit.append("rz", q, rng.uniform(-np.pi, np.pi))
+        for q in range(NUM_QUBITS - 1):
+            circuit.append("cnot", (q, q + 1))
+    states = rng.normal(size=(BATCH, 2**NUM_QUBITS)) + 1j * rng.normal(
+        size=(BATCH, 2**NUM_QUBITS)
+    )
+    states /= np.linalg.norm(states, axis=1, keepdims=True)
+    return circuit, states
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_speedup():
+    circuit, states = build_workload()
+    compile_start = time.perf_counter()
+    program = compile_circuit(circuit, cache=None)
+    compile_time = time.perf_counter() - compile_start
+
+    naive = run_circuit(circuit, state=states)
+    fused = program.apply(states)
+    max_err = float(np.abs(naive - fused).max())
+
+    t_naive = _best_of(lambda: run_circuit(circuit, state=states))
+    t_fused = _best_of(lambda: program.apply(states))
+    return {
+        "gates": circuit.num_gates,
+        "depth": circuit.depth(),
+        "blocks": program.num_blocks,
+        "fusion_width": DEFAULT_FUSION_WIDTH,
+        "compile_time": compile_time,
+        "t_naive": t_naive,
+        "t_fused": t_fused,
+        "speedup": t_naive / t_fused,
+        "max_err": max_err,
+    }
+
+
+def test_compile_speedup(benchmark):
+    r = benchmark.pedantic(run_speedup, rounds=1, iterations=1)
+
+    print("\n=== E12: compiled engine on the Q-matrix hot path ===")
+    print(
+        f"workload: {NUM_QUBITS} qubits, depth {r['depth']}, "
+        f"{r['gates']} gates, batch {BATCH}"
+    )
+    print(
+        f"fusion (k={r['fusion_width']}): {r['gates']} gates -> {r['blocks']} blocks, "
+        f"compiled once in {r['compile_time']*1e3:.1f} ms"
+    )
+    print(
+        f"naive {r['t_naive']*1e3:.1f} ms  compiled {r['t_fused']*1e3:.1f} ms  "
+        f"speedup {r['speedup']:.2f}x  (max |diff| {r['max_err']:.1e})"
+    )
+
+    # Correctness first: fused execution is the same map.
+    assert r["max_err"] < 1e-10
+    # The tentpole acceptance bar: >= 2x on the reference workload.  (The
+    # sweep reuses one compiled artifact across hundreds of chunks, so the
+    # steady-state per-call time is the honest comparison; compile cost is
+    # reported above and amortises after the first chunk.)
+    assert r["speedup"] >= 2.0
+    # Fusion actually fused: at least a 2x reduction in kernel launches.
+    assert r["blocks"] * 2 <= r["gates"]

@@ -31,6 +31,7 @@ from repro.data.encoding import encode_batch
 from repro.hpc.executor import ParallelExecutor
 from repro.hpc.partition import chunk_ranges
 from repro.quantum.circuit import Circuit
+from repro.quantum.compile import CompiledCircuit, compile_circuit, resolve_fusion_width
 from repro.quantum.observables import PauliString, expectation
 from repro.quantum.sampling import measure_pauli_batch
 from repro.quantum.shadows import collect_shadows, estimate_pauli
@@ -58,9 +59,37 @@ def _bound_ansatz(strategy: Strategy, params: np.ndarray) -> Circuit | None:
     return circuit.bind(params)
 
 
+def _ansatz_programs(
+    strategy: Strategy, compile: str | int
+) -> list[Circuit | CompiledCircuit | None]:
+    """One executable program per Ansatz instance, prepared once per sweep.
+
+    Binding (and, when ``compile`` is on, fusion) happens here -- up front
+    and once per parameter set -- instead of once per (Ansatz, chunk) job,
+    so the Q-matrix sweep reuses each artifact across every data chunk and,
+    because :class:`CompiledCircuit` pickles, across process workers too.
+    """
+    width = resolve_fusion_width(compile)
+    programs: list[Circuit | CompiledCircuit | None] = []
+    for params in strategy.parameter_sets():
+        bound = _bound_ansatz(strategy, params)
+        if bound is not None and width is not None:
+            bound = compile_circuit(bound, max_width=width)
+        programs.append(bound)
+    return programs
+
+
+def _evolve(states: np.ndarray, program: Circuit | CompiledCircuit | None) -> np.ndarray:
+    if program is None:
+        return states
+    if isinstance(program, CompiledCircuit):
+        return program.apply(states)
+    return run_circuit(program, state=states)
+
+
 def _evaluate_block(
     states: np.ndarray,
-    bound: Circuit | None,
+    program: Circuit | CompiledCircuit | None,
     observables: list[PauliString],
     estimator: str,
     shots: int,
@@ -72,7 +101,7 @@ def _evaluate_block(
     Returns (chunk, q).  This is the module-level worker so the process
     executor backend can pickle it via functools.partial-free closures.
     """
-    evolved = run_circuit(bound, state=states) if bound is not None else states
+    evolved = _evolve(states, program)
     q = len(observables)
     block = np.empty((evolved.shape[0], q))
     if estimator == "exact":
@@ -102,11 +131,13 @@ class _BlockWorker:
         shots: int,
         snapshots: int,
         seeds: list[int] | None,
+        compile: str | int = "off",
     ):
-        self.strategy = strategy
         self.states = states
         self.observables = strategy.observables()
-        self.parameter_sets = strategy.parameter_sets()
+        # Bind/compile each Ansatz instance exactly once for the whole sweep
+        # (not per chunk); compiled programs pickle to process workers.
+        self.programs = _ansatz_programs(strategy, compile)
         self.estimator = estimator
         self.shots = shots
         self.snapshots = snapshots
@@ -114,11 +145,10 @@ class _BlockWorker:
 
     def __call__(self, job_with_index: tuple[int, FeatureJob]) -> tuple[FeatureJob, np.ndarray]:
         task_id, job = job_with_index
-        bound = _bound_ansatz(self.strategy, self.parameter_sets[job.ansatz_index])
         rng = None if self.seeds is None else np.random.default_rng(self.seeds[task_id])
         block = _evaluate_block(
             self.states[job.lo : job.hi],
-            bound,
+            self.programs[job.ansatz_index],
             self.observables,
             self.estimator,
             self.shots,
@@ -137,12 +167,16 @@ def generate_features(
     executor: ParallelExecutor | None = None,
     chunk_size: int = 128,
     seed: int | np.random.Generator | None = 0,
+    compile: str | int = "off",
 ) -> np.ndarray:
     """Algorithm 1: the full Q matrix for pooled-angle images ``angles``.
 
     ``angles`` is (d, rows, cols) with cols == strategy.num_qubits; returns
     (d, m).  ``shots``/``snapshots`` apply per (data point, Ansatz,
-    observable) and per (data point, Ansatz) respectively.
+    observable) and per (data point, Ansatz) respectively.  ``compile``
+    selects the circuit engine (``"auto"``/``"off"``/fusion width; see
+    :mod:`repro.quantum.compile`) -- the default ``"off"`` keeps the naive
+    reference semantics bit-for-bit.
     """
     angles = np.asarray(angles, dtype=float)
     if angles.ndim != 3:
@@ -161,6 +195,7 @@ def generate_features(
         executor=executor,
         chunk_size=chunk_size,
         seed=seed,
+        compile=compile,
     )
 
 
@@ -173,6 +208,7 @@ def evaluate_features(
     executor: ParallelExecutor | None = None,
     chunk_size: int = 128,
     seed: int | np.random.Generator | None = 0,
+    compile: str | int = "off",
 ) -> np.ndarray:
     """Q matrix from pre-encoded statevectors ``states`` (d, 2**n)."""
     if estimator not in ESTIMATORS:
@@ -196,7 +232,7 @@ def evaluate_features(
         children = spawn_rngs(seed, len(jobs))
         seeds = [int(c.integers(0, 2**63)) for c in children]
 
-    worker = _BlockWorker(strategy, states, estimator, shots, snapshots, seeds)
+    worker = _BlockWorker(strategy, states, estimator, shots, snapshots, seeds, compile)
     results = executor.map(worker, list(enumerate(jobs)))
 
     out = np.empty((d, p * q))

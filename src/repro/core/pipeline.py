@@ -73,6 +73,9 @@ class HybridPipeline:
     scheduling_policy: str = "lpt"
     chunk_size: int = 128
     seed: int = 0
+    # Compiled execution is the system-layer default: the ensemble circuits
+    # are fixed, so each is fused once and reused for every chunk/worker.
+    compile: str | int = "auto"
     report_: PipelineReport | None = field(default=None, repr=False)
     head_: object = field(default=None, repr=False)
 
@@ -119,6 +122,7 @@ class HybridPipeline:
                 executor=self.executor,
                 chunk_size=self.chunk_size,
                 seed=self.seed,
+                compile=self.compile,
             )
         counter.add("circuits_executed", self.strategy.num_ansatze * angles.shape[0])
         counter.add(
@@ -164,6 +168,7 @@ class HybridPipeline:
             executor=self.executor,
             chunk_size=self.chunk_size,
             seed=self.seed,
+            compile=self.compile,
         )
 
     def predict(self, angles: np.ndarray) -> np.ndarray:

@@ -33,7 +33,15 @@ from repro.quantum.shadows import (
     shadow_budget,
 )
 from repro.quantum.parameter_shift import expectation_function, gradient, hessian
-from repro.quantum.transpile import TranspileReport, optimize
+from repro.quantum.transpile import TranspileReport, fuse_blocks, optimize
+from repro.quantum.compile import (
+    CompileCache,
+    CompiledCircuit,
+    FusedBlock,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_circuit,
+)
 from repro.quantum.noise import NoiseModel
 from repro.quantum.grouping import (
     MeasurementGroup,
@@ -78,7 +86,14 @@ __all__ = [
     "gradient",
     "hessian",
     "TranspileReport",
+    "fuse_blocks",
     "optimize",
+    "CompileCache",
+    "CompiledCircuit",
+    "FusedBlock",
+    "clear_compile_cache",
+    "compile_cache_info",
+    "compile_circuit",
     "NoiseModel",
     "MeasurementGroup",
     "group_qubit_wise",

@@ -152,6 +152,21 @@ class Circuit:
                 frontier[q] = layer
         return max(frontier, default=0)
 
+    def fingerprint(self) -> tuple:
+        """Hashable identity of a bound circuit.
+
+        Width plus the exact gate list (names, qubits, angles): two circuits
+        share a fingerprint iff they execute identically, so this is the
+        compile-cache key.  Same structure with different bound angles
+        yields a different fingerprint by construction.
+        """
+        if not self.is_bound:
+            raise ValueError("fingerprint requires a bound circuit")
+        return (self.num_qubits,) + tuple(
+            (op.gate, op.qubits, None if op.param is None else float(op.param))
+            for op in self.operations
+        )
+
     def gate_counts(self) -> dict[str, int]:
         """Histogram of gate names."""
         counts: dict[str, int] = {}
@@ -202,7 +217,9 @@ class Circuit:
         """Return the adjoint circuit (bound circuits only).
 
         Uses gate-level inverses: self-inverse gates stay, rotations negate
-        their angle, S <-> Sdg, T -> phase(-pi/4).
+        their angle, S <-> Sdg, T <-> Tdg.  Every rule maps supported gates
+        to supported gates, so ``c.inverse().inverse()`` reproduces ``c``
+        operation-for-operation (the round-trip property the tests pin).
         """
         if not self.is_bound:
             raise ValueError("inverse requires a bound circuit")
@@ -220,6 +237,7 @@ class Circuit:
 
 _SELF_INVERSE = {"i", "x", "y", "z", "h", "cnot", "cx", "cz", "swap"}
 _ROTATIONS = {"rx", "ry", "rz", "phase", "crx", "cry", "crz"}
+_DAGGER_PAIRS = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
 
 
 def _inverse_op(op: Operation) -> Operation:
@@ -227,10 +245,6 @@ def _inverse_op(op: Operation) -> Operation:
         return op
     if op.gate in _ROTATIONS:
         return replace(op, param=-float(op.param))  # type: ignore[arg-type]
-    if op.gate == "s":
-        return Operation("sdg", op.qubits)
-    if op.gate == "sdg":
-        return Operation("s", op.qubits)
-    if op.gate == "t":
-        return Operation("phase", op.qubits, -np.pi / 4)
+    if op.gate in _DAGGER_PAIRS:
+        return Operation(_DAGGER_PAIRS[op.gate], op.qubits)
     raise KeyError(f"no inverse rule for gate {op.gate!r}")

@@ -30,6 +30,7 @@ __all__ = [
     "S",
     "SDG",
     "T",
+    "TDG",
     "CNOT",
     "CZ",
     "SWAP",
@@ -56,6 +57,7 @@ H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2)
 S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
 SDG = S.conj().T
 T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=np.complex128)
+TDG = T.conj().T
 
 CNOT = np.array(
     [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=np.complex128
@@ -122,6 +124,7 @@ FIXED_GATES: dict[str, np.ndarray] = {
     "s": S,
     "sdg": SDG,
     "t": T,
+    "tdg": TDG,
     "cnot": CNOT,
     "cx": CNOT,
     "cz": CZ,
@@ -139,7 +142,7 @@ PARAMETRIC_GATES: dict[str, Callable[[float], np.ndarray]] = {
 }
 
 GATE_NUM_QUBITS: dict[str, int] = {
-    **{name: 1 for name in ("i", "x", "y", "z", "h", "s", "sdg", "t", "rx", "ry", "rz", "phase")},
+    **{name: 1 for name in ("i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "phase")},
     **{name: 2 for name in ("cnot", "cx", "cz", "swap", "crx", "cry", "crz")},
 }
 

@@ -129,11 +129,19 @@ def run_circuit(
     circuit: Circuit,
     state: np.ndarray | None = None,
     params: Sequence[float] | None = None,
+    compile: str | int = "off",
 ) -> np.ndarray:
     """Evolve ``state`` (default |0..0>) through ``circuit``.
 
     Unbound circuits require ``params``.  ``state`` may be a batch; the same
     bound circuit is applied to every batch element.
+
+    ``compile`` selects the execution engine: ``"off"`` walks the gate list
+    (one einsum per gate, the reference semantics), ``"auto"`` or an int
+    ``k >= 1`` routes through :func:`repro.quantum.compile.compile_circuit`
+    -- gates are fused into blocks of support <= k and the compiled program
+    is cached, so repeated calls on the same bound circuit skip straight to
+    the fused kernels.
     """
     if not circuit.is_bound:
         if params is None:
@@ -148,6 +156,12 @@ def run_circuit(
         raise ValueError(
             f"state dim {batch.shape[1]} incompatible with {circuit.num_qubits} qubits"
         )
+    if compile != "off" and compile is not None:
+        # Imported here: repro.quantum.compile itself builds on this module.
+        from repro.quantum.compile import compile_circuit
+
+        batch = compile_circuit(circuit, max_width=compile).apply(batch)
+        return batch[0] if squeeze else batch
     for op in circuit:
         batch = apply_matrix_batch(batch, gate_matrix(op.gate, op.param), op.qubits)
     return batch[0] if squeeze else batch
@@ -171,7 +185,10 @@ def sample_counts(
     batch, squeeze = _as_batch(np.asarray(state))
     probs = probabilities(batch)
     probs = probs / probs.sum(axis=1, keepdims=True)
-    counts = np.stack([rng.multinomial(shots, p) for p in probs])
+    # One batched multinomial call: the per-row loop moves into NumPy's C
+    # layer, which draws the same conditional binomials in the same order as
+    # sequential per-row calls -- the seed-determinism contract the tests pin.
+    counts = rng.multinomial(shots, probs)
     return counts[0] if squeeze else counts
 
 
@@ -183,32 +200,49 @@ def fidelity(state_a: np.ndarray, state_b: np.ndarray) -> np.ndarray | float:
     return float(overlap[0]) if (squeeze_a and squeeze_b) else overlap
 
 
+#: Sentinel distinguishing "use the simulator's configured engine" from an
+#: explicit ``compile=None`` (which, like ``"off"``, means no compilation).
+_INSTANCE_DEFAULT: str = "__instance_default__"
+
+
 class StatevectorSimulator:
     """Object-style front end over the functional kernels.
 
     Keeps an explicit ``num_qubits`` so that mixed-width circuits are caught
     early, and offers the expectation-value entry point the estimation layers
-    build on.
+    build on.  ``compile`` sets the default execution engine for every
+    :meth:`run` (overridable per call); see :func:`run_circuit`.
     """
 
-    def __init__(self, num_qubits: int):
+    def __init__(self, num_qubits: int, compile: str | int = "off"):
         if num_qubits < 1:
             raise ValueError("num_qubits must be >= 1")
+        from repro.quantum.compile import resolve_fusion_width
+
+        resolve_fusion_width(compile)  # validate the knob eagerly
         self.num_qubits = int(num_qubits)
         self.dim = 2**self.num_qubits
+        self.compile = compile
 
     def run(
         self,
         circuit: Circuit,
         state: np.ndarray | None = None,
         params: Sequence[float] | None = None,
+        compile: str | int | None = _INSTANCE_DEFAULT,
     ) -> np.ndarray:
-        """Evolve ``state`` through ``circuit`` (see :func:`run_circuit`)."""
+        """Evolve ``state`` through ``circuit`` (see :func:`run_circuit`).
+
+        ``compile`` defaults to the instance-wide engine; pass ``"off"``
+        (or ``None``, per the :func:`run_circuit` contract) to force the
+        naive reference engine for one call.
+        """
         if circuit.num_qubits != self.num_qubits:
             raise ValueError(
                 f"circuit acts on {circuit.num_qubits} qubits, simulator on {self.num_qubits}"
             )
-        return run_circuit(circuit, state=state, params=params)
+        engine = self.compile if compile is _INSTANCE_DEFAULT else compile
+        return run_circuit(circuit, state=state, params=params, compile=engine)
 
     def expectation(self, state: np.ndarray, observable) -> np.ndarray | float:
         """``<state|observable|state>`` for a PauliString/PauliSum/matrix.

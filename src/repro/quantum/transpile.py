@@ -22,6 +22,7 @@ __all__ = [
     "remove_identity_rotations",
     "cancel_adjacent_pairs",
     "merge_rotations",
+    "fuse_blocks",
     "optimize",
     "TranspileReport",
 ]
@@ -151,6 +152,44 @@ def merge_rotations(circuit: Circuit, atol: float = 1e-12) -> Circuit:
     out = Circuit(circuit.num_qubits, name=circuit.name)
     out.operations = result
     return out
+
+
+def fuse_blocks(
+    circuit: Circuit, max_width: int = 3
+) -> list[tuple[tuple[int, ...], list[Operation]]]:
+    """Greedy contiguous partition into fusable blocks of bounded support.
+
+    Walks the gate list once, growing the current block while its combined
+    qubit support stays ``<= max_width`` and flushing it otherwise.  Returns
+    ``(support, ops)`` pairs in program order where ``support`` is the
+    sorted union of the block's qubits; concatenating the ``ops`` lists
+    restores the original gate list exactly (the invariant the property
+    tests pin).  A gate wider than ``max_width`` opens its own block, so
+    ``max_width=1`` still admits two-qubit gates -- they just never merge
+    with neighbours.
+
+    This is the partition stage of the compiler
+    (:func:`repro.quantum.compile.compile_circuit` turns each block into a
+    single dense unitary).
+    """
+    if max_width < 1:
+        raise ValueError(f"max_width={max_width} must be >= 1")
+    if not circuit.is_bound:
+        raise ValueError("fusion requires a bound circuit")
+    blocks: list[tuple[tuple[int, ...], list[Operation]]] = []
+    support: set[int] = set()
+    ops: list[Operation] = []
+    for op in circuit:
+        merged = support | set(op.qubits)
+        if ops and len(merged) > max_width:
+            blocks.append((tuple(sorted(support)), ops))
+            support, ops = set(op.qubits), [op]
+        else:
+            support = merged
+            ops.append(op)
+    if ops:
+        blocks.append((tuple(sorted(support)), ops))
+    return blocks
 
 
 @dataclass(frozen=True)

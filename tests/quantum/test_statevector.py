@@ -170,3 +170,41 @@ def test_simulator_expectation_entry_point():
     c.append("x", 0)
     psi = sim.run(c)
     assert sim.expectation(psi, PauliString("ZI")) == pytest.approx(-1.0)
+
+
+def _sample_counts_reference(state, shots, seed):
+    """The pre-vectorisation sample_counts: one multinomial call per row."""
+    rng = np.random.default_rng(seed)
+    batch = np.atleast_2d(np.asarray(state))
+    probs = np.abs(batch) ** 2
+    probs = probs / probs.sum(axis=1, keepdims=True)
+    counts = np.stack([rng.multinomial(shots, p) for p in probs])
+    return counts[0] if np.asarray(state).ndim == 1 else counts
+
+
+@pytest.mark.parametrize("batch", [1, 5, 64])
+@pytest.mark.parametrize("n", [2, 4])
+def test_sample_counts_vectorised_matches_per_row_loop(batch, n):
+    """The batched multinomial draws the same stream as sequential per-row
+    calls -- the output contract of the original Python-level loop."""
+    rng = np.random.default_rng(100 + batch + n)
+    states = rng.normal(size=(batch, 2**n)) + 1j * rng.normal(size=(batch, 2**n))
+    states /= np.linalg.norm(states, axis=1, keepdims=True)
+    for seed in (0, 7, 123):
+        assert np.array_equal(
+            sample_counts(states, shots=500, seed=seed),
+            _sample_counts_reference(states, 500, seed),
+        )
+
+
+def test_sample_counts_single_state_contract():
+    psi = run_circuit(Circuit(2).append("h", 0).append("cnot", (0, 1)))
+    counts = sample_counts(psi, shots=1000, seed=9)
+    assert counts.shape == (4,)  # unbatched in, unbatched out
+    assert counts.sum() == 1000
+    assert np.array_equal(counts, _sample_counts_reference(psi, 1000, 9))
+    # Large batch: one vectorised call, row sums exact.
+    batch = np.tile(psi, (256, 1))
+    batch_counts = sample_counts(batch, shots=64, seed=1)
+    assert batch_counts.shape == (256, 4)
+    assert np.array_equal(batch_counts.sum(axis=1), np.full(256, 64))
