@@ -13,7 +13,13 @@ from repro.core.strategies import (
     Strategy,
     strategy_from_name,
 )
-from repro.core.features import evaluate_features, generate_features
+from repro.core.features import (
+    evaluate_features,
+    feature_circuit_tasks,
+    feature_jobs,
+    generate_features,
+    iter_feature_blocks,
+)
 from repro.core.pruning import apply_pruning, fidelity_prune, gradient_prune
 from repro.core.model import PostVariationalClassifier, PostVariationalRegressor
 from repro.core.variational import VariationalClassifier
@@ -71,6 +77,9 @@ __all__ = [
     "Strategy",
     "strategy_from_name",
     "evaluate_features",
+    "feature_circuit_tasks",
+    "feature_jobs",
+    "iter_feature_blocks",
     "generate_features",
     "apply_pruning",
     "fidelity_prune",

@@ -25,7 +25,9 @@ import numpy as np
 from repro.core.features import generate_features
 from repro.core.strategies import Strategy
 from repro.hpc.comm import Communicator
+from repro.hpc.executor import ParallelExecutor
 from repro.hpc.partition import block_partition
+from repro.hpc.runtime import ExecutionRuntime
 from repro.ml.losses import sigmoid
 
 __all__ = ["generate_features_spmd", "fit_logistic_spmd", "SpmdFitResult"]
@@ -39,6 +41,8 @@ def generate_features_spmd(
     shots: int = 1024,
     seed: int = 0,
     allgather: bool = False,
+    executor: ParallelExecutor | ExecutionRuntime | None = None,
+    dispatch_policy: str = "work_stealing",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Collective Algorithm 1: rank r computes rows ``block_partition[r]``.
 
@@ -50,6 +54,11 @@ def generate_features_spmd(
     global row, making runs deterministic for a *fixed* rank count (shot
     noise realisations differ across rank counts, as they would on a real
     cluster with per-node RNGs).
+
+    ``executor`` lets each rank drive a *persistent* node-local runtime
+    (hybrid MPI x pool parallelism): the pool survives across repeated
+    collective sweeps instead of being rebuilt per call, and
+    ``dispatch_policy`` orders the rank-local submission queue.
     """
     angles = np.asarray(angles, dtype=float)
     rows = block_partition(angles.shape[0], comm.size)[comm.rank]
@@ -60,6 +69,8 @@ def generate_features_spmd(
             estimator=estimator,
             shots=shots,
             seed=seed + int(rows[0]),
+            executor=executor,
+            dispatch_policy=dispatch_policy,
         )
     else:
         block = np.empty((0, strategy.num_features))

@@ -14,22 +14,35 @@ Three estimators exercise the paper's three measurement models:
   (data point, Ansatz) reused across all q observables (Proposition 2).
 
 The work grid (Ansatz instance x data chunk) is embarrassingly parallel and
-is dispatched through :class:`repro.hpc.executor.ParallelExecutor`; all
-backends produce identical matrices for ``exact`` and seed-deterministic
-matrices otherwise (child RNG streams are derived per task, independent of
-schedule).
+is dispatched through the persistent
+:class:`repro.hpc.runtime.ExecutionRuntime` (or a
+:class:`repro.hpc.executor.ParallelExecutor` facade over one).  Dispatch is
+*streaming*: a per-task cost model (chunk size x Ansatz depth x shot
+budget, priced by :func:`repro.hpc.cluster.task_costs`) orders submission
+via the scheduling policies, and each completed block is scattered into the
+preallocated Q matrix as its future resolves -- no end-of-sweep barrier.
+:func:`iter_feature_blocks` exposes the same stream to incremental
+consumers.
+
+All backends and policies produce identical matrices for ``exact`` and
+seed-deterministic matrices otherwise (child RNG streams are derived per
+task index, independent of schedule).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.strategies import Strategy
 from repro.data.encoding import encode_batch
+from repro.hpc.cluster import CircuitTask, task_costs
 from repro.hpc.executor import ParallelExecutor
 from repro.hpc.partition import chunk_ranges
+from repro.hpc.runtime import DispatchReport, ExecutionRuntime, TaskCompletion
 from repro.quantum.circuit import Circuit
 from repro.quantum.compile import CompiledCircuit, compile_circuit, resolve_fusion_width
 from repro.quantum.observables import PauliString, expectation
@@ -38,7 +51,14 @@ from repro.quantum.shadows import collect_shadows, estimate_pauli
 from repro.quantum.statevector import run_circuit
 from repro.utils.rng import as_rng, spawn_rngs
 
-__all__ = ["FeatureJob", "generate_features", "evaluate_features"]
+__all__ = [
+    "FeatureJob",
+    "feature_jobs",
+    "generate_features",
+    "evaluate_features",
+    "iter_feature_blocks",
+    "feature_circuit_tasks",
+]
 
 ESTIMATORS = ("exact", "shots", "shadows")
 
@@ -50,6 +70,20 @@ class FeatureJob:
     ansatz_index: int
     lo: int
     hi: int
+
+
+def feature_jobs(num_ansatze: int, num_samples: int, chunk_size: int) -> list[FeatureJob]:
+    """The sweep's work grid: one job per (Ansatz instance, data chunk).
+
+    The single source of truth for job enumeration -- both the live
+    dispatch path and :meth:`HybridPipeline.circuit_tasks`' analytic
+    projection build on it, so the two can never silently diverge.
+    """
+    return [
+        FeatureJob(a, lo, hi)
+        for a in range(num_ansatze)
+        for (lo, hi) in chunk_ranges(num_samples, chunk_size)
+    ]
 
 
 def _bound_ansatz(strategy: Strategy, params: np.ndarray) -> Circuit | None:
@@ -77,6 +111,15 @@ def _ansatz_programs(
             bound = compile_circuit(bound, max_width=width)
         programs.append(bound)
     return programs
+
+
+def _program_ops(program: Circuit | CompiledCircuit | None) -> int:
+    """Kernel launches one program costs: gate count, fused-block count, or 0."""
+    if program is None:
+        return 0
+    if isinstance(program, CompiledCircuit):
+        return program.num_blocks
+    return program.num_gates
 
 
 def _evolve(states: np.ndarray, program: Circuit | CompiledCircuit | None) -> np.ndarray:
@@ -158,17 +201,114 @@ class _BlockWorker:
         return job, block
 
 
+def feature_circuit_tasks(
+    jobs: list[FeatureJob],
+    programs: list[Circuit | CompiledCircuit | None],
+    num_qubits: int,
+    num_observables: int,
+    estimator: str,
+    shots: int,
+    snapshots: int,
+) -> list[CircuitTask]:
+    """Cost-model view of the sweep: one :class:`CircuitTask` per job.
+
+    Chunk size, per-circuit shot budget and Ansatz depth (gate/fused-block
+    count, scaled by the 2**n statevector size) all enter the cost, so the
+    scheduling policies see the same heterogeneity the real execution pays.
+    """
+    q = num_observables
+    dim = 2**num_qubits
+    shots_per_circuit = 0 if estimator == "exact" else (
+        shots * q if estimator == "shots" else snapshots
+    )
+    tasks = []
+    for job in jobs:
+        chunk = job.hi - job.lo
+        ops = _program_ops(programs[job.ansatz_index])
+        tasks.append(
+            CircuitTask(
+                num_circuits=chunk,
+                shots=shots_per_circuit,
+                result_bytes=8 * chunk * q,
+                classical_flops=float(chunk * dim * (4 * ops + q)),
+            )
+        )
+    return tasks
+
+
+def _resolve_runtime(
+    executor: ParallelExecutor | ExecutionRuntime | None,
+) -> ExecutionRuntime:
+    """Accept the facade, a bare runtime, or None (inline serial runtime)."""
+    if executor is None:
+        return ExecutionRuntime()
+    if isinstance(executor, ExecutionRuntime):
+        return executor
+    return executor.runtime
+
+
+def _sweep_stream(
+    strategy: Strategy,
+    states: np.ndarray,
+    estimator: str,
+    shots: int,
+    snapshots: int,
+    executor: ParallelExecutor | ExecutionRuntime | None,
+    chunk_size: int,
+    seed: int | np.random.Generator | None,
+    compile: str | int,
+    dispatch_policy: str,
+    records: list[TaskCompletion] | None = None,
+) -> tuple[Iterator[TaskCompletion], np.ndarray, ExecutionRuntime]:
+    """Shared sweep setup: completion stream, cost vector, runtime."""
+    if estimator not in ESTIMATORS:
+        raise ValueError(f"unknown estimator {estimator!r}; choose from {ESTIMATORS}")
+    runtime = _resolve_runtime(executor)
+    jobs = feature_jobs(strategy.num_ansatze, states.shape[0], chunk_size)
+    # Per-task independent RNG streams, keyed by task *index*: results do
+    # not depend on the executor backend, policy or completion order.
+    if estimator == "exact":
+        seeds = None
+    else:
+        children = spawn_rngs(seed, len(jobs))
+        seeds = [int(c.integers(0, 2**63)) for c in children]
+
+    worker = _BlockWorker(strategy, states, estimator, shots, snapshots, seeds, compile)
+    costs = task_costs(
+        feature_circuit_tasks(
+            jobs,
+            worker.programs,
+            strategy.num_qubits,
+            strategy.num_observables,
+            estimator,
+            shots,
+            snapshots,
+        )
+    )
+    stream = runtime.stream(
+        worker,
+        list(enumerate(jobs)),
+        costs=costs,
+        policy=dispatch_policy,
+        records=records,
+    )
+    return stream, costs, runtime
+
+
 def generate_features(
     strategy: Strategy,
     angles: np.ndarray,
     estimator: str = "exact",
     shots: int = 1024,
     snapshots: int = 512,
-    executor: ParallelExecutor | None = None,
+    executor: ParallelExecutor | ExecutionRuntime | None = None,
     chunk_size: int = 128,
     seed: int | np.random.Generator | None = 0,
     compile: str | int = "off",
-) -> np.ndarray:
+    dispatch_policy: str = "work_stealing",
+    out: np.ndarray | None = None,
+    return_report: bool = False,
+) -> np.ndarray | tuple[np.ndarray, DispatchReport]:
     """Algorithm 1: the full Q matrix for pooled-angle images ``angles``.
 
     ``angles`` is (d, rows, cols) with cols == strategy.num_qubits; returns
@@ -176,7 +316,10 @@ def generate_features(
     observable) and per (data point, Ansatz) respectively.  ``compile``
     selects the circuit engine (``"auto"``/``"off"``/fusion width; see
     :mod:`repro.quantum.compile`) -- the default ``"off"`` keeps the naive
-    reference semantics bit-for-bit.
+    reference semantics bit-for-bit.  ``dispatch_policy`` orders live task
+    submission (see :func:`repro.hpc.scheduler.submission_order`); with
+    ``return_report=True`` the measured-vs-projected
+    :class:`~repro.hpc.runtime.DispatchReport` is returned alongside Q.
     """
     angles = np.asarray(angles, dtype=float)
     if angles.ndim != 3:
@@ -196,6 +339,9 @@ def generate_features(
         chunk_size=chunk_size,
         seed=seed,
         compile=compile,
+        dispatch_policy=dispatch_policy,
+        out=out,
+        return_report=return_report,
     )
 
 
@@ -205,37 +351,82 @@ def evaluate_features(
     estimator: str = "exact",
     shots: int = 1024,
     snapshots: int = 512,
-    executor: ParallelExecutor | None = None,
+    executor: ParallelExecutor | ExecutionRuntime | None = None,
     chunk_size: int = 128,
     seed: int | np.random.Generator | None = 0,
     compile: str | int = "off",
-) -> np.ndarray:
-    """Q matrix from pre-encoded statevectors ``states`` (d, 2**n)."""
-    if estimator not in ESTIMATORS:
-        raise ValueError(f"unknown estimator {estimator!r}; choose from {ESTIMATORS}")
+    dispatch_policy: str = "work_stealing",
+    out: np.ndarray | None = None,
+    return_report: bool = False,
+) -> np.ndarray | tuple[np.ndarray, DispatchReport]:
+    """Q matrix from pre-encoded statevectors ``states`` (d, 2**n).
+
+    Assembly is streaming: blocks land in the (optionally caller-supplied)
+    preallocated ``out`` matrix as their futures resolve, in completion
+    order.  ``out`` must be float64 of shape (d, p*q).
+    """
     states = np.asarray(states, dtype=np.complex128)
     d = states.shape[0]
     p = strategy.num_ansatze
     q = strategy.num_observables
-    executor = executor or ParallelExecutor()
+    if out is None:
+        out = np.empty((d, p * q))
+    elif out.shape != (d, p * q) or out.dtype != np.float64:
+        raise ValueError(f"out must be float64 of shape {(d, p * q)}, got {out.dtype} {out.shape}")
 
-    jobs = [
-        FeatureJob(a, lo, hi)
-        for a in range(p)
-        for (lo, hi) in chunk_ranges(d, chunk_size)
-    ]
-    # Per-task independent RNG streams: results do not depend on the
-    # executor backend or completion order.
-    if estimator == "exact":
-        seeds = None
-    else:
-        children = spawn_rngs(seed, len(jobs))
-        seeds = [int(c.integers(0, 2**63)) for c in children]
-
-    worker = _BlockWorker(strategy, states, estimator, shots, snapshots, seeds, compile)
-    results = executor.map(worker, list(enumerate(jobs)))
-
-    out = np.empty((d, p * q))
-    for job, block in results:
+    # Timing records are only collected when a report is requested; they
+    # are result-free (index + seconds), so nothing pins completed blocks.
+    records: list[TaskCompletion] | None = [] if return_report else None
+    stream, costs, runtime = _sweep_stream(
+        strategy, states, estimator, shots, snapshots, executor,
+        chunk_size, seed, compile, dispatch_policy, records,
+    )
+    # Timed window covers dispatch + assembly only: binding/compilation,
+    # RNG spawning and (via warm()) pool construction are one-time setup
+    # the replayed makespan never models, so including them would inflate
+    # wall_over_replay.
+    runtime.warm()
+    start = time.perf_counter()
+    for completion in stream:
+        job, block = completion.result
         out[job.lo : job.hi, job.ansatz_index * q : (job.ansatz_index + 1) * q] = block
+    wall = time.perf_counter() - start
+
+    if return_report:
+        report = DispatchReport.from_records(
+            dispatch_policy, runtime.backend, runtime.max_workers, costs, records or (), wall
+        )
+        return out, report
     return out
+
+
+def iter_feature_blocks(
+    strategy: Strategy,
+    states: np.ndarray,
+    estimator: str = "exact",
+    shots: int = 1024,
+    snapshots: int = 512,
+    executor: ParallelExecutor | ExecutionRuntime | None = None,
+    chunk_size: int = 128,
+    seed: int | np.random.Generator | None = 0,
+    compile: str | int = "off",
+    dispatch_policy: str = "work_stealing",
+) -> Iterator[tuple[FeatureJob, np.ndarray]]:
+    """Stream Q-matrix blocks as ``(FeatureJob, (chunk, q) block)`` pairs.
+
+    Blocks arrive in *completion* order (submission order for serial
+    runtimes) -- the incremental-consumer view of Algorithm 1: online
+    learners, progress reporting, or out-of-core assembly can consume
+    features without ever materialising the full matrix.  Every job is
+    yielded exactly once; the union of blocks tiles the full Q matrix.
+    Identical numerics to :func:`evaluate_features` (same per-task seeds).
+
+    Setup (validation, binding/compilation, cost model) runs eagerly at the
+    call, so bad arguments raise here rather than at the first ``next()``.
+    """
+    states = np.asarray(states, dtype=np.complex128)
+    stream, _, _ = _sweep_stream(
+        strategy, states, estimator, shots, snapshots, executor,
+        chunk_size, seed, compile, dispatch_policy,
+    )
+    return (completion.result for completion in stream)

@@ -1,0 +1,37 @@
+"""Executor-lifecycle behaviour shared by pipeline and model classes.
+
+Every orchestrator that holds an ``executor`` field (``HybridPipeline``,
+``PostVariationalRegressor``, ``PostVariationalClassifier``) needs the same
+close()/context-manager plumbing -- and the same ownership rule, so it
+lives here once.
+"""
+
+from __future__ import annotations
+
+from repro.hpc.executor import ParallelExecutor
+
+__all__ = ["ExecutorOwnerMixin"]
+
+
+class ExecutorOwnerMixin:
+    """close()/``with`` support for classes exposing an ``executor`` field.
+
+    Ownership rule: a :class:`ParallelExecutor` facade is released on
+    ``close()`` -- that is recoverable, the facade lazily rebuilds its pool
+    if the object is used again.  A bare, caller-supplied
+    :class:`~repro.hpc.runtime.ExecutionRuntime` is left untouched: its
+    shutdown is permanent and it may be shared across consumers, so only
+    its owner decides when it dies.
+    """
+
+    def close(self) -> None:
+        """Release the persistent worker pool of an owned/facade executor."""
+        executor = getattr(self, "executor", None)
+        if isinstance(executor, ParallelExecutor):
+            executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

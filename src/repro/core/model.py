@@ -21,8 +21,10 @@ from typing import Literal
 import numpy as np
 
 from repro.core.features import generate_features
+from repro.core.lifecycle import ExecutorOwnerMixin
 from repro.core.strategies import Strategy
 from repro.hpc.executor import ParallelExecutor
+from repro.hpc.runtime import ExecutionRuntime
 from repro.ml.convex import ConstrainedLeastSquares, ConstrainedLogistic
 from repro.ml.linear import LinearRegression, RidgeRegression
 from repro.ml.logistic import LogisticRegression, SoftmaxRegression
@@ -32,7 +34,7 @@ __all__ = ["PostVariationalRegressor", "PostVariationalClassifier"]
 
 
 @dataclass
-class PostVariationalRegressor:
+class PostVariationalRegressor(ExecutorOwnerMixin):
     """Quantum features + linear-regression head.
 
     ``head``: 'pinv' (paper closed form), 'ridge' (Tikhonov, Sec. VI.B) or
@@ -45,7 +47,7 @@ class PostVariationalRegressor:
     estimator: str = "exact"
     shots: int = 1024
     snapshots: int = 512
-    executor: ParallelExecutor | None = None
+    executor: ParallelExecutor | ExecutionRuntime | None = None
     seed: int = 0
     q_train_: np.ndarray | None = field(default=None, repr=False)
     model_: object = field(default=None, repr=False)
@@ -92,7 +94,7 @@ class PostVariationalRegressor:
 
 
 @dataclass
-class PostVariationalClassifier:
+class PostVariationalClassifier(ExecutorOwnerMixin):
     """Quantum features + logistic head (binary or softmax multiclass).
 
     ``l2`` is the logistic L2 penalty; ``head='constrained'`` switches the
@@ -107,7 +109,7 @@ class PostVariationalClassifier:
     estimator: str = "exact"
     shots: int = 1024
     snapshots: int = 512
-    executor: ParallelExecutor | None = None
+    executor: ParallelExecutor | ExecutionRuntime | None = None
     seed: int = 0
     q_train_: np.ndarray | None = field(default=None, repr=False)
     model_: object = field(default=None, repr=False)

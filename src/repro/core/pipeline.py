@@ -19,12 +19,13 @@ from typing import Literal
 
 import numpy as np
 
-from repro.core.features import FeatureJob, generate_features
+from repro.core.features import feature_circuit_tasks, feature_jobs, generate_features
+from repro.core.lifecycle import ExecutorOwnerMixin
 from repro.core.strategies import Strategy
 from repro.hpc.cluster import CircuitTask, ClusterModel
 from repro.hpc.executor import ParallelExecutor
-from repro.hpc.partition import chunk_ranges
-from repro.hpc.profiling import Counter, StageTimer
+from repro.hpc.profiling import Counter, StageTimer, dispatch_summary
+from repro.hpc.runtime import DispatchReport, ExecutionRuntime
 from repro.ml.logistic import LogisticRegression, SoftmaxRegression
 from repro.ml.metrics import accuracy
 
@@ -33,7 +34,12 @@ __all__ = ["PipelineReport", "HybridPipeline"]
 
 @dataclass
 class PipelineReport:
-    """Everything a run log needs: sizes, timings, projected makespan."""
+    """Everything a run log needs: sizes, timings, projected makespan.
+
+    ``dispatch`` carries the live runtime's measured per-task wall-clock,
+    reconciling the analytic makespan projection against reality (see
+    :meth:`repro.hpc.runtime.DispatchReport.reconcile`).
+    """
 
     num_features: int
     num_ansatze: int
@@ -43,6 +49,7 @@ class PipelineReport:
     counter: Counter
     projected_makespan: float | None = None
     scheduling_policy: str | None = None
+    dispatch: DispatchReport | None = None
 
     def summary(self) -> str:
         lines = [
@@ -55,12 +62,20 @@ class PipelineReport:
                 f"projected cluster makespan ({self.scheduling_policy}): "
                 f"{self.projected_makespan:.4f}s"
             )
+        if self.dispatch is not None:
+            lines.append(dispatch_summary(self.dispatch))
         return "\n".join(lines)
 
 
 @dataclass
-class HybridPipeline:
-    """Strategy + estimator + executor + classical head, fully instrumented."""
+class HybridPipeline(ExecutorOwnerMixin):
+    """Strategy + estimator + executor + classical head, fully instrumented.
+
+    Executor lifecycle comes from :class:`ExecutorOwnerMixin`: ``close()``
+    (or the ``with`` block) releases a :class:`ParallelExecutor` facade's
+    pool, while a bare caller-supplied ``ExecutionRuntime`` -- possibly
+    shared with other consumers -- is never shut down from here.
+    """
 
     strategy: Strategy = None  # type: ignore[assignment]
     num_classes: int = 2
@@ -68,7 +83,7 @@ class HybridPipeline:
     shots: int = 1024
     snapshots: int = 512
     l2: float = 1.0
-    executor: ParallelExecutor | None = None
+    executor: ParallelExecutor | ExecutionRuntime | None = None
     cluster: ClusterModel | None = None
     scheduling_policy: str = "lpt"
     chunk_size: int = 128
@@ -82,28 +97,35 @@ class HybridPipeline:
     def __post_init__(self) -> None:
         if self.strategy is None:
             raise ValueError("strategy is required")
+        # One long-lived executor (persistent runtime) per pipeline: the
+        # worker pool is created on the first sweep and reused by every
+        # subsequent fit/predict until close().
         self.executor = self.executor or ParallelExecutor()
 
     # ------------------------------------------------------------ workload
     def circuit_tasks(self, num_samples: int) -> list[CircuitTask]:
-        """The dispatch units a real cluster would receive."""
-        q = self.strategy.num_observables
-        shots_per_circuit = 0 if self.estimator == "exact" else (
-            self.shots * q if self.estimator == "shots" else self.snapshots
+        """The dispatch units a real cluster would receive.
+
+        Priced by the same cost model (chunk x Ansatz depth x shot budget)
+        that orders live dispatch, so the analytic projection and the real
+        submission order agree by construction.
+        """
+        ansatz = self.strategy.ansatz
+        if ansatz is not None and ansatz.num_parameters == 0:
+            ansatz = None  # parameter-free Ansatz is skipped by the sweep too
+        jobs = feature_jobs(self.strategy.num_ansatze, num_samples, self.chunk_size)
+        # Gate count is binding-independent, so the unbound Ansatz prices
+        # every instance without compiling anything just for a projection.
+        programs = [ansatz] * self.strategy.num_ansatze
+        return feature_circuit_tasks(
+            jobs,
+            programs,
+            self.strategy.num_qubits,
+            self.strategy.num_observables,
+            self.estimator,
+            self.shots,
+            self.snapshots,
         )
-        tasks = []
-        for _ in range(self.strategy.num_ansatze):
-            for lo, hi in chunk_ranges(num_samples, self.chunk_size):
-                chunk = hi - lo
-                tasks.append(
-                    CircuitTask(
-                        num_circuits=chunk,
-                        shots=shots_per_circuit,
-                        result_bytes=8 * chunk * q,
-                        classical_flops=float(chunk * q * 2 ** self.strategy.num_qubits),
-                    )
-                )
-        return tasks
 
     # ----------------------------------------------------------------- fit
     def fit(self, angles: np.ndarray, y: np.ndarray) -> "HybridPipeline":
@@ -113,7 +135,7 @@ class HybridPipeline:
         y = np.asarray(y)
 
         with timer.stage("generate_features"):
-            q_matrix = generate_features(
+            q_matrix, dispatch = generate_features(
                 self.strategy,
                 angles,
                 estimator=self.estimator,
@@ -123,12 +145,22 @@ class HybridPipeline:
                 chunk_size=self.chunk_size,
                 seed=self.seed,
                 compile=self.compile,
+                dispatch_policy=self.scheduling_policy,
+                return_report=True,
             )
-        counter.add("circuits_executed", self.strategy.num_ansatze * angles.shape[0])
-        counter.add(
-            "shots_fired",
-            0 if self.estimator == "exact" else self.shots * q_matrix.size,
-        )
+        d, p = angles.shape[0], self.strategy.num_ansatze
+        counter.add("circuits_executed", p * d)
+        # Measurement budgets differ by estimator: direct measurement pays
+        # ``shots`` per (data point, Ansatz, observable) = shots * Q.size,
+        # while classical shadows pay ``snapshots`` per (data point, Ansatz)
+        # -- the batch is reused across all q observables (Proposition 2).
+        if self.estimator == "exact":
+            shots_fired = 0
+        elif self.estimator == "shots":
+            shots_fired = self.shots * q_matrix.size
+        else:
+            shots_fired = self.snapshots * d * p
+        counter.add("shots_fired", shots_fired)
 
         with timer.stage("fit_head"):
             if self.num_classes == 2:
@@ -154,6 +186,7 @@ class HybridPipeline:
             counter=counter,
             projected_makespan=projected,
             scheduling_policy=self.scheduling_policy if projected is not None else None,
+            dispatch=dispatch,
         )
         return self
 
@@ -169,6 +202,7 @@ class HybridPipeline:
             chunk_size=self.chunk_size,
             seed=self.seed,
             compile=self.compile,
+            dispatch_policy=self.scheduling_policy,
         )
 
     def predict(self, angles: np.ndarray) -> np.ndarray:

@@ -8,23 +8,36 @@ for reproducible scaling studies.
 
 from repro.hpc.comm import Communicator, Request, SpmdError, run_spmd
 from repro.hpc.executor import ExecutorConfig, ParallelExecutor
+from repro.hpc.runtime import (
+    DispatchReport,
+    ExecutionRuntime,
+    TaskCompletion,
+    resolve_max_workers,
+)
 from repro.hpc.partition import (
     balanced_cost_partition,
     block_partition,
     chunk_ranges,
     cyclic_partition,
 )
-from repro.hpc.scheduler import SCHEDULING_POLICIES, Assignment, schedule
+from repro.hpc.scheduler import (
+    SCHEDULING_POLICIES,
+    Assignment,
+    schedule,
+    submission_order,
+    work_stealing_schedule,
+)
 from repro.hpc.cluster import (
     CircuitTask,
     ClusterModel,
     NodeSpec,
     ScalingPoint,
     strong_scaling,
+    task_costs,
     weak_scaling,
 )
 from repro.hpc.shotalloc import allocate_shots
-from repro.hpc.profiling import Counter, StageTimer, scaling_report
+from repro.hpc.profiling import Counter, StageTimer, dispatch_summary, scaling_report
 from repro.hpc.tracing import Trace, TraceEvent
 
 __all__ = [
@@ -34,6 +47,10 @@ __all__ = [
     "run_spmd",
     "ExecutorConfig",
     "ParallelExecutor",
+    "ExecutionRuntime",
+    "DispatchReport",
+    "TaskCompletion",
+    "resolve_max_workers",
     "balanced_cost_partition",
     "block_partition",
     "chunk_ranges",
@@ -41,16 +58,20 @@ __all__ = [
     "SCHEDULING_POLICIES",
     "Assignment",
     "schedule",
+    "submission_order",
+    "work_stealing_schedule",
     "CircuitTask",
     "ClusterModel",
     "NodeSpec",
     "ScalingPoint",
     "strong_scaling",
     "weak_scaling",
+    "task_costs",
     "allocate_shots",
     "Counter",
     "StageTimer",
     "scaling_report",
+    "dispatch_summary",
     "Trace",
     "TraceEvent",
 ]

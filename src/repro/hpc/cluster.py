@@ -23,7 +23,15 @@ import numpy as np
 
 from repro.hpc.scheduler import Assignment, schedule
 
-__all__ = ["NodeSpec", "CircuitTask", "ClusterModel", "ScalingPoint", "strong_scaling", "weak_scaling"]
+__all__ = [
+    "NodeSpec",
+    "CircuitTask",
+    "ClusterModel",
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+    "task_costs",
+]
 
 
 @dataclass(frozen=True)
@@ -110,6 +118,20 @@ class ClusterModel:
             node_times.append(comp + comm)
         total = max(node_times, default=0.0) + self.link_latency
         return total, assignment
+
+
+def task_costs(tasks: Sequence[CircuitTask], node: NodeSpec | None = None) -> np.ndarray:
+    """Per-task cost vector for *live* dispatch ordering.
+
+    The same cost model that drives the analytic makespan projection
+    (:meth:`ClusterModel.task_compute_time`) feeds the runtime's scheduling
+    policies, so the projected schedule and the real submission order agree
+    by construction.  Only cost *ratios* matter for ordering; the default
+    :class:`NodeSpec` gives a sensible relative weighting of shots vs
+    per-circuit overhead vs classical post-processing.
+    """
+    model = ClusterModel(node=node or NodeSpec())
+    return np.array([model.task_compute_time(t) for t in tasks], dtype=float)
 
 
 @dataclass(frozen=True)

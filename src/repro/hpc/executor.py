@@ -8,40 +8,41 @@ One interface, three backends:
 * ``process`` -- ``ProcessPoolExecutor`` for CPU-bound Python-heavy tasks
   (task callables must be picklable module-level functions).
 
+Since the runtime refactor, :class:`ParallelExecutor` is a thin facade over
+a *persistent* :class:`repro.hpc.runtime.ExecutionRuntime`: the worker pool
+is created lazily on first use and reused across every subsequent ``map``
+(every ``fit``/``predict`` sweep), instead of being rebuilt per call.
+Release it explicitly with ``close()`` or by using the executor as a
+context manager; idle pools are otherwise reaped at interpreter exit.
+
 Results preserve task order regardless of completion order, so all backends
 are bit-for-bit interchangeable -- the property the tests pin down.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.hpc.runtime import ExecutionRuntime, ExecutorConfig
 
 __all__ = ["ParallelExecutor", "ExecutorConfig"]
 
-_BACKENDS = ("serial", "thread", "process")
-
-
-@dataclass(frozen=True)
-class ExecutorConfig:
-    """Executor settings; a plain dataclass so pipelines can log/serialise it."""
-
-    backend: str = "serial"
-    max_workers: int = 1
-
-    def __post_init__(self) -> None:
-        if self.backend not in _BACKENDS:
-            raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
-        if self.max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
-
 
 class ParallelExecutor:
-    """Order-preserving parallel ``map`` over independent tasks."""
+    """Order-preserving parallel ``map`` over a persistent worker pool."""
 
-    def __init__(self, backend: str = "serial", max_workers: int = 1):
-        self.config = ExecutorConfig(backend=backend, max_workers=max_workers)
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: int | str | None = 1,
+        start_method: str | None = None,
+    ):
+        self.config = ExecutorConfig(
+            backend=backend, max_workers=max_workers, start_method=start_method
+        )
+        self._runtime: ExecutionRuntime | None = None
+        self._lock = threading.Lock()
 
     @property
     def backend(self) -> str:
@@ -49,26 +50,44 @@ class ParallelExecutor:
 
     @property
     def max_workers(self) -> int:
-        return self.config.max_workers
+        return self.config.max_workers  # type: ignore[return-value]
+
+    @property
+    def runtime(self) -> ExecutionRuntime:
+        """The long-lived runtime backing this executor (created lazily).
+
+        A fresh runtime is built transparently if the previous one was
+        closed, so an executor stays usable after ``close()``.  Creation is
+        locked: the facade may be shared across threads without racing two
+        pools into existence.
+        """
+        with self._lock:
+            if self._runtime is None or self._runtime.closed:
+                self._runtime = ExecutionRuntime(config=self.config)
+            return self._runtime
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
         """Apply ``fn`` to every task; results ordered like ``tasks``."""
-        tasks = list(tasks)
-        if not tasks:
-            return []
-        if self.config.backend == "serial" or self.config.max_workers == 1:
-            return [fn(t) for t in tasks]
-        if self.config.backend == "thread":
-            with ThreadPoolExecutor(max_workers=self.config.max_workers) as pool:
-                return list(pool.map(fn, tasks))
-        with ProcessPoolExecutor(max_workers=self.config.max_workers) as pool:
-            return list(pool.map(fn, tasks))
+        return self.runtime.map(fn, list(tasks))
 
     def starmap(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
         """``map`` with argument tuples unpacked."""
         return self.map(lambda args: fn(*args), list(tasks)) \
             if self.config.backend != "process" \
             else self.map(_Star(fn), list(tasks))
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the underlying pool down (a later call recreates it)."""
+        with self._lock:
+            runtime, self._runtime = self._runtime, None
+        if runtime is not None:
+            runtime.shutdown(wait=wait)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelExecutor({self.config.backend}, workers={self.config.max_workers})"

@@ -13,7 +13,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["StageTimer", "Counter", "scaling_report"]
+__all__ = ["StageTimer", "Counter", "scaling_report", "dispatch_summary"]
 
 
 @dataclass
@@ -58,6 +58,23 @@ class Counter:
 
     def get(self, name: str) -> int:
         return self.values.get(name, 0)
+
+
+def dispatch_summary(report) -> str:
+    """One-line reconciliation of a :class:`repro.hpc.runtime.DispatchReport`.
+
+    Duck-typed (anything exposing ``policy``/``backend``/``num_workers``/
+    ``num_tasks``/``reconcile()``) so this formatting layer stays free of
+    runtime imports.
+    """
+    r = report.reconcile()
+    return (
+        f"dispatch ({report.policy}, {report.backend}x{report.num_workers}): "
+        f"{report.num_tasks} tasks, wall {r['wall_s']:.4f}s, "
+        f"replayed makespan {r['replayed_makespan_s']:.4f}s "
+        f"(wall/replay {r['wall_over_replay']:.2f}), "
+        f"cost model correlation {r['cost_correlation']:+.2f}"
+    )
 
 
 def scaling_report(points) -> str:

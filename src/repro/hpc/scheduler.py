@@ -4,7 +4,10 @@ The hybrid HPC-QC system must place heterogeneous circuit batches (costs vary
 with shift configuration after transpilation, with shot counts, with data
 chunk sizes) onto QPU-equipped nodes.  Four policies are provided; each
 returns an :class:`Assignment` whose makespan is computed analytically so
-policies can be compared deterministically in benchmark E7.
+policies can be compared deterministically in benchmark E7.  The same
+policies drive *live* dispatch: :func:`submission_order` turns a cost
+vector into the queue order :class:`repro.hpc.runtime.ExecutionRuntime`
+feeds its persistent worker pool.
 """
 
 from __future__ import annotations
@@ -16,7 +19,13 @@ import numpy as np
 
 from repro.hpc.partition import block_partition, balanced_cost_partition, cyclic_partition
 
-__all__ = ["Assignment", "schedule", "SCHEDULING_POLICIES", "work_stealing_schedule"]
+__all__ = [
+    "Assignment",
+    "schedule",
+    "SCHEDULING_POLICIES",
+    "work_stealing_schedule",
+    "submission_order",
+]
 
 SCHEDULING_POLICIES = ("block", "cyclic", "lpt", "work_stealing")
 
@@ -82,6 +91,55 @@ def schedule(costs: Sequence[float], num_nodes: int, policy: str = "lpt") -> Ass
         tasks_per_node=tuple(tuple(int(i) for i in p) for p in parts),
         loads=loads,
     )
+
+
+def submission_order(
+    costs: Sequence[float], num_workers: int, policy: str = "work_stealing"
+) -> np.ndarray:
+    """Task order for *live* dispatch into a shared greedy worker queue.
+
+    A pool whose idle workers pull from a shared queue is exactly a greedy
+    list scheduler, so the queue order *is* the schedule:
+
+    * ``work_stealing`` -- index order: pure dynamic self-scheduling;
+    * ``lpt``           -- decreasing cost (stable): the classic longest-
+      processing-time rule, realising the same greedy placement as
+      :func:`repro.hpc.partition.balanced_cost_partition` projects;
+    * ``block``         -- round-robin across contiguous blocks, so the
+      queue interleaves one task from each node's block region;
+    * ``cyclic``        -- round-robin across strided parts (for a shared
+      queue this degenerates to index order, as it should).
+
+    Deterministic for fixed inputs; returns a permutation of
+    ``arange(len(costs))``.  Ordering never affects *results* (per-task RNG
+    streams are derived by index), only load balance.
+    """
+    costs = np.asarray(costs, dtype=float)
+    if policy not in SCHEDULING_POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {SCHEDULING_POLICIES}")
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    n = costs.size
+    if n == 0:
+        return np.empty(0, dtype=int)
+    if policy == "work_stealing":
+        return np.arange(n)
+    if policy == "lpt":
+        return np.argsort(-costs, kind="stable")
+    parts = (
+        block_partition(n, num_workers)
+        if policy == "block"
+        else cyclic_partition(n, num_workers)
+    )
+    order = np.empty(n, dtype=int)
+    pos = 0
+    depth = max((len(p) for p in parts), default=0)
+    for i in range(depth):
+        for part in parts:
+            if i < len(part):
+                order[pos] = part[i]
+                pos += 1
+    return order
 
 
 def work_stealing_schedule(costs: Sequence[float], num_nodes: int) -> Assignment:

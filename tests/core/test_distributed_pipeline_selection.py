@@ -36,6 +36,30 @@ def test_spmd_features_match_serial(task):
         assert np.allclose(full, serial)
 
 
+def test_spmd_features_with_persistent_runtime(task):
+    """Each rank may drive a node-local persistent pool; numbers unchanged."""
+    from repro.hpc.executor import ParallelExecutor
+
+    angles, _ = task
+    strategy = ObservableConstruction(qubits=4, locality=1)
+    serial = generate_features(strategy, angles)
+
+    def prog(comm):
+        with ParallelExecutor("thread", 2) as ex:
+            _, full = generate_features_spmd(
+                comm,
+                strategy,
+                angles,
+                allgather=True,
+                executor=ex,
+                dispatch_policy="lpt",
+            )
+        return full
+
+    for full in run_spmd(prog, 2):
+        assert np.allclose(full, serial)
+
+
 def test_spmd_features_deterministic_with_shots(task):
     """At a fixed rank count, stochastic SPMD feature generation is
     reproducible, and estimates stay within shot-noise of the exact Q."""

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.features import evaluate_features, generate_features
+from repro.core.features import (
+    FeatureJob,
+    evaluate_features,
+    feature_circuit_tasks,
+    generate_features,
+    iter_feature_blocks,
+)
 from repro.core.strategies import (
     AnsatzExpansion,
     HybridStrategy,
@@ -11,6 +17,7 @@ from repro.core.strategies import (
 )
 from repro.data.encoding import encode_batch
 from repro.hpc.executor import ParallelExecutor
+from repro.hpc.runtime import ExecutionRuntime
 from repro.quantum.observables import expectation
 from repro.quantum.statevector import run_circuit
 
@@ -133,3 +140,110 @@ def test_validation(angles):
         generate_features(s, angles[:, :, :3])  # wrong qubit count
     with pytest.raises(ValueError):
         generate_features(s, angles, estimator="bogus")
+
+
+# ---------------------------------------------------------------- streaming
+def test_iter_feature_blocks_tiles_the_matrix(angles):
+    s = HybridStrategy(order=1, locality=1)
+    states = encode_batch(angles)
+    reference = evaluate_features(s, states, chunk_size=4)
+    q = s.num_observables
+    assembled = np.full_like(reference, np.nan)
+    count = 0
+    for job, block in iter_feature_blocks(s, states, chunk_size=4):
+        assert block.shape == (job.hi - job.lo, q)
+        target = assembled[job.lo : job.hi, job.ansatz_index * q : (job.ansatz_index + 1) * q]
+        assert np.all(np.isnan(target))  # each job yielded exactly once
+        assembled[job.lo : job.hi, job.ansatz_index * q : (job.ansatz_index + 1) * q] = block
+        count += 1
+    assert count == s.num_ansatze * 3  # ceil(9/4) = 3 chunks
+    assert np.array_equal(assembled, reference)
+
+
+def test_iter_feature_blocks_stochastic_matches_evaluate(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    states = encode_batch(angles)
+    reference = evaluate_features(s, states, estimator="shots", shots=64, seed=9, chunk_size=3)
+    q = s.num_observables
+    assembled = np.empty_like(reference)
+    for job, block in iter_feature_blocks(
+        s, states, estimator="shots", shots=64, seed=9, chunk_size=3
+    ):
+        assembled[job.lo : job.hi, job.ansatz_index * q : (job.ansatz_index + 1) * q] = block
+    assert np.array_equal(assembled, reference)
+
+
+def test_iter_feature_blocks_validates_eagerly(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    states = encode_batch(angles)
+    with pytest.raises(ValueError):
+        iter_feature_blocks(s, states, dispatch_policy="fifo")
+    with pytest.raises(ValueError):
+        iter_feature_blocks(s, states, estimator="bogus")
+
+
+def test_preallocated_out_filled_in_place(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    states = encode_batch(angles)
+    reference = evaluate_features(s, states)
+    buf = np.zeros_like(reference)
+    returned = evaluate_features(s, states, out=buf)
+    assert returned is buf
+    assert np.array_equal(buf, reference)
+    with pytest.raises(ValueError):
+        evaluate_features(s, states, out=np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        evaluate_features(s, states, out=np.zeros_like(reference, dtype=np.float32))
+
+
+def test_dispatch_report_covers_all_tasks(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    states = encode_batch(angles)
+    q_matrix, report = evaluate_features(
+        s, states, chunk_size=3, dispatch_policy="lpt", return_report=True
+    )
+    assert np.array_equal(q_matrix, evaluate_features(s, states, chunk_size=3))
+    assert report.policy == "lpt"
+    assert report.num_tasks == 3  # p=1 x ceil(9/3) chunks
+    assert all(sec >= 0 for sec in report.measured_seconds)
+    assert all(cost > 0 for cost in report.predicted_costs)
+    assert set(report.reconcile()) >= {"projected_makespan", "wall_s", "cost_correlation"}
+
+
+def test_dispatch_policy_does_not_change_results(angles):
+    s = HybridStrategy(order=1, locality=1)
+    states = encode_batch(angles)
+    reference = evaluate_features(s, states, chunk_size=3)
+    with ParallelExecutor("thread", 3) as ex:
+        for policy in ("block", "cyclic", "lpt", "work_stealing"):
+            q = evaluate_features(
+                s, states, executor=ex, chunk_size=3, dispatch_policy=policy
+            )
+            assert np.array_equal(q, reference), policy
+
+
+def test_bare_runtime_accepted_as_executor(angles):
+    s = ObservableConstruction(qubits=4, locality=1)
+    states = encode_batch(angles)
+    with ExecutionRuntime("thread", 2) as rt:
+        q = evaluate_features(s, states, executor=rt, chunk_size=3)
+    assert np.array_equal(q, evaluate_features(s, states))
+
+
+def test_feature_circuit_tasks_price_depth_and_shots(angles):
+    s = HybridStrategy(order=1, locality=1)
+    jobs = [FeatureJob(0, 0, 4), FeatureJob(0, 4, 6)]
+    programs = [s.ansatz]
+    exact = feature_circuit_tasks(jobs, programs, s.num_qubits, s.num_observables, "exact", 0, 0)
+    assert [t.num_circuits for t in exact] == [4, 2]
+    assert all(t.shots == 0 for t in exact)
+    assert exact[0].classical_flops > exact[1].classical_flops  # bigger chunk costs more
+    shots = feature_circuit_tasks(jobs, programs, s.num_qubits, s.num_observables, "shots", 32, 0)
+    assert all(t.shots == 32 * s.num_observables for t in shots)
+    shadows = feature_circuit_tasks(
+        jobs, programs, s.num_qubits, s.num_observables, "shadows", 0, 128
+    )
+    assert all(t.shots == 128 for t in shadows)
+    # Deeper programs cost more classical work than no program at all.
+    empty = feature_circuit_tasks(jobs, [None], s.num_qubits, s.num_observables, "exact", 0, 0)
+    assert exact[0].classical_flops > empty[0].classical_flops

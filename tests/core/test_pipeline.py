@@ -90,6 +90,110 @@ def test_multiclass_pipeline():
     assert set(np.unique(pipe.predict(angles))) <= {0, 1, 2}
 
 
+def test_shots_fired_accounting(small_task):
+    """Budget regression: shots pays per (d, p, q) entry, shadows per (d, p)."""
+    angles, y = small_task
+    d = angles.shape[0]
+    strategy = ObservableConstruction(qubits=4, locality=1)
+    p, q = strategy.num_ansatze, strategy.num_observables
+
+    exact = HybridPipeline(strategy=strategy).fit(angles, y)
+    assert exact.report_.counter.get("shots_fired") == 0
+
+    shots = HybridPipeline(strategy=strategy, estimator="shots", shots=64).fit(angles, y)
+    assert shots.report_.counter.get("shots_fired") == 64 * d * p * q
+
+    shadows = HybridPipeline(
+        strategy=strategy, estimator="shadows", snapshots=128
+    ).fit(angles, y)
+    # One shadow batch per (data point, Ansatz), reused across all q
+    # observables -- NOT snapshots * Q.size.
+    assert shadows.report_.counter.get("shots_fired") == 128 * d * p
+
+
+def test_report_dispatch_reconciliation(small_task):
+    angles, y = small_task
+    pipe = HybridPipeline(
+        strategy=ObservableConstruction(qubits=4, locality=1),
+        executor=ParallelExecutor("thread", 2),
+        chunk_size=8,
+        scheduling_policy="lpt",
+    )
+    pipe.fit(angles, y)
+    dispatch = pipe.report_.dispatch
+    assert dispatch is not None
+    assert dispatch.policy == "lpt"
+    assert dispatch.num_tasks == len(pipe.circuit_tasks(angles.shape[0]))
+    rec = dispatch.reconcile()
+    assert rec["wall_s"] > 0
+    assert rec["measured_total_s"] > 0
+    assert "dispatch (lpt" in pipe.report_.summary()
+    pipe.close()
+
+
+def test_pipeline_persistent_runtime_across_sweeps(small_task):
+    """One long-lived pool serves fit and every subsequent predict."""
+    angles, y = small_task
+    with HybridPipeline(
+        strategy=ObservableConstruction(qubits=4, locality=1),
+        executor=ParallelExecutor("thread", 2),
+        chunk_size=8,
+    ) as pipe:
+        pipe.fit(angles, y)
+        pipe.predict(angles)
+        pipe.predict(angles)
+        assert pipe.executor.runtime.pools_created == 1
+    assert pipe.executor._runtime is None  # context exit released the pool
+
+
+def test_pipeline_leaves_caller_owned_runtime_open(small_task):
+    """A bare ExecutionRuntime may be shared; the pipeline must not kill it."""
+    from repro.hpc.runtime import ExecutionRuntime
+
+    angles, y = small_task
+    with ExecutionRuntime("thread", 2) as runtime:
+        with HybridPipeline(
+            strategy=ObservableConstruction(qubits=4, locality=1),
+            executor=runtime,
+            chunk_size=8,
+        ) as pipe:
+            pipe.fit(angles, y)
+            assert pipe.score(angles, y) > 0.5
+        # Pipeline exit must leave the caller's runtime usable (shutdown is
+        # permanent, so only its owner may trigger it).
+        assert not runtime.closed
+        assert runtime.map(len, [[1, 2]]) == [2]
+    assert runtime.closed
+
+
+def test_model_classes_close_persistent_executor(small_task):
+    from repro.core.model import PostVariationalClassifier
+
+    angles, y = small_task
+    ex = ParallelExecutor("thread", 2)
+    with PostVariationalClassifier(
+        strategy=ObservableConstruction(qubits=4, locality=1), executor=ex
+    ) as clf:
+        clf.fit(angles, y)
+        assert clf.predict(angles).shape == y.shape
+    assert ex._runtime is None  # pool released on exit
+
+
+def test_scheduling_policies_do_not_change_predictions(small_task):
+    angles, y = small_task
+    strategy = ObservableConstruction(qubits=4, locality=1)
+    reference = HybridPipeline(strategy=strategy).fit(angles, y).predict(angles)
+    for policy in ("block", "cyclic", "lpt", "work_stealing"):
+        pipe = HybridPipeline(
+            strategy=strategy,
+            executor=ParallelExecutor("thread", 2),
+            chunk_size=8,
+            scheduling_policy=policy,
+        )
+        assert np.array_equal(pipe.fit(angles, y).predict(angles), reference)
+        pipe.close()
+
+
 def test_unfitted_errors(small_task):
     angles, y = small_task
     pipe = HybridPipeline(strategy=ObservableConstruction(qubits=4, locality=1))

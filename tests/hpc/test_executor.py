@@ -65,3 +65,57 @@ def test_numpy_payloads_roundtrip():
     arrays = [np.full(4, i) for i in range(6)]
     out = ex.map(lambda a: a.sum(), arrays)
     assert out == [0, 4, 8, 12, 16, 20]
+    ex.close()
+
+
+def test_auto_max_workers():
+    import os
+
+    cpus = os.cpu_count() or 1
+    assert ExecutorConfig(max_workers=None).max_workers == cpus
+    assert ExecutorConfig(max_workers="auto").max_workers == cpus
+    assert ParallelExecutor("thread", None).max_workers == cpus
+    assert ParallelExecutor("thread", "auto").max_workers == cpus
+    with pytest.raises(ValueError):
+        ParallelExecutor("thread", "all-of-them")
+
+
+def test_persistent_pool_reused_across_maps():
+    with ParallelExecutor("thread", 2) as ex:
+        ex.map(square, [1, 2])
+        ex.map(square, [3, 4])
+        ex.starmap(lambda a, b: a + b, [(1, 2)])
+        assert ex.runtime.pools_created == 1
+
+
+def test_concurrent_runtime_access_builds_one_runtime():
+    """Threads sharing a facade must not race duplicate pools into being."""
+    import threading
+
+    ex = ParallelExecutor("thread", 2)
+    seen = []
+    barrier = threading.Barrier(6)
+
+    def grab():
+        barrier.wait()
+        seen.append(ex.runtime)
+
+    threads = [threading.Thread(target=grab) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len({id(r) for r in seen}) == 1
+    ex.close()
+
+
+def test_close_then_reuse_recreates_runtime():
+    ex = ParallelExecutor("thread", 2)
+    first = ex.runtime
+    ex.map(square, [1])
+    ex.close()
+    assert first.closed
+    # The facade stays usable: a fresh runtime is built lazily.
+    assert ex.map(square, [5]) == [25]
+    assert ex.runtime is not first
+    ex.close()

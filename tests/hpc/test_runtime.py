@@ -1,0 +1,295 @@
+"""Persistent execution runtime tests: lifecycle, dispatch, reconciliation."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.hpc.runtime import (
+    DispatchReport,
+    ExecutionRuntime,
+    ExecutorConfig,
+    TaskCompletion,
+    resolve_max_workers,
+)
+
+
+def square(x):
+    return x * x
+
+
+def boom(_):
+    raise RuntimeError("task failed")
+
+
+# ---------------------------------------------------------------- config
+def test_auto_workers_resolution():
+    cpus = os.cpu_count() or 1
+    assert resolve_max_workers(None) == cpus
+    assert resolve_max_workers("auto") == cpus
+    assert resolve_max_workers(3) == 3
+    assert ExecutorConfig(max_workers=None).max_workers == cpus
+    assert ExecutorConfig(max_workers="auto").max_workers == cpus
+
+
+@pytest.mark.parametrize("bad", [0, -2, 1.5, "four", True, [2]])
+def test_invalid_workers_rejected(bad):
+    with pytest.raises(ValueError):
+        ExecutorConfig(max_workers=bad)
+
+
+def test_invalid_backend_and_start_method():
+    with pytest.raises(ValueError):
+        ExecutorConfig(backend="gpu")
+    with pytest.raises(ValueError):
+        ExecutorConfig(backend="process", start_method="teleport")
+    # start_method is meaningless off the process backend: reject, don't drop.
+    with pytest.raises(ValueError):
+        ExecutorConfig(backend="thread", start_method="spawn")
+    with pytest.raises(ValueError):
+        ExecutorConfig(backend="serial", start_method="fork")
+
+
+def test_numpy_integer_workers_accepted():
+    assert ExecutorConfig(max_workers=np.int64(2)).max_workers == 2
+
+
+# ------------------------------------------------------------- lifecycle
+def test_pool_created_once_and_reused():
+    with ExecutionRuntime("thread", 2) as rt:
+        assert rt.pools_created == 0  # lazy: no pool until first dispatch
+        rt.map(square, [1, 2, 3])
+        rt.map(square, [4, 5])
+        results, _ = rt.run(square, [6, 7])
+        assert rt.pools_created == 1
+        assert results == [36, 49]
+    assert rt.closed
+
+
+def test_shutdown_rejects_new_work():
+    rt = ExecutionRuntime("thread", 2)
+    rt.map(square, [1])
+    rt.shutdown()
+    for call in (lambda: rt.map(square, [1]), lambda: rt.submit(square, 1)):
+        with pytest.raises(RuntimeError):
+            call()
+    # Serial runtimes enforce the same contract.
+    srt = ExecutionRuntime()
+    srt.shutdown()
+    with pytest.raises(RuntimeError):
+        srt.map(square, [1])
+
+
+def _kill_worker(_):
+    os._exit(1)  # simulate a worker crash (breaks the process pool)
+
+
+def test_broken_process_pool_is_rebuilt():
+    """One crashed worker must not permanently poison the runtime."""
+    from concurrent.futures import BrokenExecutor
+
+    with ExecutionRuntime("process", 2) as rt:
+        fut = rt.submit(_kill_worker, 0)
+        with pytest.raises(BrokenExecutor):
+            fut.result()
+        # Subsequent dispatch rebuilds the pool and succeeds.
+        assert rt.map(square, [2, 3]) == [4, 9]
+        assert sorted(c.result for c in rt.stream(square, [4, 5])) == [16, 25]
+        assert rt.pools_created == 2
+
+
+def test_reconcile_flags_degenerate_measurement():
+    report = DispatchReport(
+        policy="lpt",
+        backend="thread",
+        num_workers=2,
+        predicted_costs=(1.0, 2.0),
+        measured_seconds=(0.0, 0.0),  # e.g. built from incomplete records
+        wall_seconds=0.5,
+    )
+    assert report.reconcile()["wall_over_replay"] == float("inf")
+
+
+def test_warm_builds_pool_before_first_dispatch():
+    with ExecutionRuntime("thread", 2) as rt:
+        rt.warm()
+        assert rt.pools_created == 1
+        assert rt._warmed_pool is rt._pool
+        rt.warm()  # idempotent: repeated warming of a live pool is free
+        assert rt.pools_created == 1
+        rt.map(square, [1, 2])
+        assert rt.pools_created == 1
+    serial = ExecutionRuntime()
+    serial.warm()  # no-op for inline configs
+    assert serial.pools_created == 0
+    serial.shutdown()
+    with pytest.raises(RuntimeError):
+        serial.warm()
+
+
+def test_serial_runtime_has_no_pool():
+    rt = ExecutionRuntime()
+    assert rt.map(square, [1, 2, 3]) == [1, 4, 9]
+    assert rt.pools_created == 0
+
+
+def test_single_worker_process_backend_uses_real_pool():
+    """process x1 must keep crash isolation / picklability, not run inline."""
+    with ExecutionRuntime("process", 1) as rt:
+        assert rt.map(square, [2, 3]) == [4, 9]
+        assert rt.pools_created == 1
+    with ExecutionRuntime("thread", 1) as rt:
+        assert rt.map(square, [2]) == [4]  # one thread == inline, no pool
+        assert rt.pools_created == 0
+
+
+# -------------------------------------------------------------- dispatch
+def test_submit_returns_future():
+    with ExecutionRuntime("thread", 2) as rt:
+        fut = rt.submit(square, 7)
+        assert fut.result() == 49
+    serial = ExecutionRuntime()
+    assert serial.submit(square, 3).result() == 9
+
+
+def test_submit_exception_propagates_via_future():
+    serial = ExecutionRuntime()
+    assert isinstance(serial.submit(boom, 0).exception(), RuntimeError)
+    with ExecutionRuntime("thread", 2) as rt:
+        assert isinstance(rt.submit(boom, 0).exception(), RuntimeError)
+
+
+def test_task_exception_propagates_from_stream():
+    with ExecutionRuntime("thread", 2) as rt:
+        with pytest.raises(RuntimeError, match="task failed"):
+            list(rt.stream(boom, [1, 2]))
+
+
+@pytest.mark.parametrize("backend,workers", [("serial", 1), ("thread", 3)])
+@pytest.mark.parametrize("policy", ["block", "cyclic", "lpt", "work_stealing"])
+def test_stream_yields_every_task_once(backend, workers, policy):
+    tasks = list(range(11))
+    costs = np.linspace(5.0, 1.0, len(tasks))
+    with ExecutionRuntime(backend, workers) as rt:
+        records = []
+        seen = {
+            c.index: c.result
+            for c in rt.stream(square, tasks, costs=costs, policy=policy, records=records)
+        }
+    assert seen == {i: i * i for i in tasks}
+    assert sorted(r.index for r in records) == tasks
+    assert all(r.seconds >= 0 for r in records)
+
+
+def test_stream_empty_and_cost_mismatch():
+    rt = ExecutionRuntime()
+    assert list(rt.stream(square, [])) == []
+    with pytest.raises(ValueError):
+        list(rt.stream(square, [1, 2], costs=[1.0]))
+
+
+def test_stream_validates_eagerly_at_call_site():
+    """Bad arguments raise at stream(), not at the consumer's first next()."""
+    rt = ExecutionRuntime()
+    with pytest.raises(ValueError):
+        rt.stream(square, [1, 2], policy="fifo")
+    # Even an empty task list must not swallow a bogus policy/cost vector.
+    with pytest.raises(ValueError):
+        rt.stream(square, [], policy="fifo")
+    with pytest.raises(ValueError):
+        rt.stream(square, [1], costs=[1.0, 2.0])
+
+
+def test_run_order_preserving_under_uneven_work():
+    def slow_then_fast(x):
+        time.sleep(0.01 if x == 0 else 0.0)
+        return x
+
+    with ExecutionRuntime("thread", 4) as rt:
+        results, report = rt.run(slow_then_fast, list(range(8)), policy="lpt")
+    assert results == list(range(8))
+    assert report.num_tasks == 8
+
+
+def test_stream_in_flight_window_is_bounded():
+    """A stalled consumer must not let the pool race through the sweep."""
+    import threading
+
+    executed = []
+    lock = threading.Lock()
+
+    def task(x):
+        with lock:
+            executed.append(x)
+        return x
+
+    with ExecutionRuntime("thread", 2) as rt:
+        gen = rt.stream(task, list(range(30)))
+        next(gen)  # consumer takes one block, then stalls
+        time.sleep(0.05)  # plenty of time for any submitted task to run
+        # window = 2 * workers = 4; one refill of <= window may follow the
+        # first wait(), so at most ~2 * window tasks ever started.
+        assert len(executed) <= 10
+        gen.close()
+
+
+def test_abandoned_stream_cancels_pending_tasks():
+    """Early exit from the stream must not run the whole sweep."""
+    import threading
+
+    executed = []
+    lock = threading.Lock()
+
+    def slow(x):
+        with lock:
+            executed.append(x)
+        time.sleep(0.02)
+        return x
+
+    with ExecutionRuntime("thread", 2) as rt:
+        gen = rt.stream(slow, list(range(20)))
+        next(gen)
+        gen.close()  # triggers the finally-cancel of everything still queued
+    # The two in-flight tasks may finish, but the queued tail must not.
+    assert len(executed) < 20
+
+
+# ---------------------------------------------------------------- report
+def test_dispatch_report_reconcile_keys_and_sanity():
+    with ExecutionRuntime("thread", 2) as rt:
+        _, report = rt.run(
+            square, list(range(6)), costs=np.arange(6) + 1.0, policy="lpt"
+        )
+    assert isinstance(report, DispatchReport)
+    rec = report.reconcile()
+    for key in (
+        "projected_makespan",
+        "replayed_makespan_s",
+        "measured_total_s",
+        "wall_s",
+        "wall_over_replay",
+        "cost_correlation",
+    ):
+        assert key in rec
+    assert rec["projected_makespan"] == pytest.approx(
+        report.projected().makespan
+    )
+    assert rec["measured_total_s"] <= rec["wall_s"] + 1.0  # sanity, not timing
+    assert -1.0 <= rec["cost_correlation"] <= 1.0
+
+
+def test_dispatch_report_empty_tasks():
+    rt = ExecutionRuntime()
+    results, report = rt.run(square, [])
+    assert results == []
+    rec = report.reconcile()
+    assert rec["projected_makespan"] == 0.0
+    assert rec["wall_over_replay"] == 1.0
+
+
+def test_dispatch_report_from_records_scatters_by_index():
+    records = [TaskCompletion(1, "b", 0.2), TaskCompletion(0, "a", 0.1)]
+    report = DispatchReport.from_records("lpt", "thread", 2, [3.0, 4.0], records, 0.5)
+    assert report.measured_seconds == (0.1, 0.2)
+    assert report.predicted_costs == (3.0, 4.0)

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hpc.scheduler import SCHEDULING_POLICIES, schedule, work_stealing_schedule
+from repro.hpc.scheduler import (
+    SCHEDULING_POLICIES,
+    schedule,
+    submission_order,
+    work_stealing_schedule,
+)
 
 
 @given(
@@ -83,3 +88,87 @@ def test_validation():
         schedule([1.0], 0, "lpt")
     with pytest.raises(ValueError):
         schedule([-1.0], 2, "lpt")
+
+
+# ------------------------------------------------------------- edge cases
+@pytest.mark.parametrize("policy", SCHEDULING_POLICIES)
+def test_empty_task_list(policy):
+    a = schedule(np.array([]), 3, policy)
+    assert a.num_nodes == 3
+    assert all(len(t) == 0 for t in a.tasks_per_node)
+    assert a.makespan == 0.0
+    assert a.total_work == 0.0
+    # None of the derived metrics may divide by zero.
+    assert a.imbalance == pytest.approx(1.0)
+    assert np.isfinite(a.speedup())
+    assert np.isfinite(a.efficiency())
+
+
+@pytest.mark.parametrize("policy", SCHEDULING_POLICIES)
+def test_all_zero_costs(policy):
+    costs = np.zeros(7)
+    a = schedule(costs, 3, policy)
+    assert sorted(i for t in a.tasks_per_node for i in t) == list(range(7))
+    assert a.makespan == 0.0
+    assert a.imbalance == pytest.approx(1.0)
+    assert np.isfinite(a.speedup())
+    assert np.isfinite(a.efficiency())
+
+
+@pytest.mark.parametrize("policy", SCHEDULING_POLICIES)
+def test_more_nodes_than_tasks(policy):
+    costs = np.array([2.0, 1.0])
+    a = schedule(costs, 5, policy)
+    assert a.num_nodes == 5
+    assert sorted(i for t in a.tasks_per_node for i in t) == [0, 1]
+    assert a.makespan == pytest.approx(2.0)
+    # Idle nodes must not blow up any metric.
+    assert np.isfinite(a.imbalance)
+    assert np.isfinite(a.speedup())
+    assert 0.0 < a.efficiency() <= 1.0
+
+
+def test_work_stealing_is_deterministic():
+    rng = np.random.default_rng(3)
+    costs = rng.lognormal(0, 1.0, 40)
+    a = work_stealing_schedule(costs, 4)
+    b = work_stealing_schedule(costs, 4)
+    assert a.tasks_per_node == b.tasks_per_node
+    assert a.loads == b.loads
+
+
+# -------------------------------------------------------- submission order
+@given(
+    costs=st.lists(st.floats(0.0, 5.0), min_size=0, max_size=40),
+    workers=st.integers(1, 8),
+    policy=st.sampled_from(SCHEDULING_POLICIES),
+)
+@settings(max_examples=80)
+def test_submission_order_is_permutation(costs, workers, policy):
+    order = submission_order(np.array(costs), workers, policy)
+    assert sorted(order.tolist()) == list(range(len(costs)))
+    # Deterministic for fixed inputs.
+    assert np.array_equal(order, submission_order(np.array(costs), workers, policy))
+
+
+def test_submission_order_semantics():
+    costs = np.array([3.0, 1.0, 2.0, 5.0, 4.0])
+    assert submission_order(costs, 2, "work_stealing").tolist() == [0, 1, 2, 3, 4]
+    lpt = submission_order(costs, 2, "lpt")
+    assert list(costs[lpt]) == sorted(costs, reverse=True)
+    # block: round-robin over contiguous blocks [0,1,2] / [3,4]
+    assert submission_order(costs, 2, "block").tolist() == [0, 3, 1, 4, 2]
+    # cyclic degenerates to index order for a shared queue
+    assert submission_order(costs, 2, "cyclic").tolist() == [0, 1, 2, 3, 4]
+
+
+def test_submission_order_lpt_stable_on_ties():
+    costs = np.array([2.0, 2.0, 1.0, 2.0])
+    assert submission_order(costs, 3, "lpt").tolist() == [0, 1, 3, 2]
+
+
+def test_submission_order_validation():
+    with pytest.raises(ValueError):
+        submission_order([1.0], 2, "bogus")
+    with pytest.raises(ValueError):
+        submission_order([1.0], 0, "lpt")
