@@ -1,28 +1,25 @@
 """Noise robustness of the post-variational ensemble (NISQ story).
 
 Sweeps a depolarizing noise model over the full encode+measure pipeline
-(exact Kraus evolution, no sampling noise) and tracks:
+(exact Kraus evolution, no sampling noise) via the unified backend layer
+(`generate_features(..., backend=...)`) and tracks:
 
-* how much the ensemble's feature magnitudes contract, and
-* what survives of train/test accuracy,
+* how much the ensemble's feature magnitudes contract,
+* what survives of train/test accuracy, and
+* how much zero-noise extrapolation (MitigatedBackend) claws back,
 
 for the 2-local observable-construction strategy, alongside the data
 re-uploading variational baseline at matched qubit count.
 
-Run:  python examples/noise_robustness.py   (~1 minute)
+Run:  python examples/noise_robustness.py   (~2 minutes)
 """
 
 import numpy as np
 
-from repro.core import (
-    ObservableConstruction,
-    ReuploadingClassifier,
-    generate_features,
-    generate_features_noisy,
-)
+from repro.core import ObservableConstruction, ReuploadingClassifier, generate_features
 from repro.data import binary_coat_vs_shirt
 from repro.ml import LogisticRegression, accuracy
-from repro.quantum import NoiseModel
+from repro.quantum import DensityMatrixBackend, MitigatedBackend, NoiseModel
 
 
 def main() -> None:
@@ -32,20 +29,28 @@ def main() -> None:
     ideal_train = generate_features(strategy, split.x_train)
     ideal_test = generate_features(strategy, split.x_test)
 
-    print(f"{'1q error rate':>13} {'mean |feature|':>15} {'train acc':>10} {'test acc':>9}")
+    print(
+        f"{'1q error rate':>13} {'backend':>10} {'mean |feature|':>15} "
+        f"{'train acc':>10} {'test acc':>9}"
+    )
     for p1 in (0.0, 0.005, 0.02, 0.05):
         if p1 == 0.0:
-            q_train, q_test = ideal_train, ideal_test
+            regimes = [("ideal", None)]
         else:
-            noise = NoiseModel.depolarizing(p1)
-            q_train = generate_features_noisy(strategy, split.x_train, noise)
-            q_test = generate_features_noisy(strategy, split.x_test, noise)
-        head = LogisticRegression().fit(q_train, split.y_train)
-        print(
-            f"{p1:>13.3f} {np.mean(np.abs(q_train[:, 1:])):>15.4f} "
-            f"{accuracy(split.y_train, head.predict(q_train)):>10.3f} "
-            f"{accuracy(split.y_test, head.predict(q_test)):>9.3f}"
-        )
+            noisy = DensityMatrixBackend(NoiseModel.depolarizing(p1))
+            regimes = [("noisy", noisy), ("zne", MitigatedBackend(noisy, scales=(1, 3)))]
+        for label, backend in regimes:
+            if backend is None:
+                q_train, q_test = ideal_train, ideal_test
+            else:
+                q_train = generate_features(strategy, split.x_train, backend=backend)
+                q_test = generate_features(strategy, split.x_test, backend=backend)
+            head = LogisticRegression().fit(q_train, split.y_train)
+            print(
+                f"{p1:>13.3f} {label:>10} {np.mean(np.abs(q_train[:, 1:])):>15.4f} "
+                f"{accuracy(split.y_train, head.predict(q_train)):>10.3f} "
+                f"{accuracy(split.y_test, head.predict(q_test)):>9.3f}"
+            )
 
     print("\ndata re-uploading baseline (2 re-uploads, ideal simulation):")
     model = ReuploadingClassifier(reuploads=2, epochs=10)

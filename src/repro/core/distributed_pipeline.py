@@ -29,6 +29,7 @@ from repro.hpc.executor import ParallelExecutor
 from repro.hpc.partition import block_partition
 from repro.hpc.runtime import ExecutionRuntime
 from repro.ml.losses import sigmoid
+from repro.quantum.backends import QuantumBackend
 
 __all__ = ["generate_features_spmd", "fit_logistic_spmd", "SpmdFitResult"]
 
@@ -43,6 +44,7 @@ def generate_features_spmd(
     allgather: bool = False,
     executor: ParallelExecutor | ExecutionRuntime | None = None,
     dispatch_policy: str = "work_stealing",
+    backend: "QuantumBackend | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Collective Algorithm 1: rank r computes rows ``block_partition[r]``.
 
@@ -59,6 +61,8 @@ def generate_features_spmd(
     (hybrid MPI x pool parallelism): the pool survives across repeated
     collective sweeps instead of being rebuilt per call, and
     ``dispatch_policy`` orders the rank-local submission queue.
+    ``backend`` selects the execution regime per rank (ideal statevector,
+    noisy density, mitigated); it must be identical on every rank.
     """
     angles = np.asarray(angles, dtype=float)
     rows = block_partition(angles.shape[0], comm.size)[comm.rank]
@@ -71,6 +75,7 @@ def generate_features_spmd(
             seed=seed + int(rows[0]),
             executor=executor,
             dispatch_policy=dispatch_policy,
+            backend=backend,
         )
     else:
         block = np.empty((0, strategy.num_features))

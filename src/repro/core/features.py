@@ -24,9 +24,16 @@ preallocated Q matrix as its future resolves -- no end-of-sweep barrier.
 :func:`iter_feature_blocks` exposes the same stream to incremental
 consumers.
 
-All backends and policies produce identical matrices for ``exact`` and
-seed-deterministic matrices otherwise (child RNG streams are derived per
-task index, independent of schedule).
+Execution regime is a :class:`~repro.quantum.backends.QuantumBackend`
+(``backend=``): ideal statevector (default, compiled engine), noisy
+density-matrix (gate-level Kraus) or ZNE-mitigated -- every backend runs
+through the *same* job grid, cost model (density evolution priced ~4^n vs
+2^n) and streaming dispatch, so the noisy Q-matrix sweep parallelises
+exactly like the ideal one.
+
+All executor backends and policies produce identical matrices for
+``exact`` and seed-deterministic matrices otherwise (child RNG streams are
+derived per task index, independent of schedule).
 """
 
 from __future__ import annotations
@@ -38,18 +45,15 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.strategies import Strategy
-from repro.data.encoding import encode_batch
 from repro.hpc.cluster import CircuitTask, task_costs
 from repro.hpc.executor import ParallelExecutor
 from repro.hpc.partition import chunk_ranges
 from repro.hpc.runtime import DispatchReport, ExecutionRuntime, TaskCompletion
+from repro.quantum.backends import QuantumBackend, resolve_backend
 from repro.quantum.circuit import Circuit
 from repro.quantum.compile import CompiledCircuit, compile_circuit, resolve_fusion_width
-from repro.quantum.observables import PauliString, expectation
-from repro.quantum.sampling import measure_pauli_batch
-from repro.quantum.shadows import collect_shadows, estimate_pauli
-from repro.quantum.statevector import run_circuit
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.quantum.observables import PauliString
+from repro.utils.rng import spawn_rngs
 
 __all__ = [
     "FeatureJob",
@@ -58,9 +62,42 @@ __all__ = [
     "evaluate_features",
     "iter_feature_blocks",
     "feature_circuit_tasks",
+    "resolve_chunk_size",
 ]
 
 ESTIMATORS = ("exact", "shots", "shadows")
+
+#: Default data-chunk width of the work grid for cheap vectorised
+#: statevector evolution.
+DEFAULT_CHUNK_SIZE = 128
+#: Finer default for backends with heavy per-sample work (density /
+#: mitigated Kraus evolution, flagged by ``parallel_prepare``): small noisy
+#: datasets still split into enough jobs to occupy a worker pool, the
+#: granularity the retired per-sample noisy fork had.
+EXPENSIVE_CHUNK_SIZE = 8
+
+
+def resolve_chunk_size(chunk_size: int | None, backend: QuantumBackend) -> int:
+    """Work-grid granularity: an explicit value wins, ``None`` picks a
+    backend-appropriate default (coarse ideal, fine noisy/mitigated)."""
+    if chunk_size is None:
+        return EXPENSIVE_CHUNK_SIZE if backend.parallel_prepare else DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size={chunk_size} must be >= 1")
+    return int(chunk_size)
+
+
+def _check_regime(estimator: str, backend: QuantumBackend) -> None:
+    """Validate the estimator/backend combination (cheap; called before any
+    expensive state preparation so bad arguments fail instantly)."""
+    if estimator not in ESTIMATORS:
+        raise ValueError(f"unknown estimator {estimator!r}; choose from {ESTIMATORS}")
+    if estimator == "shadows" and not backend.supports_shadows:
+        raise ValueError(
+            f"backend {backend.name!r} does not support the shadows estimator "
+            f"(classical shadows need direct pure-state snapshots, which "
+            f"mixed-state evolution and ZNE extrapolation cannot provide)"
+        )
 
 
 @dataclass(frozen=True)
@@ -87,14 +124,21 @@ def feature_jobs(num_ansatze: int, num_samples: int, chunk_size: int) -> list[Fe
 
 
 def _bound_ansatz(strategy: Strategy, params: np.ndarray) -> Circuit | None:
+    """The bound Ansatz instance, or None only when there is nothing to run.
+
+    A circuit with gates but zero *parameters* (e.g. a fixed entangling
+    layer) is still a real Ansatz and must be composed -- dropping it on
+    ``num_parameters == 0`` silently produced encoder-only features (the
+    bug this guard replaces).
+    """
     circuit = strategy.ansatz
-    if circuit is None or circuit.num_parameters == 0:
+    if circuit is None or circuit.num_gates == 0:
         return None
     return circuit.bind(params)
 
 
 def _ansatz_programs(
-    strategy: Strategy, compile: str | int
+    strategy: Strategy, compile: str | int, backend: QuantumBackend
 ) -> list[Circuit | CompiledCircuit | None]:
     """One executable program per Ansatz instance, prepared once per sweep.
 
@@ -102,8 +146,14 @@ def _ansatz_programs(
     and once per parameter set -- instead of once per (Ansatz, chunk) job,
     so the Q-matrix sweep reuses each artifact across every data chunk and,
     because :class:`CompiledCircuit` pickles, across process workers too.
+
+    Backends with gate-level noise insertion evolve raw circuits only
+    (``supports_compile=False``); the compile knob is a no-op for them, but
+    it is still validated so a typo fails identically on every backend.
     """
     width = resolve_fusion_width(compile)
+    if not backend.supports_compile:
+        width = None
     programs: list[Circuit | CompiledCircuit | None] = []
     for params in strategy.parameter_sets():
         bound = _bound_ansatz(strategy, params)
@@ -122,14 +172,6 @@ def _program_ops(program: Circuit | CompiledCircuit | None) -> int:
     return program.num_gates
 
 
-def _evolve(states: np.ndarray, program: Circuit | CompiledCircuit | None) -> np.ndarray:
-    if program is None:
-        return states
-    if isinstance(program, CompiledCircuit):
-        return program.apply(states)
-    return run_circuit(program, state=states)
-
-
 def _evaluate_block(
     states: np.ndarray,
     program: Circuit | CompiledCircuit | None,
@@ -138,65 +180,74 @@ def _evaluate_block(
     shots: int,
     snapshots: int,
     rng: np.random.Generator | None,
+    backend: QuantumBackend,
 ) -> np.ndarray:
-    """Feature block for one Ansatz instance on a chunk of encoded states.
+    """Feature block for one Ansatz instance on a chunk of prepared states.
 
     Returns (chunk, q).  This is the module-level worker so the process
     executor backend can pickle it via functools.partial-free closures.
     """
-    evolved = _evolve(states, program)
+    evolved = backend.evolve(states, program)
     q = len(observables)
-    block = np.empty((evolved.shape[0], q))
     if estimator == "exact":
+        block = np.empty((states.shape[0], q))
         for b, obs in enumerate(observables):
-            block[:, b] = expectation(evolved, obs)
+            block[:, b] = backend.expectation(evolved, obs)
     elif estimator == "shots":
+        block = np.empty((states.shape[0], q))
         for b, obs in enumerate(observables):
-            block[:, b] = measure_pauli_batch(evolved, obs, shots, rng)
+            block[:, b] = backend.sample(evolved, obs, shots, rng)
     elif estimator == "shadows":
-        for i in range(evolved.shape[0]):
-            shadow = collect_shadows(evolved[i], snapshots, rng)
-            for b, obs in enumerate(observables):
-                block[i, b] = estimate_pauli(shadow, obs)
+        block = backend.shadow_block(evolved, observables, snapshots, rng)
     else:
         raise ValueError(f"unknown estimator {estimator!r}; choose from {ESTIMATORS}")
     return block
 
 
 class _BlockWorker:
-    """Picklable task callable for the process executor backend."""
+    """Picklable task callable for the process executor backend.
+
+    Holds only the sweep-wide artifacts (programs, observables, seeds);
+    each task carries its *own* state chunk, so a process pool ships
+    O(chunk) state per submission rather than re-pickling the full
+    (d, ...) prepared batch with every task -- which for density states
+    (4^n entries each) would dominate the sweep.
+    """
 
     def __init__(
         self,
         strategy: Strategy,
-        states: np.ndarray,
         estimator: str,
         shots: int,
         snapshots: int,
         seeds: list[int] | None,
-        compile: str | int = "off",
+        compile: str | int,
+        backend: QuantumBackend,
     ):
-        self.states = states
         self.observables = strategy.observables()
+        self.backend = backend
         # Bind/compile each Ansatz instance exactly once for the whole sweep
         # (not per chunk); compiled programs pickle to process workers.
-        self.programs = _ansatz_programs(strategy, compile)
+        self.programs = _ansatz_programs(strategy, compile, self.backend)
         self.estimator = estimator
         self.shots = shots
         self.snapshots = snapshots
         self.seeds = seeds
 
-    def __call__(self, job_with_index: tuple[int, FeatureJob]) -> tuple[FeatureJob, np.ndarray]:
-        task_id, job = job_with_index
+    def __call__(
+        self, task: tuple[int, FeatureJob, np.ndarray]
+    ) -> tuple[FeatureJob, np.ndarray]:
+        task_id, job, states = task
         rng = None if self.seeds is None else np.random.default_rng(self.seeds[task_id])
         block = _evaluate_block(
-            self.states[job.lo : job.hi],
+            states,
             self.programs[job.ansatz_index],
             self.observables,
             self.estimator,
             self.shots,
             self.snapshots,
             rng,
+            self.backend,
         )
         return job, block
 
@@ -209,17 +260,24 @@ def feature_circuit_tasks(
     estimator: str,
     shots: int,
     snapshots: int,
+    backend: QuantumBackend | None = None,
 ) -> list[CircuitTask]:
     """Cost-model view of the sweep: one :class:`CircuitTask` per job.
 
     Chunk size, per-circuit shot budget and Ansatz depth (gate/fused-block
-    count, scaled by the 2**n statevector size) all enter the cost, so the
-    scheduling policies see the same heterogeneity the real execution pays.
+    count, scaled by the backend's state size -- 2**n statevector
+    amplitudes, 4**n density-matrix entries, times the fold factor for
+    mitigated sweeps) all enter the cost, so the scheduling policies see
+    the same heterogeneity the real execution pays.
     """
     q = num_observables
-    dim = 2**num_qubits
+    backend = resolve_backend(backend)
+    dim = backend.evolution_cost_weight(num_qubits)
+    # Sampling repeats per fold scale on mitigated backends, exactly like
+    # the evolutions -- the projection must price both.
+    reps = backend.circuit_repetitions
     shots_per_circuit = 0 if estimator == "exact" else (
-        shots * q if estimator == "shots" else snapshots
+        shots * q * reps if estimator == "shots" else snapshots * reps
     )
     tasks = []
     for job in jobs:
@@ -247,6 +305,39 @@ def _resolve_runtime(
     return executor.runtime
 
 
+class _PrepareWorker:
+    """Picklable chunked state preparation for expensive backends."""
+
+    def __init__(self, backend: QuantumBackend):
+        self.backend = backend
+
+    def __call__(self, angles_chunk: np.ndarray) -> np.ndarray:
+        return self.backend.prepare(angles_chunk)
+
+
+def _prepare_states(
+    backend: QuantumBackend,
+    angles: np.ndarray,
+    executor: ParallelExecutor | ExecutionRuntime | None,
+    chunk_size: int,
+) -> np.ndarray:
+    """Encode ``angles`` into the backend's prepared representation.
+
+    Backends whose preparation evolves a circuit per sample (density,
+    mitigated: O(4^n) Kraus work each) fan the encoder stage out over the
+    same executor as the sweep itself, chunked like the job grid -- the
+    parallelism the retired noisy fork had, kept.  The statevector
+    backend's vectorised ``encode_batch`` stays a single in-process call.
+    """
+    chunks = chunk_ranges(angles.shape[0], chunk_size)
+    if not backend.parallel_prepare or len(chunks) <= 1:
+        return backend.prepare(angles)
+    parts = _resolve_runtime(executor).map(
+        _PrepareWorker(backend), [angles[lo:hi] for lo, hi in chunks]
+    )
+    return np.concatenate(parts, axis=0)
+
+
 def _sweep_stream(
     strategy: Strategy,
     states: np.ndarray,
@@ -258,11 +349,14 @@ def _sweep_stream(
     seed: int | np.random.Generator | None,
     compile: str | int,
     dispatch_policy: str,
-    records: list[TaskCompletion] | None = None,
+    records: list[TaskCompletion] | None,
+    backend: QuantumBackend,
 ) -> tuple[Iterator[TaskCompletion], np.ndarray, ExecutionRuntime]:
-    """Shared sweep setup: completion stream, cost vector, runtime."""
-    if estimator not in ESTIMATORS:
-        raise ValueError(f"unknown estimator {estimator!r}; choose from {ESTIMATORS}")
+    """Shared sweep setup: completion stream, cost vector, runtime.
+
+    ``backend`` must already be resolved and regime-checked -- the public
+    entry points do both before any state preparation/coercion.
+    """
     runtime = _resolve_runtime(executor)
     jobs = feature_jobs(strategy.num_ansatze, states.shape[0], chunk_size)
     # Per-task independent RNG streams, keyed by task *index*: results do
@@ -273,7 +367,7 @@ def _sweep_stream(
         children = spawn_rngs(seed, len(jobs))
         seeds = [int(c.integers(0, 2**63)) for c in children]
 
-    worker = _BlockWorker(strategy, states, estimator, shots, snapshots, seeds, compile)
+    worker = _BlockWorker(strategy, estimator, shots, snapshots, seeds, compile, backend)
     costs = task_costs(
         feature_circuit_tasks(
             jobs,
@@ -283,11 +377,14 @@ def _sweep_stream(
             estimator,
             shots,
             snapshots,
+            backend,
         )
     )
+    # Each task ships its own chunk (a view in-process; O(chunk) pickled
+    # bytes for process pools) instead of the whole prepared batch.
     stream = runtime.stream(
         worker,
-        list(enumerate(jobs)),
+        [(i, job, states[job.lo : job.hi]) for i, job in enumerate(jobs)],
         costs=costs,
         policy=dispatch_policy,
         records=records,
@@ -302,12 +399,13 @@ def generate_features(
     shots: int = 1024,
     snapshots: int = 512,
     executor: ParallelExecutor | ExecutionRuntime | None = None,
-    chunk_size: int = 128,
+    chunk_size: int | None = None,
     seed: int | np.random.Generator | None = 0,
     compile: str | int = "off",
     dispatch_policy: str = "work_stealing",
     out: np.ndarray | None = None,
     return_report: bool = False,
+    backend: QuantumBackend | None = None,
 ) -> np.ndarray | tuple[np.ndarray, DispatchReport]:
     """Algorithm 1: the full Q matrix for pooled-angle images ``angles``.
 
@@ -316,11 +414,22 @@ def generate_features(
     observable) and per (data point, Ansatz) respectively.  ``compile``
     selects the circuit engine (``"auto"``/``"off"``/fusion width; see
     :mod:`repro.quantum.compile`) -- the default ``"off"`` keeps the naive
-    reference semantics bit-for-bit.  ``dispatch_policy`` orders live task
+    reference semantics bit-for-bit.  ``backend`` selects the execution
+    regime (see :mod:`repro.quantum.backends`): the default ideal
+    statevector simulator, ``DensityMatrixBackend(noise_model)`` for exact
+    Kraus noise (encoder gates included), or ``MitigatedBackend`` for ZNE
+    on top of a noisy backend.  ``dispatch_policy`` orders live task
     submission (see :func:`repro.hpc.scheduler.submission_order`); with
     ``return_report=True`` the measured-vs-projected
     :class:`~repro.hpc.runtime.DispatchReport` is returned alongside Q.
+
+    ``chunk_size=None`` picks a backend-appropriate work-grid granularity
+    (:func:`resolve_chunk_size`): 128 rows per job for the vectorised
+    statevector engine, 8 for per-sample density/mitigated evolution.
     """
+    backend = resolve_backend(backend)
+    chunk_size = resolve_chunk_size(chunk_size, backend)
+    _check_regime(estimator, backend)
     angles = np.asarray(angles, dtype=float)
     if angles.ndim != 3:
         raise ValueError("angles must be (d, rows, cols)")
@@ -328,7 +437,7 @@ def generate_features(
         raise ValueError(
             f"angles encode {angles.shape[2]} qubits, strategy expects {strategy.num_qubits}"
         )
-    states = encode_batch(angles)
+    states = _prepare_states(backend, angles, executor, chunk_size)
     return evaluate_features(
         strategy,
         states,
@@ -342,6 +451,7 @@ def generate_features(
         dispatch_policy=dispatch_policy,
         out=out,
         return_report=return_report,
+        backend=backend,
     )
 
 
@@ -352,20 +462,29 @@ def evaluate_features(
     shots: int = 1024,
     snapshots: int = 512,
     executor: ParallelExecutor | ExecutionRuntime | None = None,
-    chunk_size: int = 128,
+    chunk_size: int | None = None,
     seed: int | np.random.Generator | None = 0,
     compile: str | int = "off",
     dispatch_policy: str = "work_stealing",
     out: np.ndarray | None = None,
     return_report: bool = False,
+    backend: QuantumBackend | None = None,
 ) -> np.ndarray | tuple[np.ndarray, DispatchReport]:
-    """Q matrix from pre-encoded statevectors ``states`` (d, 2**n).
+    """Q matrix from prepared states ``states``.
+
+    ``states`` is either pre-encoded ``(d, 2**n)`` statevectors -- lifted
+    into the backend's representation noiselessly -- or an array obtained
+    from ``backend.prepare(angles)`` (which, for noisy backends, applies
+    encoder-stage noise too).
 
     Assembly is streaming: blocks land in the (optionally caller-supplied)
     preallocated ``out`` matrix as their futures resolve, in completion
     order.  ``out`` must be float64 of shape (d, p*q).
     """
-    states = np.asarray(states, dtype=np.complex128)
+    backend = resolve_backend(backend)
+    chunk_size = resolve_chunk_size(chunk_size, backend)
+    _check_regime(estimator, backend)
+    states = backend.coerce_states(np.asarray(states))
     d = states.shape[0]
     p = strategy.num_ansatze
     q = strategy.num_observables
@@ -379,7 +498,7 @@ def evaluate_features(
     records: list[TaskCompletion] | None = [] if return_report else None
     stream, costs, runtime = _sweep_stream(
         strategy, states, estimator, shots, snapshots, executor,
-        chunk_size, seed, compile, dispatch_policy, records,
+        chunk_size, seed, compile, dispatch_policy, records, backend,
     )
     # Timed window covers dispatch + assembly only: binding/compilation,
     # RNG spawning and (via warm()) pool construction are one-time setup
@@ -407,10 +526,11 @@ def iter_feature_blocks(
     shots: int = 1024,
     snapshots: int = 512,
     executor: ParallelExecutor | ExecutionRuntime | None = None,
-    chunk_size: int = 128,
+    chunk_size: int | None = None,
     seed: int | np.random.Generator | None = 0,
     compile: str | int = "off",
     dispatch_policy: str = "work_stealing",
+    backend: QuantumBackend | None = None,
 ) -> Iterator[tuple[FeatureJob, np.ndarray]]:
     """Stream Q-matrix blocks as ``(FeatureJob, (chunk, q) block)`` pairs.
 
@@ -419,14 +539,18 @@ def iter_feature_blocks(
     learners, progress reporting, or out-of-core assembly can consume
     features without ever materialising the full matrix.  Every job is
     yielded exactly once; the union of blocks tiles the full Q matrix.
-    Identical numerics to :func:`evaluate_features` (same per-task seeds).
+    Identical numerics to :func:`evaluate_features` (same per-task seeds
+    and the same ``backend`` regimes).
 
     Setup (validation, binding/compilation, cost model) runs eagerly at the
     call, so bad arguments raise here rather than at the first ``next()``.
     """
-    states = np.asarray(states, dtype=np.complex128)
+    backend = resolve_backend(backend)
+    chunk_size = resolve_chunk_size(chunk_size, backend)
+    _check_regime(estimator, backend)
+    states = backend.coerce_states(np.asarray(states))
     stream, _, _ = _sweep_stream(
         strategy, states, estimator, shots, snapshots, executor,
-        chunk_size, seed, compile, dispatch_policy,
+        chunk_size, seed, compile, dispatch_policy, None, backend,
     )
     return (completion.result for completion in stream)

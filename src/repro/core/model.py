@@ -25,6 +25,7 @@ from repro.core.lifecycle import ExecutorOwnerMixin
 from repro.core.strategies import Strategy
 from repro.hpc.executor import ParallelExecutor
 from repro.hpc.runtime import ExecutionRuntime
+from repro.quantum.backends import QuantumBackend
 from repro.ml.convex import ConstrainedLeastSquares, ConstrainedLogistic
 from repro.ml.linear import LinearRegression, RidgeRegression
 from repro.ml.logistic import LogisticRegression, SoftmaxRegression
@@ -49,6 +50,7 @@ class PostVariationalRegressor(ExecutorOwnerMixin):
     snapshots: int = 512
     executor: ParallelExecutor | ExecutionRuntime | None = None
     seed: int = 0
+    backend: QuantumBackend | None = None
     q_train_: np.ndarray | None = field(default=None, repr=False)
     model_: object = field(default=None, repr=False)
 
@@ -65,6 +67,7 @@ class PostVariationalRegressor(ExecutorOwnerMixin):
             snapshots=self.snapshots,
             executor=self.executor,
             seed=self.seed,
+            backend=self.backend,
         )
 
     def _make_head(self):
@@ -111,6 +114,7 @@ class PostVariationalClassifier(ExecutorOwnerMixin):
     snapshots: int = 512
     executor: ParallelExecutor | ExecutionRuntime | None = None
     seed: int = 0
+    backend: QuantumBackend | None = None
     q_train_: np.ndarray | None = field(default=None, repr=False)
     model_: object = field(default=None, repr=False)
 
@@ -131,6 +135,7 @@ class PostVariationalClassifier(ExecutorOwnerMixin):
             snapshots=self.snapshots,
             executor=self.executor,
             seed=self.seed,
+            backend=self.backend,
         )
 
     def _make_head(self):

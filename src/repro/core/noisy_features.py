@@ -1,69 +1,62 @@
-"""Noisy feature generation: Algorithm 1 under a Kraus noise model.
+"""Deprecated forked entry point for noisy feature generation.
 
-The NISQ deployment path: every gate of the *full* circuit (Fig. 7 encoder
-followed by the strategy's fixed Ansatz) is followed by the noise model's
-channel, and features become ``tr(O_j rho_noisy(x_i, theta_a))`` computed
-with the density-matrix simulator.  O(4^n) memory per state -- intended for
-the paper's n = 4 regime, where it quantifies how much ensemble signal
-survives hardware-calibre depolarisation (integration-tested and used by
-the noise-robustness example).
+The noisy Q-matrix sweep is no longer a fork: it runs through the same
+compiled/streaming pipeline as the ideal one, selected by
+``generate_features(..., backend=DensityMatrixBackend(noise_model))``
+(see :mod:`repro.quantum.backends`).  This module keeps the old name alive
+as a thin shim -- same signature, same numbers -- and will be removed in a
+future release.
+
+The shim also retires two defects of the old implementation: a fresh
+``ParallelExecutor()`` was created (and leaked) per call instead of going
+through the persistent :class:`~repro.hpc.runtime.ExecutionRuntime`, and a
+parameterless-but-non-empty Ansatz was silently dropped, yielding
+encoder-only features.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.strategies import Strategy
-from repro.data.encoding import encoding_circuit
 from repro.hpc.executor import ParallelExecutor
-from repro.quantum.density import expectation_density, run_circuit_density
+from repro.hpc.runtime import ExecutionRuntime
+from repro.quantum.backends import DensityMatrixBackend
 from repro.quantum.noise import NoiseModel
 
 __all__ = ["generate_features_noisy"]
-
-
-class _NoisyWorker:
-    """Picklable per-sample worker: full-circuit density evolution."""
-
-    def __init__(self, strategy: Strategy, noise_model: NoiseModel):
-        self.strategy = strategy
-        self.noise_model = noise_model
-        self.observables = strategy.observables()
-        self.parameter_sets = strategy.parameter_sets()
-
-    def __call__(self, angles_one: np.ndarray) -> np.ndarray:
-        q = len(self.observables)
-        p = len(self.parameter_sets)
-        row = np.empty(p * q)
-        encoder = encoding_circuit(angles_one)
-        for a, params in enumerate(self.parameter_sets):
-            circuit = encoder
-            ansatz = self.strategy.ansatz
-            if ansatz is not None and ansatz.num_parameters:
-                circuit = encoder.compose(ansatz.bind(params))
-            rho = run_circuit_density(circuit, noise_model=self.noise_model)
-            for b, obs in enumerate(self.observables):
-                row[a * q + b] = expectation_density(rho, obs)
-        return row
 
 
 def generate_features_noisy(
     strategy: Strategy,
     angles: np.ndarray,
     noise_model: NoiseModel,
-    executor: ParallelExecutor | None = None,
+    executor: ParallelExecutor | ExecutionRuntime | None = None,
 ) -> np.ndarray:
     """Noisy Q matrix: (d, m) array of ``tr(O_j rho_noisy)`` values.
+
+    .. deprecated::
+        Use ``generate_features(strategy, angles,
+        backend=DensityMatrixBackend(noise_model))``, which streams the
+        noisy sweep through the persistent runtime and scheduler instead
+        of a one-shot executor.
 
     Deterministic (channels are applied exactly, not sampled), so noise
     studies are reproducible without seed bookkeeping.
     """
-    angles = np.asarray(angles, dtype=float)
-    if angles.ndim != 3:
-        raise ValueError("angles must be (d, rows, cols)")
-    if angles.shape[2] != strategy.num_qubits:
-        raise ValueError("angle grid width must equal the strategy's qubit count")
-    executor = executor or ParallelExecutor()
-    worker = _NoisyWorker(strategy, noise_model)
-    rows = executor.map(worker, list(angles))
-    return np.stack(rows)
+    warnings.warn(
+        "generate_features_noisy is deprecated; call generate_features(..., "
+        "backend=DensityMatrixBackend(noise_model)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.features import generate_features
+
+    return generate_features(
+        strategy,
+        angles,
+        executor=executor,
+        backend=DensityMatrixBackend(noise_model),
+    )

@@ -19,13 +19,19 @@ from typing import Literal
 
 import numpy as np
 
-from repro.core.features import feature_circuit_tasks, feature_jobs, generate_features
+from repro.core.features import (
+    feature_circuit_tasks,
+    feature_jobs,
+    generate_features,
+    resolve_chunk_size,
+)
 from repro.core.lifecycle import ExecutorOwnerMixin
 from repro.core.strategies import Strategy
 from repro.hpc.cluster import CircuitTask, ClusterModel
 from repro.hpc.executor import ParallelExecutor
 from repro.hpc.profiling import Counter, StageTimer, dispatch_summary
 from repro.hpc.runtime import DispatchReport, ExecutionRuntime
+from repro.quantum.backends import QuantumBackend, resolve_backend
 from repro.ml.logistic import LogisticRegression, SoftmaxRegression
 from repro.ml.metrics import accuracy
 
@@ -86,11 +92,16 @@ class HybridPipeline(ExecutorOwnerMixin):
     executor: ParallelExecutor | ExecutionRuntime | None = None
     cluster: ClusterModel | None = None
     scheduling_policy: str = "lpt"
-    chunk_size: int = 128
+    # None = backend-appropriate default (see features.resolve_chunk_size).
+    chunk_size: int | None = None
     seed: int = 0
     # Compiled execution is the system-layer default: the ensemble circuits
     # are fixed, so each is fused once and reused for every chunk/worker.
+    # (Backends with gate-level noise ignore it; see supports_compile.)
     compile: str | int = "auto"
+    # Execution regime: None = ideal statevector; DensityMatrixBackend /
+    # MitigatedBackend run the same streamed sweep under noise / ZNE.
+    backend: QuantumBackend | None = None
     report_: PipelineReport | None = field(default=None, repr=False)
     head_: object = field(default=None, repr=False)
 
@@ -111,9 +122,12 @@ class HybridPipeline(ExecutorOwnerMixin):
         submission order agree by construction.
         """
         ansatz = self.strategy.ansatz
-        if ansatz is not None and ansatz.num_parameters == 0:
-            ansatz = None  # parameter-free Ansatz is skipped by the sweep too
-        jobs = feature_jobs(self.strategy.num_ansatze, num_samples, self.chunk_size)
+        if ansatz is not None and ansatz.num_gates == 0:
+            # Only a genuinely empty circuit is skipped by the sweep; a
+            # parameterless circuit with gates still runs (and costs).
+            ansatz = None
+        chunk = resolve_chunk_size(self.chunk_size, resolve_backend(self.backend))
+        jobs = feature_jobs(self.strategy.num_ansatze, num_samples, chunk)
         # Gate count is binding-independent, so the unbound Ansatz prices
         # every instance without compiling anything just for a projection.
         programs = [ansatz] * self.strategy.num_ansatze
@@ -125,6 +139,7 @@ class HybridPipeline(ExecutorOwnerMixin):
             self.estimator,
             self.shots,
             self.snapshots,
+            self.backend,
         )
 
     # ----------------------------------------------------------------- fit
@@ -147,9 +162,14 @@ class HybridPipeline(ExecutorOwnerMixin):
                 compile=self.compile,
                 dispatch_policy=self.scheduling_policy,
                 return_report=True,
+                backend=self.backend,
             )
         d, p = angles.shape[0], self.strategy.num_ansatze
-        counter.add("circuits_executed", p * d)
+        # Mitigated backends execute every logical circuit once per fold
+        # scale (and draw shots at each scale), so resource accounting
+        # multiplies by the backend's repetition factor.
+        repetitions = resolve_backend(self.backend).circuit_repetitions
+        counter.add("circuits_executed", p * d * repetitions)
         # Measurement budgets differ by estimator: direct measurement pays
         # ``shots`` per (data point, Ansatz, observable) = shots * Q.size,
         # while classical shadows pay ``snapshots`` per (data point, Ansatz)
@@ -157,9 +177,9 @@ class HybridPipeline(ExecutorOwnerMixin):
         if self.estimator == "exact":
             shots_fired = 0
         elif self.estimator == "shots":
-            shots_fired = self.shots * q_matrix.size
+            shots_fired = self.shots * q_matrix.size * repetitions
         else:
-            shots_fired = self.snapshots * d * p
+            shots_fired = self.snapshots * d * p * repetitions
         counter.add("shots_fired", shots_fired)
 
         with timer.stage("fit_head"):
@@ -203,6 +223,7 @@ class HybridPipeline(ExecutorOwnerMixin):
             seed=self.seed,
             compile=self.compile,
             dispatch_policy=self.scheduling_policy,
+            backend=self.backend,
         )
 
     def predict(self, angles: np.ndarray) -> np.ndarray:

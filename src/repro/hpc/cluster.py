@@ -31,7 +31,27 @@ __all__ = [
     "strong_scaling",
     "weak_scaling",
     "task_costs",
+    "simulation_dim",
 ]
+
+_REPRESENTATIONS = ("statevector", "density")
+
+
+def simulation_dim(num_qubits: int, representation: str = "statevector") -> int:
+    """Classical state size driving per-task simulation cost.
+
+    ``2**n`` amplitudes for a statevector, ``4**n`` entries for a density
+    matrix -- the factor by which the scheduler prices noisy (Kraus)
+    evolution above ideal evolution for the same circuit.
+    """
+    if num_qubits < 1:
+        raise ValueError(f"num_qubits={num_qubits} must be >= 1")
+    if representation not in _REPRESENTATIONS:
+        raise ValueError(
+            f"representation must be one of {_REPRESENTATIONS}, got {representation!r}"
+        )
+    dim = 2**num_qubits
+    return dim * dim if representation == "density" else dim
 
 
 @dataclass(frozen=True)

@@ -54,7 +54,19 @@ from repro.quantum.hamiltonians import (
     random_local_hamiltonian,
     transverse_field_ising,
 )
-from repro.quantum.mitigation import fold_circuit, richardson_extrapolate, zne_expectation
+from repro.quantum.mitigation import (
+    fold_circuit,
+    richardson_extrapolate,
+    richardson_weights,
+    zne_expectation,
+)
+from repro.quantum.backends import (
+    DensityMatrixBackend,
+    MitigatedBackend,
+    QuantumBackend,
+    StatevectorBackend,
+    resolve_backend,
+)
 from repro.quantum.drawing import draw_circuit
 
 __all__ = [
@@ -104,6 +116,12 @@ __all__ = [
     "transverse_field_ising",
     "fold_circuit",
     "richardson_extrapolate",
+    "richardson_weights",
     "zne_expectation",
+    "QuantumBackend",
+    "StatevectorBackend",
+    "DensityMatrixBackend",
+    "MitigatedBackend",
+    "resolve_backend",
     "draw_circuit",
 ]

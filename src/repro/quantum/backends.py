@@ -1,0 +1,484 @@
+"""Unified quantum execution backends for the Q-matrix sweep.
+
+The paper treats noisy execution as a first-class regime (Table II,
+Sec. IV.B), but the original code base forked it into a separate function
+that bypassed the compiled engine, the persistent runtime and the scheduler
+cost model.  This module collapses the fork: a :class:`QuantumBackend` is
+the single substrate abstraction the feature pipeline talks to, and every
+implementation streams through the same ``FeatureJob`` grid,
+:class:`~repro.hpc.cluster.CircuitTask` cost model and
+:class:`~repro.hpc.runtime.ExecutionRuntime` dispatch.
+
+Three implementations cover the paper's regimes:
+
+* :class:`StatevectorBackend` -- ideal pure-state simulation; wraps the
+  compiled-circuit engine (the default, bit-for-bit the historical path);
+* :class:`DensityMatrixBackend` -- exact Kraus evolution under a gate-level
+  :class:`~repro.quantum.noise.NoiseModel` (O(4^n) state, the NISQ
+  deployment path);
+* :class:`MitigatedBackend` -- zero-noise extrapolation layered over any
+  other backend: circuits are unitarily folded per noise scale
+  (:func:`~repro.quantum.mitigation.fold_circuit`) and expectations are
+  Richardson-extrapolated to zero
+  (:func:`~repro.quantum.mitigation.richardson_weights`).
+
+Backends are small frozen dataclasses of plain NumPy payloads, hence
+picklable -- the property that lets one parent-side backend instance be
+shipped to every process-pool worker.  The prepared-state *representation*
+is backend-specific (``(d, 2^n)`` statevectors, ``(d, 2^n, 2^n)`` density
+matrices, ``(d, scales, 2^n, 2^n)`` folded stacks); ``coerce_states`` lifts
+plain statevectors into it so pre-encoded data keeps working everywhere.
+
+Noise placement is gate-level, so density-based backends refuse fused
+:class:`~repro.quantum.compile.CompiledCircuit` programs
+(``supports_compile = False``): fusing gates would silently move the Kraus
+insertion points.  The feature pipeline honours the flag by disabling
+compilation for such backends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.hpc.cluster import simulation_dim
+from repro.quantum.circuit import Circuit
+from repro.quantum.compile import CompiledCircuit
+from repro.quantum.density import (
+    apply_unitary,
+    expectation_density,
+    pure_density,
+    run_circuit_density,
+)
+from repro.quantum.mitigation import fold_circuit, richardson_weights
+from repro.quantum.noise import NoiseModel
+from repro.quantum.observables import PauliString, expectation
+from repro.quantum.sampling import estimate_from_probabilities, measure_pauli_batch
+from repro.quantum.shadows import collect_shadows, estimate_pauli
+from repro.quantum.statevector import run_circuit
+
+__all__ = [
+    "QuantumBackend",
+    "StatevectorBackend",
+    "DensityMatrixBackend",
+    "MitigatedBackend",
+    "resolve_backend",
+]
+
+
+class QuantumBackend(ABC):
+    """One execution substrate: state preparation, evolution, measurement.
+
+    The contract the feature pipeline relies on:
+
+    * ``prepare(angles)`` / ``coerce_states(states)`` produce a batch-first
+      prepared-state array (axis 0 indexes data points, whatever the
+      trailing representation), so chunk slicing ``states[lo:hi]`` works for
+      every backend;
+    * ``evolve``/``expectation``/``sample`` are pure functions of their
+      inputs -- no hidden state -- so results are independent of the
+      dispatch schedule;
+    * instances are picklable value objects, shipped once per sweep to
+      process workers.
+    """
+
+    #: Identifier used in logs and error messages.
+    name: str = "backend"
+    #: State representation driving the dispatch cost model
+    #: (see :func:`repro.hpc.cluster.simulation_dim`).
+    representation: str = "statevector"
+    #: Whether gate-fused ``CompiledCircuit`` programs preserve this
+    #: backend's semantics (False for gate-level noise insertion).
+    supports_compile: bool = True
+    #: Whether the classical-shadow estimator is available (pure states only).
+    supports_shadows: bool = False
+    #: Whether :meth:`prepare` is expensive enough (per-sample circuit
+    #: evolution) to be worth fanning out across executor workers.  False
+    #: for the statevector backend, whose ``encode_batch`` is already one
+    #: vectorised kernel pass.
+    parallel_prepare: bool = False
+    #: Underlying circuit executions per logical circuit (1 except for
+    #: mitigation, which runs one folded copy per noise scale).  Feeds the
+    #: pipeline's resource accounting.
+    circuit_repetitions: int = 1
+
+    # ------------------------------------------------------------ preparation
+    def prepare(self, angles: np.ndarray) -> np.ndarray:
+        """Encode a ``(d, rows, cols)`` angle batch into prepared states.
+
+        Default: run the explicit Fig. 7 encoder circuit per sample through
+        :meth:`run_bound`, so encoder gates see the backend's full regime
+        (Kraus noise, folding).  The statevector backend overrides this
+        with the vectorised batch kernel.
+        """
+        from repro.data.encoding import encoding_circuit
+
+        angles = np.asarray(angles, dtype=float)
+        if angles.ndim != 3:
+            raise ValueError("angles must be (d, rows, cols)")
+        return np.stack([self.run_bound(encoding_circuit(a)) for a in angles])
+
+    @abstractmethod
+    def coerce_states(self, states: np.ndarray) -> np.ndarray:
+        """Accept pre-encoded ``(d, 2^n)`` statevectors *or* an array already
+        in this backend's representation; return the latter.
+
+        Lifting pure statevectors happens noiselessly (the encoder already
+        ran); use :meth:`prepare` to apply encoder-stage noise.
+        """
+
+    @abstractmethod
+    def run_bound(self, circuit: Circuit) -> np.ndarray:
+        """One prepared state: evolve ``circuit`` from ``|0...0>``."""
+
+    # -------------------------------------------------------------- evolution
+    @abstractmethod
+    def evolve(
+        self, states: np.ndarray, program: Circuit | CompiledCircuit | None
+    ) -> np.ndarray:
+        """Push a prepared-state batch through one Ansatz program."""
+
+    # ------------------------------------------------------------ measurement
+    @abstractmethod
+    def expectation(self, evolved: np.ndarray, observable: PauliString) -> np.ndarray:
+        """Analytic ``tr(O rho_i)`` per batch entry; returns shape (batch,)."""
+
+    @abstractmethod
+    def sample(
+        self,
+        evolved: np.ndarray,
+        observable: PauliString,
+        shots: int,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Finite-shot estimates per batch entry (``shots == 0`` -> exact)."""
+
+    def shadow_block(
+        self,
+        evolved: np.ndarray,
+        observables: Sequence[PauliString],
+        snapshots: int,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Classical-shadow feature block; pure-state backends only.
+
+        The pipeline rejects the combination up front with a detailed
+        message (``features._check_regime``); this guard covers direct
+        calls only.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} has no classical-shadow support"
+        )
+
+    # ------------------------------------------------------------- cost model
+    def evolution_cost_weight(self, num_qubits: int) -> float:
+        """State-size factor entering the per-task dispatch cost.
+
+        ``2^n`` amplitudes for statevectors, ``4^n`` entries for density
+        matrices -- the scheduler prices noisy tasks accordingly.
+        """
+        return float(simulation_dim(num_qubits, self.representation))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True)
+class StatevectorBackend(QuantumBackend):
+    """Ideal pure-state execution over the compiled-circuit engine.
+
+    The historical default path, bit-for-bit: vectorised Fig. 7 encoding,
+    fused-block (or naive) evolution, analytic/shot/shadow measurement.
+    """
+
+    name = "statevector"
+    representation = "statevector"
+    supports_compile = True
+    supports_shadows = True
+
+    def prepare(self, angles: np.ndarray) -> np.ndarray:
+        from repro.data.encoding import encode_batch
+
+        return encode_batch(angles)
+
+    def coerce_states(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=np.complex128)
+        if states.ndim != 2:
+            raise ValueError(
+                f"statevector backend expects (d, 2**n) states, got shape {states.shape}"
+            )
+        return states
+
+    def run_bound(self, circuit: Circuit) -> np.ndarray:
+        return run_circuit(circuit)
+
+    def evolve(
+        self, states: np.ndarray, program: Circuit | CompiledCircuit | None
+    ) -> np.ndarray:
+        if program is None:
+            return states
+        if isinstance(program, CompiledCircuit):
+            return program.apply(states)
+        return run_circuit(program, state=states)
+
+    def expectation(self, evolved: np.ndarray, observable: PauliString) -> np.ndarray:
+        return np.asarray(expectation(evolved, observable))
+
+    def sample(
+        self,
+        evolved: np.ndarray,
+        observable: PauliString,
+        shots: int,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        return measure_pauli_batch(evolved, observable, shots, rng)
+
+    def shadow_block(
+        self,
+        evolved: np.ndarray,
+        observables: Sequence[PauliString],
+        snapshots: int,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        block = np.empty((evolved.shape[0], len(observables)))
+        for i in range(evolved.shape[0]):
+            shadow = collect_shadows(evolved[i], snapshots, rng)
+            for b, obs in enumerate(observables):
+                block[i, b] = estimate_pauli(shadow, obs)
+        return block
+
+
+def _density_pauli_probabilities(rhos: np.ndarray, pauli: PauliString) -> np.ndarray:
+    """Measurement-outcome probabilities of ``pauli`` for a density batch.
+
+    Rotates each rho into the Pauli eigenbasis (X -> H, Y -> H S^dag, the
+    same basis changes as statevector sampling) and reads the diagonal.
+    """
+    from repro.quantum.gates import H, SDG
+
+    probs = np.empty((rhos.shape[0], rhos.shape[1]))
+    for i in range(rhos.shape[0]):
+        rho = rhos[i]
+        for qubit, letter in enumerate(pauli.string):
+            if letter == "X":
+                rho = apply_unitary(rho, H, (qubit,))
+            elif letter == "Y":
+                rho = apply_unitary(rho, H @ SDG, (qubit,))
+        probs[i] = np.real(np.diagonal(rho))
+    # Kraus roundoff can leave tiny negative diagonal entries.
+    probs = np.clip(probs, 0.0, None)
+    return probs / probs.sum(axis=1, keepdims=True)
+
+
+@dataclass(frozen=True)
+class DensityMatrixBackend(QuantumBackend):
+    """Exact gate-level Kraus evolution: the NISQ deployment path.
+
+    ``noise_model = None`` gives ideal (but O(4^n)) evolution -- the
+    equivalence oracle the property suite checks against the statevector
+    backend.  Preparation runs the explicit Fig. 7 encoder circuit per
+    sample so encoder gates pick up noise too, exactly as the retired
+    ``generate_features_noisy`` fork did.
+    """
+
+    noise_model: NoiseModel | None = None
+
+    name = "density"
+    representation = "density"
+    supports_compile = False
+    supports_shadows = False
+    parallel_prepare = True
+
+    def coerce_states(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=np.complex128)
+        if states.ndim == 2:  # pre-encoded pure statevectors: lift noiselessly
+            return np.stack([pure_density(s) for s in states])
+        if states.ndim == 3 and states.shape[1] == states.shape[2]:
+            return states
+        raise ValueError(
+            f"density backend expects (d, 2**n) statevectors or (d, 2**n, 2**n) "
+            f"density matrices, got shape {states.shape}"
+        )
+
+    def run_bound(self, circuit: Circuit) -> np.ndarray:
+        return run_circuit_density(circuit, noise_model=self.noise_model)
+
+    def evolve(
+        self, states: np.ndarray, program: Circuit | CompiledCircuit | None
+    ) -> np.ndarray:
+        if program is None:
+            return states
+        if isinstance(program, CompiledCircuit):
+            raise TypeError(
+                "density backends evolve raw circuits only: gate fusion would "
+                "move the per-gate Kraus insertion points (supports_compile=False)"
+            )
+        return np.stack(
+            [
+                run_circuit_density(program, rho=rho, noise_model=self.noise_model)
+                for rho in states
+            ]
+        )
+
+    def expectation(self, evolved: np.ndarray, observable: PauliString) -> np.ndarray:
+        # tr(O rho) batched: one einsum over the whole chunk.
+        matrix = observable.to_matrix()
+        return np.real(np.einsum("ij,bji->b", matrix, evolved))
+
+    def sample(
+        self,
+        evolved: np.ndarray,
+        observable: PauliString,
+        shots: int,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        if shots < 0:
+            raise ValueError(f"shots={shots} must be >= 0")
+        if observable.is_identity:
+            return np.ones(evolved.shape[0])
+        if shots == 0:
+            return self.expectation(evolved, observable)
+        probs = _density_pauli_probabilities(evolved, observable)
+        return estimate_from_probabilities(probs, observable, shots, rng)
+
+
+@dataclass(frozen=True)
+class MitigatedBackend(QuantumBackend):
+    """Zero-noise extrapolation layered over another backend.
+
+    Every circuit segment (encoder during :meth:`prepare`, Ansatz during
+    :meth:`evolve`) is unitarily folded at each scale in ``scales`` and
+    executed on the wrapped ``backend``; expectations (and shot estimates)
+    are Richardson-extrapolated to scale 0 across the stack.  Per-segment
+    folding amplifies each segment's gate noise by its scale, the local
+    variant of the global ``C (C^dag C)^k`` scheme in
+    :func:`~repro.quantum.mitigation.zne_expectation`.
+
+    Prepared states carry one copy per scale -- shape
+    ``(d, len(scales), *inner)`` -- so memory is ``len(scales)`` times the
+    wrapped backend's.  Mitigated values are extrapolations and may leave
+    the raw expectation's [-1, 1] range slightly.
+    """
+
+    backend: QuantumBackend = field(default_factory=DensityMatrixBackend)
+    scales: tuple[int, ...] = (1, 3, 5)
+
+    name = "mitigated"
+    supports_compile = False
+    supports_shadows = False
+    parallel_prepare = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.backend, QuantumBackend):
+            raise TypeError(f"backend must be a QuantumBackend, got {self.backend!r}")
+        if isinstance(self.backend, MitigatedBackend):
+            raise TypeError("cannot nest MitigatedBackend inside MitigatedBackend")
+        scales = tuple(int(s) for s in self.scales)
+        if len(scales) < 2 or len(set(scales)) != len(scales):
+            raise ValueError(f"scales={scales} must hold >= 2 distinct values")
+        if any(s < 1 or s % 2 == 0 for s in scales):
+            raise ValueError(f"scales={scales} must be odd positive integers")
+        object.__setattr__(self, "scales", scales)
+        # Extrapolation weights depend only on the (frozen) scales, so they
+        # are computed once here rather than per chunk x observable.
+        object.__setattr__(
+            self, "_zne_weights", richardson_weights(np.asarray(scales, dtype=float))
+        )
+
+    @property
+    def representation(self) -> str:  # type: ignore[override]
+        return self.backend.representation
+
+    @property
+    def circuit_repetitions(self) -> int:  # type: ignore[override]
+        return len(self.scales) * self.backend.circuit_repetitions
+
+    def evolution_cost_weight(self, num_qubits: int) -> float:
+        # One evolution per scale, each `scale` times the gates.
+        return float(sum(self.scales)) * self.backend.evolution_cost_weight(num_qubits)
+
+    def coerce_states(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=np.complex128)
+        num_scales = len(self.scales)
+        # A per-scale stack from prepare() has exactly two more axes than a
+        # single inner-representation state (batch + scale); matching on
+        # the scale axis alone would misread e.g. 1-qubit (d, 2, 2) density
+        # batches as stacks whenever 2**n happens to equal len(scales).
+        inner_state_ndim = 2 if self.backend.representation == "density" else 1
+        if states.ndim == inner_state_ndim + 2 and states.shape[1] == num_scales:
+            return states
+        # Pure statevectors (or inner-representation states): lift through
+        # the wrapped backend, then replicate across scales -- a noiseless
+        # input state is the same at every fold scale.
+        inner = self.backend.coerce_states(states)
+        return np.repeat(inner[:, None, ...], num_scales, axis=1)
+
+    def run_bound(self, circuit: Circuit) -> np.ndarray:
+        return np.stack(
+            [self.backend.run_bound(fold_circuit(circuit, s)) for s in self.scales]
+        )
+
+    def evolve(
+        self, states: np.ndarray, program: Circuit | CompiledCircuit | None
+    ) -> np.ndarray:
+        if program is None:
+            return states
+        if isinstance(program, CompiledCircuit):
+            raise TypeError(
+                "mitigated backends fold raw circuits; compiled programs are "
+                "not foldable (supports_compile=False)"
+            )
+        return np.stack(
+            [
+                self.backend.evolve(states[:, k], fold_circuit(program, s))
+                for k, s in enumerate(self.scales)
+            ],
+            axis=1,
+        )
+
+    def expectation(self, evolved: np.ndarray, observable: PauliString) -> np.ndarray:
+        values = np.stack(
+            [
+                self.backend.expectation(evolved[:, k], observable)
+                for k in range(len(self.scales))
+            ]
+        )
+        return self._zne_weights @ values
+
+    def sample(
+        self,
+        evolved: np.ndarray,
+        observable: PauliString,
+        shots: int,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        from repro.utils.rng import as_rng
+
+        rng = as_rng(rng) if shots else rng
+        values = np.stack(
+            [
+                self.backend.sample(evolved[:, k], observable, shots, rng)
+                for k in range(len(self.scales))
+            ]
+        )
+        return self._zne_weights @ values
+
+
+def resolve_backend(backend: QuantumBackend | str | None) -> QuantumBackend:
+    """Coerce the user-facing ``backend`` knob to an instance.
+
+    ``None`` and ``"statevector"`` give the ideal default; other regimes
+    need configuration (a noise model, fold scales), so they must be passed
+    as instances.
+    """
+    if backend is None or backend == "statevector":
+        return StatevectorBackend()
+    if isinstance(backend, QuantumBackend):
+        return backend
+    raise ValueError(
+        f'backend must be a QuantumBackend instance, "statevector" or None, '
+        f"got {backend!r}"
+    )

@@ -19,7 +19,7 @@ from repro.quantum.circuit import Circuit
 from repro.quantum.density import expectation_density, run_circuit_density
 from repro.quantum.noise import NoiseModel
 
-__all__ = ["fold_circuit", "richardson_extrapolate", "zne_expectation"]
+__all__ = ["fold_circuit", "richardson_weights", "richardson_extrapolate", "zne_expectation"]
 
 
 def fold_circuit(circuit: Circuit, scale: int) -> Circuit:
@@ -42,6 +42,28 @@ def fold_circuit(circuit: Circuit, scale: int) -> Circuit:
     return folded
 
 
+def richardson_weights(scales: np.ndarray) -> np.ndarray:
+    """Extrapolation weights ``w`` with ``w @ values`` the zero-noise value.
+
+    Lagrange basis evaluated at 0: ``w_i = prod_{j != i} (-s_j)/(s_i - s_j)``.
+    Separated out so batched consumers (the mitigated backend extrapolating
+    whole Q-matrix columns) compute the weights once per sweep.
+    """
+    scales = np.asarray(scales, dtype=float)
+    if scales.ndim != 1 or scales.size < 2:
+        raise ValueError("need >= 2 scales")
+    if len(set(scales.tolist())) != scales.size:
+        raise ValueError("scales must be distinct")
+    weights = np.empty(scales.size)
+    for i in range(scales.size):
+        weight = 1.0
+        for j in range(scales.size):
+            if j != i:
+                weight *= (-scales[j]) / (scales[i] - scales[j])
+        weights[i] = weight
+    return weights
+
+
 def richardson_extrapolate(scales: np.ndarray, values: np.ndarray) -> float:
     """Zero-noise value from (scale, expectation) pairs.
 
@@ -53,17 +75,7 @@ def richardson_extrapolate(scales: np.ndarray, values: np.ndarray) -> float:
     values = np.asarray(values, dtype=float)
     if scales.shape != values.shape or scales.size < 2:
         raise ValueError("need >= 2 matching (scale, value) pairs")
-    if len(set(scales.tolist())) != scales.size:
-        raise ValueError("scales must be distinct")
-    # Lagrange evaluation at 0: sum_i v_i * prod_{j != i} (-s_j)/(s_i - s_j).
-    total = 0.0
-    for i in range(scales.size):
-        weight = 1.0
-        for j in range(scales.size):
-            if j != i:
-                weight *= (-scales[j]) / (scales[i] - scales[j])
-        total += values[i] * weight
-    return float(total)
+    return float(richardson_weights(scales) @ values)
 
 
 def zne_expectation(

@@ -20,6 +20,7 @@ __all__ = [
     "measure_pauli",
     "measure_pauli_batch",
     "measure_pauli_sum",
+    "estimate_from_probabilities",
     "hoeffding_shots",
 ]
 
@@ -90,15 +91,30 @@ def measure_pauli_batch(
     if shots == 0:
         return np.asarray(expectation(states, pauli))
 
-    rng = as_rng(seed)
     probs = _rotated_probabilities(states, pauli)
     probs = probs / probs.sum(axis=1, keepdims=True)
-    signs = _eigenvalue_signs(n, pauli.support)
-    out = np.empty(states.shape[0])
-    for b in range(states.shape[0]):
-        counts = rng.multinomial(shots, probs[b])
-        out[b] = float(np.dot(counts, signs)) / shots
-    return out
+    return estimate_from_probabilities(probs, pauli, shots, seed)
+
+
+def estimate_from_probabilities(
+    probs: np.ndarray,
+    pauli: PauliString,
+    shots: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Finite-shot Pauli estimates from (batch, dim) outcome probabilities.
+
+    The shared tail of every finite-shot estimator (statevector and
+    density backends compute ``probs`` differently but sample identically).
+    One batched multinomial over the whole chunk: NumPy draws the same
+    conditional binomials in the same order as sequential per-row calls,
+    so seeded results are bit-identical to a per-row Python loop -- the
+    seed-determinism contract the regression test pins.
+    """
+    rng = as_rng(seed)
+    signs = _eigenvalue_signs(pauli.num_qubits, pauli.support)
+    counts = rng.multinomial(shots, probs)
+    return (counts @ signs) / shots
 
 
 def measure_pauli_sum(

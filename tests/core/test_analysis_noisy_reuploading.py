@@ -6,9 +6,9 @@ import pytest
 
 from repro.core.analysis import diagnose_q_matrix, effective_rank
 from repro.core.features import generate_features
-from repro.core.noisy_features import generate_features_noisy
 from repro.core.reuploading import ReuploadingClassifier
 from repro.core.strategies import ObservableConstruction
+from repro.quantum.backends import DensityMatrixBackend
 from repro.quantum.noise import NoiseModel
 
 
@@ -60,8 +60,8 @@ def test_noisy_features_match_ideal_at_zero_noise():
     angles = rng.uniform(0, 2 * np.pi, (4, 4, 4))
     strategy = ObservableConstruction(qubits=4, locality=1)
     ideal = generate_features(strategy, angles)
-    noisy = generate_features_noisy(
-        strategy, angles, NoiseModel.depolarizing(0.0)
+    noisy = generate_features(
+        strategy, angles, backend=DensityMatrixBackend(NoiseModel.depolarizing(0.0))
     )
     assert np.allclose(noisy, ideal, atol=1e-10)
 
@@ -72,24 +72,31 @@ def test_noisy_features_contract_toward_zero():
     angles = rng.uniform(0, 2 * np.pi, (4, 4, 4))
     strategy = ObservableConstruction(qubits=4, locality=1)
     ideal = generate_features(strategy, angles)
-    noisy = generate_features_noisy(strategy, angles, NoiseModel.depolarizing(0.05))
+    noisy = generate_features(
+        strategy, angles, backend=DensityMatrixBackend(NoiseModel.depolarizing(0.05))
+    )
     # Identity column untouched.
     assert np.allclose(noisy[:, 0], 1.0, atol=1e-10)
     # Other columns contract on average.
     assert np.mean(np.abs(noisy[:, 1:])) < np.mean(np.abs(ideal[:, 1:]))
     # And shrink monotonically with the error rate.
-    noisier = generate_features_noisy(strategy, angles, NoiseModel.depolarizing(0.15))
+    noisier = generate_features(
+        strategy, angles, backend=DensityMatrixBackend(NoiseModel.depolarizing(0.15))
+    )
     assert np.mean(np.abs(noisier[:, 1:])) < np.mean(np.abs(noisy[:, 1:]))
 
 
 def test_noisy_features_validation():
     strategy = ObservableConstruction(qubits=4, locality=1)
+    backend = DensityMatrixBackend(NoiseModel.depolarizing(0.01))
     with pytest.raises(ValueError):
-        generate_features_noisy(strategy, np.zeros((4, 4)), NoiseModel.depolarizing(0.01))
+        generate_features(strategy, np.zeros((4, 4)), backend=backend)
     with pytest.raises(ValueError):
-        generate_features_noisy(
-            strategy, np.zeros((2, 4, 3)), NoiseModel.depolarizing(0.01)
-        )
+        generate_features(strategy, np.zeros((2, 4, 3)), backend=backend)
+
+
+# (The deprecation shim's warn-and-match contract is pinned in
+# tests/core/test_backend_features.py::test_deprecated_shim_warns_and_matches_backend_path.)
 
 
 # ------------------------------------------------------------- reuploading

@@ -98,12 +98,14 @@ def test_hybrid_feature_column_order(angles):
 def test_noisy_features_bounded_by_ideal_identity(angles):
     """Trace preservation: noisy identity-observable features stay exactly 1
     and all features remain in [-1, 1]."""
-    from repro.core.noisy_features import generate_features_noisy
     from repro.core.strategies import ObservableConstruction
+    from repro.quantum.backends import DensityMatrixBackend
     from repro.quantum.noise import NoiseModel
 
     strategy = ObservableConstruction(qubits=4, locality=1)
-    q = generate_features_noisy(strategy, angles[:3], NoiseModel.depolarizing(0.03))
+    q = generate_features(
+        strategy, angles[:3], backend=DensityMatrixBackend(NoiseModel.depolarizing(0.03))
+    )
     assert np.allclose(q[:, 0], 1.0, atol=1e-10)
     assert np.all(q >= -1 - 1e-9) and np.all(q <= 1 + 1e-9)
 
