@@ -14,6 +14,7 @@ Run:  python examples/hpc_pipeline.py
 
 import numpy as np
 
+from repro.api import ExecutionConfig
 from repro.core import HybridStrategy
 from repro.core.pipeline import HybridPipeline
 from repro.data import binary_coat_vs_shirt
@@ -34,13 +35,14 @@ def main() -> None:
     # One persistent runtime serves fit + both score sweeps; the context
     # manager releases the pool at the end.  The report's dispatch line
     # reconciles the LPT projection against measured per-task wall-clock.
+    # All execution knobs travel as one ExecutionConfig (repro.api).
     with HybridPipeline(
         strategy=HybridStrategy(order=1, locality=1),
         executor=ParallelExecutor("thread", max_workers=4),
         cluster=ClusterModel(node=NodeSpec(shot_rate=1e5), num_nodes=16),
-        estimator="exact",
-        scheduling_policy="lpt",
-        chunk_size=30,
+        config=ExecutionConfig(
+            dispatch_policy="lpt", chunk_size=30, compile="auto"
+        ),
     ) as pipeline:
         pipeline.fit(split.x_train, split.y_train)
         print(pipeline.report_.summary())

@@ -1,8 +1,8 @@
 """Noise robustness of the post-variational ensemble (NISQ story).
 
 Sweeps a depolarizing noise model over the full encode+measure pipeline
-(exact Kraus evolution, no sampling noise) via the unified backend layer
-(`generate_features(..., backend=...)`) and tracks:
+(exact Kraus evolution, no sampling noise) via the unified execution API
+(`generate_features(..., config=ExecutionConfig(backend=...))`) and tracks:
 
 * how much the ensemble's feature magnitudes contract,
 * what survives of train/test accuracy, and
@@ -16,6 +16,7 @@ Run:  python examples/noise_robustness.py   (~2 minutes)
 
 import numpy as np
 
+from repro.api import ExecutionConfig
 from repro.core import ObservableConstruction, ReuploadingClassifier, generate_features
 from repro.data import binary_coat_vs_shirt
 from repro.ml import LogisticRegression, accuracy
@@ -43,8 +44,9 @@ def main() -> None:
             if backend is None:
                 q_train, q_test = ideal_train, ideal_test
             else:
-                q_train = generate_features(strategy, split.x_train, backend=backend)
-                q_test = generate_features(strategy, split.x_test, backend=backend)
+                config = ExecutionConfig(backend=backend)
+                q_train = generate_features(strategy, split.x_train, config=config)
+                q_test = generate_features(strategy, split.x_test, config=config)
             head = LogisticRegression().fit(q_train, split.y_train)
             print(
                 f"{p1:>13.3f} {label:>10} {np.mean(np.abs(q_train[:, 1:])):>15.4f} "

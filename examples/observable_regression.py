@@ -13,6 +13,7 @@ Run:  python examples/observable_regression.py
 
 import numpy as np
 
+from repro.api import ExecutionConfig
 from repro.core import (
     ObservableConstruction,
     PostVariationalRegressor,
@@ -55,7 +56,9 @@ def main() -> None:
     eps_h = theorem4_required_entry_error(m, epsilon)
     shots = int(np.ceil(2.0 / eps_h**2 * np.log(2 * m * split.num_train / 0.05)))
     noisy = PostVariationalRegressor(
-        strategy=strategy, head="constrained", estimator="shots", shots=shots
+        strategy=strategy,
+        head="constrained",
+        config=ExecutionConfig(estimator="shots", shots=shots),
     )
     noisy.fit(split.x_train, y_train)
     print(f"\nshots/neuron for eps={epsilon} (Thm 4): {shots}")

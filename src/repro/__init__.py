@@ -7,6 +7,10 @@ paper-vs-measured record.
 
 Public API highlights
 ---------------------
+* :mod:`repro.api` -- **the unified execution API**: ``ExecutionConfig``
+  (one typed, serializable object for every execution knob),
+  ``QuantumDevice`` (a context-managed session over the persistent
+  runtime) and the sklearn-style ``QuantumFeatureMap``.
 * :mod:`repro.quantum` -- batched statevector simulator, Pauli observables,
   classical shadows, parameter-shift differentiation.
 * :mod:`repro.core` -- the post-variational strategies (Ansatz expansion,

@@ -1,0 +1,64 @@
+"""repro.api -- the unified execution API (the stable public surface).
+
+One typed configuration object, one session facade, one sklearn-style
+transformer:
+
+* :class:`ExecutionConfig` -- frozen, picklable, JSON-round-trippable
+  bundle of every execution knob (estimator, shots, snapshots, chunk_size,
+  seed, compile, dispatch_policy, backend) with centralized validation and
+  a ``merged(**overrides)`` combinator;
+* :class:`QuantumDevice` -- a context-managed session binding a config to
+  a persistent :class:`~repro.hpc.runtime.ExecutionRuntime` (pool reuse
+  across sweeps, ``run``/``evaluate``/``stream``, explicit close);
+* :class:`QuantumFeatureMap` -- ``fit``/``transform`` over a device so
+  quantum features compose with any classical head.
+
+Every feature entry point (``generate_features``, ``evaluate_features``,
+``iter_feature_blocks``, ``HybridPipeline``, ``PostVariational*``,
+``generate_features_spmd``, the CLI) accepts ``config=`` / ``device=`` and
+delegates here; the loose execution kwargs remain as deprecated shims.
+
+``QuantumDevice`` and ``QuantumFeatureMap`` are loaded lazily (PEP 562) so
+that ``repro.core`` modules can import :mod:`repro.api.config` while this
+package initialises without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.api.config import (
+    ESTIMATORS,
+    UNSET,
+    ExecutionConfig,
+    check_regime,
+    resolve_call,
+    resolve_chunk_size,
+)
+
+__all__ = [
+    "ExecutionConfig",
+    "QuantumDevice",
+    "QuantumFeatureMap",
+    "ESTIMATORS",
+    "UNSET",
+    "check_regime",
+    "resolve_call",
+    "resolve_chunk_size",
+]
+
+_LAZY = {
+    "QuantumDevice": "repro.api.device",
+    "QuantumFeatureMap": "repro.api.feature_map",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,361 @@
+"""``ExecutionConfig`` -- the one typed object for every execution knob.
+
+The hybrid HPC-QC workflow is a single pipeline (encode -> dispatch ensemble
+-> gather Q -> convex head), but its execution knobs (estimator, shots,
+snapshots, chunk_size, seed, compile, dispatch_policy, backend) historically
+travelled as loose keyword arguments copy-pasted across every entry point --
+and drifted (the model classes silently dropped ``chunk_size`` / ``compile``
+/ ``dispatch_policy``).  :class:`ExecutionConfig` bundles them into one
+frozen, picklable, JSON-serializable value object with centralized
+validation, so every surface (functions, pipelines, models, SPMD, CLI)
+resolves the *same* configuration the same way.
+
+This module is the validation root: :func:`check_regime` (estimator x
+backend compatibility) and :func:`resolve_chunk_size` (work-grid
+granularity) live here and are re-exported by :mod:`repro.core.features`
+for backward compatibility.
+
+Legacy keyword arguments remain accepted everywhere as deprecated shims:
+:func:`resolve_call` detects explicitly-passed legacy knobs (via the
+:data:`UNSET` sentinel), emits a :class:`DeprecationWarning` attributed to
+the first stack frame *outside* ``repro`` (so ``-W
+error::DeprecationWarning:repro`` catches internal violations without
+punishing downstream callers), and folds them into a config -- bit-equal to
+the old behaviour by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.hpc.scheduler import SCHEDULING_POLICIES
+from repro.quantum.backends import (
+    QuantumBackend,
+    backend_from_dict,
+    backend_to_dict,
+    resolve_backend,
+)
+from repro.quantum.compile import resolve_fusion_width
+
+__all__ = [
+    "UNSET",
+    "ESTIMATORS",
+    "CONFIG_FIELDS",
+    "DEFAULT_CHUNK_SIZE",
+    "EXPENSIVE_CHUNK_SIZE",
+    "ExecutionConfig",
+    "check_regime",
+    "resolve_chunk_size",
+    "resolve_call",
+    "values_differ",
+]
+
+ESTIMATORS = ("exact", "shots", "shadows")
+
+#: Default data-chunk width of the work grid for cheap vectorised
+#: statevector evolution.
+DEFAULT_CHUNK_SIZE = 128
+#: Finer default for backends with heavy per-sample work (density /
+#: mitigated Kraus evolution, flagged by ``parallel_prepare``): small noisy
+#: datasets still split into enough jobs to occupy a worker pool.
+EXPENSIVE_CHUNK_SIZE = 8
+
+
+class _Unset:
+    """Sentinel distinguishing 'kwarg not passed' from any real value."""
+
+    _instance: "_Unset | None" = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+    def __reduce__(self):
+        return (_Unset, ())
+
+
+#: Default for every legacy execution kwarg: its presence means "build the
+#: value from the active :class:`ExecutionConfig` instead".
+UNSET: Any = _Unset()
+
+
+def check_regime(estimator: str, backend: QuantumBackend) -> None:
+    """Validate the estimator/backend combination (cheap; runs at config
+    construction so bad arguments fail before any state preparation)."""
+    if estimator not in ESTIMATORS:
+        raise ValueError(f"unknown estimator {estimator!r}; choose from {ESTIMATORS}")
+    if estimator == "shadows" and not backend.supports_shadows:
+        raise ValueError(
+            f"backend {backend.name!r} does not support the shadows estimator "
+            f"(classical shadows need direct pure-state snapshots, which "
+            f"mixed-state evolution and ZNE extrapolation cannot provide)"
+        )
+
+
+def resolve_chunk_size(chunk_size: int | None, backend: QuantumBackend) -> int:
+    """Work-grid granularity: an explicit value wins, ``None`` picks a
+    backend-appropriate default (coarse ideal, fine noisy/mitigated)."""
+    if chunk_size is None:
+        return EXPENSIVE_CHUNK_SIZE if backend.parallel_prepare else DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size={chunk_size} must be >= 1")
+    return int(chunk_size)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Frozen value object bundling every Q-matrix execution knob.
+
+    Fields mirror the historical keyword arguments one-for-one, with the
+    same defaults as the feature functions (``compile="off"`` keeps the
+    naive reference semantics bit-for-bit; orchestrators that prefer the
+    compiled engine construct their own defaults):
+
+    * ``estimator``       -- ``"exact"`` / ``"shots"`` / ``"shadows"``;
+    * ``shots``           -- per (data point, Ansatz, observable) budget;
+    * ``snapshots``       -- shadow batch per (data point, Ansatz);
+    * ``chunk_size``      -- work-grid rows per job (``None`` = backend
+      default, see :func:`resolve_chunk_size`);
+    * ``seed``            -- root RNG seed (int, ``None`` or a Generator;
+      Generators are not serializable);
+    * ``compile``         -- circuit engine: ``"auto"``/``"off"``/width;
+    * ``dispatch_policy`` -- live submission order policy;
+    * ``backend``         -- execution regime (``None`` -> ideal
+      statevector; normalized to an instance at construction).
+
+    Validation is centralized in ``__post_init__``; instances are picklable
+    and round-trip through :meth:`to_dict` / :meth:`from_dict` / JSON.
+    """
+
+    estimator: str = "exact"
+    shots: int = 1024
+    snapshots: int = 512
+    chunk_size: int | None = None
+    seed: int | np.random.Generator | None = 0
+    compile: str | int = "off"
+    dispatch_policy: str = "work_stealing"
+    backend: QuantumBackend | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "backend", resolve_backend(self.backend))
+        check_regime(self.estimator, self.backend)
+        if self.chunk_size is not None:
+            if isinstance(self.chunk_size, bool) or not isinstance(
+                self.chunk_size, (int, np.integer)
+            ):
+                raise ValueError(
+                    f"chunk_size must be an int >= 1 or None, got {self.chunk_size!r}"
+                )
+            resolve_chunk_size(int(self.chunk_size), self.backend)
+            object.__setattr__(self, "chunk_size", int(self.chunk_size))
+        for name in ("shots", "snapshots"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise ValueError(f"{name} must be an int >= 0, got {value!r}")
+            if value < 0:
+                raise ValueError(f"{name}={value} must be >= 0")
+            object.__setattr__(self, name, int(value))
+        if self.seed is not None and not isinstance(
+            self.seed, (int, np.integer, np.random.Generator)
+        ):
+            raise ValueError(
+                f"seed must be an int, None or a numpy Generator, got {self.seed!r}"
+            )
+        if isinstance(self.seed, (int, np.integer)) and self.seed < 0:
+            # SeedSequence would reject it deep inside the sweep; fail at
+            # construction like every other knob.
+            raise ValueError(f"seed={self.seed} must be >= 0")
+        # ``None`` was always a legal legacy spelling of "off"; canonicalize
+        # so equality and the JSON round trip see one representation.
+        if self.compile is None:
+            object.__setattr__(self, "compile", "off")
+        # Validates the knob (raises on typos) without storing the width:
+        # the compile field keeps its user-facing spelling for round-trips.
+        resolve_fusion_width(self.compile)
+        if self.dispatch_policy not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"unknown dispatch_policy {self.dispatch_policy!r}; "
+                f"choose from {SCHEDULING_POLICIES}"
+            )
+
+    # ------------------------------------------------------------- derived
+    @property
+    def resolved_chunk_size(self) -> int:
+        """The effective work-grid granularity for this config's backend."""
+        return resolve_chunk_size(self.chunk_size, self.backend)
+
+    # ---------------------------------------------------------- combinators
+    def merged(self, **overrides: Any) -> "ExecutionConfig":
+        """A new config with ``overrides`` applied (and re-validated).
+
+        Unknown keys raise ``TypeError``; ``UNSET`` values are ignored, so
+        deprecation shims can forward their whole kwarg dict unfiltered.
+        """
+        overrides = {k: v for k, v in overrides.items() if v is not UNSET}
+        if not overrides:
+            return self
+        return dataclasses.replace(self, **overrides)
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-safe dict (inverse: :meth:`from_dict`)."""
+        if isinstance(self.seed, np.random.Generator):
+            raise TypeError(
+                "ExecutionConfig with a Generator seed is not serializable; "
+                "pass an int seed to round-trip configs"
+            )
+        return {
+            "estimator": self.estimator,
+            "shots": self.shots,
+            "snapshots": self.snapshots,
+            "chunk_size": self.chunk_size,
+            "seed": None if self.seed is None else int(self.seed),
+            "compile": self.compile if isinstance(self.compile, str) else int(self.compile),
+            "dispatch_policy": self.dispatch_policy,
+            "backend": backend_to_dict(self.backend),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionConfig":
+        """Build (and validate) a config from :meth:`to_dict` output."""
+        data = dict(data)
+        backend = data.pop("backend", None)
+        if isinstance(backend, Mapping):
+            backend = backend_from_dict(dict(backend))
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown ExecutionConfig fields {unknown}")
+        return cls(backend=backend, **data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionConfig":
+        return cls.from_dict(json.loads(text))
+
+
+#: The execution-knob field names, in declaration order -- orchestrator
+#: dataclasses (models, pipeline) mirror exactly these as attributes.
+CONFIG_FIELDS = tuple(f.name for f in dataclasses.fields(ExecutionConfig))
+
+
+def values_differ(a: Any, b: Any) -> bool:
+    """Inequality that tolerates array-bearing values (backends, seeds).
+
+    Used by the orchestrators' live attribute mirrors to detect
+    post-construction mutation without tripping over ambiguous NumPy
+    truth values.
+    """
+    if a is b:
+        return False
+    try:
+        return bool(a != b)
+    except Exception:
+        return True
+
+
+def _warn_legacy(owner: str, names: list[str], stacklevel: int) -> None:
+    """Deprecation warning attributed ``stacklevel`` frames above this call.
+
+    The attribution matters: the CI filter ``-W
+    error::DeprecationWarning:repro`` turns warnings registered *inside*
+    ``repro`` modules into errors, so internal code exercising its own
+    deprecated surface fails loudly while external callers (tests, user
+    scripts) only see a warning.  Each entry point therefore passes the
+    exact frame count from here to its caller instead of a heuristic.
+    """
+    warnings.warn(
+        f"{owner}: execution kwargs {names} are deprecated; pass "
+        f"config=ExecutionConfig(...) or device=QuantumDevice(...) instead "
+        f"(see repro.api)",
+        DeprecationWarning,
+        stacklevel=stacklevel + 1,
+    )
+
+
+def resolve_call(
+    config: ExecutionConfig | None,
+    device: Any,
+    executor: Any,
+    legacy: Mapping[str, Any],
+    *,
+    owner: str,
+    defaults: ExecutionConfig | None = None,
+    stacklevel: int = 2,
+    aliases: Mapping[str, str] | None = None,
+) -> tuple[ExecutionConfig, Any]:
+    """Resolve one entry-point call to ``(ExecutionConfig, executor)``.
+
+    Exactly one configuration source wins:
+
+    * ``device=`` -- supplies both config and runtime; combining it with
+      ``config=`` or ``executor=`` is ambiguous and raises;
+    * ``config=`` -- used as-is (legacy kwargs alongside it raise);
+    * legacy kwargs -- deprecated: folded into ``defaults`` with a
+      :class:`DeprecationWarning` attributed ``stacklevel`` frames above
+      this call (2 = the entry point's own caller; dataclass entry points
+      add frames for the generated ``__init__`` + ``__post_init__``);
+    * nothing -- ``defaults`` (the entry point's historical defaults).
+
+    ``aliases`` maps config field names to the owner's caller-facing
+    spellings (the pipeline's ``scheduling_policy``) so the warning names
+    a kwarg the caller can actually grep for.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not UNSET}
+    if device is not None:
+        if config is not None:
+            raise TypeError(f"{owner}: pass config= or device=, not both")
+        if executor is not None:
+            raise TypeError(
+                f"{owner}: device= already binds a runtime; do not pass executor= too"
+            )
+        if passed:
+            raise TypeError(
+                f"{owner}: pass device= or legacy execution kwargs "
+                f"{sorted(passed)}, not both"
+            )
+        # Structural check instead of isinstance (no import cycle on the
+        # device module), but strict enough to reject the plausible mix-ups
+        # -- a ParallelExecutor/ExecutionRuntime (no ExecutionConfig) or a
+        # pipeline/feature map (config but no bound runtime): only a real
+        # device carries both.
+        from repro.hpc.runtime import ExecutionRuntime
+
+        if not isinstance(
+            getattr(device, "config", None), ExecutionConfig
+        ) or not isinstance(getattr(device, "runtime", None), ExecutionRuntime):
+            raise TypeError(
+                f"{owner}: device= expects a QuantumDevice, got {device!r}"
+            )
+        return device.config, device.runtime
+    if config is not None:
+        if not isinstance(config, ExecutionConfig):
+            raise TypeError(
+                f"{owner}: config must be an ExecutionConfig, got {config!r}"
+            )
+        if passed:
+            raise TypeError(
+                f"{owner}: pass config= or legacy execution kwargs "
+                f"{sorted(passed)}, not both"
+            )
+        return config, executor
+    base = defaults if defaults is not None else ExecutionConfig()
+    if passed:
+        aliases = aliases or {}
+        _warn_legacy(
+            owner, sorted(aliases.get(k, k) for k in passed), stacklevel + 1
+        )
+        return base.merged(**passed), executor
+    return base, executor

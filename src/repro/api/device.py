@@ -1,0 +1,203 @@
+"""``QuantumDevice`` -- a context-managed execution session.
+
+A device binds an :class:`~repro.api.config.ExecutionConfig` (what to run)
+to a long-lived :class:`~repro.hpc.runtime.ExecutionRuntime` (where to run
+it): the worker pool is created once, reused across every ``run`` /
+``evaluate`` / ``stream`` sweep, and released by ``close()`` or the
+``with`` block.  This is the session layer the paper's hybrid HPC-QC
+deployment implies -- one QPU-driving process per allocation, many sweeps
+-- without each sweep re-negotiating nine keyword arguments.
+
+Every feature entry point accepts ``device=`` directly, so a device also
+serves as the single argument threading a session through pipelines and
+models::
+
+    cfg = ExecutionConfig(estimator="shots", shots=256, dispatch_policy="lpt")
+    with QuantumDevice(cfg, pool="thread", max_workers=8) as dev:
+        q, report = dev.run(strategy, angles)
+        clf = PostVariationalClassifier(strategy=strategy, device=dev).fit(x, y)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.api.config import ExecutionConfig
+from repro.hpc.executor import ParallelExecutor
+from repro.hpc.runtime import DispatchReport, ExecutionRuntime
+
+__all__ = ["QuantumDevice"]
+
+
+class QuantumDevice:
+    """Session facade: one config + one persistent runtime.
+
+    ``pool`` / ``max_workers`` / ``start_method`` build an owned
+    :class:`ExecutionRuntime` (``max_workers=None`` resolves to 1 for the
+    serial pool and ``"auto"`` otherwise).  Alternatively pass ``runtime=``
+    (a bare :class:`ExecutionRuntime` or a :class:`ParallelExecutor`
+    facade) to bind an existing, possibly shared, pool -- the device then
+    follows the library-wide ownership rule and never shuts it down.
+    """
+
+    def __init__(
+        self,
+        config: ExecutionConfig | None = None,
+        *,
+        pool: str = "serial",
+        max_workers: int | str | None = None,
+        start_method: str | None = None,
+        runtime: ExecutionRuntime | ParallelExecutor | None = None,
+    ):
+        if config is None:
+            config = ExecutionConfig()
+        if not isinstance(config, ExecutionConfig):
+            raise TypeError(f"config must be an ExecutionConfig, got {config!r}")
+        self.config = config
+        if runtime is not None:
+            if pool != "serial" or max_workers is not None or start_method is not None:
+                raise TypeError(
+                    "runtime= binds an existing pool; pool=/max_workers=/"
+                    "start_method= describe a new one -- pass one or the other"
+                )
+            if isinstance(runtime, ParallelExecutor):
+                runtime = runtime.runtime
+            if not isinstance(runtime, ExecutionRuntime):
+                raise TypeError(
+                    f"runtime must be an ExecutionRuntime or ParallelExecutor, "
+                    f"got {runtime!r}"
+                )
+            self._runtime = runtime
+            self._owns_runtime = False
+        else:
+            if max_workers is None:
+                max_workers = 1 if pool == "serial" else "auto"
+            self._runtime = ExecutionRuntime(
+                backend=pool, max_workers=max_workers, start_method=start_method
+            )
+            self._owns_runtime = True
+        self._closed = False
+
+    # ------------------------------------------------------------ properties
+    @property
+    def runtime(self) -> ExecutionRuntime:
+        """The persistent runtime backing this session."""
+        return self._runtime
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self._runtime.closed
+
+    # ------------------------------------------------------------- lifecycle
+    def warm(self) -> "QuantumDevice":
+        """Spawn the worker pool now instead of on the first sweep."""
+        self._check_open()
+        self._runtime.warm()
+        return self
+
+    def close(self) -> None:
+        """End the session; an *owned* runtime's pool is shut down."""
+        self._closed = True
+        if self._owns_runtime:
+            self._runtime.shutdown()
+
+    def __enter__(self) -> "QuantumDevice":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("device session is closed; create a new QuantumDevice")
+
+    # ----------------------------------------------------------- combinators
+    def reconfigured(self, **overrides) -> "QuantumDevice":
+        """A device with ``config.merged(**overrides)`` sharing this runtime.
+
+        The new device does not own the pool, so closing it never tears the
+        session down -- the pattern for sweeping a knob grid on one pool.
+        """
+        self._check_open()
+        return QuantumDevice(self.config.merged(**overrides), runtime=self._runtime)
+
+    # ------------------------------------------------------------- execution
+    def prepare(self, angles: np.ndarray) -> np.ndarray:
+        """Encode ``(d, rows, cols)`` angles into backend-prepared states.
+
+        Expensive preparations (density / mitigated Kraus evolution) fan
+        out over the session pool, chunked like the sweep's job grid.
+        """
+        from repro.core.features import prepare_states
+
+        self._check_open()
+        return prepare_states(
+            self.config.backend,
+            np.asarray(angles, dtype=float),
+            executor=self._runtime,
+            chunk_size=self.config.chunk_size,
+        )
+
+    def run(
+        self,
+        strategy,
+        angles: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, DispatchReport]:
+        """Algorithm 1 under this session: ``(Q, DispatchReport)``.
+
+        ``angles`` is the raw ``(d, rows, cols)`` batch; encoding, dispatch
+        and streaming assembly all follow the bound config.
+        """
+        from repro.core.features import generate_features
+
+        self._check_open()
+        return generate_features(
+            strategy,
+            angles,
+            executor=self._runtime,
+            out=out,
+            return_report=True,
+            config=self.config,
+        )
+
+    def evaluate(
+        self,
+        strategy,
+        states: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+        return_report: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, DispatchReport]:
+        """Q matrix from already-prepared states (see :meth:`prepare`)."""
+        from repro.core.features import evaluate_features
+
+        self._check_open()
+        return evaluate_features(
+            strategy,
+            states,
+            executor=self._runtime,
+            out=out,
+            return_report=return_report,
+            config=self.config,
+        )
+
+    def stream(self, strategy, states: np.ndarray) -> Iterator[tuple]:
+        """Q-blocks as ``(FeatureJob, block)`` pairs in completion order."""
+        from repro.core.features import iter_feature_blocks
+
+        self._check_open()
+        return iter_feature_blocks(
+            strategy, states, executor=self._runtime, config=self.config
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return (
+            f"QuantumDevice({self.config.backend.name}, "
+            f"estimator={self.config.estimator!r}, "
+            f"pool={self._runtime.backend}x{self._runtime.max_workers}, {state})"
+        )

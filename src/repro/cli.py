@@ -2,14 +2,22 @@
 
 Usage::
 
-    python -m repro table3   [--train N] [--test N]
-    python -m repro table4   [--train N] [--test N]
+    python -m repro table3   [--train N] [--test N] [execution flags]
+    python -m repro table4   [--train N] [--test N] [execution flags]
     python -m repro scaling  [--nodes 1 2 4 8 ...]
     python -m repro budgets  [--epsilon E] [--delta D]
     python -m repro counts
+    python -m repro config   [execution flags]
 
-Each subcommand is a reduced-size version of the corresponding benchmark
-(see benchmarks/ for the full experiment definitions and assertions).
+Execution flags (``--estimator``, ``--shots``, ``--snapshots``,
+``--chunk-size``, ``--policy``, ``--compile``, ``--seed``, ``--backend
+{ideal,noisy,mitigated}``, ``--noise-p1``) build one
+:class:`~repro.api.config.ExecutionConfig` shared by every model in the
+run; ``repro config`` prints the resolved config as JSON (the same wire
+form ``ExecutionConfig.from_json`` accepts).
+
+Each experiment subcommand is a reduced-size version of the corresponding
+benchmark (see benchmarks/ for the full definitions and assertions).
 """
 
 from __future__ import annotations
@@ -22,6 +30,121 @@ import numpy as np
 __all__ = ["main"]
 
 
+def _compile_knob(text: str) -> str | int:
+    """argparse type for --compile: proper CLI errors instead of tracebacks.
+
+    The knob grammar itself ("auto"/"off"/width >= 1) is owned by
+    :func:`repro.quantum.compile.resolve_fusion_width`; this only converts
+    digits and rewraps the canonical error for argparse.
+    """
+    from repro.quantum.compile import resolve_fusion_width
+
+    knob: str | int = text
+    if text not in ("auto", "off"):
+        try:
+            knob = int(text)
+        except ValueError:
+            pass  # let resolve_fusion_width produce the canonical message
+    try:
+        resolve_fusion_width(knob)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return knob
+
+
+def _int_at_least(minimum: int):
+    """argparse type factory for bounded integer execution flags."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"must be an int >= {minimum}, got {text!r}")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(f"must be >= {minimum}, got {value}")
+        return value
+
+    return parse
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """The unified execution knobs, one flag per ExecutionConfig field."""
+    from repro.hpc.scheduler import SCHEDULING_POLICIES
+
+    group = parser.add_argument_group("execution")
+    group.add_argument(
+        "--estimator", choices=["exact", "shots", "shadows"], default="exact",
+        help="measurement model (default: exact)",
+    )
+    group.add_argument("--shots", type=_int_at_least(0), default=1024)
+    group.add_argument("--snapshots", type=_int_at_least(0), default=512)
+    group.add_argument(
+        "--chunk-size", type=_int_at_least(1), default=None,
+        help="work-grid rows per job (default: backend-appropriate)",
+    )
+    group.add_argument(
+        "--policy", choices=list(SCHEDULING_POLICIES), default="work_stealing",
+        help="live dispatch submission order (default: work_stealing)",
+    )
+    group.add_argument(
+        "--compile", type=_compile_knob, default="off",
+        help='circuit engine: "auto", "off" or a fusion width (default: off)',
+    )
+    group.add_argument("--seed", type=int, default=0)
+    group.add_argument(
+        "--backend", choices=["ideal", "noisy", "mitigated"], default="ideal",
+        help="execution regime (default: ideal statevector)",
+    )
+    group.add_argument(
+        "--noise-p1", type=float, default=None,
+        help="1q depolarizing probability for noisy/mitigated backends "
+        "(2q is 10x, the usual hardware ratio; default: 0.002)",
+    )
+
+
+def _config_from_args(args: argparse.Namespace):
+    """Build the run's ExecutionConfig from the execution flags.
+
+    Remaining cross-flag validation (estimator x backend regime,
+    noise-probability bounds) lives in ExecutionConfig/NoiseModel; surface
+    those as clean CLI errors too, not tracebacks.
+    """
+    from repro.api import ExecutionConfig
+    from repro.quantum.backends import DensityMatrixBackend, MitigatedBackend
+    from repro.quantum.noise import NoiseModel
+
+    try:
+        backend = None
+        if args.backend in ("noisy", "mitigated"):
+            p1 = 0.002 if args.noise_p1 is None else args.noise_p1
+            noisy = DensityMatrixBackend(NoiseModel.depolarizing(p1))
+            backend = MitigatedBackend(noisy) if args.backend == "mitigated" else noisy
+        elif args.noise_p1 is not None:
+            # Silently running the ideal backend under a "noisy" flag would
+            # mislabel a study; fail like every other bad combination.
+            raise ValueError(
+                "--noise-p1 requires --backend noisy or mitigated"
+            )
+        return ExecutionConfig(
+            estimator=args.estimator,
+            shots=args.shots,
+            snapshots=args.snapshots,
+            chunk_size=args.chunk_size,
+            seed=args.seed,
+            compile=args.compile,
+            dispatch_policy=args.policy,
+            backend=backend,
+        )
+    except ValueError as exc:
+        print(f"repro: invalid execution flags: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    print(_config_from_args(args).to_json(indent=2))
+    return 0
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.core import (
         HybridStrategy,
@@ -32,6 +155,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.data import binary_coat_vs_shirt
     from repro.ml import LogisticRegression, accuracy
 
+    config = _config_from_args(args)
     split = binary_coat_vs_shirt(train_per_class=args.train, test_per_class=args.test)
     flat = split.x_train.reshape(split.num_train, -1) / (2 * np.pi)
     flat_test = split.x_test.reshape(split.num_test, -1) / (2 * np.pi)
@@ -49,7 +173,9 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         ("observable L=2", ObservableConstruction(qubits=4, locality=2)),
         ("hybrid 1+1", HybridStrategy(order=1, locality=1)),
     ):
-        clf = PostVariationalClassifier(strategy=strat).fit(split.x_train, split.y_train)
+        clf = PostVariationalClassifier(strategy=strat, config=config).fit(
+            split.x_train, split.y_train
+        )
         print(
             f"{name:<15} train {clf.score(split.x_train, split.y_train):.3f} "
             f"test {clf.score(split.x_test, split.y_test):.3f}  (m={strat.num_features})"
@@ -62,6 +188,7 @@ def _cmd_table4(args: argparse.Namespace) -> int:
     from repro.data import multiclass_fashion
     from repro.ml import SoftmaxRegression, accuracy
 
+    config = _config_from_args(args)
     split = multiclass_fashion(train_total=args.train, test_total=args.test)
     flat = split.x_train.reshape(split.num_train, -1) / (2 * np.pi)
     flat_test = split.x_test.reshape(split.num_test, -1) / (2 * np.pi)
@@ -71,7 +198,7 @@ def _cmd_table4(args: argparse.Namespace) -> int:
         f"test {accuracy(split.y_test, logistic.predict(flat_test)):.3f}"
     )
     pv = PostVariationalClassifier(
-        strategy=HybridStrategy(order=1, locality=2), num_classes=10
+        strategy=HybridStrategy(order=1, locality=2), num_classes=10, config=config
     ).fit(split.x_train, split.y_train)
     print(
         f"PV 1o+2l   train {pv.score(split.x_train, split.y_train):.3f} "
@@ -130,12 +257,20 @@ def main(argv: list[str] | None = None) -> int:
     t3.add_argument("--train", type=int, default=60)
     t3.add_argument("--test", type=int, default=20)
     t3.add_argument("--epochs", type=int, default=15)
+    _add_execution_flags(t3)
     t3.set_defaults(fn=_cmd_table3)
 
     t4 = sub.add_parser("table4", help="reduced Table IV run")
     t4.add_argument("--train", type=int, default=100)
     t4.add_argument("--test", type=int, default=50)
+    _add_execution_flags(t4)
     t4.set_defaults(fn=_cmd_table4)
+
+    cf = sub.add_parser(
+        "config", help="print the resolved ExecutionConfig as JSON"
+    )
+    _add_execution_flags(cf)
+    cf.set_defaults(fn=_cmd_config)
 
     sc = sub.add_parser("scaling", help="simulated-cluster strong scaling")
     sc.add_argument("--tasks", type=int, default=128)

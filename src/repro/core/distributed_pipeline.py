@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.config import UNSET, ExecutionConfig, resolve_call
 from repro.core.features import generate_features
 from repro.core.strategies import Strategy
 from repro.hpc.comm import Communicator
@@ -38,44 +39,63 @@ def generate_features_spmd(
     comm: Communicator,
     strategy: Strategy,
     angles: np.ndarray,
-    estimator: str = "exact",
-    shots: int = 1024,
-    seed: int = 0,
+    estimator: str = UNSET,
+    shots: int = UNSET,
+    seed: int = UNSET,
     allgather: bool = False,
     executor: ParallelExecutor | ExecutionRuntime | None = None,
-    dispatch_policy: str = "work_stealing",
-    backend: "QuantumBackend | None" = None,
+    dispatch_policy: str = UNSET,
+    backend: "QuantumBackend | None" = UNSET,
+    *,
+    config: ExecutionConfig | None = None,
+    device=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Collective Algorithm 1: rank r computes rows ``block_partition[r]``.
 
     Returns ``(row_indices, q_block)`` for this rank; with ``allgather=True``
     every rank instead receives the full ``(arange(d), Q)``.
 
-    The exact estimator is independent of the rank count.  Stochastic
-    estimators derive per-rank seeds from ``seed`` and the block's first
-    global row, making runs deterministic for a *fixed* rank count (shot
-    noise realisations differ across rank counts, as they would on a real
-    cluster with per-node RNGs).
+    Execution is configured by ``config=``/``device=`` exactly as in
+    :func:`~repro.core.features.generate_features` (loose kwargs remain as
+    deprecated shims); the config must be identical on every rank.  The
+    config's ``seed`` must be an int: stochastic estimators derive per-rank
+    seeds from it and the block's first global row, making runs
+    deterministic for a *fixed* rank count (shot noise realisations differ
+    across rank counts, as they would on a real cluster with per-node
+    RNGs).  The exact estimator is independent of the rank count.
 
-    ``executor`` lets each rank drive a *persistent* node-local runtime
-    (hybrid MPI x pool parallelism): the pool survives across repeated
-    collective sweeps instead of being rebuilt per call, and
-    ``dispatch_policy`` orders the rank-local submission queue.
-    ``backend`` selects the execution regime per rank (ideal statevector,
-    noisy density, mitigated); it must be identical on every rank.
+    ``executor`` (or a device's runtime) lets each rank drive a
+    *persistent* node-local runtime (hybrid MPI x pool parallelism): the
+    pool survives across repeated collective sweeps instead of being
+    rebuilt per call, and ``config.dispatch_policy`` orders the rank-local
+    submission queue.
     """
+    cfg, executor = resolve_call(
+        config,
+        device,
+        executor,
+        dict(
+            estimator=estimator,
+            shots=shots,
+            seed=seed,
+            dispatch_policy=dispatch_policy,
+            backend=backend,
+        ),
+        owner="generate_features_spmd",
+    )
+    if not isinstance(cfg.seed, (int, np.integer)):
+        raise ValueError(
+            f"generate_features_spmd derives per-rank seeds and needs an int "
+            f"config seed, got {cfg.seed!r}"
+        )
     angles = np.asarray(angles, dtype=float)
     rows = block_partition(angles.shape[0], comm.size)[comm.rank]
     if rows.size:
         block = generate_features(
             strategy,
             angles[rows],
-            estimator=estimator,
-            shots=shots,
-            seed=seed + int(rows[0]),
             executor=executor,
-            dispatch_policy=dispatch_policy,
-            backend=backend,
+            config=cfg.merged(seed=int(cfg.seed) + int(rows[0])),
         )
     else:
         block = np.empty((0, strategy.num_features))

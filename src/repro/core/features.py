@@ -24,8 +24,13 @@ preallocated Q matrix as its future resolves -- no end-of-sweep barrier.
 :func:`iter_feature_blocks` exposes the same stream to incremental
 consumers.
 
-Execution regime is a :class:`~repro.quantum.backends.QuantumBackend`
-(``backend=``): ideal statevector (default, compiled engine), noisy
+Execution is configured through the unified API (:mod:`repro.api`): every
+entry point takes ``config=`` (an
+:class:`~repro.api.config.ExecutionConfig`) or ``device=`` (a
+:class:`~repro.api.device.QuantumDevice` session); the historical loose
+kwargs remain as deprecated shims that build a config internally.  The
+regime itself is a :class:`~repro.quantum.backends.QuantumBackend`
+(``config.backend``): ideal statevector (default, compiled engine), noisy
 density-matrix (gate-level Kraus) or ZNE-mitigated -- every backend runs
 through the *same* job grid, cost model (density evolution priced ~4^n vs
 2^n) and streaming dispatch, so the noisy Q-matrix sweep parallelises
@@ -44,6 +49,13 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.api.config import (
+    ESTIMATORS,
+    UNSET,
+    ExecutionConfig,
+    resolve_call,
+    resolve_chunk_size,
+)
 from repro.core.strategies import Strategy
 from repro.hpc.cluster import CircuitTask, task_costs
 from repro.hpc.executor import ParallelExecutor
@@ -62,42 +74,9 @@ __all__ = [
     "evaluate_features",
     "iter_feature_blocks",
     "feature_circuit_tasks",
+    "prepare_states",
     "resolve_chunk_size",
 ]
-
-ESTIMATORS = ("exact", "shots", "shadows")
-
-#: Default data-chunk width of the work grid for cheap vectorised
-#: statevector evolution.
-DEFAULT_CHUNK_SIZE = 128
-#: Finer default for backends with heavy per-sample work (density /
-#: mitigated Kraus evolution, flagged by ``parallel_prepare``): small noisy
-#: datasets still split into enough jobs to occupy a worker pool, the
-#: granularity the retired per-sample noisy fork had.
-EXPENSIVE_CHUNK_SIZE = 8
-
-
-def resolve_chunk_size(chunk_size: int | None, backend: QuantumBackend) -> int:
-    """Work-grid granularity: an explicit value wins, ``None`` picks a
-    backend-appropriate default (coarse ideal, fine noisy/mitigated)."""
-    if chunk_size is None:
-        return EXPENSIVE_CHUNK_SIZE if backend.parallel_prepare else DEFAULT_CHUNK_SIZE
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size={chunk_size} must be >= 1")
-    return int(chunk_size)
-
-
-def _check_regime(estimator: str, backend: QuantumBackend) -> None:
-    """Validate the estimator/backend combination (cheap; called before any
-    expensive state preparation so bad arguments fail instantly)."""
-    if estimator not in ESTIMATORS:
-        raise ValueError(f"unknown estimator {estimator!r}; choose from {ESTIMATORS}")
-    if estimator == "shadows" and not backend.supports_shadows:
-        raise ValueError(
-            f"backend {backend.name!r} does not support the shadows estimator "
-            f"(classical shadows need direct pure-state snapshots, which "
-            f"mixed-state evolution and ZNE extrapolation cannot provide)"
-        )
 
 
 @dataclass(frozen=True)
@@ -315,11 +294,11 @@ class _PrepareWorker:
         return self.backend.prepare(angles_chunk)
 
 
-def _prepare_states(
-    backend: QuantumBackend,
+def prepare_states(
+    backend: QuantumBackend | None,
     angles: np.ndarray,
-    executor: ParallelExecutor | ExecutionRuntime | None,
-    chunk_size: int,
+    executor: ParallelExecutor | ExecutionRuntime | None = None,
+    chunk_size: int | None = None,
 ) -> np.ndarray:
     """Encode ``angles`` into the backend's prepared representation.
 
@@ -329,6 +308,8 @@ def _prepare_states(
     parallelism the retired noisy fork had, kept.  The statevector
     backend's vectorised ``encode_batch`` stays a single in-process call.
     """
+    backend = resolve_backend(backend)
+    chunk_size = resolve_chunk_size(chunk_size, backend)
     chunks = chunk_ranges(angles.shape[0], chunk_size)
     if not backend.parallel_prepare or len(chunks) <= 1:
         return backend.prepare(angles)
@@ -341,43 +322,40 @@ def _prepare_states(
 def _sweep_stream(
     strategy: Strategy,
     states: np.ndarray,
-    estimator: str,
-    shots: int,
-    snapshots: int,
+    cfg: ExecutionConfig,
     executor: ParallelExecutor | ExecutionRuntime | None,
-    chunk_size: int,
-    seed: int | np.random.Generator | None,
-    compile: str | int,
-    dispatch_policy: str,
     records: list[TaskCompletion] | None,
-    backend: QuantumBackend,
 ) -> tuple[Iterator[TaskCompletion], np.ndarray, ExecutionRuntime]:
     """Shared sweep setup: completion stream, cost vector, runtime.
 
-    ``backend`` must already be resolved and regime-checked -- the public
-    entry points do both before any state preparation/coercion.
+    ``cfg`` is already validated (backend resolved, regime checked) -- the
+    :class:`~repro.api.config.ExecutionConfig` constructor guarantees it.
     """
     runtime = _resolve_runtime(executor)
-    jobs = feature_jobs(strategy.num_ansatze, states.shape[0], chunk_size)
+    jobs = feature_jobs(
+        strategy.num_ansatze, states.shape[0], cfg.resolved_chunk_size
+    )
     # Per-task independent RNG streams, keyed by task *index*: results do
     # not depend on the executor backend, policy or completion order.
-    if estimator == "exact":
+    if cfg.estimator == "exact":
         seeds = None
     else:
-        children = spawn_rngs(seed, len(jobs))
+        children = spawn_rngs(cfg.seed, len(jobs))
         seeds = [int(c.integers(0, 2**63)) for c in children]
 
-    worker = _BlockWorker(strategy, estimator, shots, snapshots, seeds, compile, backend)
+    worker = _BlockWorker(
+        strategy, cfg.estimator, cfg.shots, cfg.snapshots, seeds, cfg.compile, cfg.backend
+    )
     costs = task_costs(
         feature_circuit_tasks(
             jobs,
             worker.programs,
             strategy.num_qubits,
             strategy.num_observables,
-            estimator,
-            shots,
-            snapshots,
-            backend,
+            cfg.estimator,
+            cfg.shots,
+            cfg.snapshots,
+            cfg.backend,
         )
     )
     # Each task ships its own chunk (a view in-process; O(chunk) pickled
@@ -386,7 +364,7 @@ def _sweep_stream(
         worker,
         [(i, job, states[job.lo : job.hi]) for i, job in enumerate(jobs)],
         costs=costs,
-        policy=dispatch_policy,
+        policy=cfg.dispatch_policy,
         records=records,
     )
     return stream, costs, runtime
@@ -395,41 +373,57 @@ def _sweep_stream(
 def generate_features(
     strategy: Strategy,
     angles: np.ndarray,
-    estimator: str = "exact",
-    shots: int = 1024,
-    snapshots: int = 512,
+    estimator: str = UNSET,
+    shots: int = UNSET,
+    snapshots: int = UNSET,
     executor: ParallelExecutor | ExecutionRuntime | None = None,
-    chunk_size: int | None = None,
-    seed: int | np.random.Generator | None = 0,
-    compile: str | int = "off",
-    dispatch_policy: str = "work_stealing",
+    chunk_size: int | None = UNSET,
+    seed: int | np.random.Generator | None = UNSET,
+    compile: str | int = UNSET,
+    dispatch_policy: str = UNSET,
     out: np.ndarray | None = None,
     return_report: bool = False,
-    backend: QuantumBackend | None = None,
+    backend: QuantumBackend | None = UNSET,
+    *,
+    config: ExecutionConfig | None = None,
+    device=None,
 ) -> np.ndarray | tuple[np.ndarray, DispatchReport]:
     """Algorithm 1: the full Q matrix for pooled-angle images ``angles``.
 
     ``angles`` is (d, rows, cols) with cols == strategy.num_qubits; returns
-    (d, m).  ``shots``/``snapshots`` apply per (data point, Ansatz,
-    observable) and per (data point, Ansatz) respectively.  ``compile``
-    selects the circuit engine (``"auto"``/``"off"``/fusion width; see
-    :mod:`repro.quantum.compile`) -- the default ``"off"`` keeps the naive
-    reference semantics bit-for-bit.  ``backend`` selects the execution
-    regime (see :mod:`repro.quantum.backends`): the default ideal
-    statevector simulator, ``DensityMatrixBackend(noise_model)`` for exact
-    Kraus noise (encoder gates included), or ``MitigatedBackend`` for ZNE
-    on top of a noisy backend.  ``dispatch_policy`` orders live task
-    submission (see :func:`repro.hpc.scheduler.submission_order`); with
+    (d, m).  Execution is configured by ``config=`` (an
+    :class:`~repro.api.config.ExecutionConfig`) or ``device=`` (a
+    :class:`~repro.api.device.QuantumDevice`, which also supplies the
+    runtime); with neither, the config defaults apply (exact estimator,
+    ideal statevector backend, ``compile="off"`` -- the naive reference
+    semantics bit-for-bit).
+
+    The loose execution kwargs (``estimator``/``shots``/``snapshots``/
+    ``chunk_size``/``seed``/``compile``/``dispatch_policy``/``backend``)
+    are **deprecated**: they still work, bit-equal, by constructing a
+    config internally, but emit a :class:`DeprecationWarning`.
+
+    ``executor`` binds the dispatch runtime (facade, bare runtime or None
+    for inline serial) and may accompany ``config=``; with
     ``return_report=True`` the measured-vs-projected
     :class:`~repro.hpc.runtime.DispatchReport` is returned alongside Q.
-
-    ``chunk_size=None`` picks a backend-appropriate work-grid granularity
-    (:func:`resolve_chunk_size`): 128 rows per job for the vectorised
-    statevector engine, 8 for per-sample density/mitigated evolution.
     """
-    backend = resolve_backend(backend)
-    chunk_size = resolve_chunk_size(chunk_size, backend)
-    _check_regime(estimator, backend)
+    cfg, executor = resolve_call(
+        config,
+        device,
+        executor,
+        dict(
+            estimator=estimator,
+            shots=shots,
+            snapshots=snapshots,
+            chunk_size=chunk_size,
+            seed=seed,
+            compile=compile,
+            dispatch_policy=dispatch_policy,
+            backend=backend,
+        ),
+        owner="generate_features",
+    )
     angles = np.asarray(angles, dtype=float)
     if angles.ndim != 3:
         raise ValueError("angles must be (d, rows, cols)")
@@ -437,38 +431,34 @@ def generate_features(
         raise ValueError(
             f"angles encode {angles.shape[2]} qubits, strategy expects {strategy.num_qubits}"
         )
-    states = _prepare_states(backend, angles, executor, chunk_size)
+    states = prepare_states(cfg.backend, angles, executor, cfg.chunk_size)
     return evaluate_features(
         strategy,
         states,
-        estimator=estimator,
-        shots=shots,
-        snapshots=snapshots,
         executor=executor,
-        chunk_size=chunk_size,
-        seed=seed,
-        compile=compile,
-        dispatch_policy=dispatch_policy,
         out=out,
         return_report=return_report,
-        backend=backend,
+        config=cfg,
     )
 
 
 def evaluate_features(
     strategy: Strategy,
     states: np.ndarray,
-    estimator: str = "exact",
-    shots: int = 1024,
-    snapshots: int = 512,
+    estimator: str = UNSET,
+    shots: int = UNSET,
+    snapshots: int = UNSET,
     executor: ParallelExecutor | ExecutionRuntime | None = None,
-    chunk_size: int | None = None,
-    seed: int | np.random.Generator | None = 0,
-    compile: str | int = "off",
-    dispatch_policy: str = "work_stealing",
+    chunk_size: int | None = UNSET,
+    seed: int | np.random.Generator | None = UNSET,
+    compile: str | int = UNSET,
+    dispatch_policy: str = UNSET,
     out: np.ndarray | None = None,
     return_report: bool = False,
-    backend: QuantumBackend | None = None,
+    backend: QuantumBackend | None = UNSET,
+    *,
+    config: ExecutionConfig | None = None,
+    device=None,
 ) -> np.ndarray | tuple[np.ndarray, DispatchReport]:
     """Q matrix from prepared states ``states``.
 
@@ -477,14 +467,30 @@ def evaluate_features(
     from ``backend.prepare(angles)`` (which, for noisy backends, applies
     encoder-stage noise too).
 
+    Execution is configured exactly as in :func:`generate_features`
+    (``config=``/``device=``; loose kwargs are deprecated shims).
+
     Assembly is streaming: blocks land in the (optionally caller-supplied)
     preallocated ``out`` matrix as their futures resolve, in completion
     order.  ``out`` must be float64 of shape (d, p*q).
     """
-    backend = resolve_backend(backend)
-    chunk_size = resolve_chunk_size(chunk_size, backend)
-    _check_regime(estimator, backend)
-    states = backend.coerce_states(np.asarray(states))
+    cfg, executor = resolve_call(
+        config,
+        device,
+        executor,
+        dict(
+            estimator=estimator,
+            shots=shots,
+            snapshots=snapshots,
+            chunk_size=chunk_size,
+            seed=seed,
+            compile=compile,
+            dispatch_policy=dispatch_policy,
+            backend=backend,
+        ),
+        owner="evaluate_features",
+    )
+    states = cfg.backend.coerce_states(np.asarray(states))
     d = states.shape[0]
     p = strategy.num_ansatze
     q = strategy.num_observables
@@ -496,10 +502,7 @@ def evaluate_features(
     # Timing records are only collected when a report is requested; they
     # are result-free (index + seconds), so nothing pins completed blocks.
     records: list[TaskCompletion] | None = [] if return_report else None
-    stream, costs, runtime = _sweep_stream(
-        strategy, states, estimator, shots, snapshots, executor,
-        chunk_size, seed, compile, dispatch_policy, records, backend,
-    )
+    stream, costs, runtime = _sweep_stream(strategy, states, cfg, executor, records)
     # Timed window covers dispatch + assembly only: binding/compilation,
     # RNG spawning and (via warm()) pool construction are one-time setup
     # the replayed makespan never models, so including them would inflate
@@ -513,7 +516,8 @@ def evaluate_features(
 
     if return_report:
         report = DispatchReport.from_records(
-            dispatch_policy, runtime.backend, runtime.max_workers, costs, records or (), wall
+            cfg.dispatch_policy, runtime.backend, runtime.max_workers, costs,
+            records or (), wall,
         )
         return out, report
     return out
@@ -522,15 +526,18 @@ def evaluate_features(
 def iter_feature_blocks(
     strategy: Strategy,
     states: np.ndarray,
-    estimator: str = "exact",
-    shots: int = 1024,
-    snapshots: int = 512,
+    estimator: str = UNSET,
+    shots: int = UNSET,
+    snapshots: int = UNSET,
     executor: ParallelExecutor | ExecutionRuntime | None = None,
-    chunk_size: int | None = None,
-    seed: int | np.random.Generator | None = 0,
-    compile: str | int = "off",
-    dispatch_policy: str = "work_stealing",
-    backend: QuantumBackend | None = None,
+    chunk_size: int | None = UNSET,
+    seed: int | np.random.Generator | None = UNSET,
+    compile: str | int = UNSET,
+    dispatch_policy: str = UNSET,
+    backend: QuantumBackend | None = UNSET,
+    *,
+    config: ExecutionConfig | None = None,
+    device=None,
 ) -> Iterator[tuple[FeatureJob, np.ndarray]]:
     """Stream Q-matrix blocks as ``(FeatureJob, (chunk, q) block)`` pairs.
 
@@ -539,18 +546,28 @@ def iter_feature_blocks(
     learners, progress reporting, or out-of-core assembly can consume
     features without ever materialising the full matrix.  Every job is
     yielded exactly once; the union of blocks tiles the full Q matrix.
-    Identical numerics to :func:`evaluate_features` (same per-task seeds
-    and the same ``backend`` regimes).
+    Identical numerics to :func:`evaluate_features` (same per-task seeds,
+    same ``config=``/``device=`` resolution, loose kwargs deprecated).
 
     Setup (validation, binding/compilation, cost model) runs eagerly at the
     call, so bad arguments raise here rather than at the first ``next()``.
     """
-    backend = resolve_backend(backend)
-    chunk_size = resolve_chunk_size(chunk_size, backend)
-    _check_regime(estimator, backend)
-    states = backend.coerce_states(np.asarray(states))
-    stream, _, _ = _sweep_stream(
-        strategy, states, estimator, shots, snapshots, executor,
-        chunk_size, seed, compile, dispatch_policy, None, backend,
+    cfg, executor = resolve_call(
+        config,
+        device,
+        executor,
+        dict(
+            estimator=estimator,
+            shots=shots,
+            snapshots=snapshots,
+            chunk_size=chunk_size,
+            seed=seed,
+            compile=compile,
+            dispatch_policy=dispatch_policy,
+            backend=backend,
+        ),
+        owner="iter_feature_blocks",
     )
+    states = cfg.backend.coerce_states(np.asarray(states))
+    stream, _, _ = _sweep_stream(strategy, states, cfg, executor, None)
     return (completion.result for completion in stream)

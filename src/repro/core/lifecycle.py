@@ -1,16 +1,20 @@
-"""Executor-lifecycle behaviour shared by pipeline and model classes.
+"""Lifecycle + configuration behaviour shared by pipeline and model classes.
 
 Every orchestrator that holds an ``executor`` field (``HybridPipeline``,
 ``PostVariationalRegressor``, ``PostVariationalClassifier``) needs the same
 close()/context-manager plumbing -- and the same ownership rule, so it
-lives here once.
+lives here once.  The same three classes also mirror the
+:class:`~repro.api.config.ExecutionConfig` knobs as live attributes;
+:class:`ConfigMirrorMixin` holds that sync logic once so pipeline and
+model mutation semantics can never drift apart.
 """
 
 from __future__ import annotations
 
+from repro.api.config import CONFIG_FIELDS, ExecutionConfig, values_differ
 from repro.hpc.executor import ParallelExecutor
 
-__all__ = ["ExecutorOwnerMixin"]
+__all__ = ["ExecutorOwnerMixin", "ConfigMirrorMixin"]
 
 
 class ExecutorOwnerMixin:
@@ -35,3 +39,80 @@ class ExecutorOwnerMixin:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class ConfigMirrorMixin(ExecutorOwnerMixin):
+    """Live attribute mirrors over a resolved :class:`ExecutionConfig`.
+
+    The orchestrator dataclasses expose every config knob as an attribute
+    (``model.estimator``, ``pipe.scheduling_policy``, ...) for
+    backward-compatible introspection *and* mutation: the historical
+    classes read those attributes at every sweep, so
+    :meth:`_current_config` re-syncs before each one.  A wholesale
+    ``self.config`` replacement wins (mirrors are refreshed from it);
+    otherwise any mutated mirror is folded back in via ``merged`` and
+    re-validated -- no deprecation warning, mutation is explicit.
+
+    Swapping ``self.device`` after construction is honored the same way:
+    the new device supplies both the config and the runtime on the next
+    sweep (setting it to ``None`` keeps the current config/executor --
+    there is no prior no-device state to restore).
+
+    Subclasses with a historical spelling for a knob override
+    :meth:`_mirror_name` (the pipeline's ``scheduling_policy``).
+    """
+
+    def _mirror_name(self, field_name: str) -> str:
+        return field_name
+
+    def _default_config(self) -> ExecutionConfig:
+        """Defaults applied when ``config`` is reset to None (overridden by
+        owners with richer historical defaults, e.g. the pipeline)."""
+        return ExecutionConfig()
+
+    def _apply_config(self, cfg: ExecutionConfig) -> None:
+        self.config = cfg
+        self._resolved_config = cfg
+        self._resolved_device = getattr(self, "device", None)
+        for name in CONFIG_FIELDS:
+            setattr(self, self._mirror_name(name), getattr(cfg, name))
+
+    def _rebind_executor(self, executor) -> None:
+        """Swap the executor, releasing a previously *owned* facade's pool.
+
+        The ownership rule again: a ParallelExecutor facade created (or
+        adopted) by this orchestrator is ours to close -- and close() is
+        recoverable, so an aliased facade elsewhere just rebuilds lazily.
+        A bare ExecutionRuntime is never shut down from here.
+        """
+        old = getattr(self, "executor", None)
+        if old is not executor and isinstance(old, ParallelExecutor):
+            old.close()
+        self.executor = executor
+
+    def _current_config(self) -> ExecutionConfig:
+        device = getattr(self, "device", None)
+        if device is not self._resolved_device:
+            if device is not None:
+                self._rebind_executor(device.runtime)
+                self._apply_config(device.config)
+                return self.config
+            self._resolved_device = None
+        if self.config is None:
+            # A post-construction reset (`obj.config = None`) means "back
+            # to this orchestrator's defaults", mirroring construction.
+            self._apply_config(self._default_config())
+            return self.config
+        if self.config is not self._resolved_config:
+            self._apply_config(self.config)
+            return self.config
+        overrides = {
+            name: getattr(self, self._mirror_name(name))
+            for name in CONFIG_FIELDS
+            if values_differ(
+                getattr(self, self._mirror_name(name)), getattr(self.config, name)
+            )
+        }
+        if overrides:
+            self._apply_config(self.config.merged(**overrides))
+        return self.config

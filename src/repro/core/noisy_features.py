@@ -52,11 +52,15 @@ def generate_features_noisy(
         DeprecationWarning,
         stacklevel=2,
     )
+    from repro.api.config import ExecutionConfig
     from repro.core.features import generate_features
 
+    # Internal delegation goes through config= -- the legacy kwargs are
+    # themselves deprecated, and CI runs with them promoted to errors for
+    # repro.* modules.
     return generate_features(
         strategy,
         angles,
         executor=executor,
-        backend=DensityMatrixBackend(noise_model),
+        config=ExecutionConfig(backend=DensityMatrixBackend(noise_model)),
     )

@@ -15,27 +15,32 @@ Q-matrix blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Any
 
 import numpy as np
 
+from repro.api.config import UNSET, ExecutionConfig, resolve_call
 from repro.core.features import (
     feature_circuit_tasks,
     feature_jobs,
     generate_features,
-    resolve_chunk_size,
 )
-from repro.core.lifecycle import ExecutorOwnerMixin
+from repro.core.lifecycle import ConfigMirrorMixin
 from repro.core.strategies import Strategy
 from repro.hpc.cluster import CircuitTask, ClusterModel
 from repro.hpc.executor import ParallelExecutor
 from repro.hpc.profiling import Counter, StageTimer, dispatch_summary
 from repro.hpc.runtime import DispatchReport, ExecutionRuntime
-from repro.quantum.backends import QuantumBackend, resolve_backend
+from repro.quantum.backends import QuantumBackend
 from repro.ml.logistic import LogisticRegression, SoftmaxRegression
 from repro.ml.metrics import accuracy
 
-__all__ = ["PipelineReport", "HybridPipeline"]
+__all__ = ["PipelineReport", "HybridPipeline", "PIPELINE_DEFAULT_CONFIG"]
+
+#: The system-layer defaults: the ensemble circuits are fixed, so each is
+#: fused once and reused for every chunk/worker (``compile="auto"``), and
+#: the analytic projection's default policy (LPT) also orders live dispatch.
+PIPELINE_DEFAULT_CONFIG = ExecutionConfig(compile="auto", dispatch_policy="lpt")
 
 
 @dataclass
@@ -74,44 +79,81 @@ class PipelineReport:
 
 
 @dataclass
-class HybridPipeline(ExecutorOwnerMixin):
-    """Strategy + estimator + executor + classical head, fully instrumented.
+class HybridPipeline(ConfigMirrorMixin):
+    """Strategy + config + executor + classical head, fully instrumented.
+
+    Execution is configured by ``config=`` (an :class:`ExecutionConfig`;
+    :data:`PIPELINE_DEFAULT_CONFIG` -- compiled engine, LPT dispatch -- when
+    omitted) or ``device=`` (a :class:`~repro.api.device.QuantumDevice`
+    whose runtime replaces the pipeline's own executor).  The loose
+    execution kwargs (``estimator``/``shots``/``snapshots``/``chunk_size``/
+    ``seed``/``compile``/``backend``/``scheduling_policy``) are deprecated
+    shims folded into a config; the resolved values stay readable as
+    attributes.
 
     Executor lifecycle comes from :class:`ExecutorOwnerMixin`: ``close()``
     (or the ``with`` block) releases a :class:`ParallelExecutor` facade's
-    pool, while a bare caller-supplied ``ExecutionRuntime`` -- possibly
-    shared with other consumers -- is never shut down from here.
+    pool, while a bare caller-supplied ``ExecutionRuntime`` or a device's
+    runtime -- possibly shared with other consumers -- is never shut down
+    from here.
     """
 
     strategy: Strategy = None  # type: ignore[assignment]
     num_classes: int = 2
-    estimator: str = "exact"
-    shots: int = 1024
-    snapshots: int = 512
+    estimator: Any = UNSET
+    shots: Any = UNSET
+    snapshots: Any = UNSET
     l2: float = 1.0
     executor: ParallelExecutor | ExecutionRuntime | None = None
     cluster: ClusterModel | None = None
-    scheduling_policy: str = "lpt"
-    # None = backend-appropriate default (see features.resolve_chunk_size).
-    chunk_size: int | None = None
-    seed: int = 0
-    # Compiled execution is the system-layer default: the ensemble circuits
-    # are fixed, so each is fused once and reused for every chunk/worker.
-    # (Backends with gate-level noise ignore it; see supports_compile.)
-    compile: str | int = "auto"
-    # Execution regime: None = ideal statevector; DensityMatrixBackend /
-    # MitigatedBackend run the same streamed sweep under noise / ZNE.
-    backend: QuantumBackend | None = None
+    # Maps to ExecutionConfig.dispatch_policy (the historical field name:
+    # the same policy orders live dispatch and the analytic projection).
+    scheduling_policy: Any = UNSET
+    chunk_size: Any = UNSET
+    seed: Any = UNSET
+    compile: Any = UNSET
+    backend: QuantumBackend | None = UNSET
+    config: ExecutionConfig | None = None
+    device: Any = None
     report_: PipelineReport | None = field(default=None, repr=False)
     head_: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.strategy is None:
             raise ValueError("strategy is required")
+        cfg, executor = resolve_call(
+            self.config,
+            self.device,
+            self.executor,
+            dict(
+                estimator=self.estimator,
+                shots=self.shots,
+                snapshots=self.snapshots,
+                chunk_size=self.chunk_size,
+                seed=self.seed,
+                compile=self.compile,
+                dispatch_policy=self.scheduling_policy,
+                backend=self.backend,
+            ),
+            owner="HybridPipeline",
+            defaults=PIPELINE_DEFAULT_CONFIG,
+            # resolve_call -> __post_init__ -> dataclass __init__ -> caller.
+            stacklevel=3,
+            # Warn with the kwarg spelling the caller actually wrote.
+            aliases={"dispatch_policy": "scheduling_policy"},
+        )
+        self._apply_config(cfg)
         # One long-lived executor (persistent runtime) per pipeline: the
         # worker pool is created on the first sweep and reused by every
-        # subsequent fit/predict until close().
-        self.executor = self.executor or ParallelExecutor()
+        # subsequent fit/predict until close().  A device's runtime wins.
+        self.executor = executor or ParallelExecutor()
+
+    def _mirror_name(self, field_name: str) -> str:
+        # The pipeline's historical spelling for the dispatch policy.
+        return "scheduling_policy" if field_name == "dispatch_policy" else field_name
+
+    def _default_config(self) -> ExecutionConfig:
+        return PIPELINE_DEFAULT_CONFIG
 
     # ------------------------------------------------------------ workload
     def circuit_tasks(self, num_samples: int) -> list[CircuitTask]:
@@ -126,8 +168,10 @@ class HybridPipeline(ExecutorOwnerMixin):
             # Only a genuinely empty circuit is skipped by the sweep; a
             # parameterless circuit with gates still runs (and costs).
             ansatz = None
-        chunk = resolve_chunk_size(self.chunk_size, resolve_backend(self.backend))
-        jobs = feature_jobs(self.strategy.num_ansatze, num_samples, chunk)
+        cfg = self._current_config()
+        jobs = feature_jobs(
+            self.strategy.num_ansatze, num_samples, cfg.resolved_chunk_size
+        )
         # Gate count is binding-independent, so the unbound Ansatz prices
         # every instance without compiling anything just for a projection.
         programs = [ansatz] * self.strategy.num_ansatze
@@ -136,10 +180,10 @@ class HybridPipeline(ExecutorOwnerMixin):
             programs,
             self.strategy.num_qubits,
             self.strategy.num_observables,
-            self.estimator,
-            self.shots,
-            self.snapshots,
-            self.backend,
+            cfg.estimator,
+            cfg.shots,
+            cfg.snapshots,
+            cfg.backend,
         )
 
     # ----------------------------------------------------------------- fit
@@ -149,37 +193,31 @@ class HybridPipeline(ExecutorOwnerMixin):
         angles = np.asarray(angles, dtype=float)
         y = np.asarray(y)
 
+        cfg = self._current_config()
         with timer.stage("generate_features"):
             q_matrix, dispatch = generate_features(
                 self.strategy,
                 angles,
-                estimator=self.estimator,
-                shots=self.shots,
-                snapshots=self.snapshots,
                 executor=self.executor,
-                chunk_size=self.chunk_size,
-                seed=self.seed,
-                compile=self.compile,
-                dispatch_policy=self.scheduling_policy,
                 return_report=True,
-                backend=self.backend,
+                config=cfg,
             )
         d, p = angles.shape[0], self.strategy.num_ansatze
         # Mitigated backends execute every logical circuit once per fold
         # scale (and draw shots at each scale), so resource accounting
         # multiplies by the backend's repetition factor.
-        repetitions = resolve_backend(self.backend).circuit_repetitions
+        repetitions = cfg.backend.circuit_repetitions
         counter.add("circuits_executed", p * d * repetitions)
         # Measurement budgets differ by estimator: direct measurement pays
         # ``shots`` per (data point, Ansatz, observable) = shots * Q.size,
         # while classical shadows pay ``snapshots`` per (data point, Ansatz)
         # -- the batch is reused across all q observables (Proposition 2).
-        if self.estimator == "exact":
+        if cfg.estimator == "exact":
             shots_fired = 0
-        elif self.estimator == "shots":
-            shots_fired = self.shots * q_matrix.size * repetitions
+        elif cfg.estimator == "shots":
+            shots_fired = cfg.shots * q_matrix.size * repetitions
         else:
-            shots_fired = self.snapshots * d * p * repetitions
+            shots_fired = cfg.snapshots * d * p * repetitions
         counter.add("shots_fired", shots_fired)
 
         with timer.stage("fit_head"):
@@ -212,18 +250,14 @@ class HybridPipeline(ExecutorOwnerMixin):
 
     # ------------------------------------------------------------- predict
     def _features(self, angles: np.ndarray) -> np.ndarray:
+        # Sync first: a post-construction device swap rebinds self.executor,
+        # so it must run before the executor= keyword is evaluated.
+        cfg = self._current_config()
         return generate_features(
             self.strategy,
             np.asarray(angles, dtype=float),
-            estimator=self.estimator,
-            shots=self.shots,
-            snapshots=self.snapshots,
             executor=self.executor,
-            chunk_size=self.chunk_size,
-            seed=self.seed,
-            compile=self.compile,
-            dispatch_policy=self.scheduling_policy,
-            backend=self.backend,
+            config=cfg,
         )
 
     def predict(self, angles: np.ndarray) -> np.ndarray:

@@ -66,6 +66,8 @@ __all__ = [
     "DensityMatrixBackend",
     "MitigatedBackend",
     "resolve_backend",
+    "backend_to_dict",
+    "backend_from_dict",
 ]
 
 
@@ -166,8 +168,8 @@ class QuantumBackend(ABC):
         """Classical-shadow feature block; pure-state backends only.
 
         The pipeline rejects the combination up front with a detailed
-        message (``features._check_regime``); this guard covers direct
-        calls only.
+        message (``repro.api.config.check_regime``); this guard covers
+        direct calls only.
         """
         raise NotImplementedError(
             f"backend {self.name!r} has no classical-shadow support"
@@ -465,6 +467,63 @@ class MitigatedBackend(QuantumBackend):
             ]
         )
         return self._zne_weights @ values
+
+
+def backend_to_dict(backend: QuantumBackend | str | None) -> dict:
+    """JSON-safe description of a backend (the ``ExecutionConfig`` wire form).
+
+    Covers the three built-in regimes; a custom backend participates by
+    providing its own ``to_dict`` returning a dict with a distinct
+    ``kind`` (and a matching branch in a custom loader).
+    """
+    backend = resolve_backend(backend)
+    # Exact-type matches only: a *subclass* of a built-in must provide its
+    # own to_dict (below) rather than being silently flattened to the base
+    # kind and losing its behavior on the round trip.
+    if type(backend) is StatevectorBackend:
+        return {"kind": "statevector"}
+    if type(backend) is DensityMatrixBackend:
+        noise = backend.noise_model
+        return {
+            "kind": "density",
+            "noise_model": None if noise is None else noise.to_dict(),
+        }
+    if type(backend) is MitigatedBackend:
+        return {
+            "kind": "mitigated",
+            "scales": [int(s) for s in backend.scales],
+            "backend": backend_to_dict(backend.backend),
+        }
+    to_dict = getattr(backend, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    raise TypeError(
+        f"backend {type(backend).__name__} is not serializable; "
+        f"implement a to_dict() returning a JSON-safe dict"
+    )
+
+
+def backend_from_dict(data: dict | None) -> QuantumBackend:
+    """Inverse of :func:`backend_to_dict` (``None`` -> the ideal default)."""
+    if data is None:
+        return StatevectorBackend()
+    kind = data.get("kind")
+    if kind == "statevector":
+        return StatevectorBackend()
+    if kind == "density":
+        noise = data.get("noise_model")
+        return DensityMatrixBackend(
+            noise_model=None if noise is None else NoiseModel.from_dict(noise)
+        )
+    if kind == "mitigated":
+        return MitigatedBackend(
+            backend=backend_from_dict(data.get("backend")),
+            scales=tuple(int(s) for s in data.get("scales", (1, 3, 5))),
+        )
+    raise ValueError(
+        f"unknown backend kind {kind!r}; expected one of "
+        f"('statevector', 'density', 'mitigated')"
+    )
 
 
 def resolve_backend(backend: QuantumBackend | str | None) -> QuantumBackend:

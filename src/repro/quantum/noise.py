@@ -28,6 +28,25 @@ __all__ = [
 ]
 
 
+def _kraus_to_json(ops: Sequence[np.ndarray] | None) -> list | None:
+    """Kraus list as nested ``[re, im]`` pairs (JSON doubles round-trip exactly)."""
+    if ops is None:
+        return None
+    return [
+        [[[float(z.real), float(z.imag)] for z in row] for row in np.asarray(op)]
+        for op in ops
+    ]
+
+
+def _kraus_from_json(data: list | None) -> list[np.ndarray] | None:
+    if data is None:
+        return None
+    return [
+        np.array([[complex(re, im) for re, im in row] for row in op], dtype=np.complex128)
+        for op in data
+    ]
+
+
 def validate_kraus(kraus_ops: Sequence[np.ndarray], atol: float = 1e-10) -> None:
     """Assert trace preservation ``sum_k K^dag K = I``."""
     total = sum(k.conj().T @ k for k in kraus_ops)
@@ -78,7 +97,7 @@ def amplitude_damping_channel(gamma: float) -> list[np.ndarray]:
     return ops
 
 
-@dataclass
+@dataclass(eq=False)
 class NoiseModel:
     """Gate-count-based noise: a channel after every 1q and/or 2q gate.
 
@@ -89,6 +108,57 @@ class NoiseModel:
 
     one_qubit: list[np.ndarray] | None = None
     two_qubit: list[np.ndarray] | None = None
+
+    def __eq__(self, other: object) -> bool:
+        # Fields are NumPy arrays, so the dataclass tuple comparison would
+        # raise on ambiguous truth values; compare element-wise instead
+        # (backend/config equality and serialization tests rely on this).
+        if not isinstance(other, NoiseModel):
+            return NotImplemented
+
+        def same(a: list[np.ndarray] | None, b: list[np.ndarray] | None) -> bool:
+            if a is None or b is None:
+                return a is b
+            return len(a) == len(b) and all(
+                np.array_equal(x, y) for x, y in zip(a, b)
+            )
+
+        return same(self.one_qubit, other.one_qubit) and same(
+            self.two_qubit, other.two_qubit
+        )
+
+    def __hash__(self) -> int:
+        # Content hash over the Kraus bytes: noise models are value objects
+        # in practice (frozen backend dataclasses embed them), and without
+        # this the dataclass-generated hash of every containing backend --
+        # and of ExecutionConfig -- would raise.  Normalizing to complex128
+        # keeps the hash contract with __eq__, which compares values across
+        # dtypes (a float64 channel equals its complex128 round-trip).
+        def key(ops: list[np.ndarray] | None):
+            if ops is None:
+                return None
+            return tuple(
+                np.ascontiguousarray(op, dtype=np.complex128).tobytes() for op in ops
+            )
+
+        return hash((key(self.one_qubit), key(self.two_qubit)))
+
+    def to_dict(self) -> dict:
+        """JSON-safe description (complex Kraus entries as ``[re, im]``)."""
+        return {
+            "one_qubit": _kraus_to_json(self.one_qubit),
+            "two_qubit": _kraus_to_json(self.two_qubit),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NoiseModel":
+        """Inverse of :meth:`to_dict`; completeness is re-validated."""
+        one = _kraus_from_json(data.get("one_qubit"))
+        two = _kraus_from_json(data.get("two_qubit"))
+        for ops in (one, two):
+            if ops is not None:
+                validate_kraus(ops)
+        return cls(one_qubit=one, two_qubit=two)
 
     def channels_after(self, op: Operation) -> Iterator[tuple[list[np.ndarray], tuple[int, ...]]]:
         """Yield (kraus_ops, qubits) channels to insert after ``op``."""

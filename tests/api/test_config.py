@@ -1,0 +1,209 @@
+"""ExecutionConfig: validation, round-trips, combinators."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionConfig
+from repro.quantum.backends import (
+    DensityMatrixBackend,
+    MitigatedBackend,
+    StatevectorBackend,
+    backend_from_dict,
+    backend_to_dict,
+)
+from repro.quantum.noise import NoiseModel
+
+
+def _backends():
+    noise = NoiseModel.depolarizing(0.01)
+    return [
+        StatevectorBackend(),
+        DensityMatrixBackend(),
+        DensityMatrixBackend(noise),
+        MitigatedBackend(DensityMatrixBackend(noise), scales=(1, 3)),
+    ]
+
+
+# ------------------------------------------------------------------ defaults
+def test_defaults_match_historical_function_defaults():
+    cfg = ExecutionConfig()
+    assert cfg.estimator == "exact"
+    assert cfg.shots == 1024
+    assert cfg.snapshots == 512
+    assert cfg.chunk_size is None
+    assert cfg.seed == 0
+    assert cfg.compile == "off"
+    assert cfg.dispatch_policy == "work_stealing"
+    assert isinstance(cfg.backend, StatevectorBackend)
+
+
+def test_backend_none_normalized_to_statevector():
+    assert isinstance(ExecutionConfig(backend=None).backend, StatevectorBackend)
+    assert isinstance(ExecutionConfig(backend="statevector").backend, StatevectorBackend)
+
+
+def test_resolved_chunk_size_tracks_backend():
+    assert ExecutionConfig().resolved_chunk_size == 128
+    assert ExecutionConfig(backend=DensityMatrixBackend()).resolved_chunk_size == 8
+    assert ExecutionConfig(chunk_size=5).resolved_chunk_size == 5
+
+
+# ---------------------------------------------------------------- validation
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(estimator="nope"),
+        dict(estimator="shadows", backend=DensityMatrixBackend()),
+        dict(estimator="shadows", backend=MitigatedBackend(DensityMatrixBackend())),
+        dict(chunk_size=0),
+        dict(chunk_size=-3),
+        dict(chunk_size=7.9),
+        dict(chunk_size="8"),
+        dict(shots=-1),
+        dict(shots=2.5),
+        dict(snapshots=-1),
+        dict(compile="fast"),
+        dict(compile=0),
+        dict(dispatch_policy="random"),
+        dict(seed="seven"),
+        dict(seed=-1),
+        dict(backend="density"),
+    ],
+)
+def test_invalid_combinations_raise(kwargs):
+    with pytest.raises(ValueError):
+        ExecutionConfig(**kwargs)
+
+
+def test_frozen():
+    cfg = ExecutionConfig()
+    with pytest.raises(Exception):
+        cfg.shots = 7
+
+
+@pytest.mark.parametrize("backend", _backends(), ids=lambda b: repr(b))
+def test_hashable_value_object_every_backend(backend):
+    """Configs work as dict keys/set members for every regime, and equal
+    configs hash equal (NoiseModel carries a content hash)."""
+    a = ExecutionConfig(estimator="shots", backend=backend)
+    b = ExecutionConfig(estimator="shots", backend=backend)
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+# ---------------------------------------------------------------- combinator
+def test_merged_overrides_and_revalidates():
+    cfg = ExecutionConfig(estimator="shots", shots=64)
+    merged = cfg.merged(shots=128, dispatch_policy="lpt")
+    assert merged.shots == 128
+    assert merged.dispatch_policy == "lpt"
+    assert merged.estimator == "shots"
+    assert cfg.shots == 64  # original untouched
+    with pytest.raises(ValueError):
+        cfg.merged(dispatch_policy="bogus")
+    with pytest.raises(TypeError):
+        cfg.merged(bogus_field=1)
+
+
+def test_merged_no_overrides_returns_self():
+    cfg = ExecutionConfig()
+    assert cfg.merged() is cfg
+
+
+def test_compile_none_canonicalized_to_off():
+    """None was always a legal legacy spelling of compile='off'; it must
+    normalize so equality and the JSON round trip hold."""
+    cfg = ExecutionConfig(compile=None)
+    assert cfg.compile == "off"
+    assert cfg == ExecutionConfig()
+    assert ExecutionConfig.from_json(cfg.to_json()) == cfg
+
+
+# ---------------------------------------------------------------- round-trip
+@pytest.mark.parametrize("backend", _backends(), ids=lambda b: repr(b))
+def test_dict_roundtrip_every_backend(backend):
+    cfg = ExecutionConfig(
+        estimator="shots", shots=77, snapshots=33, chunk_size=9, seed=5,
+        compile=3, dispatch_policy="lpt", backend=backend,
+    )
+    restored = ExecutionConfig.from_dict(cfg.to_dict())
+    assert restored == cfg
+
+
+@pytest.mark.parametrize("backend", _backends(), ids=lambda b: repr(b))
+def test_json_roundtrip_every_backend(backend):
+    cfg = ExecutionConfig(backend=backend)
+    text = cfg.to_json()
+    assert json.loads(text)  # valid JSON
+    assert ExecutionConfig.from_json(text) == cfg
+
+
+@pytest.mark.parametrize("backend", _backends(), ids=lambda b: repr(b))
+def test_pickle_roundtrip_every_backend(backend):
+    cfg = ExecutionConfig(estimator="shots", backend=backend)
+    restored = pickle.loads(pickle.dumps(cfg))
+    assert restored == cfg
+
+
+def test_noise_model_hash_consistent_across_dtypes():
+    """Equal models hash equal even when one is float64 and the other is
+    its complex128 dict round-trip (the hash/eq contract)."""
+    a = NoiseModel(one_qubit=[np.eye(2)])
+    b = NoiseModel.from_dict(a.to_dict())
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_noise_model_kraus_roundtrip_exact():
+    noise = NoiseModel.depolarizing(0.013, 0.1)
+    restored = NoiseModel.from_dict(noise.to_dict())
+    for a, b in zip(noise.one_qubit, restored.one_qubit):
+        assert np.array_equal(a, b)  # JSON doubles round-trip bit-exactly
+    assert restored == noise
+
+
+def test_backend_dict_unknown_kind_raises():
+    with pytest.raises(ValueError):
+        backend_from_dict({"kind": "tensor_network"})
+
+
+def test_backend_subclass_not_flattened_to_base_kind():
+    """A subclass of a built-in must use its own to_dict (or fail loudly),
+    never silently serialize as the base kind and lose itself on reload."""
+
+    class Custom(StatevectorBackend):
+        def to_dict(self):
+            return {"kind": "custom"}
+
+    class Silent(StatevectorBackend):
+        pass
+
+    assert backend_to_dict(Custom()) == {"kind": "custom"}
+    with pytest.raises(TypeError, match="to_dict"):
+        backend_to_dict(Silent())
+
+
+def test_backend_to_dict_resolves_none():
+    assert backend_to_dict(None) == {"kind": "statevector"}
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown"):
+        ExecutionConfig.from_dict({"estimator": "exact", "warp_factor": 9})
+
+
+def test_generator_seed_not_serializable():
+    cfg = ExecutionConfig(seed=np.random.default_rng(0))
+    with pytest.raises(TypeError):
+        cfg.to_dict()
+
+
+def test_mitigated_scales_roundtrip_as_tuple():
+    cfg = ExecutionConfig(
+        backend=MitigatedBackend(DensityMatrixBackend(), scales=(1, 5, 7))
+    )
+    restored = ExecutionConfig.from_json(cfg.to_json())
+    assert restored.backend.scales == (1, 5, 7)

@@ -1,0 +1,168 @@
+"""Regression: the model classes honor every execution knob.
+
+Historically ``PostVariationalRegressor``/``PostVariationalClassifier``
+accepted no ``chunk_size``/``compile``/``dispatch_policy`` and silently
+used defaults even when the surrounding pipeline was configured otherwise
+-- the knob drift the unified config fixes by construction.  These tests
+pin the fix: under an identical ``ExecutionConfig`` the model and the
+pipeline produce *identical* feature matrices, and the once-ignored knobs
+demonstrably reach the sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionConfig
+from repro.core.model import PostVariationalClassifier, PostVariationalRegressor
+from repro.core.pipeline import HybridPipeline
+from repro.core.strategies import ObservableConstruction
+
+CFG = ExecutionConfig(
+    estimator="shots", shots=32, seed=11, chunk_size=3,
+    compile="auto", dispatch_policy="lpt",
+)
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    return ObservableConstruction(qubits=4, locality=1)
+
+
+@pytest.fixture(scope="module")
+def angles():
+    rng = np.random.default_rng(5)
+    return rng.uniform(0, 2 * np.pi, size=(8, 4, 4))
+
+
+def test_model_and_pipeline_features_identical_under_same_config(strategy, angles):
+    y = np.arange(8) % 2
+    model = PostVariationalClassifier(strategy=strategy, config=CFG).fit(angles, y)
+    with HybridPipeline(strategy=strategy, config=CFG) as pipeline:
+        pipeline.fit(angles, y)
+        pipeline_q = pipeline._features(angles)
+    # Same config object -> same seed derivation, chunking, compilation and
+    # dispatch policy -> bit-identical Q matrices.
+    assert np.array_equal(model.q_train_, pipeline_q)
+
+
+def test_models_honor_previously_dropped_knobs(strategy, angles):
+    """chunk_size/compile/dispatch_policy change the model's execution.
+
+    ``chunk_size`` alters the job grid and therefore the per-task RNG
+    streams of stochastic estimators: if the knob were still silently
+    dropped (the old bug), both fits would produce the same matrix.
+    """
+    base = ExecutionConfig(estimator="shots", shots=16, seed=0)
+    y = np.arange(8) % 2
+    q_default = PostVariationalClassifier(strategy=strategy, config=base).fit(
+        angles, y
+    ).q_train_
+    q_chunked = PostVariationalClassifier(
+        strategy=strategy, config=base.merged(chunk_size=1)
+    ).fit(angles, y).q_train_
+    assert not np.array_equal(q_default, q_chunked)
+
+
+def test_model_config_resolution_matches_legacy_defaults(strategy, angles):
+    """A bare model is bit-identical to its pre-config behaviour."""
+    y = np.arange(8) % 2
+    bare = PostVariationalClassifier(strategy=strategy).fit(angles, y)
+    explicit = PostVariationalClassifier(
+        strategy=strategy, config=ExecutionConfig()
+    ).fit(angles, y)
+    assert np.array_equal(bare.q_train_, explicit.q_train_)
+    assert bare.config == ExecutionConfig()
+
+
+def test_regressor_accepts_config(strategy, angles):
+    y = np.linspace(-1, 1, 8)
+    reg = PostVariationalRegressor(strategy=strategy, config=CFG).fit(angles, y)
+    reg2 = PostVariationalRegressor(strategy=strategy, config=CFG).fit(angles, y)
+    assert np.array_equal(reg.q_train_, reg2.q_train_)
+    assert np.allclose(reg.predict(angles), reg2.predict(angles))
+
+
+def test_post_construction_attribute_mutation_is_live(strategy, angles):
+    """The historical idiom ``model.estimator = 'shots'`` still works.
+
+    The mirrored attributes are re-synced into the config at every sweep,
+    so mutating them after construction changes the features -- the
+    pre-config behaviour, preserved.
+    """
+    y = np.arange(8) % 2
+    model = PostVariationalClassifier(strategy=strategy)
+    model.estimator = "shots"
+    model.shots = 8
+    model.fit(angles, y)
+    assert model.config.estimator == "shots"
+    assert model.config.shots == 8
+    reference = PostVariationalClassifier(
+        strategy=strategy, config=ExecutionConfig(estimator="shots", shots=8)
+    ).fit(angles, y)
+    assert np.array_equal(model.q_train_, reference.q_train_)
+
+
+def test_post_construction_config_replacement_is_live(strategy, angles):
+    y = np.arange(8) % 2
+    model = PostVariationalClassifier(strategy=strategy)
+    model.config = ExecutionConfig(estimator="shots", shots=8, seed=3)
+    model.fit(angles, y)
+    assert model.estimator == "shots"  # mirrors refreshed from the new config
+    reference = PostVariationalClassifier(
+        strategy=strategy, config=ExecutionConfig(estimator="shots", shots=8, seed=3)
+    ).fit(angles, y)
+    assert np.array_equal(model.q_train_, reference.q_train_)
+
+
+def test_pipeline_attribute_mutation_is_live(strategy, angles):
+    y = np.arange(8) % 2
+    with HybridPipeline(strategy=strategy) as pipe:
+        pipe.estimator = "shots"
+        pipe.shots = 8
+        pipe.scheduling_policy = "block"
+        pipe.fit(angles, y)
+        assert pipe.config.estimator == "shots"
+        assert pipe.config.dispatch_policy == "block"
+        assert pipe.report_.counter.get("shots_fired") > 0
+
+
+def test_config_reset_to_none_restores_owner_defaults(strategy, angles):
+    y = np.arange(8) % 2
+    model = PostVariationalClassifier(strategy=strategy, config=CFG)
+    model.config = None
+    model.fit(angles, y)  # must not crash; back to model defaults
+    assert model.config == ExecutionConfig()
+    with HybridPipeline(strategy=strategy, config=CFG) as pipe:
+        pipe.config = None
+        assert pipe._current_config().compile == "auto"  # pipeline defaults
+
+
+def test_device_swap_releases_owned_pipeline_pool(strategy, angles):
+    from repro.api import QuantumDevice
+
+    y = np.arange(8) % 2
+    pipe = HybridPipeline(strategy=strategy)
+    pipe.fit(angles, y)
+    owned = pipe.executor  # the auto-created ParallelExecutor facade
+    with QuantumDevice(ExecutionConfig()) as device:
+        pipe.device = device
+        pipe.fit(angles, y)
+        assert pipe.executor is device.runtime
+    # The previously owned facade's runtime was released, not orphaned.
+    assert owned._runtime is None or owned._runtime.closed
+
+
+def test_mutated_knob_is_revalidated(strategy):
+    model = PostVariationalClassifier(strategy=strategy)
+    model.estimator = "bogus"
+    with pytest.raises(ValueError, match="unknown estimator"):
+        model._current_config()
+
+
+def test_pipeline_projection_uses_config_chunking(strategy):
+    """circuit_tasks reflects the configured chunk_size (not a default)."""
+    with HybridPipeline(strategy=strategy, config=CFG.merged(chunk_size=2)) as p:
+        tasks = p.circuit_tasks(num_samples=8)
+    # 8 samples / chunk 2 = 4 chunks per Ansatz instance.
+    assert len(tasks) == 4 * strategy.num_ansatze
+    assert all(t.num_circuits == 2 for t in tasks)

@@ -1,0 +1,54 @@
+"""API-stability smoke: every advertised symbol imports and is usable.
+
+CI runs this as a dedicated job: the ``repro.api`` surface is the
+compatibility contract, so a rename or a lazy-import regression must fail
+before anything else does.
+"""
+
+import importlib
+import warnings
+
+import pytest
+
+
+def test_every_all_symbol_importable():
+    api = importlib.import_module("repro.api")
+    assert api.__all__, "repro.api must advertise a public surface"
+    for name in api.__all__:
+        obj = getattr(api, name)
+        assert obj is not None, name
+
+
+def test_dir_covers_all():
+    import repro.api as api
+
+    assert set(api.__all__) <= set(dir(api))
+
+
+def test_star_import_resolves_lazy_symbols():
+    namespace: dict = {}
+    exec("from repro.api import *", namespace)  # noqa: S102 - the actual contract
+    for name in ("ExecutionConfig", "QuantumDevice", "QuantumFeatureMap"):
+        assert name in namespace
+
+
+def test_unknown_attribute_raises():
+    import repro.api as api
+
+    with pytest.raises(AttributeError):
+        api.NoSuchThing
+
+
+def test_core_surface_still_exports_entry_points():
+    core = importlib.import_module("repro.core")
+    for name in core.__all__:
+        assert getattr(core, name) is not None, name
+
+
+def test_importing_api_emits_no_warnings():
+    """The stable surface must not tickle its own deprecation shims."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.api
+        importlib.reload(repro.api)
+    assert not any(issubclass(w.category, DeprecationWarning) for w in caught)

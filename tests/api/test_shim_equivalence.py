@@ -1,0 +1,237 @@
+"""Deprecation-shim equivalence: legacy kwargs == config= bit-equal.
+
+The acceptance pin for the unified API: every entry point fed loose legacy
+kwargs must produce *bit-identical* results to the same call fed an
+``ExecutionConfig`` -- across all three backend regimes and all three
+executor pools -- and must emit a ``DeprecationWarning`` attributed to the
+caller (this file), never to ``repro.*`` internals.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionConfig, QuantumDevice
+from repro.core.features import evaluate_features, generate_features
+from repro.core.model import PostVariationalClassifier
+from repro.core.pipeline import HybridPipeline
+from repro.core.strategies import ObservableConstruction
+from repro.hpc.executor import ParallelExecutor
+from repro.quantum.backends import (
+    DensityMatrixBackend,
+    MitigatedBackend,
+    StatevectorBackend,
+)
+from repro.quantum.noise import NoiseModel
+
+QUBITS = 2
+BACKENDS = {
+    "statevector": StatevectorBackend(),
+    "density": DensityMatrixBackend(NoiseModel.depolarizing(0.02)),
+    "mitigated": MitigatedBackend(
+        DensityMatrixBackend(NoiseModel.depolarizing(0.02)), scales=(1, 3)
+    ),
+}
+POOLS = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    return ObservableConstruction(qubits=QUBITS, locality=1)
+
+
+@pytest.fixture(scope="module")
+def angles():
+    rng = np.random.default_rng(42)
+    return rng.uniform(0, 2 * np.pi, size=(5, 2, QUBITS))
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKENDS))
+@pytest.mark.parametrize("pool", POOLS)
+def test_generate_features_legacy_equals_config(strategy, angles, backend_name, pool):
+    backend = BACKENDS[backend_name]
+    workers = 1 if pool == "serial" else 2
+    with ParallelExecutor(pool, max_workers=workers) as executor:
+        with pytest.warns(DeprecationWarning) as caught:
+            legacy = generate_features(
+                strategy,
+                angles,
+                estimator="shots",
+                shots=16,
+                seed=3,
+                chunk_size=2,
+                dispatch_policy="lpt",
+                backend=backend,
+                executor=executor,
+            )
+        # Attribution contract: the warning points at this test file, so the
+        # CI filter (-W error::DeprecationWarning:repro) stays quiet here
+        # but would fail a repro-internal caller.
+        assert all(w.filename == __file__ for w in caught)
+        via_config = generate_features(
+            strategy,
+            angles,
+            executor=executor,
+            config=ExecutionConfig(
+                estimator="shots", shots=16, seed=3, chunk_size=2,
+                dispatch_policy="lpt", backend=backend,
+            ),
+        )
+    assert np.array_equal(legacy, via_config)
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKENDS))
+def test_device_run_matches_function_path(strategy, angles, backend_name):
+    cfg = ExecutionConfig(
+        estimator="shots", shots=16, seed=9, backend=BACKENDS[backend_name]
+    )
+    direct = generate_features(strategy, angles, config=cfg)
+    with QuantumDevice(cfg, pool="thread", max_workers=2) as device:
+        q, report = device.run(strategy, angles)
+        assert report.num_tasks > 0
+    assert np.array_equal(direct, q)
+
+
+def test_evaluate_features_legacy_equals_config(strategy):
+    rng = np.random.default_rng(1)
+    raw = rng.normal(size=(6, 2**QUBITS)) + 1j * rng.normal(size=(6, 2**QUBITS))
+    states = raw / np.linalg.norm(raw, axis=1, keepdims=True)
+    with pytest.warns(DeprecationWarning):
+        legacy = evaluate_features(strategy, states, estimator="exact", chunk_size=2)
+    via_config = evaluate_features(
+        strategy, states, config=ExecutionConfig(chunk_size=2)
+    )
+    assert np.array_equal(legacy, via_config)
+
+
+def test_config_plus_legacy_kwargs_rejected(strategy, angles):
+    with pytest.raises(TypeError, match="not both"):
+        generate_features(
+            strategy, angles, estimator="exact", config=ExecutionConfig()
+        )
+
+
+def test_device_plus_config_rejected(strategy, angles):
+    with QuantumDevice() as device:
+        with pytest.raises(TypeError, match="not both"):
+            generate_features(
+                strategy, angles, config=ExecutionConfig(), device=device
+            )
+
+
+def test_device_plus_executor_rejected(strategy, angles):
+    with QuantumDevice() as device, ParallelExecutor() as executor:
+        with pytest.raises(TypeError, match="runtime"):
+            generate_features(strategy, angles, device=device, executor=executor)
+
+
+def test_non_device_passed_as_device_rejected(strategy, angles):
+    # A ParallelExecutor also binds a pool and has .config/.runtime -- the
+    # plausible mix-up must fail fast, not deep inside the sweep.
+    with ParallelExecutor() as executor:
+        with pytest.raises(TypeError, match="QuantumDevice"):
+            generate_features(strategy, angles, device=executor)
+    # Config-bearing non-devices (a feature map) are equally rejected.
+    from repro.api import QuantumFeatureMap
+
+    fmap = QuantumFeatureMap(strategy, config=ExecutionConfig())
+    with pytest.raises(TypeError, match="QuantumDevice"):
+        generate_features(strategy, angles, device=fmap)
+
+
+def test_pipeline_warning_names_callers_spelling(strategy):
+    with pytest.warns(DeprecationWarning, match="scheduling_policy"):
+        HybridPipeline(strategy=strategy, scheduling_policy="block").close()
+
+
+def test_pipeline_legacy_equals_config(strategy, angles):
+    y = np.array([0, 1, 0, 1, 0])
+    with pytest.warns(DeprecationWarning) as caught:
+        with HybridPipeline(
+            strategy=strategy, estimator="exact", chunk_size=2,
+            scheduling_policy="lpt", compile="auto",
+        ) as legacy:
+            legacy.fit(angles, y)
+    assert all(w.filename == __file__ for w in caught)
+    cfg = ExecutionConfig(chunk_size=2, dispatch_policy="lpt", compile="auto")
+    with HybridPipeline(strategy=strategy, config=cfg) as modern:
+        modern.fit(angles, y)
+    assert legacy.report_.counter.values == modern.report_.counter.values
+    assert np.array_equal(legacy.head_.coef_, modern.head_.coef_)
+
+
+def test_model_legacy_kwargs_warn_and_match(strategy, angles):
+    y = np.array([0, 1, 0, 1, 0])
+    with pytest.warns(DeprecationWarning) as caught:
+        legacy = PostVariationalClassifier(
+            strategy=strategy, estimator="shots", shots=16, seed=2
+        ).fit(angles, y)
+    assert all(w.filename == __file__ for w in caught)
+    modern = PostVariationalClassifier(
+        strategy=strategy,
+        config=ExecutionConfig(estimator="shots", shots=16, seed=2),
+    ).fit(angles, y)
+    assert np.array_equal(legacy.q_train_, modern.q_train_)
+
+
+def test_internal_deprecated_calls_become_errors(strategy, angles):
+    """The CI filter contract, pinned locally.
+
+    A caller whose module is ``repro.*`` exercising the deprecated kwarg
+    surface must *raise* under ``error::DeprecationWarning:repro\\..*``
+    (the filter installed by pytest.ini / CI), because the shims attribute
+    their warning to the calling frame.
+    """
+    import sys
+    import types
+
+    mod = types.ModuleType("repro._fake_internal_caller")
+    exec(
+        "def violate(generate_features, strategy, angles):\n"
+        "    generate_features(strategy, angles, estimator='exact')\n",
+        mod.__dict__,
+    )
+    sys.modules["repro._fake_internal_caller"] = mod
+    try:
+        with warnings.catch_warnings():
+            warnings.filterwarnings(
+                "error", category=DeprecationWarning, module=r"repro\..*"
+            )
+            with pytest.raises(DeprecationWarning):
+                mod.violate(generate_features, strategy, angles)
+    finally:
+        del sys.modules["repro._fake_internal_caller"]
+
+
+def test_model_positional_signature_preserved(strategy, angles):
+    """The historical positional prefix (through ``backend``) still binds
+    the same parameters: new unified-API fields are appended after it."""
+    y = np.array([0, 1, 0, 1, 0])
+    with pytest.warns(DeprecationWarning):
+        positional = PostVariationalClassifier(
+            strategy, 2, 1.0, "logistic", "shots", 16, 512, None, 7
+        )
+    assert positional.seed == 7  # the 9th positional was always seed
+    assert positional.config.chunk_size is None
+    modern = PostVariationalClassifier(
+        strategy=strategy,
+        config=ExecutionConfig(estimator="shots", shots=16, seed=7),
+    )
+    assert np.array_equal(
+        positional.fit(angles, y).q_train_, modern.fit(angles, y).q_train_
+    )
+
+
+def test_legacy_attribute_mirrors_preserved(strategy):
+    """Resolved knobs stay readable on the dataclasses (back-compat)."""
+    pipe = HybridPipeline(strategy=strategy, config=ExecutionConfig(compile="auto"))
+    assert pipe.compile == "auto"
+    assert pipe.estimator == "exact"
+    assert pipe.scheduling_policy == "work_stealing"
+    pipe.close()
+    model = PostVariationalClassifier(
+        strategy=strategy, config=ExecutionConfig(chunk_size=4, dispatch_policy="lpt")
+    )
+    assert model.chunk_size == 4
+    assert model.dispatch_policy == "lpt"

@@ -1,8 +1,11 @@
 """CLI smoke tests (capsys-based)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.api import ExecutionConfig
 
 
 def test_counts_command(capsys):
@@ -35,3 +38,84 @@ def test_table3_command_small(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_config_command_prints_resolved_json(capsys):
+    assert main([
+        "config", "--backend", "noisy", "--chunk-size", "4", "--policy", "lpt",
+        "--estimator", "shots", "--shots", "64", "--compile", "auto",
+    ]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["estimator"] == "shots"
+    assert data["shots"] == 64
+    assert data["chunk_size"] == 4
+    assert data["dispatch_policy"] == "lpt"
+    assert data["compile"] == "auto"
+    assert data["backend"]["kind"] == "density"
+    assert data["backend"]["noise_model"]["one_qubit"] is not None
+    # The printed JSON is the real wire form: it reconstructs a config.
+    cfg = ExecutionConfig.from_dict(data)
+    assert cfg.dispatch_policy == "lpt"
+
+
+def test_config_command_mitigated_backend(capsys):
+    assert main(["config", "--backend", "mitigated"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["backend"]["kind"] == "mitigated"
+    assert data["backend"]["backend"]["kind"] == "density"
+    assert ExecutionConfig.from_dict(data).backend.scales == (1, 3, 5)
+
+
+def test_config_command_ideal_default(capsys):
+    assert main(["config"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["backend"] == {"kind": "statevector"}
+    assert ExecutionConfig.from_dict(data) == ExecutionConfig()
+
+
+def test_config_command_rejects_bad_policy():
+    with pytest.raises(SystemExit):
+        main(["config", "--policy", "bogus"])
+
+
+def test_config_command_rejects_bad_compile(capsys):
+    # A proper argparse error (exit code 2), not a raw ValueError traceback.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["config", "--compile", "bogus"])
+    assert excinfo.value.code == 2
+    assert "auto" in capsys.readouterr().err
+
+
+def test_config_command_accepts_int_compile(capsys):
+    assert main(["config", "--compile", "2"]) == 0
+    assert json.loads(capsys.readouterr().out)["compile"] == 2
+
+
+@pytest.mark.parametrize(
+    "flags",
+    [
+        ["--compile", "0"],
+        ["--shots", "-5"],
+        ["--snapshots", "-1"],
+        ["--chunk-size", "0"],
+        ["--noise-p1", "1.5", "--backend", "noisy"],
+        ["--estimator", "shadows", "--backend", "noisy"],
+        ["--seed", "-1"],
+        ["--noise-p1", "0.01"],  # noise knob without a noisy backend
+    ],
+)
+def test_out_of_range_execution_flags_are_clean_cli_errors(flags, capsys):
+    # Every invalid combination exits 2 with a message, never a traceback.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["config", *flags])
+    assert excinfo.value.code == 2
+    assert capsys.readouterr().err.strip()
+
+
+def test_table3_accepts_execution_flags(capsys):
+    assert main([
+        "table3", "--train", "6", "--test", "4", "--epochs", "1",
+        "--chunk-size", "3", "--policy", "lpt", "--compile", "auto",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "observable L=2" in out
