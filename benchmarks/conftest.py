@@ -1,16 +1,50 @@
-"""Shared fixtures for the experiment benchmarks.
+"""Shared fixtures and helpers for the experiment benchmarks.
 
 Each benchmark regenerates one paper artifact (table or figure); see
 DESIGN.md's experiment index.  Session-scoped dataset fixtures keep the
 suite's wall time dominated by the experiments themselves.
+
+The perf benchmarks share one opt-in record contract: results land in a
+``BENCH_<name>.json`` at the repo root via :func:`write_bench_record`,
+written ONLY under ``BENCH_WRITE=1`` so plain local runs never dirty the
+working tree (the CI perf-guard job sets it and uploads the files as
+workflow artifacts).
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.data.datasets import binary_coat_vs_shirt, multiclass_fashion
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def env_flag(name: str) -> bool:
+    """True when the environment opts in with ``<name>=1``."""
+    return os.environ.get(name, "") == "1"
+
+
+def write_bench_record(filename: str, result: dict) -> None:
+    """Write one benchmark's JSON record to the repo root, opt-in only."""
+    if env_flag("BENCH_WRITE"):
+        (REPO_ROOT / filename).write_text(json.dumps(result, indent=2) + "\n")
+
+
+def best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock of ``repeats`` calls (the steady-state number)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 @pytest.fixture(scope="session")

@@ -62,8 +62,8 @@ def test_barren_plateaus(benchmark):
 
     print("\n=== E14: gradient variance vs qubits (3 layers, random init) ===")
     print(f"{'n':>3} {'Var global cost':>16} {'Var local cost':>15}")
-    for n, g, l in zip(qubit_counts, global_cost, local_cost):
-        print(f"{n:>3} {g.variance:>16.2e} {l.variance:>15.2e}")
+    for n, g, loc in zip(qubit_counts, global_cost, local_cost):
+        print(f"{n:>3} {g.variance:>16.2e} {loc.variance:>15.2e}")
     print(
         f"identity-init gradient (Fig. 8, local cost, encoded-data input): "
         f"|g| = {identity_init.mean_abs:.3f}"
@@ -81,8 +81,8 @@ def test_barren_plateaus(benchmark):
     assert all(b <= a * 1.5 for a, b in zip(g, g[1:]))  # near-monotone decay
     # Local cost retains a larger fraction of its small-n gradient variance
     # (polynomial vs exponential concentration, visible even at n <= 6).
-    l = [r.variance for r in local_cost]
-    assert l[-1] / l[0] > g[-1] / g[0]
+    v_local = [r.variance for r in local_cost]
+    assert v_local[-1] / v_local[0] > g[-1] / g[0]
     # The paper's escape hatch: identity init + local cost + data encoding
     # gives an O(1) gradient where random init has variance ~1e-2.
     assert identity_init.mean_abs > 0.01

@@ -9,7 +9,6 @@ the O(2^R k^R) / O(3^L n^L) growth the paper quotes.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.shifts import count_shift_configurations, enumerate_shift_configurations
 from repro.quantum.observables import count_local_paulis, local_pauli_strings
@@ -22,7 +21,7 @@ def run_counts():
         for r in (0, 1, 2, 3)
     }
     pauli_grid = {
-        (n, l): count_local_paulis(n, l) for n in (2, 4, 6, 10) for l in (0, 1, 2, 3)
+        (n, loc): count_local_paulis(n, loc) for n in (2, 4, 6, 10) for loc in (0, 1, 2, 3)
     }
     return shift_grid, pauli_grid
 
@@ -36,15 +35,15 @@ def test_counts_scaling(benchmark):
         print(f"{k:>4}" + "".join(f"  {shift_grid[(k, r)]:<9}" for r in (0, 1, 2, 3)))
 
     print("=== Eq. 18: observables = sum_l C(n,l) 3^l ===")
-    print(f"{'n':>4}" + "".join(f"  L={l:<8}" for l in (0, 1, 2, 3)))
+    print(f"{'n':>4}" + "".join(f"  L={loc:<8}" for loc in (0, 1, 2, 3)))
     for n in (2, 4, 6, 10):
-        print(f"{n:>4}" + "".join(f"  {pauli_grid[(n, l)]:<9}" for l in (0, 1, 2, 3)))
+        print(f"{n:>4}" + "".join(f"  {pauli_grid[(n, loc)]:<9}" for loc in (0, 1, 2, 3)))
 
     # Enumeration matches closed form on a subsample.
     for k, r in ((4, 2), (8, 1)):
         assert len(enumerate_shift_configurations(k, r)) == shift_grid[(k, r)]
-    for n, l in ((4, 2), (6, 1)):
-        assert len(local_pauli_strings(n, l)) == pauli_grid[(n, l)]
+    for n, loc in ((4, 2), (6, 1)):
+        assert len(local_pauli_strings(n, loc)) == pauli_grid[(n, loc)]
 
     # Paper's quoted values for its own configuration.
     assert shift_grid[(8, 1)] == 17 and shift_grid[(8, 2)] == 129
@@ -57,6 +56,6 @@ def test_counts_scaling(benchmark):
             assert shift_grid[(k, r)] <= 2 * (2 * k) ** r + 1
 
     # Exponential-in-L growth at fixed n: ratios increase.
-    ratios = [pauli_grid[(10, l + 1)] / pauli_grid[(10, l)] for l in (0, 1, 2)]
+    ratios = [pauli_grid[(10, loc + 1)] / pauli_grid[(10, loc)] for loc in (0, 1, 2)]
     assert ratios[0] > 10  # 1 -> 31
     assert all(r > 1 for r in ratios)

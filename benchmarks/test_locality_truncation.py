@@ -35,7 +35,7 @@ def run_truncation(split):
         for locality in (1, 2, 3, 4):
             approx = truncate_by_locality(full, locality)
             err = float(np.max(np.abs(expectation(states, approx) - exact)))
-            kept = sum(w for l, w in profile.items() if l <= locality) / total_weight
+            kept = sum(w for level, w in profile.items() if level <= locality) / total_weight
             row["errors"][locality] = (err, kept)
         records.append(row)
     return records
@@ -53,8 +53,8 @@ def test_locality_truncation(benchmark, small_split):
             print(f"   L={locality}: weight kept {kept:6.1%}, max expectation error {err:.4f}")
 
     for rec in records:
-        errors = [rec["errors"][l][0] for l in (1, 2, 3, 4)]
-        kept = [rec["errors"][l][1] for l in (1, 2, 3, 4)]
+        errors = [rec["errors"][loc][0] for loc in (1, 2, 3, 4)]
+        kept = [rec["errors"][loc][1] for loc in (1, 2, 3, 4)]
         # Full locality is exact; error shrinks, weight grows with L.
         assert errors[-1] < 1e-10
         assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:]))

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.core.features import generate_features
 from repro.core.strategies import ObservableConstruction
-from repro.quantum.observables import PauliString, expectation, local_pauli_strings
+from repro.quantum.observables import expectation, local_pauli_strings
 from repro.quantum.shadows import collect_shadows, estimate_pauli
 from repro.data.encoding import encode_batch
 

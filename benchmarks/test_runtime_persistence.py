@@ -12,7 +12,9 @@ sweep.
 
 Acceptance bar: >= 1.5x wall-clock improvement over ``SWEEPS``
 consecutive sweeps.  Results land in ``BENCH_runtime.json`` at the repo
-root so the perf trajectory is tracked across PRs.
+root so the perf trajectory is tracked across PRs -- written only under
+``BENCH_WRITE=1`` (opt-in: a plain local benchmark run must never dirty
+the working tree).
 
 Smoke mode (``RUNTIME_BENCH_SMOKE=1``, used by the CI runtime-smoke job)
 shrinks the workload and asserts completion only, not timing.
@@ -20,20 +22,18 @@ shrinks the workload and asserts completion only, not timing.
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
 
+from benchmarks.conftest import env_flag, write_bench_record
 from repro.core.ansatz import hardware_efficient_ansatz
 from repro.core.features import evaluate_features
 from repro.core.strategies import AnsatzExpansion
 from repro.data.encoding import encode_batch
 from repro.hpc.runtime import ExecutionRuntime
 
-SMOKE = os.environ.get("RUNTIME_BENCH_SMOKE", "") == "1"
+SMOKE = env_flag("RUNTIME_BENCH_SMOKE")
 
 NUM_QUBITS = 8
 LAYERS = 1
@@ -41,7 +41,6 @@ SAMPLES = 8 if SMOKE else 16
 SWEEPS = 2 if SMOKE else 8
 WORKERS = 2
 CHUNK = 8
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
 
 
 def build_workload():
@@ -112,10 +111,9 @@ def run_benchmark():
 
 def test_persistent_pool_beats_per_call_pools():
     result = run_benchmark()
-    if not SMOKE:
-        # Smoke runs (CI) must not clobber the tracked cross-PR perf record
-        # with throwaway tiny-workload numbers.
-        BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    # Opt-in only (BENCH_WRITE=1): unsolicited local runs must not churn
+    # the tracked cross-PR perf record.
+    write_bench_record("BENCH_runtime.json", result)
 
     print("\n=== E13: persistent runtime vs per-call pools ===")
     w = result["workload"]

@@ -16,8 +16,6 @@ own simulator -- see DESIGN.md); the assertions pin the paper's *shape*:
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import flatten_angles
 from repro.core.model import PostVariationalClassifier

@@ -9,7 +9,6 @@ clearly above logistic (paper: 0.825 vs 0.815 vs 0.6725).
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import flatten_angles
 from repro.core.model import PostVariationalClassifier

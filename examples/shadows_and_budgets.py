@@ -11,7 +11,6 @@ Walks through the estimation stack:
 Run:  python examples/shadows_and_budgets.py
 """
 
-import numpy as np
 
 from repro.core import (
     proposition1_direct_measurements,

@@ -5,8 +5,8 @@ transformer:
 
 * :class:`ExecutionConfig` -- frozen, picklable, JSON-round-trippable
   bundle of every execution knob (estimator, shots, snapshots, chunk_size,
-  seed, compile, dispatch_policy, backend) with centralized validation and
-  a ``merged(**overrides)`` combinator;
+  seed, compile, dispatch_policy, backend, vectorize) with centralized
+  validation and a ``merged(**overrides)`` combinator;
 * :class:`QuantumDevice` -- a context-managed session binding a config to
   a persistent :class:`~repro.hpc.runtime.ExecutionRuntime` (pool reuse
   across sweeps, ``run``/``evaluate``/``stream``, explicit close);

@@ -2,8 +2,9 @@
 
 The hybrid HPC-QC workflow is a single pipeline (encode -> dispatch ensemble
 -> gather Q -> convex head), but its execution knobs (estimator, shots,
-snapshots, chunk_size, seed, compile, dispatch_policy, backend) historically
-travelled as loose keyword arguments copy-pasted across every entry point --
+snapshots, chunk_size, seed, compile, dispatch_policy, backend -- plus, since
+PR 5, vectorize, which was born config-only) historically travelled as loose
+keyword arguments copy-pasted across every entry point --
 and drifted (the model classes silently dropped ``chunk_size`` / ``compile``
 / ``dispatch_policy``).  :class:`ExecutionConfig` bundles them into one
 frozen, picklable, JSON-serializable value object with centralized
@@ -41,6 +42,7 @@ from repro.quantum.backends import (
     backend_to_dict,
     resolve_backend,
 )
+from repro.quantum.batched import resolve_vectorize
 from repro.quantum.compile import resolve_fusion_width
 
 __all__ = [
@@ -131,7 +133,12 @@ class ExecutionConfig:
     * ``compile``         -- circuit engine: ``"auto"``/``"off"``/width;
     * ``dispatch_policy`` -- live submission order policy;
     * ``backend``         -- execution regime (``None`` -> ideal
-      statevector; normalized to an instance at construction).
+      statevector; normalized to an instance at construction);
+    * ``vectorize``       -- batched structure-shared execution:
+      ``"auto"`` compiles each (encoder, Ansatz instance) template once and
+      evolves whole data chunks per stacked pass on backends that support
+      it (:class:`~repro.quantum.batched.ParametricCompiledCircuit`);
+      ``"off"`` keeps the per-sample reference path.
 
     Validation is centralized in ``__post_init__``; instances are picklable
     and round-trip through :meth:`to_dict` / :meth:`from_dict` / JSON.
@@ -145,6 +152,7 @@ class ExecutionConfig:
     compile: str | int = "off"
     dispatch_policy: str = "work_stealing"
     backend: QuantumBackend | None = None
+    vectorize: str | None = "off"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backend", resolve_backend(self.backend))
@@ -182,6 +190,8 @@ class ExecutionConfig:
         # Validates the knob (raises on typos) without storing the width:
         # the compile field keeps its user-facing spelling for round-trips.
         resolve_fusion_width(self.compile)
+        # Same canonicalization as compile: None is the legacy "off".
+        object.__setattr__(self, "vectorize", resolve_vectorize(self.vectorize))
         if self.dispatch_policy not in SCHEDULING_POLICIES:
             raise ValueError(
                 f"unknown dispatch_policy {self.dispatch_policy!r}; "
@@ -223,6 +233,7 @@ class ExecutionConfig:
             "compile": self.compile if isinstance(self.compile, str) else int(self.compile),
             "dispatch_policy": self.dispatch_policy,
             "backend": backend_to_dict(self.backend),
+            "vectorize": self.vectorize,
         }
 
     @classmethod

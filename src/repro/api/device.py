@@ -12,7 +12,8 @@ Every feature entry point accepts ``device=`` directly, so a device also
 serves as the single argument threading a session through pipelines and
 models::
 
-    cfg = ExecutionConfig(estimator="shots", shots=256, dispatch_policy="lpt")
+    cfg = ExecutionConfig(estimator="shots", shots=256, dispatch_policy="lpt",
+                          vectorize="auto")  # batched structure-shared sweeps
     with QuantumDevice(cfg, pool="thread", max_workers=8) as dev:
         q, report = dev.run(strategy, angles)
         clf = PostVariationalClassifier(strategy=strategy, device=dev).fit(x, y)

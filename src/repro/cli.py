@@ -11,7 +11,7 @@ Usage::
 
 Execution flags (``--estimator``, ``--shots``, ``--snapshots``,
 ``--chunk-size``, ``--policy``, ``--compile``, ``--seed``, ``--backend
-{ideal,noisy,mitigated}``, ``--noise-p1``) build one
+{ideal,noisy,mitigated}``, ``--noise-p1``, ``--vectorize {auto,off}``) build one
 :class:`~repro.api.config.ExecutionConfig` shared by every model in the
 run; ``repro config`` prints the resolved config as JSON (the same wire
 form ``ExecutionConfig.from_json`` accepts).
@@ -96,6 +96,11 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="execution regime (default: ideal statevector)",
     )
     group.add_argument(
+        "--vectorize", choices=["auto", "off"], default="off",
+        help="batched structure-shared Q-matrix execution where the backend "
+        "supports it (default: off, the per-sample reference path)",
+    )
+    group.add_argument(
         "--noise-p1", type=float, default=None,
         help="1q depolarizing probability for noisy/mitigated backends "
         "(2q is 10x, the usual hardware ratio; default: 0.002)",
@@ -134,6 +139,7 @@ def _config_from_args(args: argparse.Namespace):
             compile=args.compile,
             dispatch_policy=args.policy,
             backend=backend,
+            vectorize=args.vectorize,
         )
     except ValueError as exc:
         print(f"repro: invalid execution flags: {exc}", file=sys.stderr)
@@ -244,7 +250,7 @@ def _cmd_counts(_: argparse.Namespace) -> int:
         f"R={r}: {count_shift_configurations(8, r)}" for r in range(4)
     ))
     print("Eq.18 observables (n=4): " + ", ".join(
-        f"L={l}: {count_local_paulis(4, l)}" for l in range(5)
+        f"L={loc}: {count_local_paulis(4, loc)}" for loc in range(5)
     ))
     return 0
 

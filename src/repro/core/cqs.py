@@ -15,7 +15,7 @@ ancestor of post-variational strategies.  This module implements
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -45,7 +45,7 @@ def generate_features_spmd(
     allgather: bool = False,
     executor: ParallelExecutor | ExecutionRuntime | None = None,
     dispatch_policy: str = UNSET,
-    backend: "QuantumBackend | None" = UNSET,
+    backend: QuantumBackend | None = UNSET,
     *,
     config: ExecutionConfig | None = None,
     device=None,

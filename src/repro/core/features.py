@@ -36,6 +36,15 @@ through the *same* job grid, cost model (density evolution priced ~4^n vs
 2^n) and streaming dispatch, so the noisy Q-matrix sweep parallelises
 exactly like the ideal one.
 
+Execution is per-sample-oracle or batched: with ``config.vectorize="auto"``
+on a backend that supports it, :func:`generate_features` skips the separate
+preparation pass entirely -- each (Ansatz instance, chunk) job encodes and
+evolves its raw angle chunk through one
+:class:`~repro.quantum.batched.ParametricCompiledCircuit` stacked pass
+(shared fused blocks + per-sample angle chains).  The job grid and per-task
+seed derivation are identical to the per-sample path, which remains the
+reference oracle (``tests/integration/test_batched_features.py``).
+
 All executor backends and policies produce identical matrices for
 ``exact`` and seed-deterministic matrices otherwise (child RNG streams are
 derived per task index, independent of schedule).
@@ -62,8 +71,18 @@ from repro.hpc.executor import ParallelExecutor
 from repro.hpc.partition import chunk_ranges
 from repro.hpc.runtime import DispatchReport, ExecutionRuntime, TaskCompletion
 from repro.quantum.backends import QuantumBackend, resolve_backend
+from repro.quantum.batched import (
+    ParametricCompiledCircuit,
+    compile_parametric,
+    extend_template,
+)
 from repro.quantum.circuit import Circuit
-from repro.quantum.compile import CompiledCircuit, compile_circuit, resolve_fusion_width
+from repro.quantum.compile import (
+    DEFAULT_FUSION_WIDTH,
+    CompiledCircuit,
+    compile_circuit,
+    resolve_fusion_width,
+)
 from repro.quantum.observables import PauliString
 from repro.utils.rng import spawn_rngs
 
@@ -116,6 +135,32 @@ def _bound_ansatz(strategy: Strategy, params: np.ndarray) -> Circuit | None:
     return circuit.bind(params)
 
 
+def _parametric_programs(
+    strategy: Strategy, compile: str | int, template: Circuit
+) -> list[ParametricCompiledCircuit]:
+    """One batched template program per Ansatz instance (``vectorize`` path).
+
+    Each program covers the *whole* per-sample circuit ``U(theta_a) S(x)``:
+    the encoder template's rotations stay as angle slots while the bound
+    Ansatz fuses into shared dense blocks, so one compile per parameter set
+    serves every data chunk (and, being picklable, every process worker).
+    The batched engine is fusion by construction, so ``compile="off"`` only
+    means "no explicit width choice" here -- the default width applies.
+    """
+    width = resolve_fusion_width(compile) or DEFAULT_FUSION_WIDTH
+    return [
+        compile_parametric(
+            extend_template(template, _bound_ansatz(strategy, params)), max_width=width
+        )
+        for params in strategy.parameter_sets()
+    ]
+
+
+def _use_vectorized(cfg: ExecutionConfig) -> bool:
+    """Whether this config routes raw-angle sweeps through ``apply_batch``."""
+    return cfg.vectorize == "auto" and cfg.backend.supports_vectorize
+
+
 def _ansatz_programs(
     strategy: Strategy, compile: str | int, backend: QuantumBackend
 ) -> list[Circuit | CompiledCircuit | None]:
@@ -142,10 +187,13 @@ def _ansatz_programs(
     return programs
 
 
-def _program_ops(program: Circuit | CompiledCircuit | None) -> int:
-    """Kernel launches one program costs: gate count, fused-block count, or 0."""
+def _program_ops(program: Circuit | CompiledCircuit | ParametricCompiledCircuit | None) -> int:
+    """Kernel launches one program costs: gate count, fused-block count,
+    batched segment count (blocks + angle chains), or 0."""
     if program is None:
         return 0
+    if isinstance(program, ParametricCompiledCircuit):
+        return program.num_segments
     if isinstance(program, CompiledCircuit):
         return program.num_blocks
     return program.num_gates
@@ -153,7 +201,7 @@ def _program_ops(program: Circuit | CompiledCircuit | None) -> int:
 
 def _evaluate_block(
     states: np.ndarray,
-    program: Circuit | CompiledCircuit | None,
+    program: Circuit | CompiledCircuit | ParametricCompiledCircuit | None,
     observables: list[PauliString],
     estimator: str,
     shots: int,
@@ -161,12 +209,18 @@ def _evaluate_block(
     rng: np.random.Generator | None,
     backend: QuantumBackend,
 ) -> np.ndarray:
-    """Feature block for one Ansatz instance on a chunk of prepared states.
+    """Feature block for one Ansatz instance on a chunk of prepared states
+    (or, for a batched template program, of raw encoding angles).
 
     Returns (chunk, q).  This is the module-level worker so the process
     executor backend can pickle it via functools.partial-free closures.
     """
-    evolved = backend.evolve(states, program)
+    if isinstance(program, ParametricCompiledCircuit):
+        # vectorize="auto": the chunk is raw (chunk, rows, cols) angles and
+        # encoding + Ansatz evolution happen in one stacked pass.
+        evolved = backend.evolve_batch(states, program)
+    else:
+        evolved = backend.evolve(states, program)
     q = len(observables)
     if estimator == "exact":
         block = np.empty((states.shape[0], q))
@@ -202,12 +256,19 @@ class _BlockWorker:
         seeds: list[int] | None,
         compile: str | int,
         backend: QuantumBackend,
+        template: Circuit | None = None,
     ):
         self.observables = strategy.observables()
         self.backend = backend
         # Bind/compile each Ansatz instance exactly once for the whole sweep
         # (not per chunk); compiled programs pickle to process workers.
-        self.programs = _ansatz_programs(strategy, compile, self.backend)
+        # With an encoder ``template`` (the vectorize="auto" path) each
+        # program is a batched ParametricCompiledCircuit covering encoder +
+        # Ansatz, and tasks carry raw angle chunks instead of states.
+        if template is None:
+            self.programs = _ansatz_programs(strategy, compile, self.backend)
+        else:
+            self.programs = _parametric_programs(strategy, compile, template)
         self.estimator = estimator
         self.shots = shots
         self.snapshots = snapshots
@@ -325,11 +386,18 @@ def _sweep_stream(
     cfg: ExecutionConfig,
     executor: ParallelExecutor | ExecutionRuntime | None,
     records: list[TaskCompletion] | None,
+    template: Circuit | None = None,
 ) -> tuple[Iterator[TaskCompletion], np.ndarray, ExecutionRuntime]:
     """Shared sweep setup: completion stream, cost vector, runtime.
 
     ``cfg`` is already validated (backend resolved, regime checked) -- the
     :class:`~repro.api.config.ExecutionConfig` constructor guarantees it.
+    ``template`` switches the sweep to batched structure-shared execution:
+    ``states`` is then the raw ``(d, rows, cols)`` angle batch and every
+    job evolves its chunk through one
+    :class:`~repro.quantum.batched.ParametricCompiledCircuit` pass.  The
+    job grid and the per-task seed derivation are identical either way, so
+    the two paths are directly comparable estimator by estimator.
     """
     runtime = _resolve_runtime(executor)
     jobs = feature_jobs(
@@ -344,7 +412,14 @@ def _sweep_stream(
         seeds = [int(c.integers(0, 2**63)) for c in children]
 
     worker = _BlockWorker(
-        strategy, cfg.estimator, cfg.shots, cfg.snapshots, seeds, cfg.compile, cfg.backend
+        strategy,
+        cfg.estimator,
+        cfg.shots,
+        cfg.snapshots,
+        seeds,
+        cfg.compile,
+        cfg.backend,
+        template=template,
     )
     costs = task_costs(
         feature_circuit_tasks(
@@ -407,6 +482,12 @@ def generate_features(
     for inline serial) and may accompany ``config=``; with
     ``return_report=True`` the measured-vs-projected
     :class:`~repro.hpc.runtime.DispatchReport` is returned alongside Q.
+
+    With ``config.vectorize="auto"`` (and a backend that supports it) the
+    sweep runs batched: encoding and Ansatz evolution happen in one
+    structure-shared stacked pass per (Ansatz instance, chunk) job instead
+    of sample at a time -- same job grid, same per-task seeds, numerically
+    equal to the per-sample oracle to <= 1e-10.
     """
     cfg, executor = resolve_call(
         config,
@@ -430,6 +511,29 @@ def generate_features(
     if angles.shape[2] != strategy.num_qubits:
         raise ValueError(
             f"angles encode {angles.shape[2]} qubits, strategy expects {strategy.num_qubits}"
+        )
+    if _use_vectorized(cfg):
+        from repro.data.encoding import encoding_template
+
+        template = encoding_template(angles.shape[1], angles.shape[2])
+        if strategy.num_ansatze == 1:
+            # Single Ansatz instance: encoder + Ansatz fuse into ONE
+            # ParametricCompiledCircuit, and each job encodes *and* evolves
+            # its raw angle chunk in a single stacked pass -- no separate
+            # preparation, no intermediate prepared-state array.
+            return _assemble_features(
+                strategy, angles, cfg, executor, out, return_report, template
+            )
+        # Multiple instances share the encoding work: one batched-encoder
+        # pass (per-qubit angle chains: ~rows fewer state-sized kernels
+        # than the per-gate encode_batch), then the standard chunked sweep
+        # reuses the prepared batch across every Ansatz instance.  The
+        # batched engine is fusion by construction, so evolution is pinned
+        # to a concrete fusion width even under compile="off".
+        width = resolve_fusion_width(cfg.compile) or DEFAULT_FUSION_WIDTH
+        states = compile_parametric(template, max_width=width).apply_batch(angles)
+        return _assemble_features(
+            strategy, states, cfg.merged(compile=width), executor, out, return_report
         )
     states = prepare_states(cfg.backend, angles, executor, cfg.chunk_size)
     return evaluate_features(
@@ -473,6 +577,11 @@ def evaluate_features(
     Assembly is streaming: blocks land in the (optionally caller-supplied)
     preallocated ``out`` matrix as their futures resolve, in completion
     order.  ``out`` must be float64 of shape (d, p*q).
+
+    ``config.vectorize`` is a no-op here: prepared states have already lost
+    their encoding angles, so chunk evolution is batched exactly as before
+    (one :class:`CompiledCircuit` pass per job); only the raw-angle entry
+    point :func:`generate_features` can fold encoding into the stacked pass.
     """
     cfg, executor = resolve_call(
         config,
@@ -491,7 +600,25 @@ def evaluate_features(
         owner="evaluate_features",
     )
     states = cfg.backend.coerce_states(np.asarray(states))
-    d = states.shape[0]
+    return _assemble_features(strategy, states, cfg, executor, out, return_report)
+
+
+def _assemble_features(
+    strategy: Strategy,
+    payload: np.ndarray,
+    cfg: ExecutionConfig,
+    executor: ParallelExecutor | ExecutionRuntime | None,
+    out: np.ndarray | None,
+    return_report: bool,
+    template: Circuit | None = None,
+) -> np.ndarray | tuple[np.ndarray, DispatchReport]:
+    """Streaming Q-matrix assembly shared by both execution paths.
+
+    ``payload`` is prepared states (per-sample path) or the raw angle batch
+    (batched path, signalled by ``template``); either way axis 0 indexes
+    data points and blocks scatter into ``out`` as futures resolve.
+    """
+    d = payload.shape[0]
     p = strategy.num_ansatze
     q = strategy.num_observables
     if out is None:
@@ -502,7 +629,9 @@ def evaluate_features(
     # Timing records are only collected when a report is requested; they
     # are result-free (index + seconds), so nothing pins completed blocks.
     records: list[TaskCompletion] | None = [] if return_report else None
-    stream, costs, runtime = _sweep_stream(strategy, states, cfg, executor, records)
+    stream, costs, runtime = _sweep_stream(
+        strategy, payload, cfg, executor, records, template
+    )
     # Timed window covers dispatch + assembly only: binding/compilation,
     # RNG spawning and (via warm()) pool construction are one-time setup
     # the replayed makespan never models, so including them would inflate

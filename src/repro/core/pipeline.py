@@ -38,9 +38,13 @@ from repro.ml.metrics import accuracy
 __all__ = ["PipelineReport", "HybridPipeline", "PIPELINE_DEFAULT_CONFIG"]
 
 #: The system-layer defaults: the ensemble circuits are fixed, so each is
-#: fused once and reused for every chunk/worker (``compile="auto"``), and
-#: the analytic projection's default policy (LPT) also orders live dispatch.
-PIPELINE_DEFAULT_CONFIG = ExecutionConfig(compile="auto", dispatch_policy="lpt")
+#: fused once and reused for every chunk/worker (``compile="auto"``), the
+#: Q-matrix sweep runs batched where the backend allows it
+#: (``vectorize="auto"``), and the analytic projection's default policy
+#: (LPT) also orders live dispatch.
+PIPELINE_DEFAULT_CONFIG = ExecutionConfig(
+    compile="auto", dispatch_policy="lpt", vectorize="auto"
+)
 
 
 @dataclass

@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.ansatz import hardware_efficient_ansatz
-from repro.data.encoding import encode_batch
 from repro.ml.metrics import accuracy
 from repro.quantum.observables import PauliString, expectation
 from repro.quantum.statevector import run_circuit, zero_state
@@ -74,11 +73,11 @@ class ReuploadingClassifier:
         for q in range(n):
             states = apply_matrix_batch(states, H, (q,))
         blocks = theta.reshape(self.reuploads, n)
-        from repro.data.encoding import _rx_batch, _rz_batch
+        from repro.quantum.gates import rx_batch, rz_batch
 
         for r in range(self.reuploads):
             for row in range(angles.shape[1]):
-                maker = _rz_batch if row % 2 == 0 else _rx_batch
+                maker = rz_batch if row % 2 == 0 else rx_batch
                 for q in range(n):
                     states = apply_matrix_batch(states, maker(angles[:, row, q]), (q,))
             states = run_circuit(self._block.bind(blocks[r]), state=states)

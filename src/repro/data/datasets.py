@@ -14,7 +14,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.synthetic_fashion import CLASS_NAMES, generate_dataset
-from repro.ml.preprocessing import preprocess_images
 
 __all__ = ["Split", "binary_coat_vs_shirt", "multiclass_fashion", "train_test_split"]
 
@@ -80,7 +79,7 @@ def _pooled_split(
     x_test_raw, y_test = generate_dataset(labels, test_per_class, rng, noise=noise, texture=texture)
     # Pool/rescale with a shared affine map (fit on train, applied to both)
     # to avoid test-time leakage of the angle scaling.
-    from repro.ml.preprocessing import max_pool, rescale_to_angle
+    from repro.ml.preprocessing import max_pool
 
     pooled_train = max_pool(x_train_raw, 7)
     pooled_test = max_pool(x_test_raw, 7)

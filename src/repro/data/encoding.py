@@ -20,10 +20,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.quantum.circuit import Circuit
-from repro.quantum.gates import H
+from repro.quantum.gates import H, rx_batch, rz_batch
 from repro.quantum.statevector import apply_matrix_batch, zero_state
 
-__all__ = ["encoding_circuit", "encode_batch", "encoded_dimension"]
+__all__ = [
+    "encoding_circuit",
+    "encoding_template",
+    "encode_batch",
+    "encoded_dimension",
+]
 
 
 def encoded_dimension(num_qubits: int) -> int:
@@ -47,25 +52,26 @@ def encoding_circuit(features: np.ndarray) -> Circuit:
     return circuit
 
 
-def _rz_batch(angles: np.ndarray) -> np.ndarray:
-    """(batch, 2, 2) stack of RZ(angle) matrices."""
-    e = np.exp(-0.5j * angles)
-    out = np.zeros((angles.size, 2, 2), dtype=np.complex128)
-    out[:, 0, 0] = e
-    out[:, 1, 1] = e.conjugate()
-    return out
+def encoding_template(rows: int, cols: int) -> Circuit:
+    """The Fig. 7 circuit with *symbolic* angles: one slot per (row, col).
 
-
-def _rx_batch(angles: np.ndarray) -> np.ndarray:
-    """(batch, 2, 2) stack of RX(angle) matrices."""
-    c = np.cos(angles / 2)
-    s = np.sin(angles / 2)
-    out = np.zeros((angles.size, 2, 2), dtype=np.complex128)
-    out[:, 0, 0] = c
-    out[:, 1, 1] = c
-    out[:, 0, 1] = -1j * s
-    out[:, 1, 0] = -1j * s
-    return out
+    Parameter ``r * cols + q`` carries feature ``(r, q)`` -- first-use
+    registration order matches the C-order flattening of a
+    ``(d, rows, cols)`` angle batch, so
+    ``ParametricCompiledCircuit.apply_batch(angles)`` consumes the raw
+    batch directly.  This is the shared structure the batched engine
+    compiles once per Ansatz instance and reuses for every data chunk.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"encoding template needs rows, cols >= 1, got {rows}x{cols}")
+    circuit = Circuit(cols, name="encode")
+    for q in range(cols):
+        circuit.append("h", q)
+    for r in range(rows):
+        gate = "rz" if r % 2 == 0 else "rx"
+        for q in range(cols):
+            circuit.append(gate, q, f"x_{r}_{q}")
+    return circuit
 
 
 def encode_batch(features: np.ndarray) -> np.ndarray:
@@ -84,7 +90,7 @@ def encode_batch(features: np.ndarray) -> np.ndarray:
     for q in range(cols):
         states = apply_matrix_batch(states, H, (q,))
     for r in range(rows):
-        maker = _rz_batch if r % 2 == 0 else _rx_batch
+        maker = rz_batch if r % 2 == 0 else rx_batch
         for q in range(cols):
             states = apply_matrix_batch(states, maker(feats[:, r, q]), (q,))
     return states

@@ -42,6 +42,12 @@ from repro.quantum.compile import (
     compile_cache_info,
     compile_circuit,
 )
+from repro.quantum.batched import (
+    AngleChain,
+    ParametricCompiledCircuit,
+    compile_parametric,
+    extend_template,
+)
 from repro.quantum.noise import NoiseModel
 from repro.quantum.grouping import (
     MeasurementGroup,
@@ -106,6 +112,10 @@ __all__ = [
     "clear_compile_cache",
     "compile_cache_info",
     "compile_circuit",
+    "AngleChain",
+    "ParametricCompiledCircuit",
+    "compile_parametric",
+    "extend_template",
     "NoiseModel",
     "MeasurementGroup",
     "group_qubit_wise",

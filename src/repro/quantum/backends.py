@@ -45,11 +45,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.hpc.cluster import simulation_dim
+from repro.quantum.batched import ParametricCompiledCircuit
 from repro.quantum.circuit import Circuit
 from repro.quantum.compile import CompiledCircuit
 from repro.quantum.density import (
     apply_unitary,
-    expectation_density,
     pure_density,
     run_circuit_density,
 )
@@ -97,6 +97,12 @@ class QuantumBackend(ABC):
     supports_compile: bool = True
     #: Whether the classical-shadow estimator is available (pure states only).
     supports_shadows: bool = False
+    #: Whether :meth:`evolve_batch` can run a
+    #: :class:`~repro.quantum.batched.ParametricCompiledCircuit` -- i.e.
+    #: whether ``vectorize="auto"`` batches this backend's sweep.  False for
+    #: gate-level-noise backends for the same reason as ``supports_compile``:
+    #: fusing shared structure would move the Kraus insertion points.
+    supports_vectorize: bool = False
     #: Whether :meth:`prepare` is expensive enough (per-sample circuit
     #: evolution) to be worth fanning out across executor workers.  False
     #: for the statevector backend, whose ``encode_batch`` is already one
@@ -142,6 +148,23 @@ class QuantumBackend(ABC):
         self, states: np.ndarray, program: Circuit | CompiledCircuit | None
     ) -> np.ndarray:
         """Push a prepared-state batch through one Ansatz program."""
+
+    def evolve_batch(
+        self, angles: np.ndarray, program: ParametricCompiledCircuit
+    ) -> np.ndarray:
+        """Encode *and* evolve a raw angle chunk in one stacked pass.
+
+        The batched counterpart of ``prepare`` + ``evolve``: ``program`` is
+        a compiled template (shared fused blocks + per-sample angle slots)
+        covering both the encoder and one Ansatz instance, and ``angles``
+        is the raw ``(chunk, rows, cols)`` slice.  Only backends with
+        ``supports_vectorize = True`` implement it; the feature pipeline
+        falls back to the per-sample path everywhere else.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} has no batched structure-shared execution "
+            f"(supports_vectorize=False)"
+        )
 
     # ------------------------------------------------------------ measurement
     @abstractmethod
@@ -200,6 +223,7 @@ class StatevectorBackend(QuantumBackend):
     representation = "statevector"
     supports_compile = True
     supports_shadows = True
+    supports_vectorize = True
 
     def prepare(self, angles: np.ndarray) -> np.ndarray:
         from repro.data.encoding import encode_batch
@@ -225,6 +249,15 @@ class StatevectorBackend(QuantumBackend):
         if isinstance(program, CompiledCircuit):
             return program.apply(states)
         return run_circuit(program, state=states)
+
+    def evolve_batch(
+        self, angles: np.ndarray, program: ParametricCompiledCircuit
+    ) -> np.ndarray:
+        if not isinstance(program, ParametricCompiledCircuit):
+            raise TypeError(
+                f"evolve_batch expects a ParametricCompiledCircuit, got {program!r}"
+            )
+        return program.apply_batch(angles)
 
     def expectation(self, evolved: np.ndarray, observable: PauliString) -> np.ndarray:
         return np.asarray(expectation(evolved, observable))

@@ -231,6 +231,15 @@ class CompileCache:
     def get(self, circuit: Circuit, max_width: int) -> CompiledCircuit:
         """Fetch (or compile and insert) the fused program for ``circuit``."""
         key = (max_width,) + circuit.fingerprint()
+        return self.get_by_key(key, lambda: _compile_bound(circuit, max_width))
+
+    def get_by_key(self, key: tuple, factory):
+        """LRU lookup under an explicit key, compiling via ``factory`` on miss.
+
+        The generic entry point behind :meth:`get`; the batched engine uses
+        it with *template* fingerprints (which bound-circuit fingerprints
+        cannot express) while sharing the same LRU/statistics machinery.
+        """
         with self._lock:
             program = self._entries.get(key)
             if program is not None:
@@ -240,7 +249,7 @@ class CompileCache:
             self._misses += 1
         # Compile outside the lock: fusion is the expensive part and other
         # threads compiling different circuits need not serialise on it.
-        program = _compile_bound(circuit, max_width)
+        program = factory()
         with self._lock:
             self._entries[key] = program
             self._entries.move_to_end(key)

@@ -66,7 +66,6 @@ def draw_circuit(circuit: Circuit, max_width: int = 120) -> str:
         for li, width in enumerate(widths):
             label = grid[q][li]
             pad = width - len(label)
-            filler = "-" if label else "-" * width
             cell = label + "-" * pad if label else "-" * width
             cells.append(cell)
         rows.append(f"q{q}: -" + "--".join(cells) + "-")

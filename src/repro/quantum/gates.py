@@ -41,6 +41,10 @@ __all__ = [
     "cry",
     "crz",
     "phase",
+    "rx_batch",
+    "ry_batch",
+    "rz_batch",
+    "phase_batch",
     "FIXED_GATES",
     "PARAMETRIC_GATES",
     "GATE_NUM_QUBITS",
@@ -75,6 +79,51 @@ def rx(theta: float) -> np.ndarray:
     """Rotation about X: ``exp(-i theta X / 2)``."""
     c, s = np.cos(theta / 2), np.sin(theta / 2)
     return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def rx_batch(angles: np.ndarray) -> np.ndarray:
+    """``(batch, 2, 2)`` stack of RX matrices, one per angle.
+
+    The vectorised builders are the single source of the per-sample
+    rotation math shared by the Fig. 7 encoder kernel
+    (:func:`repro.data.encoding.encode_batch`) and the batched engine's
+    angle slots (:data:`repro.quantum.batched.BATCHED_ROTATIONS`).
+    """
+    c, s = np.cos(angles / 2), np.sin(angles / 2)
+    out = np.zeros((angles.size, 2, 2), dtype=np.complex128)
+    out[:, 0, 0] = c
+    out[:, 1, 1] = c
+    out[:, 0, 1] = -1j * s
+    out[:, 1, 0] = -1j * s
+    return out
+
+
+def ry_batch(angles: np.ndarray) -> np.ndarray:
+    """``(batch, 2, 2)`` stack of RY matrices, one per angle."""
+    c, s = np.cos(angles / 2), np.sin(angles / 2)
+    out = np.zeros((angles.size, 2, 2), dtype=np.complex128)
+    out[:, 0, 0] = c
+    out[:, 1, 1] = c
+    out[:, 0, 1] = -s
+    out[:, 1, 0] = s
+    return out
+
+
+def rz_batch(angles: np.ndarray) -> np.ndarray:
+    """``(batch, 2, 2)`` stack of RZ matrices, one per angle."""
+    e = np.exp(-0.5j * angles)
+    out = np.zeros((angles.size, 2, 2), dtype=np.complex128)
+    out[:, 0, 0] = e
+    out[:, 1, 1] = e.conjugate()
+    return out
+
+
+def phase_batch(angles: np.ndarray) -> np.ndarray:
+    """``(batch, 2, 2)`` stack of phase gates, one per angle."""
+    out = np.zeros((angles.size, 2, 2), dtype=np.complex128)
+    out[:, 0, 0] = 1.0
+    out[:, 1, 1] = np.exp(1j * angles)
+    return out
 
 
 def ry(theta: float) -> np.ndarray:

@@ -15,7 +15,7 @@ is the most significant bit (consistent with the simulator).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 import numpy as np
 

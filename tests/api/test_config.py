@@ -38,6 +38,7 @@ def test_defaults_match_historical_function_defaults():
     assert cfg.compile == "off"
     assert cfg.dispatch_policy == "work_stealing"
     assert isinstance(cfg.backend, StatevectorBackend)
+    assert cfg.vectorize == "off"
 
 
 def test_backend_none_normalized_to_statevector():
@@ -71,6 +72,9 @@ def test_resolved_chunk_size_tracks_backend():
         dict(seed="seven"),
         dict(seed=-1),
         dict(backend="density"),
+        dict(vectorize="on"),
+        dict(vectorize=True),
+        dict(vectorize=1),
     ],
 )
 def test_invalid_combinations_raise(kwargs):
@@ -111,6 +115,32 @@ def test_merged_overrides_and_revalidates():
 def test_merged_no_overrides_returns_self():
     cfg = ExecutionConfig()
     assert cfg.merged() is cfg
+
+
+def test_merged_overrides_vectorize():
+    cfg = ExecutionConfig(vectorize="off")
+    assert cfg.merged(vectorize="auto").vectorize == "auto"
+    assert cfg.merged(vectorize="auto").merged(vectorize="off") == cfg
+    with pytest.raises(ValueError):
+        cfg.merged(vectorize="sometimes")
+
+
+def test_vectorize_none_canonicalized_to_off():
+    """None spells "off" for vectorize exactly as it does for compile."""
+    cfg = ExecutionConfig(vectorize=None)
+    assert cfg.vectorize == "off"
+    assert cfg == ExecutionConfig()
+    assert ExecutionConfig.from_json(cfg.to_json()) == cfg
+
+
+def test_vectorize_json_roundtrip():
+    cfg = ExecutionConfig(vectorize="auto", compile="auto")
+    data = json.loads(cfg.to_json())
+    assert data["vectorize"] == "auto"
+    assert ExecutionConfig.from_json(cfg.to_json()) == cfg
+    # Wire forms written before the knob existed still load (field default).
+    del data["vectorize"]
+    assert ExecutionConfig.from_dict(data).vectorize == "off"
 
 
 def test_compile_none_canonicalized_to_off():

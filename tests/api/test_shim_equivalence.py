@@ -154,7 +154,11 @@ def test_pipeline_legacy_equals_config(strategy, angles):
         ) as legacy:
             legacy.fit(angles, y)
     assert all(w.filename == __file__ for w in caught)
-    cfg = ExecutionConfig(chunk_size=2, dispatch_policy="lpt", compile="auto")
+    # Mirrors PIPELINE_DEFAULT_CONFIG (what the legacy kwargs fold into),
+    # which since PR 5 also turns on batched execution.
+    cfg = ExecutionConfig(
+        chunk_size=2, dispatch_policy="lpt", compile="auto", vectorize="auto"
+    )
     with HybridPipeline(strategy=strategy, config=cfg) as modern:
         modern.fit(angles, y)
     assert legacy.report_.counter.values == modern.report_.counter.values

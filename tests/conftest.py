@@ -5,8 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.quantum.statevector import zero_state
-
 
 @pytest.fixture
 def rng() -> np.random.Generator:

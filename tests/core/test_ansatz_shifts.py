@@ -11,7 +11,7 @@ from repro.core.shifts import (
     count_shift_configurations,
     enumerate_shift_configurations,
 )
-from repro.quantum.statevector import run_circuit, zero_state
+from repro.quantum.statevector import run_circuit
 
 
 def test_fig8_structure():

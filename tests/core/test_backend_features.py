@@ -14,8 +14,6 @@ Pins the PR's contract:
 * the deprecation shim warns and matches the backend path exactly.
 """
 
-import warnings
-
 import numpy as np
 import pytest
 

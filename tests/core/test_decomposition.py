@@ -74,7 +74,6 @@ def test_coefficients_are_real():
 
 
 def test_truncate_by_locality():
-    ps = PauliString
     from repro.quantum.observables import PauliSum
 
     o = PauliSum([(1.0, "ZII"), (0.5, "ZZI"), (0.2, "ZZZ")])

@@ -172,7 +172,6 @@ def test_greedy_on_quantum_features():
     angles = rng.uniform(0, 2 * np.pi, (60, 4, 4))
     y = 2.0 * (angles[:, 0, 0] > np.pi).astype(float) - 1.0
     q = generate_features(ObservableConstruction(qubits=4, locality=2), angles)
-    full_res = np.linalg.lstsq(q, y, rcond=None)[1]
     result = greedy_forward_selection(q, y, max_features=20)
     assert result.num_selected <= 20
     assert result.train_loss_path[-1] < 0.5  # far below label scale 1.0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.model import PostVariationalClassifier, PostVariationalRegressor
-from repro.core.strategies import HybridStrategy, ObservableConstruction
+from repro.core.strategies import ObservableConstruction
 from repro.core.variational import VariationalClassifier
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.ansatz import fig8_ansatz
 from repro.core.strategies import (
     AnsatzExpansion,
     HybridStrategy,

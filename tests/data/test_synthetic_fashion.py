@@ -26,7 +26,7 @@ def test_prototypes_valid_images():
 
 
 def test_prototypes_pairwise_distinct():
-    protos = [class_prototype(l).ravel() for l in range(10)]
+    protos = [class_prototype(label).ravel() for label in range(10)]
     for i in range(10):
         for j in range(i + 1, 10):
             assert np.linalg.norm(protos[i] - protos[j]) > 1.0
@@ -85,7 +85,6 @@ def test_texture_channel_is_mean_free():
 
 def test_texture_creates_lr_correlation_signature():
     """Sign of cov(left, right) separates coat (+) from shirt (-)."""
-    rng = np.random.default_rng(0)
 
     def lr_cov(label):
         imgs = sample_class(label, 300, seed=9, texture=0.6, texture_flip=0.0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hpc.comm import Communicator, SpmdError, run_spmd
+from repro.hpc.comm import SpmdError, run_spmd
 
 
 def test_rank_and_size():

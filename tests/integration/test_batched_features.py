@@ -1,0 +1,173 @@
+"""Algorithm 1 under batched structure-shared execution.
+
+Pins ``vectorize="auto"`` to the per-sample oracle (``vectorize="off"``)
+across estimators, strategies, compile settings and executor backends: the
+job grid and per-task seed derivation are shared, so exact sweeps agree to
+1e-10 and stochastic sweeps are seed-for-seed identical.  Also covers the
+graceful fallback on backends without batched execution, the cost-model
+wiring and the pipeline/session surfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionConfig, QuantumDevice
+from repro.core.ansatz import fig8_ansatz
+from repro.core.features import (
+    feature_circuit_tasks,
+    feature_jobs,
+    generate_features,
+)
+from repro.core.pipeline import PIPELINE_DEFAULT_CONFIG, HybridPipeline
+from repro.core.strategies import (
+    AnsatzExpansion,
+    HybridStrategy,
+    ObservableConstruction,
+)
+from repro.data.encoding import encoding_template
+from repro.hpc.executor import ParallelExecutor
+from repro.quantum.backends import DensityMatrixBackend, MitigatedBackend
+from repro.quantum.batched import compile_parametric, extend_template
+
+STRATEGIES = [
+    pytest.param(AnsatzExpansion(circuit=fig8_ansatz(4, 2), order=1), id="expansion"),
+    pytest.param(ObservableConstruction(qubits=4, locality=2), id="observable"),
+    pytest.param(HybridStrategy(circuit=fig8_ansatz(4, 1), order=1, locality=1), id="hybrid"),
+]
+
+
+@pytest.fixture(scope="module")
+def angles():
+    rng = np.random.default_rng(42)
+    return rng.uniform(0, 2 * np.pi, size=(19, 4, 4))
+
+
+def _cfg(**kw):
+    kw.setdefault("chunk_size", 5)
+    return ExecutionConfig(**kw)
+
+
+# --------------------------------------------------------------- equivalence
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("compile", ["off", "auto"])
+def test_exact_sweep_matches_per_sample_oracle(strategy, angles, compile):
+    oracle = generate_features(
+        strategy, angles, config=_cfg(compile=compile, vectorize="off")
+    )
+    batched = generate_features(
+        strategy, angles, config=_cfg(compile=compile, vectorize="auto")
+    )
+    assert np.abs(batched - oracle).max() < 1e-10
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize(
+    "estimator, kwargs",
+    [("shots", dict(shots=64)), ("shadows", dict(snapshots=32))],
+)
+def test_stochastic_sweeps_seed_identical(strategy, angles, estimator, kwargs):
+    """Same job grid + same per-task seeds => draw-for-draw identical."""
+    if estimator == "shadows" and strategy.num_observables == 1:
+        kwargs = dict(snapshots=48)
+    oracle = generate_features(
+        strategy, angles,
+        config=_cfg(estimator=estimator, seed=11, vectorize="off", **kwargs),
+    )
+    batched = generate_features(
+        strategy, angles,
+        config=_cfg(estimator=estimator, seed=11, vectorize="auto", **kwargs),
+    )
+    assert np.array_equal(oracle, batched)
+
+
+@pytest.mark.parametrize("pool", ["serial", "thread", "process"])
+def test_executor_backends_agree_bit_for_bit(angles, pool):
+    """Batched programs pickle: every pool yields the same exact matrix."""
+    strategy = ObservableConstruction(qubits=4, locality=1)
+    reference = generate_features(strategy, angles, config=_cfg(vectorize="auto"))
+    with ParallelExecutor(backend=pool, max_workers=2) as executor:
+        via_pool = generate_features(
+            strategy, angles, executor=executor, config=_cfg(vectorize="auto")
+        )
+    assert np.array_equal(reference, via_pool)
+
+
+@pytest.mark.parametrize("policy", ["block", "cyclic", "lpt", "work_stealing"])
+def test_dispatch_policy_independence(angles, policy):
+    strategy = HybridStrategy(circuit=fig8_ansatz(4, 1), order=1, locality=1)
+    reference = generate_features(strategy, angles, config=_cfg(vectorize="auto"))
+    got = generate_features(
+        strategy, angles, config=_cfg(vectorize="auto", dispatch_policy=policy)
+    )
+    assert np.array_equal(reference, got)
+
+
+# ------------------------------------------------------------------ fallback
+def test_density_backend_falls_back_to_per_sample():
+    """vectorize="auto" is a no-op on gate-level-noise backends, exactly
+    like compile="auto": same answer as the per-sample path, bit for bit."""
+    rng = np.random.default_rng(0)
+    angles = rng.uniform(0, 2 * np.pi, size=(5, 2, 2))
+    strategy = ObservableConstruction(qubits=2, locality=1)
+    backend = DensityMatrixBackend()
+    off = generate_features(
+        strategy, angles, config=ExecutionConfig(backend=backend, vectorize="off")
+    )
+    auto = generate_features(
+        strategy, angles, config=ExecutionConfig(backend=backend, vectorize="auto")
+    )
+    assert np.array_equal(off, auto)
+    assert not MitigatedBackend(DensityMatrixBackend()).supports_vectorize
+
+
+# ----------------------------------------------------------------- cost model
+def test_cost_model_prices_batched_segments(angles):
+    """The CircuitTask projection sees the batched program's kernel-launch
+    count (fused blocks + angle chains), not the raw gate count."""
+    strategy = AnsatzExpansion(circuit=fig8_ansatz(4, 1), order=0)
+    template = encoding_template(4, 4)
+    programs = [
+        compile_parametric(extend_template(template, strategy.ansatz.bind(p)))
+        for p in strategy.parameter_sets()
+    ]
+    jobs = feature_jobs(strategy.num_ansatze, angles.shape[0], 5)
+    tasks = feature_circuit_tasks(
+        jobs, programs, strategy.num_qubits, strategy.num_observables,
+        "exact", 0, 0,
+    )
+    assert len(tasks) == len(jobs)
+    segments = programs[0].num_segments
+    for task, job in zip(tasks, jobs):
+        chunk = job.hi - job.lo
+        expected = float(chunk * 16 * (4 * segments + strategy.num_observables))
+        assert task.classical_flops == expected
+
+
+# ------------------------------------------------------------------ surfaces
+def test_pipeline_defaults_run_batched(angles):
+    assert PIPELINE_DEFAULT_CONFIG.vectorize == "auto"
+    y = np.arange(19) % 2
+    strategy = ObservableConstruction(qubits=4, locality=1)
+    with HybridPipeline(strategy=strategy) as batched:
+        batched.fit(angles, y)
+        q_batched = batched.predict(angles)
+    with HybridPipeline(
+        strategy=strategy, config=PIPELINE_DEFAULT_CONFIG.merged(vectorize="off")
+    ) as oracle:
+        oracle.fit(angles, y)
+        q_oracle = oracle.predict(angles)
+    assert np.array_equal(q_batched, q_oracle)
+
+
+def test_device_session_carries_vectorize(angles):
+    strategy = ObservableConstruction(qubits=4, locality=1)
+    oracle = generate_features(strategy, angles, config=_cfg(vectorize="off"))
+    with QuantumDevice(_cfg(vectorize="auto")) as dev:
+        q, report = dev.run(strategy, angles)
+        assert report.policy == "work_stealing"
+        # reconfigured() flips the knob without rebuilding the pool.
+        q_off, _ = dev.reconfigured(vectorize="off").run(strategy, angles)
+    assert np.abs(q - oracle).max() < 1e-10
+    assert np.array_equal(q_off, oracle)

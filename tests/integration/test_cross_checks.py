@@ -5,11 +5,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.ansatz import fig8_ansatz
 from repro.core.features import generate_features
 from repro.core.strategies import AnsatzExpansion, HybridStrategy
 from repro.data.encoding import encode_batch
-from repro.quantum.observables import PauliString, PauliSum, expectation
+from repro.quantum.observables import PauliSum, expectation
 from repro.quantum.statevector import run_circuit
 from repro.quantum.transpile import optimize
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.ansatz import fig8_ansatz
-from repro.quantum.circuit import Circuit
 from repro.quantum.observables import (
     PauliString,
     expectation,

@@ -15,7 +15,7 @@ from repro.quantum.density import (
     purity,
     run_circuit_density,
 )
-from repro.quantum.gates import H, X, rx
+from repro.quantum.gates import H
 from repro.quantum.noise import (
     NoiseModel,
     amplitude_damping_channel,

@@ -6,7 +6,6 @@ import pytest
 from repro.hpc.comm import run_spmd
 from repro.quantum.circuit import Circuit
 from repro.quantum.distributed import (
-    DistributedState,
     distributed_zero_state,
     expectation_z_distributed,
     gather_state,
@@ -118,7 +117,7 @@ def test_expectation_z_without_gather(qubit):
 def test_encoded_ensemble_evolution():
     """End-to-end: Fig. 7 encoding + Fig. 8 shifted Ansatz, distributed."""
     from repro.core.ansatz import fig8_ansatz
-    from repro.data.encoding import encode_batch, encoding_circuit
+    from repro.data.encoding import encoding_circuit
 
     rng = np.random.default_rng(6)
     angles = rng.uniform(0, 2 * np.pi, (1, 4, 4))

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.quantum.grouping import (
-    MeasurementGroup,
     group_qubit_wise,
     measure_group,
     qubit_wise_commute,

@@ -74,8 +74,8 @@ def test_local_pauli_counts_eq18():
     assert len(local_pauli_strings(4, 2)) == 67
     assert len(local_pauli_strings(4, 3)) == 175
     assert len(local_pauli_strings(4, 4)) == 256  # the full 4^n basis
-    for n, l in [(2, 1), (3, 2), (5, 3)]:
-        assert len(local_pauli_strings(n, l)) == count_local_paulis(n, l)
+    for n, loc in [(2, 1), (3, 2), (5, 3)]:
+        assert len(local_pauli_strings(n, loc)) == count_local_paulis(n, loc)
 
 
 def test_local_pauli_enumeration_is_deterministic_and_unique():

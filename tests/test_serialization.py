@@ -1,7 +1,6 @@
 """Serialization round-trip tests."""
 
 import numpy as np
-import pytest
 
 from repro.core.ansatz import fig8_ansatz
 from repro.quantum.circuit import Circuit
