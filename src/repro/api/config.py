@@ -37,7 +37,9 @@ import numpy as np
 
 from repro.hpc.scheduler import SCHEDULING_POLICIES
 from repro.quantum.backends import (
+    DistributedStatevectorBackend,
     QuantumBackend,
+    StatevectorBackend,
     backend_from_dict,
     backend_to_dict,
     resolve_backend,
@@ -138,7 +140,14 @@ class ExecutionConfig:
       ``"auto"`` compiles each (encoder, Ansatz instance) template once and
       evolves whole data chunks per stacked pass on backends that support
       it (:class:`~repro.quantum.batched.ParametricCompiledCircuit`);
-      ``"off"`` keeps the per-sample reference path.
+      ``"off"`` keeps the per-sample reference path;
+    * ``shards``          -- statevector slab count for distributed
+      execution (power of two).  ``shards > 1`` with the default backend
+      substitutes a
+      :class:`~repro.quantum.backends.DistributedStatevectorBackend`;
+      constructing with a distributed backend mirrors its shard count into
+      this field, so the two spellings stay consistent (a conflicting
+      explicit pair raises).
 
     Validation is centralized in ``__post_init__``; instances are picklable
     and round-trip through :meth:`to_dict` / :meth:`from_dict` / JSON.
@@ -153,9 +162,34 @@ class ExecutionConfig:
     dispatch_policy: str = "work_stealing"
     backend: QuantumBackend | None = None
     vectorize: str | None = "off"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backend", resolve_backend(self.backend))
+        shards = self.shards
+        if isinstance(shards, bool) or not isinstance(shards, (int, np.integer)):
+            raise ValueError(f"shards must be an int >= 1, got {shards!r}")
+        shards = int(shards)
+        if shards < 1 or shards & (shards - 1):
+            raise ValueError(f"shards={shards} must be a power of two >= 1")
+        if isinstance(self.backend, DistributedStatevectorBackend):
+            if shards == 1:
+                shards = self.backend.shards
+            elif shards != self.backend.shards:
+                raise ValueError(
+                    f"shards={shards} conflicts with the distributed backend's "
+                    f"shards={self.backend.shards}; set one (or make them agree)"
+                )
+        elif shards > 1:
+            if type(self.backend) is not StatevectorBackend:
+                raise ValueError(
+                    f"shards={shards} requires the ideal statevector backend; "
+                    f"backend {self.backend.name!r} has no sharded execution path"
+                )
+            object.__setattr__(
+                self, "backend", DistributedStatevectorBackend(shards=shards)
+            )
+        object.__setattr__(self, "shards", shards)
         check_regime(self.estimator, self.backend)
         if self.chunk_size is not None:
             if isinstance(self.chunk_size, bool) or not isinstance(
@@ -234,6 +268,7 @@ class ExecutionConfig:
             "dispatch_policy": self.dispatch_policy,
             "backend": backend_to_dict(self.backend),
             "vectorize": self.vectorize,
+            "shards": self.shards,
         }
 
     @classmethod

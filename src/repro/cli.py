@@ -11,7 +11,8 @@ Usage::
 
 Execution flags (``--estimator``, ``--shots``, ``--snapshots``,
 ``--chunk-size``, ``--policy``, ``--compile``, ``--seed``, ``--backend
-{ideal,noisy,mitigated}``, ``--noise-p1``, ``--vectorize {auto,off}``) build one
+{ideal,noisy,mitigated}``, ``--noise-p1``, ``--vectorize {auto,off}``,
+``--shards``) build one
 :class:`~repro.api.config.ExecutionConfig` shared by every model in the
 run; ``repro config`` prints the resolved config as JSON (the same wire
 form ``ExecutionConfig.from_json`` accepts).
@@ -105,6 +106,11 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="1q depolarizing probability for noisy/mitigated backends "
         "(2q is 10x, the usual hardware ratio; default: 0.002)",
     )
+    group.add_argument(
+        "--shards", type=_int_at_least(1), default=1,
+        help="statevector slab count for sharded distributed execution "
+        "(power of two; >1 requires the ideal backend; default: 1)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace):
@@ -140,6 +146,7 @@ def _config_from_args(args: argparse.Namespace):
             dispatch_policy=args.policy,
             backend=backend,
             vectorize=args.vectorize,
+            shards=args.shards,
         )
     except ValueError as exc:
         print(f"repro: invalid execution flags: {exc}", file=sys.stderr)

@@ -308,7 +308,9 @@ def feature_circuit_tasks(
     count, scaled by the backend's state size -- 2**n statevector
     amplitudes, 4**n density-matrix entries, times the fold factor for
     mitigated sweeps) all enter the cost, so the scheduling policies see
-    the same heterogeneity the real execution pays.
+    the same heterogeneity the real execution pays.  A sharded backend's
+    slab count carries through as ``num_shards``, which divides the
+    simulation flops but adds remap-synchronisation latency per circuit.
     """
     q = num_observables
     backend = resolve_backend(backend)
@@ -316,6 +318,7 @@ def feature_circuit_tasks(
     # Sampling repeats per fold scale on mitigated backends, exactly like
     # the evolutions -- the projection must price both.
     reps = backend.circuit_repetitions
+    num_shards = int(getattr(backend, "shards", 1))
     shots_per_circuit = 0 if estimator == "exact" else (
         shots * q * reps if estimator == "shots" else snapshots * reps
     )
@@ -329,6 +332,7 @@ def feature_circuit_tasks(
                 shots=shots_per_circuit,
                 result_bytes=8 * chunk * q,
                 classical_flops=float(chunk * dim * (4 * ops + q)),
+                num_shards=num_shards,
             )
         )
     return tasks

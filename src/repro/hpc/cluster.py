@@ -81,16 +81,26 @@ class CircuitTask:
     ``shots``         -- shots per circuit execution (0 = analytic/simulated).
     ``result_bytes``  -- bytes shipped back to the host (Q-matrix block).
     ``classical_flops`` -- local post-processing work.
+    ``num_shards``    -- statevector slabs the simulation is split across
+                         (1 = single-process).  Sharding divides the
+                         classical simulation work but adds per-circuit
+                         synchronisation rounds (see
+                         :meth:`ClusterModel.task_compute_time`).
     """
 
     num_circuits: int
     shots: int = 0
     result_bytes: int = 0
     classical_flops: float = 0.0
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.num_circuits < 0 or self.shots < 0 or self.result_bytes < 0:
             raise ValueError("invalid CircuitTask parameters")
+        if self.num_shards < 1 or self.num_shards & (self.num_shards - 1):
+            raise ValueError(
+                f"num_shards={self.num_shards} must be a power of two >= 1"
+            )
 
 
 @dataclass
@@ -110,10 +120,19 @@ class ClusterModel:
 
     # ------------------------------------------------------------ cost model
     def task_compute_time(self, task: CircuitTask) -> float:
-        """Node-local execution time for one task."""
+        """Node-local execution time for one task.
+
+        Sharded tasks (``num_shards > 1``) divide the classical simulation
+        flops across slabs but pay ``log2(num_shards)`` pairwise-exchange
+        rounds of link latency per circuit -- the remap cost of the gate-group
+        engine, priced so dispatch sees both the speedup and its overhead.
+        """
         shots = max(task.shots, 1)  # analytic evaluation still occupies the QPU/simulator once
         quantum = task.num_circuits * (self.node.circuit_overhead + shots / self.node.shot_rate)
-        classical = task.classical_flops / self.node.flops
+        classical = task.classical_flops / (self.node.flops * task.num_shards)
+        if task.num_shards > 1:
+            sync_rounds = task.num_shards.bit_length() - 1
+            classical += task.num_circuits * sync_rounds * self.link_latency
         return quantum + classical
 
     def task_comm_time(self, task: CircuitTask) -> float:

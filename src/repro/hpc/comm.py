@@ -30,6 +30,11 @@ __all__ = ["Communicator", "Request", "run_spmd", "SpmdError"]
 
 ANY_SOURCE = -1
 
+#: How often a blocked ``recv`` re-checks the world's abort flag.  Small
+#: enough that a peer failure surfaces promptly, large enough that polling
+#: is invisible next to any real slab exchange.
+_ABORT_POLL_SECONDS = 0.02
+
 
 class SpmdError(RuntimeError):
     """Raised when a rank raises; carries all per-rank exceptions."""
@@ -49,6 +54,9 @@ class _World:
         # (source, tag, payload) and receivers filter.
         self.mailboxes: list[queue.Queue] = [queue.Queue() for _ in range(size)]
         self.barrier = threading.Barrier(size)
+        # Set when any rank fails: collectives are released via
+        # ``barrier.abort()``, point-to-point receivers poll this flag.
+        self.aborted = threading.Event()
         # Collective staging area, reallocated per collective via a lock +
         # generation counter.
         self.lock = threading.Lock()
@@ -111,14 +119,32 @@ class Communicator:
         self._world.mailboxes[dest].put((self._rank, tag, obj))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
-        """Blocking receive matching ``source`` (or any) and ``tag``."""
+        """Blocking receive matching ``source`` (or any) and ``tag``.
+
+        Abort-aware: when a peer rank fails, :func:`run_spmd` sets the
+        world's abort flag, and a rank blocked here raises
+        :class:`threading.BrokenBarrierError` (the same release signal
+        collectives get from ``barrier.abort()``) instead of sleeping until
+        the SPMD timeout.  Messages already in flight are still drained
+        first, so a send that raced the failure is not lost.
+        """
         # First scan the stash for an already-delivered match.
         for i, (src, t, obj) in enumerate(self._pending):
             if (source in (ANY_SOURCE, src)) and t == tag:
                 del self._pending[i]
                 return obj
         while True:
-            src, t, obj = self._world.mailboxes[self._rank].get()
+            try:
+                src, t, obj = self._world.mailboxes[self._rank].get(
+                    timeout=_ABORT_POLL_SECONDS
+                )
+            except queue.Empty:
+                if self._world.aborted.is_set():
+                    raise threading.BrokenBarrierError(
+                        f"rank {self._rank}: a peer rank failed while this "
+                        f"rank was blocked in recv(source={source}, tag={tag})"
+                    )
+                continue
             if (source in (ANY_SOURCE, src)) and t == tag:
                 return obj
             self._pending.append((src, t, obj))
@@ -260,6 +286,7 @@ def run_spmd(
             results[rank] = fn(Communicator(world, rank))
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             failures[rank] = exc
+            world.aborted.set()  # release peers stuck in point-to-point recv
             world.barrier.abort()  # release peers stuck in collectives
 
     threads = [

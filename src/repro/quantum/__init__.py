@@ -38,9 +38,20 @@ from repro.quantum.compile import (
     CompileCache,
     CompiledCircuit,
     FusedBlock,
+    ShardGroup,
     clear_compile_cache,
     compile_cache_info,
     compile_circuit,
+    plan_shard_groups,
+)
+from repro.quantum.distributed import (
+    DistributedState,
+    distributed_zero_state,
+    gather_state,
+    run_circuit_distributed,
+    run_compiled_distributed,
+    run_sharded,
+    scatter_state,
 )
 from repro.quantum.batched import (
     AngleChain,
@@ -68,6 +79,7 @@ from repro.quantum.mitigation import (
 )
 from repro.quantum.backends import (
     DensityMatrixBackend,
+    DistributedStatevectorBackend,
     MitigatedBackend,
     QuantumBackend,
     StatevectorBackend,
@@ -109,9 +121,18 @@ __all__ = [
     "CompileCache",
     "CompiledCircuit",
     "FusedBlock",
+    "ShardGroup",
     "clear_compile_cache",
     "compile_cache_info",
     "compile_circuit",
+    "plan_shard_groups",
+    "DistributedState",
+    "distributed_zero_state",
+    "gather_state",
+    "run_circuit_distributed",
+    "run_compiled_distributed",
+    "run_sharded",
+    "scatter_state",
     "AngleChain",
     "ParametricCompiledCircuit",
     "compile_parametric",
@@ -130,6 +151,7 @@ __all__ = [
     "zne_expectation",
     "QuantumBackend",
     "StatevectorBackend",
+    "DistributedStatevectorBackend",
     "DensityMatrixBackend",
     "MitigatedBackend",
     "resolve_backend",

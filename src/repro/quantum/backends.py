@@ -63,6 +63,7 @@ from repro.quantum.statevector import run_circuit
 __all__ = [
     "QuantumBackend",
     "StatevectorBackend",
+    "DistributedStatevectorBackend",
     "DensityMatrixBackend",
     "MitigatedBackend",
     "resolve_backend",
@@ -284,6 +285,58 @@ class StatevectorBackend(QuantumBackend):
             for b, obs in enumerate(observables):
                 block[i, b] = estimate_pauli(shadow, obs)
         return block
+
+
+@dataclass(frozen=True)
+class DistributedStatevectorBackend(StatevectorBackend):
+    """Sharded pure-state execution: the statevector slab-split across ranks.
+
+    Semantically identical to :class:`StatevectorBackend` (the property the
+    tests pin to <=1e-10) but every Ansatz evolution runs through
+    :func:`~repro.quantum.distributed.run_sharded`: the chunk's states are
+    slab-partitioned over ``shards`` SPMD ranks, fused blocks execute in
+    communication-free gate groups, and qubit remaps happen only at group
+    boundaries.  Encoding and measurement stay node-local (encoding is one
+    vectorised kernel pass; measurement sees the gathered states), matching
+    the paper's split where only the state evolution outgrows one node.
+
+    ``supports_vectorize`` is False: the structure-shared batched engine is
+    a single-address-space fast path, and sharding replaces it as the
+    scale-out axis.  The scheduler prices the slab split through
+    ``CircuitTask.num_shards`` instead of a changed cost weight, so the
+    speedup and its sync overhead stay visible to dispatch.
+    """
+
+    shards: int = 2
+
+    name = "distributed"
+    supports_vectorize = False
+
+    def __post_init__(self) -> None:
+        shards = self.shards
+        if not isinstance(shards, (int, np.integer)) or isinstance(shards, bool):
+            raise ValueError(f"shards must be an int, got {shards!r}")
+        shards = int(shards)
+        if shards < 1 or shards & (shards - 1):
+            raise ValueError(f"shards={shards} must be a power of two >= 1")
+        object.__setattr__(self, "shards", shards)
+
+    def run_bound(self, circuit: Circuit) -> np.ndarray:
+        from repro.quantum.statevector import zero_state
+
+        return self.evolve(zero_state(circuit.num_qubits), circuit)
+
+    def evolve(
+        self, states: np.ndarray, program: Circuit | CompiledCircuit | None
+    ) -> np.ndarray:
+        if program is None:
+            return states
+        from repro.quantum.distributed import run_sharded
+
+        return run_sharded(program, states, self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistributedStatevectorBackend(shards={self.shards})"
 
 
 def _density_pauli_probabilities(rhos: np.ndarray, pauli: PauliString) -> np.ndarray:
@@ -515,6 +568,8 @@ def backend_to_dict(backend: QuantumBackend | str | None) -> dict:
     # kind and losing its behavior on the round trip.
     if type(backend) is StatevectorBackend:
         return {"kind": "statevector"}
+    if type(backend) is DistributedStatevectorBackend:
+        return {"kind": "distributed", "shards": int(backend.shards)}
     if type(backend) is DensityMatrixBackend:
         noise = backend.noise_model
         return {
@@ -543,6 +598,8 @@ def backend_from_dict(data: dict | None) -> QuantumBackend:
     kind = data.get("kind")
     if kind == "statevector":
         return StatevectorBackend()
+    if kind == "distributed":
+        return DistributedStatevectorBackend(shards=int(data.get("shards", 2)))
     if kind == "density":
         noise = data.get("noise_model")
         return DensityMatrixBackend(
@@ -555,7 +612,7 @@ def backend_from_dict(data: dict | None) -> QuantumBackend:
         )
     raise ValueError(
         f"unknown backend kind {kind!r}; expected one of "
-        f"('statevector', 'density', 'mitigated')"
+        f"('statevector', 'distributed', 'density', 'mitigated')"
     )
 
 

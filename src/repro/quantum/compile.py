@@ -49,6 +49,8 @@ __all__ = [
     "DEFAULT_FUSION_WIDTH",
     "FusedBlock",
     "CompiledCircuit",
+    "ShardGroup",
+    "plan_shard_groups",
     "CompileCache",
     "CacheInfo",
     "resolve_fusion_width",
@@ -168,6 +170,77 @@ class CompiledCircuit:
             f"blocks={self.num_blocks} from {self.source_gates} gates, "
             f"k={self.fusion_width})"
         )
+
+
+@dataclass(frozen=True)
+class ShardGroup:
+    """A run of fused blocks executable with zero communication.
+
+    ``global_qubits`` names the logical qubits parked in the rank-selecting
+    register slots for the run: the group's blocks never touch them, so on
+    a sharded simulator every block applies with the node-local kernel (the
+    qibotf ``DeviceQueues`` pattern).  ``global_qubits is None`` marks a
+    dense-fallback step: a single block too wide for the local register,
+    applied with the generic multi-rank dense kernel instead.
+    """
+
+    global_qubits: tuple[int, ...] | None
+    blocks: tuple[FusedBlock, ...]
+
+
+def plan_shard_groups(
+    compiled: CompiledCircuit, num_global: int
+) -> tuple[ShardGroup, ...]:
+    """Partition a compiled program into communication-free gate groups.
+
+    Greedy left-to-right walk: blocks accumulate into the current group
+    while their combined support fits in the ``n - num_global`` local
+    qubits; on overflow the group closes and the next one starts.  Each
+    closed group's global qubits are chosen among the qubits it never
+    touches, preferring the previous group's globals so consecutive groups
+    need few (often zero) qubit remaps.  Concatenating the groups' blocks
+    reproduces the program's block order exactly.
+    """
+    if not isinstance(num_global, (int, np.integer)) or isinstance(num_global, bool):
+        raise ValueError(f"num_global must be an int, got {num_global!r}")
+    num_global = int(num_global)
+    n = compiled.num_qubits
+    if not 0 <= num_global <= n:
+        raise ValueError(f"num_global={num_global} out of range for {n} qubits")
+    if num_global == 0:
+        return (ShardGroup((), compiled.blocks),)
+    max_support = n - num_global
+
+    groups: list[ShardGroup] = []
+    current: list[FusedBlock] = []
+    touched: set[int] = set()
+    prev_globals: tuple[int, ...] = tuple(range(num_global))
+
+    def close() -> None:
+        nonlocal current, touched, prev_globals
+        if not current:
+            return
+        free = [q for q in prev_globals if q not in touched]
+        free += [q for q in range(n) if q not in touched and q not in free]
+        chosen = tuple(sorted(free[:num_global]))
+        groups.append(ShardGroup(chosen, tuple(current)))
+        prev_globals = chosen
+        current, touched = [], set()
+
+    for block in compiled.blocks:
+        if block.width > max_support:
+            # Too wide to ever be communication-free: its own dense step.
+            close()
+            groups.append(ShardGroup(None, (block,)))
+            continue
+        merged = touched | set(block.qubits)
+        if current and len(merged) > max_support:
+            close()
+            merged = set(block.qubits)
+        current.append(block)
+        touched = merged
+    close()
+    return tuple(groups)
 
 
 def _block_unitary(support: Sequence[int], ops: Sequence[Operation]) -> np.ndarray:

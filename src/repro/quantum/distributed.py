@@ -5,37 +5,81 @@ is exhausted (or a register outgrows one node), the *statevector itself* is
 partitioned across ranks.  Standard amplitude-slab decomposition:
 
 * rank ``r`` of ``2^g`` ranks stores amplitudes whose top ``g`` bits equal
-  ``r`` -- a contiguous slab of ``2^(n-g)`` amplitudes;
+  ``r`` -- a contiguous slab of ``2^(n-g)`` amplitudes (optionally batched
+  as ``(batch, 2^(n-g))`` so an ensemble shares each exchange);
 * gates on qubits ``>= g`` ("local" qubits) touch only the slab and apply
   with the node-local batched kernel;
 * single-qubit gates on qubits ``< g`` ("global" qubits) pair each rank
   with a partner differing in that bit: one pairwise exchange + local
   linear combination (the textbook distributed update);
 * CNOT/CZ with global qubits reduce to a conditional exchange / local
-  phase.
+  phase; every other gate shape falls back to :func:`_apply_dense`, which
+  gathers the ``2^|G|`` partner slabs for the gate's global qubits and
+  applies the dense matrix on the enlarged virtual register.
+
+Two execution engines share these kernels:
+
+* :func:`run_circuit_distributed` -- the naive per-gate walk (reference
+  semantics, and the benchmark baseline);
+* :func:`run_compiled_distributed` -- the sharded engine for
+  :class:`~repro.quantum.compile.CompiledCircuit` programs.  Fused blocks
+  are partitioned into *gate groups* whose combined support fits in the
+  local qubits (:func:`~repro.quantum.compile.plan_shard_groups`, the
+  qibotf ``DeviceQueues`` pattern): within a group every block runs with
+  the node-local kernel and zero communication; global<->local qubit remaps
+  (pairwise half-slab exchanges) happen only at group boundaries.
+  :class:`CommStats` counts exchanged messages/amplitudes so the
+  comm-avoidance win over the per-gate path is measurable.
 
 Every public function is verified against the single-node simulator in the
-test suite, rank counts 2/4/8.
+test suite, rank counts 1/2/4/8.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.hpc.comm import Communicator
+from repro.hpc.comm import Communicator, run_spmd
 from repro.quantum.circuit import Circuit
 from repro.quantum.gates import gate_matrix
 from repro.quantum.statevector import apply_matrix_batch
+from repro.utils.validation import check_power_of_two
 
 __all__ = [
+    "CommStats",
     "DistributedState",
     "distributed_zero_state",
     "scatter_state",
     "gather_state",
     "apply_gate_distributed",
     "run_circuit_distributed",
+    "run_compiled_distributed",
+    "run_sharded",
     "expectation_z_distributed",
 ]
+
+# Tag bases keep the point-to-point streams of distinct kernels readable in
+# traces; correctness only needs per-(pair, tag) FIFO, which the mailbox
+# queues provide.
+_TAG_SINGLE = 400
+_TAG_CNOT = 500
+_TAG_DENSE = 600
+_TAG_SWAP_GL = 700
+_TAG_SWAP_GG = 800
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication counters (sends only, so ranks sum cleanly).
+
+    ``amplitudes`` counts complex entries shipped -- the volume metric the
+    distributed-speedup benchmark gates on.
+    """
+
+    messages: int = 0
+    amplitudes: int = 0
 
 
 class DistributedState:
@@ -43,7 +87,9 @@ class DistributedState:
 
     ``num_qubits`` total register width; ``comm.size`` must be a power of
     two; ``g = log2(size)`` qubits are "global" (their bits select the
-    owning rank).
+    owning rank).  ``slab`` is ``(2^(n-g),)`` for a single state or
+    ``(batch, 2^(n-g))`` for an ensemble evolved in lockstep -- batching
+    amortises every exchange over the whole ensemble.
     """
 
     def __init__(self, comm: Communicator, num_qubits: int, slab: np.ndarray):
@@ -54,18 +100,23 @@ class DistributedState:
         if num_qubits < g:
             raise ValueError(f"{num_qubits} qubits cannot span {size} ranks")
         expected = 2 ** (num_qubits - g)
-        if slab.shape != (expected,):
-            raise ValueError(f"slab shape {slab.shape} != ({expected},)")
+        slab = np.ascontiguousarray(slab, dtype=np.complex128)
+        if slab.ndim not in (1, 2) or slab.shape[-1] != expected:
+            raise ValueError(
+                f"slab shape {slab.shape} incompatible with local dim {expected}"
+            )
         self.comm = comm
         self.num_qubits = num_qubits
         self.global_qubits = g
-        self.slab = np.ascontiguousarray(slab, dtype=np.complex128)
+        self.slab = slab
+        self.stats = CommStats()
 
     @property
     def local_qubits(self) -> int:
         return self.num_qubits - self.global_qubits
 
     def local_norm_sq(self) -> float:
+        """Sum of |amp|^2 over this rank's slab (all batch entries)."""
         return float(np.sum(np.abs(self.slab) ** 2))
 
     def norm(self) -> float:
@@ -74,26 +125,45 @@ class DistributedState:
         return float(np.sqrt(total))
 
 
-def distributed_zero_state(comm: Communicator, num_qubits: int) -> DistributedState:
+def distributed_zero_state(
+    comm: Communicator, num_qubits: int, batch: int | None = None
+) -> DistributedState:
     """|0...0> distributed: rank 0 holds the single nonzero amplitude."""
     size = comm.size
     g = size.bit_length() - 1
-    slab = np.zeros(2 ** (num_qubits - g), dtype=np.complex128)
+    dim = 2 ** (num_qubits - g)
+    slab = np.zeros(dim if batch is None else (batch, dim), dtype=np.complex128)
     if comm.rank == 0:
-        slab[0] = 1.0
+        slab[..., 0] = 1.0
     return DistributedState(comm, num_qubits, slab)
 
 
-def scatter_state(comm: Communicator, state: np.ndarray | None, num_qubits: int) -> DistributedState:
-    """Rank 0 scatters a full statevector into per-rank slabs."""
+def scatter_state(
+    comm: Communicator, state: np.ndarray | None, num_qubits: int
+) -> DistributedState:
+    """Rank 0 scatters a full statevector (or batch) into per-rank slabs.
+
+    ``num_qubits`` is cross-checked against root's value on *every* rank
+    before any data moves, so a mismatched constructor argument surfaces as
+    a clear error instead of a downstream slab-shape failure.
+    """
     size = comm.size
     g = size.bit_length() - 1
+    root_qubits = comm.bcast(num_qubits, root=0)
+    if root_qubits != num_qubits:
+        raise ValueError(
+            f"scatter_state num_qubits mismatch: rank {comm.rank} expects "
+            f"{num_qubits} qubits but root is scattering a "
+            f"{root_qubits}-qubit state"
+        )
     chunk = 2 ** (num_qubits - g)
     if comm.rank == 0:
-        state = np.asarray(state, dtype=np.complex128).ravel()
-        if state.size != 2**num_qubits:
-            raise ValueError("state dimension mismatch")
-        parts = [state[r * chunk : (r + 1) * chunk] for r in range(size)]
+        state = np.asarray(state, dtype=np.complex128)
+        if state.ndim not in (1, 2) or state.shape[-1] != 2**num_qubits:
+            raise ValueError(
+                f"state shape {state.shape} incompatible with {num_qubits} qubits"
+            )
+        parts = [state[..., r * chunk : (r + 1) * chunk] for r in range(size)]
     else:
         parts = None
     slab = comm.scatter(parts, root=0)
@@ -101,17 +171,28 @@ def scatter_state(comm: Communicator, state: np.ndarray | None, num_qubits: int)
 
 
 def gather_state(dist: DistributedState) -> np.ndarray | None:
-    """Gather slabs to rank 0; other ranks receive None."""
+    """Gather slabs to rank 0 (batched along the last axis); others get None."""
     parts = dist.comm.gather(dist.slab, root=0)
     if dist.comm.rank != 0:
         return None
-    return np.concatenate(parts)
+    return np.concatenate(parts, axis=-1)
+
+
+# --------------------------------------------------------------- kernels
+def _exchange(dist: DistributedState, payload: np.ndarray, partner: int, tag: int):
+    """Pairwise send/recv with ``partner``; counts traffic in ``dist.stats``."""
+    dist.stats.messages += 1
+    dist.stats.amplitudes += int(np.asarray(payload).size)
+    dist.comm.send(payload, dest=partner, tag=tag)
+    return dist.comm.recv(source=partner, tag=tag)
 
 
 def _apply_local(dist: DistributedState, matrix: np.ndarray, qubits: list[int]) -> None:
-    """Gate entirely on local qubits: node-local batched kernel."""
+    """Gate entirely on local positions (``>= g``): node-local batched kernel."""
     local_idx = [q - dist.global_qubits for q in qubits]
-    dist.slab = apply_matrix_batch(dist.slab[None, :], matrix, local_idx)[0]
+    shape = dist.slab.shape
+    flat = dist.slab.reshape(-1, shape[-1])
+    dist.slab = apply_matrix_batch(flat, matrix, local_idx).reshape(shape)
 
 
 def _apply_global_single(dist: DistributedState, matrix: np.ndarray, qubit: int) -> None:
@@ -127,8 +208,7 @@ def _apply_global_single(dist: DistributedState, matrix: np.ndarray, qubit: int)
     partner = comm.rank ^ (1 << bit)
     my_bit = (comm.rank >> bit) & 1
 
-    comm.send(dist.slab, dest=partner, tag=400 + qubit)
-    other = comm.recv(source=partner, tag=400 + qubit)
+    other = _exchange(dist, dist.slab, partner, _TAG_SINGLE + qubit)
     if my_bit == 0:
         dist.slab = matrix[0, 0] * dist.slab + matrix[0, 1] * other
     else:
@@ -164,15 +244,74 @@ def _apply_cnot_global_target(dist: DistributedState, control: int, target: int)
     partner = comm.rank ^ (1 << bit)
     local_control = control - g
     # Mask of local indices with control bit set.
-    idx = np.arange(dist.slab.size)
+    idx = np.arange(dist.slab.shape[-1])
     shift = dist.local_qubits - 1 - local_control
     mask = ((idx >> shift) & 1).astype(bool)
 
-    comm.send(dist.slab[mask], dest=partner, tag=500 + target)
-    other = comm.recv(source=partner, tag=500 + target)
+    other = _exchange(
+        dist, np.ascontiguousarray(dist.slab[..., mask]), partner, _TAG_CNOT + target
+    )
     new_slab = dist.slab.copy()
-    new_slab[mask] = other
+    new_slab[..., mask] = other
     dist.slab = new_slab
+
+
+def _apply_cz(dist: DistributedState, qubits: tuple[int, ...]) -> None:
+    """CZ with at least one global qubit: diagonal, so a local phase flip."""
+    g = dist.global_qubits
+    dim = dist.slab.shape[-1]
+    idx = np.arange(dim)
+    both = np.ones(dim, dtype=bool)
+    for q in qubits:
+        if q < g:
+            if not (dist.comm.rank >> (g - 1 - q)) & 1:
+                both &= False
+        else:
+            shift = dist.local_qubits - 1 - (q - g)
+            both &= ((idx >> shift) & 1).astype(bool)
+    phase = np.ones(dim)
+    phase[both] = -1.0
+    dist.slab = dist.slab * phase
+
+
+def _apply_dense(dist: DistributedState, matrix: np.ndarray, qubits: list[int]) -> None:
+    """Dense k-qubit gate at arbitrary positions (the generic fallback).
+
+    For the gate's global positions ``G`` each rank gathers the ``2^|G|-1``
+    partner slabs (pairwise full-slab exchanges), forms the virtual register
+    ``[sorted(G)..., local qubits...]`` of ``2^|G| * 2^(n-g)`` amplitudes,
+    applies the matrix with the node-local kernel, and keeps the quarter
+    addressed by its own rank bits.  Exact for any qubit mix; the grouped
+    engine avoids it wherever a remap makes the gate local.
+    """
+    g = dist.global_qubits
+    gpos = sorted(q for q in qubits if q < g)
+    if not gpos:
+        _apply_local(dist, matrix, qubits)
+        return
+    comm = dist.comm
+    ngl = len(gpos)
+    bits = [g - 1 - p for p in gpos]  # rank-bit position per global qubit
+    my_key = 0
+    for b in bits:
+        my_key = (my_key << 1) | ((comm.rank >> b) & 1)
+    slabs = {my_key: dist.slab}
+    for delta in range(1, 2**ngl):
+        xor_mask = 0
+        for i, b in enumerate(bits):
+            if (delta >> (ngl - 1 - i)) & 1:
+                xor_mask |= 1 << b
+        partner = comm.rank ^ xor_mask
+        slabs[my_key ^ delta] = _exchange(dist, dist.slab, partner, _TAG_DENSE)
+    # Virtual register: gate's global qubits (ascending) then local qubits.
+    dim = dist.slab.shape[-1]
+    lead = dist.slab.shape[:-1]
+    stacked = np.stack([slabs[k] for k in range(2**ngl)], axis=-2)
+    flat = stacked.reshape(-1, 2**ngl * dim)
+    virt = [gpos.index(q) if q < g else ngl + (q - g) for q in qubits]
+    flat = apply_matrix_batch(flat, matrix, virt)
+    out = flat.reshape(lead + (2**ngl, dim))
+    dist.slab = np.ascontiguousarray(out[..., my_key, :])
 
 
 def apply_gate_distributed(
@@ -180,51 +319,43 @@ def apply_gate_distributed(
 ) -> None:
     """Apply one gate to the distributed state (collective call).
 
-    Supports all 1-qubit gates anywhere, and CNOT/CZ on any qubit pair.
+    Supports the full gate table at any qubit position: all-local gates
+    route through the node-local kernel regardless of name, global
+    single-qubit gates and CNOT/CZ use the specialised exchange patterns,
+    and everything else (``swap``/``crx``/``cry``/``crz`` with a global
+    qubit) goes through the generic dense fallback.
     """
     g = dist.global_qubits
     matrix = gate_matrix(gate, param)
-    if len(qubits) == 1:
-        q = qubits[0]
-        if q >= g:
-            _apply_local(dist, matrix, [q])
-        else:
-            _apply_global_single(dist, matrix, q)
+    key = gate.lower()
+    # Any gate whose support is entirely local is a plain batched-kernel
+    # call -- dispatch on position before dispatching on name.
+    if all(q >= g for q in qubits):
+        _apply_local(dist, matrix, list(qubits))
         return
-    if gate in ("cnot", "cx"):
+    if len(qubits) == 1:
+        _apply_global_single(dist, matrix, qubits[0])
+        return
+    if key in ("cnot", "cx"):
         control, target = qubits
-        if control >= g and target >= g:
-            _apply_local(dist, matrix, list(qubits))
-        elif control < g:
+        if control < g:
             _apply_cnot_global_control(dist, control, target)
         else:
             _apply_cnot_global_target(dist, control, target)
         return
-    if gate == "cz":
-        control, target = qubits
-        if control >= g and target >= g:
-            _apply_local(dist, matrix, list(qubits))
-        else:
-            # CZ is diagonal: phase -1 where both bits are 1; no exchange.
-            idx = np.arange(dist.slab.size)
-            phase = np.ones(dist.slab.size)
-            both = np.ones(dist.slab.size, dtype=bool)
-            for q in (control, target):
-                if q < g:
-                    bit = (dist.comm.rank >> (g - 1 - q)) & 1
-                    if not bit:
-                        both &= False
-                else:
-                    shift = dist.local_qubits - 1 - (q - g)
-                    both &= ((idx >> shift) & 1).astype(bool)
-            phase[both] = -1.0
-            dist.slab = dist.slab * phase
+    if key == "cz":
+        _apply_cz(dist, qubits)
         return
-    raise NotImplementedError(f"distributed application of {gate!r} on {qubits}")
+    _apply_dense(dist, matrix, list(qubits))
 
 
 def run_circuit_distributed(dist: DistributedState, circuit: Circuit) -> DistributedState:
-    """Evolve the distributed state through a bound circuit (collective)."""
+    """Evolve the distributed state through a bound circuit, gate by gate.
+
+    The reference (and benchmark-baseline) engine: every global-qubit gate
+    pays its own exchange.  :func:`run_compiled_distributed` is the
+    comm-avoiding engine for compiled programs.
+    """
     if not circuit.is_bound:
         raise ValueError("run_circuit_distributed requires a bound circuit")
     if circuit.num_qubits != dist.num_qubits:
@@ -234,20 +365,244 @@ def run_circuit_distributed(dist: DistributedState, circuit: Circuit) -> Distrib
     return dist
 
 
-def expectation_z_distributed(dist: DistributedState, qubit: int) -> float:
+# ----------------------------------------------------- layout / remapping
+class _Layout:
+    """Tracks which logical qubit sits at each physical register position.
+
+    The grouped engine keeps the slab in a *permuted* register order so a
+    whole gate group sees its support on local positions.  ``phys_to_logical``
+    and its inverse evolve identically on every rank (the plan is
+    deterministic), so no coordination messages are needed.
+    """
+
+    def __init__(self, num_qubits: int):
+        self.phys_to_logical = list(range(num_qubits))
+        self.logical_to_phys = list(range(num_qubits))
+
+    def phys(self, logical: int) -> int:
+        return self.logical_to_phys[logical]
+
+    def record_swap(self, p: int, s: int) -> None:
+        a, b = self.phys_to_logical[p], self.phys_to_logical[s]
+        self.phys_to_logical[p], self.phys_to_logical[s] = b, a
+        self.logical_to_phys[a], self.logical_to_phys[b] = s, p
+
+    @property
+    def is_identity(self) -> bool:
+        return self.phys_to_logical == list(range(len(self.phys_to_logical)))
+
+
+def _swap_global_local(dist: DistributedState, p: int, s: int) -> None:
+    """Swap physical positions ``p`` (global) and ``s`` (local): half-slab exchange.
+
+    Entries whose local ``s``-bit equals the rank's ``p``-bit are fixed
+    points of the swap; the other half trades places with the partner rank,
+    so each remap ships exactly half a slab per rank.
+    """
+    comm = dist.comm
+    g = dist.global_qubits
+    bit = g - 1 - p
+    my_bit = (comm.rank >> bit) & 1
+    partner = comm.rank ^ (1 << bit)
+    shift = dist.local_qubits - 1 - (s - g)
+    idx = np.arange(dist.slab.shape[-1])
+    mask = (((idx >> shift) & 1) != my_bit)
+    other = _exchange(
+        dist, np.ascontiguousarray(dist.slab[..., mask]), partner, _TAG_SWAP_GL + p
+    )
+    new_slab = dist.slab.copy()
+    new_slab[..., mask] = other
+    dist.slab = new_slab
+
+
+def _swap_global_global(dist: DistributedState, p: int, s: int) -> None:
+    """Swap two global positions: ranks whose two bits differ trade slabs."""
+    comm = dist.comm
+    g = dist.global_qubits
+    b1, b2 = g - 1 - p, g - 1 - s
+    if ((comm.rank >> b1) & 1) != ((comm.rank >> b2) & 1):
+        partner = comm.rank ^ ((1 << b1) | (1 << b2))
+        dist.slab = np.ascontiguousarray(
+            _exchange(dist, dist.slab, partner, _TAG_SWAP_GG + p)
+        )
+
+
+def _permute_local(dist: DistributedState, order: list[int]) -> None:
+    """Reorder local axes so new axis ``j`` holds current axis ``order[j]``."""
+    loc = dist.local_qubits
+    if list(order) == list(range(loc)):
+        return
+    shape = dist.slab.shape
+    lead = shape[:-1]
+    nb = len(lead)
+    tensor = dist.slab.reshape(lead + (2,) * loc)
+    tensor = np.transpose(tensor, tuple(range(nb)) + tuple(nb + o for o in order))
+    dist.slab = np.ascontiguousarray(tensor.reshape(shape))
+
+
+def _remap(dist: DistributedState, layout: _Layout, target_globals) -> None:
+    """Move the logical qubits in ``target_globals`` into the global slots.
+
+    Pairs each global slot holding a logical qubit that must become local
+    with a target qubit currently local -- one half-slab exchange per pair,
+    the minimum number of swaps for the transition.
+    """
+    g = dist.global_qubits
+    target = set(target_globals)
+    outgoing = [p for p in range(g) if layout.phys_to_logical[p] not in target]
+    incoming = [q for q in sorted(target) if layout.logical_to_phys[q] >= g]
+    for p, q in zip(outgoing, incoming):
+        s = layout.logical_to_phys[q]
+        _swap_global_local(dist, p, s)
+        layout.record_swap(p, s)
+
+
+def _restore_layout(dist: DistributedState, layout: _Layout) -> None:
+    """Return the slab to canonical (identity) register order."""
+    if layout.is_identity:
+        return
+    g = dist.global_qubits
+    n = dist.num_qubits
+    # 1. Logical qubits 0..g-1 into the global slots (half-slab exchanges).
+    _remap(dist, layout, range(g))
+    # 2. Order the global slots among themselves (full-slab exchanges).
+    for p in range(g):
+        if layout.phys_to_logical[p] != p:
+            s = layout.logical_to_phys[p]
+            _swap_global_global(dist, p, s)
+            layout.record_swap(p, s)
+    # 3. One transpose fixes all local positions at once -- no communication.
+    order = [layout.logical_to_phys[q] - g for q in range(g, n)]
+    _permute_local(dist, order)
+    layout.phys_to_logical = list(range(n))
+    layout.logical_to_phys = list(range(n))
+
+
+# ----------------------------------------------------- compiled execution
+def run_compiled_distributed(
+    dist: DistributedState, program, plan=None
+) -> DistributedState:
+    """Evolve the distributed state through a compiled program (collective).
+
+    Executes group by group: remap the register so the group's global slots
+    hold only qubits the group never touches, then run every fused block
+    with the node-local batched kernel.  Communication happens only in the
+    remaps at group boundaries (plus dense fallbacks for blocks wider than
+    the local register) -- the comm-avoidance win the benchmark measures.
+
+    ``program`` is a :class:`~repro.quantum.compile.CompiledCircuit` (a
+    bound :class:`Circuit` is compiled on the fly).  ``plan`` may carry a
+    precomputed :func:`~repro.quantum.compile.plan_shard_groups` result so
+    per-call planning is amortised across an ensemble.
+    """
+    from repro.quantum.compile import (
+        DEFAULT_FUSION_WIDTH,
+        CompiledCircuit,
+        compile_circuit,
+        plan_shard_groups,
+    )
+
+    if isinstance(program, Circuit):
+        width = max(1, min(DEFAULT_FUSION_WIDTH, dist.local_qubits))
+        program = compile_circuit(program, max_width=width)
+    if not isinstance(program, CompiledCircuit):
+        raise TypeError(f"expected Circuit or CompiledCircuit, got {type(program)!r}")
+    if program.num_qubits != dist.num_qubits:
+        raise ValueError("program width mismatch")
+    g = dist.global_qubits
+    if plan is None:
+        plan = plan_shard_groups(program, g)
+    layout = _Layout(dist.num_qubits)
+    for group in plan:
+        if group.global_qubits is None:
+            # Block wider than the local register: dense fallback at the
+            # current layout.
+            for block in group.blocks:
+                _apply_dense(dist, block.matrix, [layout.phys(q) for q in block.qubits])
+        else:
+            _remap(dist, layout, group.global_qubits)
+            for block in group.blocks:
+                _apply_local(dist, block.matrix, [layout.phys(q) for q in block.qubits])
+    _restore_layout(dist, layout)
+    return dist
+
+
+def run_sharded(
+    program,
+    states: np.ndarray,
+    shards: int,
+    timeout: float | None = 120.0,
+) -> np.ndarray:
+    """Evolve ``states`` through ``program`` on ``shards`` SPMD ranks.
+
+    The one-call front end the :class:`DistributedStatevectorBackend` uses:
+    the ``(batch, 2^n)`` ensemble is slab-partitioned across ranks, evolved
+    through the grouped engine in lockstep (every exchange amortised over
+    the batch), and gathered back.  ``shards=1`` degenerates to a single
+    rank with zero communication.
+    """
+    if not isinstance(shards, (int, np.integer)) or isinstance(shards, bool):
+        raise ValueError(f"shards must be an int, got {shards!r}")
+    shards = int(shards)
+    if shards < 1 or shards & (shards - 1):
+        raise ValueError(f"shards={shards} must be a power of two >= 1")
+    states = np.asarray(states, dtype=np.complex128)
+    squeeze = states.ndim == 1
+    batch = states[None, :] if squeeze else states
+    if batch.ndim != 2:
+        raise ValueError(f"states must be 1-D or 2-D, got ndim={states.ndim}")
+    n = check_power_of_two(batch.shape[-1], "state dimension")
+    g = shards.bit_length() - 1
+    if n < g:
+        raise ValueError(f"{n} qubits cannot span {shards} shards")
+
+    from repro.quantum.compile import (
+        DEFAULT_FUSION_WIDTH,
+        CompiledCircuit,
+        compile_circuit,
+        plan_shard_groups,
+    )
+
+    if isinstance(program, Circuit):
+        width = max(1, min(DEFAULT_FUSION_WIDTH, n - g))
+        program = compile_circuit(program, max_width=width)
+    if not isinstance(program, CompiledCircuit):
+        raise TypeError(f"expected Circuit or CompiledCircuit, got {type(program)!r}")
+    if program.num_qubits != n:
+        raise ValueError(
+            f"program acts on {program.num_qubits} qubits, states have {n}"
+        )
+    plan = plan_shard_groups(program, g)
+    chunk = 2 ** (n - g)
+
+    def prog(comm: Communicator):
+        slab = np.ascontiguousarray(batch[:, comm.rank * chunk : (comm.rank + 1) * chunk])
+        dist = DistributedState(comm, n, slab)
+        run_compiled_distributed(dist, program, plan=plan)
+        return gather_state(dist)
+
+    out = run_spmd(prog, shards, timeout=timeout)[0]
+    return out[0] if squeeze else out
+
+
+def expectation_z_distributed(dist: DistributedState, qubit: int):
     """``<Z_qubit>`` without gathering (collective allreduce).
 
     Z is diagonal, so each rank sums |amp|^2 with the qubit-bit sign and one
     allreduce finishes the job -- the communication-avoiding pattern used
-    for diagonal observables in production distributed simulators.
+    for diagonal observables in production distributed simulators.  For a
+    batched slab returns one expectation per batch entry.
     """
     g = dist.global_qubits
     if qubit < g:
         bit = (dist.comm.rank >> (g - 1 - qubit)) & 1
-        local = (1.0 - 2.0 * bit) * dist.local_norm_sq()
+        local = (1.0 - 2.0 * bit) * np.sum(np.abs(dist.slab) ** 2, axis=-1)
     else:
-        idx = np.arange(dist.slab.size)
+        idx = np.arange(dist.slab.shape[-1])
         shift = dist.local_qubits - 1 - (qubit - g)
         signs = 1.0 - 2.0 * ((idx >> shift) & 1)
-        local = float(np.sum(signs * np.abs(dist.slab) ** 2))
-    return float(dist.comm.allreduce(local))
+        local = np.sum(signs * np.abs(dist.slab) ** 2, axis=-1)
+    total = dist.comm.allreduce(local)
+    if dist.slab.ndim == 1:
+        return float(total)
+    return np.asarray(total)

@@ -9,6 +9,7 @@ import pytest
 from repro.api import ExecutionConfig
 from repro.quantum.backends import (
     DensityMatrixBackend,
+    DistributedStatevectorBackend,
     MitigatedBackend,
     StatevectorBackend,
     backend_from_dict,
@@ -21,6 +22,7 @@ def _backends():
     noise = NoiseModel.depolarizing(0.01)
     return [
         StatevectorBackend(),
+        DistributedStatevectorBackend(shards=2),
         DensityMatrixBackend(),
         DensityMatrixBackend(noise),
         MitigatedBackend(DensityMatrixBackend(noise), scales=(1, 3)),
@@ -237,3 +239,66 @@ def test_mitigated_scales_roundtrip_as_tuple():
     )
     restored = ExecutionConfig.from_json(cfg.to_json())
     assert restored.backend.scales == (1, 5, 7)
+
+
+# -------------------------------------------------------------------- shards
+def test_shards_default_is_one():
+    cfg = ExecutionConfig()
+    assert cfg.shards == 1
+    assert type(cfg.backend) is StatevectorBackend
+
+
+def test_shards_substitutes_distributed_backend():
+    cfg = ExecutionConfig(shards=4)
+    assert isinstance(cfg.backend, DistributedStatevectorBackend)
+    assert cfg.backend.shards == 4
+    assert cfg.shards == 4
+
+
+def test_distributed_backend_mirrors_shards_field():
+    cfg = ExecutionConfig(backend=DistributedStatevectorBackend(shards=8))
+    assert cfg.shards == 8
+    # Agreeing explicit pair is fine; both spellings are one config.
+    same = ExecutionConfig(backend=DistributedStatevectorBackend(shards=8), shards=8)
+    assert same == cfg
+
+
+def test_shards_conflict_raises():
+    with pytest.raises(ValueError, match="conflicts"):
+        ExecutionConfig(backend=DistributedStatevectorBackend(shards=2), shards=4)
+
+
+def test_shards_requires_ideal_backend():
+    with pytest.raises(ValueError, match="no sharded execution path"):
+        ExecutionConfig(backend=DensityMatrixBackend(), shards=2)
+    with pytest.raises(ValueError, match="no sharded execution path"):
+        ExecutionConfig(
+            backend=MitigatedBackend(DensityMatrixBackend()), shards=2
+        )
+
+
+@pytest.mark.parametrize("bad", [0, 3, -2, 2.0, "2", True])
+def test_shards_validation(bad):
+    with pytest.raises(ValueError):
+        ExecutionConfig(shards=bad)
+
+
+def test_shards_json_roundtrip():
+    cfg = ExecutionConfig(shards=4, estimator="shots", shots=99)
+    data = json.loads(cfg.to_json())
+    assert data["shards"] == 4
+    assert data["backend"] == {"kind": "distributed", "shards": 4}
+    assert ExecutionConfig.from_json(cfg.to_json()) == cfg
+    # Wire forms written before the knob existed still load (field default).
+    legacy = cfg.to_dict()
+    del legacy["shards"]
+    legacy["backend"] = {"kind": "statevector"}
+    assert ExecutionConfig.from_dict(legacy).shards == 1
+
+
+def test_shards_merged_combinator():
+    cfg = ExecutionConfig()
+    sharded = cfg.merged(shards=2)
+    assert sharded.shards == 2
+    assert isinstance(sharded.backend, DistributedStatevectorBackend)
+    assert cfg.shards == 1  # original untouched

@@ -199,3 +199,44 @@ def test_matvec_allgather_pattern():
 
     results = run_spmd(prog, n_ranks)
     assert np.allclose(np.concatenate(results), a_full @ x_full)
+
+
+def test_peer_failure_releases_blocked_recv():
+    """A rank stuck in point-to-point recv must not sleep until the SPMD
+    timeout when a peer dies: the abort flag is polled and surfaces the
+    original failure promptly."""
+    import time
+
+    def prog(comm):
+        if comm.rank == 0:
+            raise RuntimeError("boom")
+        comm.recv(source=0, tag=9)  # the message never arrives
+
+    start = time.monotonic()
+    with pytest.raises(SpmdError) as exc_info:
+        run_spmd(prog, 2, timeout=30.0)
+    elapsed = time.monotonic() - start
+    assert elapsed < 5.0  # released by abort polling, not the 30 s timeout
+    # The primary failure is rank 0's error; rank 1's abort wake-up is
+    # filtered as a secondary casualty.
+    assert set(exc_info.value.failures) == {0}
+    assert isinstance(exc_info.value.failures[0], RuntimeError)
+
+
+def test_abort_does_not_drop_in_flight_messages():
+    """Messages already enqueued before a peer failure are still delivered;
+    only an *empty* mailbox surfaces the abort."""
+    import threading
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("payload", dest=1, tag=1)
+            raise RuntimeError("late failure")
+        got = comm.recv(source=0, tag=1)  # sent before the failure: delivered
+        with pytest.raises(threading.BrokenBarrierError):
+            comm.recv(source=0, tag=2)  # never sent: aborts instead of hanging
+        return got
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_spmd(prog, 2, timeout=30.0)
+    assert set(exc_info.value.failures) == {0}

@@ -237,3 +237,67 @@ def test_resolve_backend():
     assert isinstance(dm, QuantumBackend)
     with pytest.raises(ValueError):
         resolve_backend("density")
+
+
+# --------------------------------------------------- distributed == ideal
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_distributed_backend_matches_statevector(shards):
+    """Sharded evolution is a drop-in for the ideal backend, <=1e-10."""
+    from repro.quantum.backends import DistributedStatevectorBackend
+
+    rng = np.random.default_rng(31)
+    sv = StatevectorBackend()
+    dist = DistributedStatevectorBackend(shards=shards)
+    for trial in range(4):
+        circuit = random_circuit(4, depth=15, rng=rng)
+        assert np.abs(dist.run_bound(circuit) - sv.run_bound(circuit)).max() <= 1e-10
+        states = sv.prepare(rng.uniform(0, 2 * np.pi, size=(3, 4, 4)))
+        program = compile_circuit(circuit, cache=None)
+        got = dist.evolve(states, program)
+        want = sv.evolve(states, program)
+        assert np.abs(got - want).max() <= 1e-10
+        obs = PauliString("ZZII")
+        assert np.allclose(
+            dist.expectation(got, obs), sv.expectation(want, obs), atol=1e-10
+        )
+
+
+def test_distributed_backend_contract():
+    from repro.quantum.backends import DistributedStatevectorBackend
+
+    backend = DistributedStatevectorBackend(shards=4)
+    assert backend.name == "distributed"
+    assert backend.supports_compile is True
+    assert backend.supports_vectorize is False
+    assert backend.shards == 4
+    # evolve(None) is the identity, like the parent backend.
+    states = np.eye(4, dtype=np.complex128)[:2]
+    assert backend.evolve(states, None) is states
+    clone = pickle.loads(pickle.dumps(backend))
+    assert clone == backend and clone.shards == 4
+
+
+def test_distributed_backend_validation():
+    from repro.quantum.backends import DistributedStatevectorBackend
+
+    with pytest.raises(ValueError, match="power of two"):
+        DistributedStatevectorBackend(shards=3)
+    with pytest.raises(ValueError, match="power of two"):
+        DistributedStatevectorBackend(shards=0)
+    with pytest.raises(ValueError, match="must be an int"):
+        DistributedStatevectorBackend(shards=True)
+
+
+def test_distributed_backend_serialization():
+    from repro.quantum.backends import (
+        DistributedStatevectorBackend,
+        backend_from_dict,
+        backend_to_dict,
+    )
+
+    backend = DistributedStatevectorBackend(shards=8)
+    data = backend_to_dict(backend)
+    assert data == {"kind": "distributed", "shards": 8}
+    clone = backend_from_dict(data)
+    assert isinstance(clone, DistributedStatevectorBackend)
+    assert clone.shards == 8

@@ -229,3 +229,79 @@ def test_identity_program_on_empty_circuit():
     assert program.num_blocks == 0
     state = zero_state(2)
     assert np.array_equal(program.apply(state), state)
+
+
+# ------------------------------------------------------- shard-group planning
+def _plan(circuit, num_global, max_width=2):
+    from repro.quantum.compile import plan_shard_groups
+
+    program = compile_circuit(circuit, max_width=max_width, cache=None)
+    return program, plan_shard_groups(program, num_global)
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("num_global", [1, 2])
+def test_shard_groups_preserve_block_order(seed, num_global):
+    """Concatenating group blocks reproduces the compiled block sequence."""
+    rng = np.random.default_rng(seed)
+    circuit = random_circuit(rng, 5, 25)
+    program, plan = _plan(circuit, num_global)
+    flattened = [b for group in plan for b in group.blocks]
+    assert flattened == list(program.blocks)
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("num_global", [1, 2])
+def test_shard_groups_globals_avoid_group_support(seed, num_global):
+    """Each group's global qubits are disjoint from every block it runs, and
+    exactly num_global of them are chosen (dense-fallback groups excepted)."""
+    rng = np.random.default_rng(100 + seed)
+    circuit = random_circuit(rng, 5, 25)
+    program, plan = _plan(circuit, num_global)
+    max_support = program.num_qubits - num_global
+    for group in plan:
+        if group.global_qubits is None:
+            # Fallback groups hold exactly one oversized block.
+            assert len(group.blocks) == 1
+            assert len(set(group.blocks[0].qubits)) > max_support
+            continue
+        assert len(group.global_qubits) == num_global
+        touched = {q for b in group.blocks for q in b.qubits}
+        assert touched.isdisjoint(group.global_qubits)
+        assert len(touched) <= max_support
+
+
+def test_shard_groups_zero_globals_single_group():
+    """num_global=0 (single rank): one group, no remaps needed."""
+    rng = np.random.default_rng(2)
+    circuit = random_circuit(rng, 4, 20)
+    program, plan = _plan(circuit, 0)
+    assert len(plan) == 1
+    assert plan[0].global_qubits == ()
+    assert plan[0].blocks == program.blocks
+
+
+def test_shard_groups_dense_fallback_for_wide_blocks():
+    """Blocks wider than the local register become lone fallback groups."""
+    circuit = Circuit(3)
+    for q in range(3):
+        circuit.append("h", q)
+    circuit.append("cnot", (0, 1)).append("cnot", (1, 2)).append("cnot", (0, 2))
+    # Fuse everything into one 3-qubit block, then plan with 1 local qubit.
+    program = compile_circuit(circuit, max_width=3, cache=None)
+    from repro.quantum.compile import plan_shard_groups
+
+    plan = plan_shard_groups(program, 2)
+    assert any(g.global_qubits is None for g in plan)
+
+
+def test_shard_groups_validation():
+    from repro.quantum.compile import plan_shard_groups
+
+    program = compile_circuit(Circuit(3).append("h", 0), cache=None)
+    with pytest.raises(ValueError):
+        plan_shard_groups(program, -1)
+    with pytest.raises(ValueError):
+        plan_shard_groups(program, 4)  # more globals than qubits
+    with pytest.raises(ValueError):
+        plan_shard_groups(program, 1.5)

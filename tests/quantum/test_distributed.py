@@ -3,19 +3,28 @@
 import numpy as np
 import pytest
 
-from repro.hpc.comm import run_spmd
+from repro.hpc.comm import SpmdError, run_spmd
 from repro.quantum.circuit import Circuit
+from repro.quantum.compile import compile_circuit, plan_shard_groups
 from repro.quantum.distributed import (
     distributed_zero_state,
     expectation_z_distributed,
     gather_state,
     run_circuit_distributed,
+    run_compiled_distributed,
+    run_sharded,
     scatter_state,
 )
+from repro.quantum.gates import GATE_NUM_QUBITS, PARAMETRIC_GATES
 from repro.quantum.observables import PauliString, expectation
 from repro.quantum.statevector import run_circuit, zero_state
 
 from tests.conftest import random_state
+
+TWO_QUBIT_GATES = sorted(name for name, k in GATE_NUM_QUBITS.items() if k == 2)
+
+ONE_QUBIT_FIXED = ("h", "x", "y", "z", "s", "sdg", "t", "tdg")
+ONE_QUBIT_PARAM = ("rx", "ry", "rz", "phase")
 
 
 def random_supported_circuit(rng: np.random.Generator, n: int, gates: int) -> Circuit:
@@ -36,6 +45,39 @@ def random_supported_circuit(rng: np.random.Generator, n: int, gates: int) -> Ci
         else:
             a, b = rng.choice(n, size=2, replace=False)
             c.append("cz", (int(a), int(b)))
+    return c
+
+
+def random_full_circuit(rng: np.random.Generator, n: int, gates: int) -> Circuit:
+    """Random bound circuit over the *entire* gate table, all positions."""
+    c = Circuit(n)
+    for _ in range(gates):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            c.append(str(rng.choice(ONE_QUBIT_FIXED)), int(rng.integers(0, n)))
+        elif kind == 1:
+            c.append(
+                str(rng.choice(ONE_QUBIT_PARAM)),
+                int(rng.integers(0, n)),
+                float(rng.uniform(-np.pi, np.pi)),
+            )
+        else:
+            name = str(rng.choice(TWO_QUBIT_GATES))
+            a, b = rng.choice(n, size=2, replace=False)
+            param = (
+                float(rng.uniform(-np.pi, np.pi)) if name in PARAMETRIC_GATES else None
+            )
+            c.append(name, (int(a), int(b)), param)
+    return c
+
+
+def _state_prep(n: int) -> Circuit:
+    """A cheap non-product state so 2-qubit gates act on generic amplitudes."""
+    c = Circuit(n)
+    for q in range(n):
+        c.append("h", q).append("t", q).append("ry", q, 0.3 * (q + 1))
+    for q in range(n - 1):
+        c.append("cnot", (q, q + 1))
     return c
 
 
@@ -61,6 +103,22 @@ def test_scatter_gather_roundtrip(size):
 
     out = run_spmd(prog, size)[0]
     assert np.allclose(out, psi)
+
+
+def test_scatter_num_qubits_mismatch():
+    """A rank disagreeing about the register width fails loudly, not by shape."""
+    rng = np.random.default_rng(1)
+    psi = random_state(4, rng)
+
+    def prog(comm):
+        n = 4 if comm.rank == 0 else 3
+        dist = scatter_state(comm, psi if comm.rank == 0 else None, n)
+        return gather_state(dist)
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_spmd(prog, 2)
+    messages = [str(e) for e in exc_info.value.failures.values()]
+    assert any("num_qubits mismatch" in m for m in messages)
 
 
 @pytest.mark.parametrize("size", [2, 4, 8])
@@ -96,6 +154,195 @@ def test_global_qubit_gates():
     assert np.allclose(out, reference, atol=1e-10)
 
 
+# ------------------------------------------------- gate-table regressions
+@pytest.mark.parametrize("gate", TWO_QUBIT_GATES)
+@pytest.mark.parametrize("order", ["fwd", "rev"])
+def test_all_local_two_qubit_gates(gate, order):
+    """Regression: every 2-qubit gate must run when both qubits are local.
+
+    swap/crx/cry/crz used to raise NotImplementedError even at fully-local
+    positions; with 2 ranks and n=3 qubits (1, 2) are both local.
+    """
+    qubits = (1, 2) if order == "fwd" else (2, 1)
+    param = 0.811 if gate in PARAMETRIC_GATES else None
+    c = _state_prep(3).append(gate, qubits, param)
+    reference = run_circuit(c)
+
+    def prog(comm):
+        dist = distributed_zero_state(comm, 3)
+        run_circuit_distributed(dist, c)
+        return gather_state(dist)
+
+    out = run_spmd(prog, 2)[0]
+    assert np.allclose(out, reference, atol=1e-10)
+
+
+@pytest.mark.parametrize("gate", ["swap", "crx", "cry", "crz"])
+@pytest.mark.parametrize("qubits", [(0, 1), (1, 0), (0, 3), (3, 0), (1, 2)])
+def test_dense_fallback_global_gates(gate, qubits):
+    """swap/crx/cry/crz touching global qubits go through the dense path."""
+    param = -1.234 if gate in PARAMETRIC_GATES else None
+    c = _state_prep(4).append(gate, qubits, param)
+    reference = run_circuit(c)
+
+    def prog(comm):
+        dist = distributed_zero_state(comm, 4)
+        run_circuit_distributed(dist, c)
+        return gather_state(dist)
+
+    out = run_spmd(prog, 4)[0]  # qubits 0,1 global with 4 ranks
+    assert np.allclose(out, reference, atol=1e-10)
+
+
+# ----------------------------------------------------- property-based suite
+@pytest.mark.parametrize("size", [2, 4, 8])
+def test_property_full_gate_set_random_circuits(size):
+    """100+ random full-gate-set circuits across the three rank counts.
+
+    Each SPMD session evolves 35 independent circuits (per-gate engine) so
+    thread setup is amortised; every output is pinned to run_circuit and the
+    diagonal observable to the dense expectation.
+    """
+    n = 4
+    per_size = 35
+    rng = np.random.default_rng(100 + size)
+    circuits = [random_full_circuit(rng, n, 18) for _ in range(per_size)]
+    references = [run_circuit(c) for c in circuits]
+
+    def prog(comm):
+        outs = []
+        for circuit in circuits:
+            dist = distributed_zero_state(comm, n)
+            run_circuit_distributed(dist, circuit)
+            outs.append((gather_state(dist), expectation_z_distributed(dist, 0)))
+        return outs
+
+    results = run_spmd(prog, size, timeout=120.0)[0]
+    for (out, ez), psi in zip(results, references):
+        assert np.allclose(out, psi, atol=1e-10)
+        exact = expectation(psi, PauliString("Z" + "I" * (n - 1)))
+        assert ez == pytest.approx(exact, abs=1e-10)
+
+
+# ------------------------------------------------------- grouped engine
+@pytest.mark.parametrize("size", [1, 2, 4, 8])
+def test_compiled_matches_oracle_all_shard_counts(size):
+    """Sharded grouped execution is shard-count independent vs the oracle."""
+    rng = np.random.default_rng(42)
+    n = 5
+    circuit = random_full_circuit(rng, n, 40)
+    reference = run_circuit(circuit)
+
+    def prog(comm):
+        dist = distributed_zero_state(comm, n)
+        run_compiled_distributed(dist, circuit)
+        return gather_state(dist)
+
+    out = run_spmd(prog, size, timeout=120.0)[0]
+    assert np.abs(out - reference).max() <= 1e-10
+
+
+def test_compiled_accepts_precompiled_program_and_plan():
+    rng = np.random.default_rng(7)
+    n = 4
+    circuit = random_full_circuit(rng, n, 30)
+    reference = run_circuit(circuit)
+    program = compile_circuit(circuit, max_width=2, cache=None)
+    plan = plan_shard_groups(program, 1)
+
+    def prog(comm):
+        dist = distributed_zero_state(comm, n)
+        run_compiled_distributed(dist, program, plan=plan)
+        return gather_state(dist)
+
+    out = run_spmd(prog, 2)[0]
+    assert np.allclose(out, reference, atol=1e-10)
+
+
+def test_compiled_all_qubits_global():
+    """n == g: every block is wider than the (empty) local register, so the
+    grouped engine must survive on dense fallbacks alone."""
+    rng = np.random.default_rng(11)
+    circuit = random_full_circuit(rng, 2, 12)
+    reference = run_circuit(circuit)
+
+    def prog(comm):
+        dist = distributed_zero_state(comm, 2)
+        run_compiled_distributed(dist, circuit)
+        return gather_state(dist)
+
+    out = run_spmd(prog, 4)[0]
+    assert np.allclose(out, reference, atol=1e-10)
+
+
+def test_grouped_engine_moves_fewer_amplitudes():
+    """The comm-avoidance claim: gate groups exchange strictly less volume
+    than the naive per-gate walk on a deep circuit."""
+    rng = np.random.default_rng(3)
+    n = 6
+    circuit = random_full_circuit(rng, n, 48)
+    reference = run_circuit(circuit)
+
+    def naive(comm):
+        dist = distributed_zero_state(comm, n)
+        run_circuit_distributed(dist, circuit)
+        return gather_state(dist), dist.stats.amplitudes
+
+    def grouped(comm):
+        dist = distributed_zero_state(comm, n)
+        run_compiled_distributed(dist, circuit)
+        return gather_state(dist), dist.stats.amplitudes
+
+    naive_out = run_spmd(naive, 4, timeout=120.0)
+    grouped_out = run_spmd(grouped, 4, timeout=120.0)
+    assert np.allclose(naive_out[0][0], reference, atol=1e-10)
+    assert np.allclose(grouped_out[0][0], reference, atol=1e-10)
+    naive_amps = sum(amps for _, amps in naive_out)
+    grouped_amps = sum(amps for _, amps in grouped_out)
+    assert grouped_amps < naive_amps
+
+
+# ------------------------------------------------------------- run_sharded
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_run_sharded_batch_matches_reference(shards):
+    rng = np.random.default_rng(21)
+    n = 5
+    circuit = random_full_circuit(rng, n, 30)
+    states = np.stack([random_state(n, rng) for _ in range(6)])
+    reference = run_circuit(circuit, state=states)
+
+    out = run_sharded(circuit, states, shards)
+    assert out.shape == states.shape
+    assert np.abs(out - reference).max() <= 1e-10
+
+
+def test_run_sharded_single_state_and_program():
+    rng = np.random.default_rng(22)
+    n = 4
+    circuit = random_full_circuit(rng, n, 20)
+    psi = random_state(n, rng)
+    program = compile_circuit(circuit, max_width=2, cache=None)
+
+    out = run_sharded(program, psi, 4)
+    assert out.shape == psi.shape
+    assert np.allclose(out, run_circuit(circuit, state=psi), atol=1e-10)
+
+
+def test_run_sharded_validation():
+    rng = np.random.default_rng(23)
+    circuit = random_full_circuit(rng, 3, 5)
+    psi = random_state(3, rng)
+    with pytest.raises(ValueError, match="power of two"):
+        run_sharded(circuit, psi, 3)
+    with pytest.raises(ValueError, match="shards must be an int"):
+        run_sharded(circuit, psi, True)
+    with pytest.raises(ValueError, match="cannot span"):
+        run_sharded(circuit, psi, 16)
+    with pytest.raises(ValueError, match="program acts on"):
+        run_sharded(circuit, random_state(4, rng), 2)
+
+
+# ------------------------------------------------------------ observables
 @pytest.mark.parametrize("qubit", [0, 1, 2, 3])
 def test_expectation_z_without_gather(qubit):
     rng = np.random.default_rng(5)
@@ -112,6 +359,22 @@ def test_expectation_z_without_gather(qubit):
     # Allreduce: every rank holds the same expectation.
     for v in values:
         assert v == pytest.approx(exact, abs=1e-10)
+
+
+def test_expectation_z_batched():
+    rng = np.random.default_rng(9)
+    n = 4
+    states = np.stack([random_state(n, rng) for _ in range(5)])
+
+    def prog(comm):
+        dist = scatter_state(comm, states if comm.rank == 0 else None, n)
+        return expectation_z_distributed(dist, 1)
+
+    values = run_spmd(prog, 4)[0]
+    exact = [
+        expectation(s, PauliString("IZII")) for s in states
+    ]
+    assert np.allclose(values, exact, atol=1e-10)
 
 
 def test_encoded_ensemble_evolution():
@@ -138,8 +401,6 @@ def test_encoded_ensemble_evolution():
 def test_validation():
     def bad_size(comm):
         distributed_zero_state(comm, 4)
-
-    from repro.hpc.comm import SpmdError
 
     with pytest.raises(SpmdError):
         run_spmd(bad_size, 3)  # not a power of two
