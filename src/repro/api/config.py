@@ -46,6 +46,7 @@ from repro.quantum.backends import (
 )
 from repro.quantum.batched import resolve_vectorize
 from repro.quantum.compile import resolve_fusion_width
+from repro.xp import resolve_array_backend, validate_array_backend
 
 __all__ = [
     "UNSET",
@@ -147,7 +148,12 @@ class ExecutionConfig:
       :class:`~repro.quantum.backends.DistributedStatevectorBackend`;
       constructing with a distributed backend mirrors its shard count into
       this field, so the two spellings stay consistent (a conflicting
-      explicit pair raises).
+      explicit pair raises);
+    * ``array_backend``   -- the array namespace the hot kernels run under
+      (:mod:`repro.xp`): ``"numpy"`` (default, bit-identical to the
+      historical path), ``"cupy"`` / ``"torch"`` (must be installed), or
+      ``"auto"`` (best available accelerator, resolved once per sweep via
+      :attr:`resolved_array_backend`).
 
     Validation is centralized in ``__post_init__``; instances are picklable
     and round-trip through :meth:`to_dict` / :meth:`from_dict` / JSON.
@@ -163,6 +169,7 @@ class ExecutionConfig:
     backend: QuantumBackend | None = None
     vectorize: str | None = "off"
     shards: int = 1
+    array_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backend", resolve_backend(self.backend))
@@ -226,6 +233,10 @@ class ExecutionConfig:
         resolve_fusion_width(self.compile)
         # Same canonicalization as compile: None is the legacy "off".
         object.__setattr__(self, "vectorize", resolve_vectorize(self.vectorize))
+        # Fails here -- at construction -- on typos and on explicitly
+        # requested libraries that are not importable, instead of deep in a
+        # dispatched worker.  ``"auto"`` stays symbolic until resolution.
+        validate_array_backend(self.array_backend)
         if self.dispatch_policy not in SCHEDULING_POLICIES:
             raise ValueError(
                 f"unknown dispatch_policy {self.dispatch_policy!r}; "
@@ -237,6 +248,14 @@ class ExecutionConfig:
     def resolved_chunk_size(self) -> int:
         """The effective work-grid granularity for this config's backend."""
         return resolve_chunk_size(self.chunk_size, self.backend)
+
+    @property
+    def resolved_array_backend(self) -> str:
+        """The concrete namespace name ``"auto"`` resolves to (cupy > torch
+        with CUDA > numpy).  Resolution happens once, parent-side: the
+        concrete name -- not ``"auto"`` -- ships to every worker, so a
+        heterogeneous pool can never split across namespaces mid-sweep."""
+        return resolve_array_backend(self.array_backend)
 
     # ---------------------------------------------------------- combinators
     def merged(self, **overrides: Any) -> "ExecutionConfig":
@@ -269,6 +288,7 @@ class ExecutionConfig:
             "backend": backend_to_dict(self.backend),
             "vectorize": self.vectorize,
             "shards": self.shards,
+            "array_backend": self.array_backend,
         }
 
     @classmethod

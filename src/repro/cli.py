@@ -12,7 +12,7 @@ Usage::
 Execution flags (``--estimator``, ``--shots``, ``--snapshots``,
 ``--chunk-size``, ``--policy``, ``--compile``, ``--seed``, ``--backend
 {ideal,noisy,mitigated}``, ``--noise-p1``, ``--vectorize {auto,off}``,
-``--shards``) build one
+``--shards``, ``--array-backend {auto,numpy,cupy,torch}``) build one
 :class:`~repro.api.config.ExecutionConfig` shared by every model in the
 run; ``repro config`` prints the resolved config as JSON (the same wire
 form ``ExecutionConfig.from_json`` accepts).
@@ -111,6 +111,12 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="statevector slab count for sharded distributed execution "
         "(power of two; >1 requires the ideal backend; default: 1)",
     )
+    group.add_argument(
+        "--array-backend", choices=["auto", "numpy", "cupy", "torch"],
+        default="numpy",
+        help="array namespace for the hot kernels (repro.xp); auto picks "
+        "the best installed accelerator (default: numpy)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace):
@@ -147,6 +153,7 @@ def _config_from_args(args: argparse.Namespace):
             backend=backend,
             vectorize=args.vectorize,
             shards=args.shards,
+            array_backend=args.array_backend,
         )
     except ValueError as exc:
         print(f"repro: invalid execution flags: {exc}", file=sys.stderr)

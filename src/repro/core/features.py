@@ -66,7 +66,7 @@ from repro.api.config import (
     resolve_chunk_size,
 )
 from repro.core.strategies import Strategy
-from repro.hpc.cluster import CircuitTask, task_costs
+from repro.hpc.cluster import CircuitTask, stacked_pass_flops, task_costs
 from repro.hpc.executor import ParallelExecutor
 from repro.hpc.partition import chunk_ranges
 from repro.hpc.runtime import DispatchReport, ExecutionRuntime, TaskCompletion
@@ -74,7 +74,6 @@ from repro.quantum.backends import QuantumBackend, resolve_backend
 from repro.quantum.batched import (
     ParametricCompiledCircuit,
     compile_parametric,
-    extend_template,
 )
 from repro.quantum.circuit import Circuit
 from repro.quantum.compile import (
@@ -85,6 +84,7 @@ from repro.quantum.compile import (
 )
 from repro.quantum.observables import PauliString
 from repro.utils.rng import spawn_rngs
+from repro.xp import get_namespace
 
 __all__ = [
     "FeatureJob",
@@ -136,21 +136,26 @@ def _bound_ansatz(strategy: Strategy, params: np.ndarray) -> Circuit | None:
 
 
 def _parametric_programs(
-    strategy: Strategy, compile: str | int, template: Circuit
-) -> list[ParametricCompiledCircuit]:
+    strategy: Strategy,
+    compile: str | int,
+    template: Circuit,
+    backend: QuantumBackend,
+    array_backend: str = "numpy",
+) -> list:
     """One batched template program per Ansatz instance (``vectorize`` path).
 
     Each program covers the *whole* per-sample circuit ``U(theta_a) S(x)``:
     the encoder template's rotations stay as angle slots while the bound
-    Ansatz fuses into shared dense blocks, so one compile per parameter set
-    serves every data chunk (and, being picklable, every process worker).
-    The batched engine is fusion by construction, so ``compile="off"`` only
-    means "no explicit width choice" here -- the default width applies.
+    Ansatz joins it, so one compile per parameter set serves every data
+    chunk (and, being picklable, every process worker).  The program *kind*
+    is the backend's choice (:meth:`QuantumBackend.batch_program`): fused
+    :class:`ParametricCompiledCircuit` for statevectors, fusion-free
+    batched density programs (per-scale folded stacks for ZNE) where Kraus
+    insertion points must survive.
     """
-    width = resolve_fusion_width(compile) or DEFAULT_FUSION_WIDTH
     return [
-        compile_parametric(
-            extend_template(template, _bound_ansatz(strategy, params)), max_width=width
+        backend.batch_program(
+            template, _bound_ansatz(strategy, params), compile, array_backend
         )
         for params in strategy.parameter_sets()
     ]
@@ -189,9 +194,13 @@ def _ansatz_programs(
 
 def _program_ops(program: Circuit | CompiledCircuit | ParametricCompiledCircuit | None) -> int:
     """Kernel launches one program costs: gate count, fused-block count,
-    batched segment count (blocks + angle chains), or 0."""
+    batched segment count (blocks + angle chains), stacked density passes
+    (gates + Kraus operators, folded copies included), or 0."""
     if program is None:
         return 0
+    passes = getattr(program, "num_kernel_passes", None)
+    if passes is not None:
+        return passes
     if isinstance(program, ParametricCompiledCircuit):
         return program.num_segments
     if isinstance(program, CompiledCircuit):
@@ -208,19 +217,31 @@ def _evaluate_block(
     snapshots: int,
     rng: np.random.Generator | None,
     backend: QuantumBackend,
+    xp=None,
 ) -> np.ndarray:
     """Feature block for one Ansatz instance on a chunk of prepared states
     (or, for a batched template program, of raw encoding angles).
 
     Returns (chunk, q).  This is the module-level worker so the process
     executor backend can pickle it via functools.partial-free closures.
+    ``xp`` is the resolved array namespace; ``None`` (the default config)
+    never reaches backend signatures, so third-party backends without the
+    keyword keep working.
     """
-    if isinstance(program, ParametricCompiledCircuit):
+    if getattr(program, "consumes_angles", False):
         # vectorize="auto": the chunk is raw (chunk, rows, cols) angles and
         # encoding + Ansatz evolution happen in one stacked pass.
-        evolved = backend.evolve_batch(states, program)
+        evolved = (
+            backend.evolve_batch(states, program)
+            if xp is None
+            else backend.evolve_batch(states, program, xp=xp)
+        )
     else:
-        evolved = backend.evolve(states, program)
+        evolved = (
+            backend.evolve(states, program)
+            if xp is None
+            else backend.evolve(states, program, xp=xp)
+        )
     q = len(observables)
     if estimator == "exact":
         block = np.empty((states.shape[0], q))
@@ -257,18 +278,25 @@ class _BlockWorker:
         compile: str | int,
         backend: QuantumBackend,
         template: Circuit | None = None,
+        array_backend: str = "numpy",
     ):
         self.observables = strategy.observables()
         self.backend = backend
+        # The already-resolved concrete namespace *name* (never "auto"):
+        # plain strings pickle to process workers, and each worker resolves
+        # its own process-wide namespace singleton lazily on first use.
+        self.array_backend = array_backend
         # Bind/compile each Ansatz instance exactly once for the whole sweep
         # (not per chunk); compiled programs pickle to process workers.
         # With an encoder ``template`` (the vectorize="auto" path) each
-        # program is a batched ParametricCompiledCircuit covering encoder +
-        # Ansatz, and tasks carry raw angle chunks instead of states.
+        # program is a batched template covering encoder + Ansatz, and tasks
+        # carry raw angle chunks instead of states.
         if template is None:
             self.programs = _ansatz_programs(strategy, compile, self.backend)
         else:
-            self.programs = _parametric_programs(strategy, compile, template)
+            self.programs = _parametric_programs(
+                strategy, compile, template, self.backend, array_backend
+            )
         self.estimator = estimator
         self.shots = shots
         self.snapshots = snapshots
@@ -279,6 +307,7 @@ class _BlockWorker:
     ) -> tuple[FeatureJob, np.ndarray]:
         task_id, job, states = task
         rng = None if self.seeds is None else np.random.default_rng(self.seeds[task_id])
+        xp = None if self.array_backend == "numpy" else get_namespace(self.array_backend)
         block = _evaluate_block(
             states,
             self.programs[job.ansatz_index],
@@ -288,6 +317,7 @@ class _BlockWorker:
             self.snapshots,
             rng,
             self.backend,
+            xp,
         )
         return job, block
 
@@ -325,13 +355,22 @@ def feature_circuit_tasks(
     tasks = []
     for job in jobs:
         chunk = job.hi - job.lo
-        ops = _program_ops(programs[job.ansatz_index])
+        program = programs[job.ansatz_index]
+        ops = _program_ops(program)
+        if getattr(program, "num_kernel_passes", None) is not None:
+            # Vectorized density programs count every stacked pass directly
+            # (Kraus operators and folded ZNE copies included), so they are
+            # priced at the raw density state size -- multiplying by the
+            # mitigated backend's fold weight too would double-count.
+            flops = stacked_pass_flops(chunk, num_qubits, ops, q)
+        else:
+            flops = float(chunk * dim * (4 * ops + q))
         tasks.append(
             CircuitTask(
                 num_circuits=chunk,
                 shots=shots_per_circuit,
                 result_bytes=8 * chunk * q,
-                classical_flops=float(chunk * dim * (4 * ops + q)),
+                classical_flops=flops,
                 num_shards=num_shards,
             )
         )
@@ -424,6 +463,7 @@ def _sweep_stream(
         cfg.compile,
         cfg.backend,
         template=template,
+        array_backend=cfg.resolved_array_backend,
     )
     costs = task_costs(
         feature_circuit_tasks(
@@ -520,22 +560,30 @@ def generate_features(
         from repro.data.encoding import encoding_template
 
         template = encoding_template(angles.shape[1], angles.shape[2])
-        if strategy.num_ansatze == 1:
-            # Single Ansatz instance: encoder + Ansatz fuse into ONE
-            # ParametricCompiledCircuit, and each job encodes *and* evolves
-            # its raw angle chunk in a single stacked pass -- no separate
-            # preparation, no intermediate prepared-state array.
+        if strategy.num_ansatze == 1 or cfg.backend.representation == "density":
+            # Encoder + Ansatz compile into ONE batched program per
+            # instance, and each job encodes *and* evolves its raw angle
+            # chunk in stacked passes -- no separate preparation, no
+            # intermediate prepared-state array.  Density-representation
+            # backends take this path even with many instances: their
+            # encoder stage carries gate-level noise (and ZNE folding), so
+            # the noiseless shared-encoder shortcut below cannot apply.
             return _assemble_features(
                 strategy, angles, cfg, executor, out, return_report, template
             )
-        # Multiple instances share the encoding work: one batched-encoder
-        # pass (per-qubit angle chains: ~rows fewer state-sized kernels
-        # than the per-gate encode_batch), then the standard chunked sweep
-        # reuses the prepared batch across every Ansatz instance.  The
-        # batched engine is fusion by construction, so evolution is pinned
-        # to a concrete fusion width even under compile="off".
+        # Multiple statevector instances share the encoding work: one
+        # batched-encoder pass (per-qubit angle chains: ~rows fewer
+        # state-sized kernels than the per-gate encode_batch), then the
+        # standard chunked sweep reuses the prepared batch across every
+        # Ansatz instance.  The batched engine is fusion by construction,
+        # so evolution is pinned to a concrete fusion width even under
+        # compile="off".
         width = resolve_fusion_width(cfg.compile) or DEFAULT_FUSION_WIDTH
-        states = compile_parametric(template, max_width=width).apply_batch(angles)
+        name = cfg.resolved_array_backend
+        xp = None if name == "numpy" else get_namespace(name)
+        states = compile_parametric(
+            template, max_width=width, array_backend=name
+        ).apply_batch(angles, xp=xp)
         return _assemble_features(
             strategy, states, cfg.merged(compile=width), executor, out, return_report
         )

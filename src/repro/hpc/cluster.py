@@ -32,6 +32,7 @@ __all__ = [
     "weak_scaling",
     "task_costs",
     "simulation_dim",
+    "stacked_pass_flops",
 ]
 
 _REPRESENTATIONS = ("statevector", "density")
@@ -52,6 +53,27 @@ def simulation_dim(num_qubits: int, representation: str = "statevector") -> int:
         )
     dim = 2**num_qubits
     return dim * dim if representation == "density" else dim
+
+
+def stacked_pass_flops(
+    num_circuits: int,
+    num_qubits: int,
+    kernel_passes: int,
+    num_observables: int,
+    representation: str = "density",
+) -> float:
+    """Classical flops of a vectorized stacked-pass evolution task.
+
+    Batched density programs report their total kernel-pass count
+    (gates + noise channels, folded ZNE copies included), each pass
+    touching the full ``4**n`` stacked state once -- so the cost is priced
+    directly at ``simulation_dim`` per pass rather than through a backend
+    fold-weight multiplier, which would double-count the folded copies.
+    The ``4 * passes + q`` shape mirrors the per-sample task formula, so
+    vectorized and per-sample tasks stay comparable for the scheduler.
+    """
+    dim = simulation_dim(num_qubits, representation)
+    return float(num_circuits * dim * (4 * kernel_passes + num_observables))
 
 
 @dataclass(frozen=True)

@@ -45,12 +45,26 @@ from typing import Sequence
 import numpy as np
 
 from repro.hpc.cluster import simulation_dim
-from repro.quantum.batched import ParametricCompiledCircuit
+from repro.quantum.batched import (
+    GLOBAL_PARAMETRIC_CACHE,
+    ParametricCompiledCircuit,
+    compile_parametric,
+    extend_template,
+)
 from repro.quantum.circuit import Circuit
-from repro.quantum.compile import CompiledCircuit
+from repro.quantum.compile import (
+    DEFAULT_FUSION_WIDTH,
+    CompiledCircuit,
+    resolve_fusion_width,
+)
 from repro.quantum.density import (
+    BatchedDensityProgram,
     apply_unitary,
+    compile_density_template,
+    concat_density_programs,
+    fold_density_program,
     pure_density,
+    run_batched_density,
     run_circuit_density,
 )
 from repro.quantum.mitigation import fold_circuit, richardson_weights
@@ -66,6 +80,7 @@ __all__ = [
     "DistributedStatevectorBackend",
     "DensityMatrixBackend",
     "MitigatedBackend",
+    "MitigatedBatchProgram",
     "resolve_backend",
     "backend_to_dict",
     "backend_from_dict",
@@ -98,11 +113,13 @@ class QuantumBackend(ABC):
     supports_compile: bool = True
     #: Whether the classical-shadow estimator is available (pure states only).
     supports_shadows: bool = False
-    #: Whether :meth:`evolve_batch` can run a
-    #: :class:`~repro.quantum.batched.ParametricCompiledCircuit` -- i.e.
-    #: whether ``vectorize="auto"`` batches this backend's sweep.  False for
-    #: gate-level-noise backends for the same reason as ``supports_compile``:
-    #: fusing shared structure would move the Kraus insertion points.
+    #: Whether :meth:`batch_program`/:meth:`evolve_batch` can run a whole
+    #: raw-angle chunk in stacked passes -- i.e. whether ``vectorize="auto"``
+    #: batches this backend's sweep.  The program *kind* is backend-specific
+    #: (fused :class:`~repro.quantum.batched.ParametricCompiledCircuit` for
+    #: statevectors, fusion-free
+    #: :class:`~repro.quantum.density.BatchedDensityProgram` for gate-level
+    #: noise, where the per-gate Kraus insertion points must survive).
     supports_vectorize: bool = False
     #: Whether :meth:`prepare` is expensive enough (per-sample circuit
     #: evolution) to be worth fanning out across executor workers.  False
@@ -148,19 +165,48 @@ class QuantumBackend(ABC):
     def evolve(
         self, states: np.ndarray, program: Circuit | CompiledCircuit | None
     ) -> np.ndarray:
-        """Push a prepared-state batch through one Ansatz program."""
+        """Push a prepared-state batch through one Ansatz program.
+
+        Concrete backends additionally accept a keyword-only ``xp`` (an
+        array namespace from :mod:`repro.xp`); the pipeline only passes it
+        when a non-NumPy namespace is selected, so third-party subclasses
+        that ignore the knob keep working under the default config.
+        """
+
+    def batch_program(
+        self,
+        template: Circuit,
+        ansatz: Circuit | None,
+        compile: str | int = "auto",
+        array_backend: str = "numpy",
+    ):
+        """Compile encoder ``template`` + bound ``ansatz`` into the program
+        :meth:`evolve_batch` consumes (the ``vectorize="auto"`` artifact).
+
+        Backend-specific: the statevector backend fuses into a
+        :class:`~repro.quantum.batched.ParametricCompiledCircuit`; density
+        backends build a fusion-free
+        :class:`~repro.quantum.density.BatchedDensityProgram` so Kraus
+        insertion points stay per-gate; the mitigated backend stacks one
+        folded density program per noise scale.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} has no batched structure-shared execution "
+            f"(supports_vectorize=False)"
+        )
 
     def evolve_batch(
-        self, angles: np.ndarray, program: ParametricCompiledCircuit
+        self, angles: np.ndarray, program, *, xp=None
     ) -> np.ndarray:
         """Encode *and* evolve a raw angle chunk in one stacked pass.
 
         The batched counterpart of ``prepare`` + ``evolve``: ``program`` is
-        a compiled template (shared fused blocks + per-sample angle slots)
-        covering both the encoder and one Ansatz instance, and ``angles``
-        is the raw ``(chunk, rows, cols)`` slice.  Only backends with
+        the artifact :meth:`batch_program` compiled (encoder angle slots +
+        one Ansatz instance) and ``angles`` is the raw
+        ``(chunk, rows, cols)`` slice.  Only backends with
         ``supports_vectorize = True`` implement it; the feature pipeline
-        falls back to the per-sample path everywhere else.
+        falls back to the per-sample path everywhere else.  ``xp`` selects
+        the array namespace (:mod:`repro.xp`); results return as NumPy.
         """
         raise NotImplementedError(
             f"backend {self.name!r} has no batched structure-shared execution "
@@ -243,22 +289,40 @@ class StatevectorBackend(QuantumBackend):
         return run_circuit(circuit)
 
     def evolve(
-        self, states: np.ndarray, program: Circuit | CompiledCircuit | None
+        self, states: np.ndarray, program: Circuit | CompiledCircuit | None, *, xp=None
     ) -> np.ndarray:
         if program is None:
             return states
         if isinstance(program, CompiledCircuit):
-            return program.apply(states)
+            return program.apply(states, xp=xp)
+        # Raw-circuit evolution is the naive reference walk and stays on the
+        # host namespace regardless of ``xp`` (it is never the hot path).
         return run_circuit(program, state=states)
 
+    def batch_program(
+        self,
+        template: Circuit,
+        ansatz: Circuit | None,
+        compile: str | int = "auto",
+        array_backend: str = "numpy",
+    ) -> ParametricCompiledCircuit:
+        # The batched engine is fusion by construction, so compile="off"
+        # only means "no explicit width choice" -- the default applies.
+        width = resolve_fusion_width(compile) or DEFAULT_FUSION_WIDTH
+        return compile_parametric(
+            extend_template(template, ansatz),
+            max_width=width,
+            array_backend=array_backend,
+        )
+
     def evolve_batch(
-        self, angles: np.ndarray, program: ParametricCompiledCircuit
+        self, angles: np.ndarray, program: ParametricCompiledCircuit, *, xp=None
     ) -> np.ndarray:
         if not isinstance(program, ParametricCompiledCircuit):
             raise TypeError(
                 f"evolve_batch expects a ParametricCompiledCircuit, got {program!r}"
             )
-        return program.apply_batch(angles)
+        return program.apply_batch(angles, xp=xp)
 
     def expectation(self, evolved: np.ndarray, observable: PauliString) -> np.ndarray:
         return np.asarray(expectation(evolved, observable))
@@ -327,8 +391,10 @@ class DistributedStatevectorBackend(StatevectorBackend):
         return self.evolve(zero_state(circuit.num_qubits), circuit)
 
     def evolve(
-        self, states: np.ndarray, program: Circuit | CompiledCircuit | None
+        self, states: np.ndarray, program: Circuit | CompiledCircuit | None, *, xp=None
     ) -> np.ndarray:
+        # ``xp`` is accepted but unused: the sharded SPMD kernels are a
+        # host-NumPy scale-out axis, not a device fast path.
         if program is None:
             return states
         from repro.quantum.distributed import run_sharded
@@ -370,6 +436,13 @@ class DensityMatrixBackend(QuantumBackend):
     backend.  Preparation runs the explicit Fig. 7 encoder circuit per
     sample so encoder gates pick up noise too, exactly as the retired
     ``generate_features_noisy`` fork did.
+
+    ``vectorize="auto"`` runs the sweep through the fusion-free batched
+    engine (:class:`~repro.quantum.density.BatchedDensityProgram`): the
+    whole chunk evolves gate by gate as one stacked tensor, so every
+    gate/Kraus operator costs one ``(B, 4^n)`` kernel pass instead of ``B``
+    Python-level walks -- same insertion points, same numerics to 1e-10
+    (``benchmarks/test_density_batched_speedup.py``).
     """
 
     noise_model: NoiseModel | None = None
@@ -378,6 +451,7 @@ class DensityMatrixBackend(QuantumBackend):
     representation = "density"
     supports_compile = False
     supports_shadows = False
+    supports_vectorize = True
     parallel_prepare = True
 
     def coerce_states(self, states: np.ndarray) -> np.ndarray:
@@ -395,7 +469,7 @@ class DensityMatrixBackend(QuantumBackend):
         return run_circuit_density(circuit, noise_model=self.noise_model)
 
     def evolve(
-        self, states: np.ndarray, program: Circuit | CompiledCircuit | None
+        self, states: np.ndarray, program: Circuit | CompiledCircuit | None, *, xp=None
     ) -> np.ndarray:
         if program is None:
             return states
@@ -406,10 +480,38 @@ class DensityMatrixBackend(QuantumBackend):
             )
         return np.stack(
             [
-                run_circuit_density(program, rho=rho, noise_model=self.noise_model)
+                run_circuit_density(
+                    program, rho=rho, noise_model=self.noise_model, xp=xp
+                )
                 for rho in states
             ]
         )
+
+    def batch_program(
+        self,
+        template: Circuit,
+        ansatz: Circuit | None,
+        compile: str | int = "auto",
+        array_backend: str = "numpy",
+    ) -> BatchedDensityProgram:
+        # Validate the knob so a typo fails identically on every backend;
+        # fusion itself never applies here (supports_compile=False).
+        resolve_fusion_width(compile)
+        return compile_density_template(
+            extend_template(template, ansatz),
+            self.noise_model,
+            cache=GLOBAL_PARAMETRIC_CACHE,
+            array_backend=array_backend,
+        )
+
+    def evolve_batch(
+        self, angles: np.ndarray, program: BatchedDensityProgram, *, xp=None
+    ) -> np.ndarray:
+        if not isinstance(program, BatchedDensityProgram):
+            raise TypeError(
+                f"evolve_batch expects a BatchedDensityProgram, got {program!r}"
+            )
+        return run_batched_density(program, angles, xp=xp)
 
     def expectation(self, evolved: np.ndarray, observable: PauliString) -> np.ndarray:
         # tr(O rho) batched: one einsum over the whole chunk.
@@ -431,6 +533,45 @@ class DensityMatrixBackend(QuantumBackend):
             return self.expectation(evolved, observable)
         probs = _density_pauli_probabilities(evolved, observable)
         return estimate_from_probabilities(probs, observable, shots, rng)
+
+
+@dataclass(frozen=True)
+class MitigatedBatchProgram:
+    """One folded :class:`BatchedDensityProgram` per ZNE noise scale.
+
+    The ``vectorize="auto"`` artifact of :class:`MitigatedBackend` over a
+    density backend: ``programs[k]`` is the *whole* per-sample circuit
+    (encoder and Ansatz folded separately, then concatenated -- the same
+    per-segment folding the per-sample path applies via ``fold_circuit``)
+    at ``scales[k]``.  Evolving all of them yields the ``(d, scales, ...)``
+    stack the mitigated estimators extrapolate over.
+    """
+
+    programs: tuple[BatchedDensityProgram, ...]
+
+    #: Dispatch marker shared with the other batched program types.
+    consumes_angles = True
+
+    @property
+    def num_qubits(self) -> int:
+        return self.programs[0].num_qubits
+
+    @property
+    def num_slots(self) -> int:
+        return self.programs[0].num_slots
+
+    @property
+    def num_kernel_passes(self) -> int:
+        """Total stacked passes across all fold scales (the cost model's
+        per-evolution count; folded copies are already included, so this
+        must be priced at the *wrapped* backend's state size)."""
+        return sum(p.num_kernel_passes for p in self.programs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MitigatedBatchProgram(scales={len(self.programs)}, "
+            f"passes={self.num_kernel_passes})"
+        )
 
 
 @dataclass(frozen=True)
@@ -481,6 +622,13 @@ class MitigatedBackend(QuantumBackend):
         return self.backend.representation
 
     @property
+    def supports_vectorize(self) -> bool:  # type: ignore[override]
+        # Folding happens at density-step level, so the batched mitigated
+        # path exists exactly when the wrapped backend is the density engine
+        # (statevector wrapping keeps the per-sample fold_circuit path).
+        return isinstance(self.backend, DensityMatrixBackend)
+
+    @property
     def circuit_repetitions(self) -> int:  # type: ignore[override]
         return len(self.scales) * self.backend.circuit_repetitions
 
@@ -510,7 +658,7 @@ class MitigatedBackend(QuantumBackend):
         )
 
     def evolve(
-        self, states: np.ndarray, program: Circuit | CompiledCircuit | None
+        self, states: np.ndarray, program: Circuit | CompiledCircuit | None, *, xp=None
     ) -> np.ndarray:
         if program is None:
             return states
@@ -519,11 +667,60 @@ class MitigatedBackend(QuantumBackend):
                 "mitigated backends fold raw circuits; compiled programs are "
                 "not foldable (supports_compile=False)"
             )
+        # Forward ``xp`` only when set: arbitrary wrapped backends need not
+        # accept the keyword under the default NumPy config.
+        kwargs = {} if xp is None else {"xp": xp}
         return np.stack(
             [
-                self.backend.evolve(states[:, k], fold_circuit(program, s))
+                self.backend.evolve(states[:, k], fold_circuit(program, s), **kwargs)
                 for k, s in enumerate(self.scales)
             ],
+            axis=1,
+        )
+
+    def batch_program(
+        self,
+        template: Circuit,
+        ansatz: Circuit | None,
+        compile: str | int = "auto",
+        array_backend: str = "numpy",
+    ) -> MitigatedBatchProgram:
+        if not isinstance(self.backend, DensityMatrixBackend):
+            raise NotImplementedError(
+                "batched mitigated execution requires a wrapped "
+                "DensityMatrixBackend (supports_vectorize is False otherwise)"
+            )
+        resolve_fusion_width(compile)  # validate the knob; fusion never applies
+        noise = self.backend.noise_model
+        encoder = compile_density_template(
+            template, noise, cache=GLOBAL_PARAMETRIC_CACHE, array_backend=array_backend
+        )
+        suffix = None
+        if ansatz is not None:
+            suffix = compile_density_template(
+                ansatz, noise, cache=GLOBAL_PARAMETRIC_CACHE, array_backend=array_backend
+            )
+        programs = []
+        for s in self.scales:
+            # Per-segment folding, exactly as the per-sample path: encoder
+            # folds during prepare(), Ansatz folds during evolve().
+            parts = [fold_density_program(encoder, s)]
+            if suffix is not None:
+                parts.append(fold_density_program(suffix, s))
+            programs.append(concat_density_programs(*parts))
+        return MitigatedBatchProgram(programs=tuple(programs))
+
+    def evolve_batch(
+        self, angles: np.ndarray, program: MitigatedBatchProgram, *, xp=None
+    ) -> np.ndarray:
+        if not isinstance(program, MitigatedBatchProgram):
+            raise TypeError(
+                f"evolve_batch expects a MitigatedBatchProgram, got {program!r}"
+            )
+        # (d, scales, 2^n, 2^n): the same stack shape prepare()+evolve()
+        # produce, so the extrapolating estimators index it unchanged.
+        return np.stack(
+            [run_batched_density(p, angles, xp=xp) for p in program.programs],
             axis=1,
         )
 

@@ -43,7 +43,14 @@ from repro.quantum.compile import (
     _block_unitary,
     resolve_fusion_width,
 )
-from repro.quantum.gates import gate_matrix, phase_batch, rx_batch, ry_batch, rz_batch
+from repro.quantum.gates import (
+    gate_matrix,
+    phase_batch,
+    rotation_batch_xp,
+    rx_batch,
+    ry_batch,
+    rz_batch,
+)
 from repro.quantum.transpile import fuse_blocks
 
 __all__ = [
@@ -112,19 +119,32 @@ class AngleChain:
         """Angle-slot indices this chain reads, in application order."""
         return tuple(p for kind, p in self.factors if kind != _FIXED)
 
-    def matrices(self, angles: np.ndarray) -> np.ndarray:
-        """The composed per-sample matrix stack, shape ``(batch, 2, 2)``."""
-        out: np.ndarray | None = None
+    def matrices(self, angles: np.ndarray, *, xp=None) -> np.ndarray:
+        """The composed per-sample matrix stack, shape ``(batch, 2, 2)``.
+
+        With a non-native ``xp`` namespace, ``angles`` may already be a
+        device tensor and the composition runs on that device.
+        """
+        if xp is None or xp.native:
+            out: np.ndarray | None = None
+            for kind, payload in self.factors:
+                if kind == _FIXED:
+                    m = payload
+                else:
+                    m = BATCHED_ROTATIONS[kind](angles[:, payload])
+                # (2,2) @ (B,2,2) and (B,2,2) @ (B,2,2) both broadcast; factors
+                # apply left-to-right, so later factors multiply from the left.
+                out = m if out is None else np.matmul(m, out)
+            if out.ndim == 2:  # defensive: an all-fixed chain (never built today)
+                out = np.broadcast_to(out, (angles.shape[0], 2, 2))
+            return out
+        out = None
         for kind, payload in self.factors:
             if kind == _FIXED:
-                m = payload
+                m = xp.to_device_cached(payload)
             else:
-                m = BATCHED_ROTATIONS[kind](angles[:, payload])
-            # (2,2) @ (B,2,2) and (B,2,2) @ (B,2,2) both broadcast; factors
-            # apply left-to-right, so later factors multiply from the left.
-            out = m if out is None else np.matmul(m, out)
-        if out.ndim == 2:  # defensive: an all-fixed chain (never built today)
-            out = np.broadcast_to(out, (angles.shape[0], 2, 2))
+                m = rotation_batch_xp(kind, angles[:, payload], xp)
+            out = m if out is None else xp.matmul(m, out)
         return out
 
 
@@ -146,6 +166,11 @@ class ParametricCompiledCircuit:
     source_gates: int
     name: str = "parametric"
 
+    #: Dispatch marker: this program consumes raw angle chunks via
+    #: ``evolve_batch`` rather than prepared states via ``evolve`` (shared
+    #: with the batched density programs, replacing isinstance dispatch).
+    consumes_angles = True
+
     @property
     def num_segments(self) -> int:
         return len(self.segments)
@@ -159,7 +184,7 @@ class ParametricCompiledCircuit:
         return sum(1 for s in self.segments if isinstance(s, AngleChain))
 
     def apply_batch(
-        self, angles: np.ndarray, states: np.ndarray | None = None
+        self, angles: np.ndarray, states: np.ndarray | None = None, *, xp=None
     ) -> np.ndarray:
         """Evolve a whole batch, one row of ``angles`` per sample.
 
@@ -168,6 +193,11 @@ class ParametricCompiledCircuit:
         matching first-use parameter registration order).  ``states``
         defaults to a |0...0> batch; when given it must be
         ``(batch, 2**n)``.  Returns ``(batch, 2**n)`` evolved states.
+
+        ``xp`` selects the array namespace (:mod:`repro.xp`): ``None`` or
+        native NumPy keeps this body bit-identical to the reference; any
+        other namespace moves the angle chunk to its device once, runs the
+        same segment walk there, and returns NumPy.
         """
         angles = np.asarray(angles, dtype=float)
         if angles.ndim > 2:
@@ -179,6 +209,8 @@ class ParametricCompiledCircuit:
             )
         b = angles.shape[0]
         dim = 2**self.num_qubits
+        if xp is not None and not xp.native:
+            return self._apply_batch_xp(angles, states, xp, b, dim)
         if states is None:
             tensor = np.zeros((b,) + (2,) * self.num_qubits, dtype=np.complex128)
             tensor[(slice(None),) + (0,) * self.num_qubits] = 1.0
@@ -207,6 +239,39 @@ class ParametricCompiledCircuit:
                 tensor = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), axes))
                 tensor = np.moveaxis(tensor, range(k), axes)
         return np.ascontiguousarray(tensor.reshape(b, dim))
+
+    def _apply_batch_xp(self, angles, states, xp, b, dim):
+        """Generic device body of :meth:`apply_batch` (validated inputs)."""
+        a_dev = xp.to_device(angles)
+        if states is None:
+            tensor = xp.zeros((b,) + (2,) * self.num_qubits)
+            tensor[(slice(None),) + (0,) * self.num_qubits] = 1.0
+        else:
+            states = xp.ascomplex(states)
+            if tuple(int(s) for s in states.shape) != (b, dim):
+                raise ValueError(
+                    f"states shape {tuple(states.shape)} != expected {(b, dim)}"
+                )
+            tensor = states.reshape((b,) + (2,) * self.num_qubits)
+        for seg in self.segments:
+            if isinstance(seg, AngleChain):
+                axis = 1 + seg.qubit
+                moved = xp.moveaxis(tensor, axis, 1)
+                shape = tuple(moved.shape)
+                flat = moved.reshape(b, 2, -1)
+                flat = xp.einsum(
+                    "bij,bjr->bir", seg.matrices(a_dev, xp=xp), flat
+                )
+                tensor = xp.moveaxis(flat.reshape(shape), 1, axis)
+            else:
+                k = seg.width
+                gate = xp.to_device_cached(seg.matrix).reshape((2,) * (2 * k))
+                axes = [1 + q for q in seg.qubits]
+                tensor = xp.tensordot(
+                    gate, tensor, axes=(list(range(k, 2 * k)), axes)
+                )
+                tensor = xp.moveaxis(tensor, tuple(range(k)), tuple(axes))
+        return xp.to_numpy(xp.ascontiguous(tensor.reshape(b, dim)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -284,6 +349,7 @@ def compile_parametric(
     circuit: Circuit,
     max_width: int | str = DEFAULT_FUSION_WIDTH,
     cache: CompileCache | None = GLOBAL_PARAMETRIC_CACHE,
+    array_backend: str = "numpy",
 ) -> ParametricCompiledCircuit:
     """Compile a (possibly unbound) template into a batched program.
 
@@ -298,8 +364,10 @@ def compile_parametric(
     operations only, so the program is exactly equivalent to the source.
     Unbound rotations outside :data:`BATCHED_ROTATIONS` (controlled
     rotations) raise -- bind them first.  Compiled templates are cached
-    under their :func:`template_fingerprint` (pass ``cache=None`` to force
-    a fresh compilation).
+    under their :func:`template_fingerprint` plus ``array_backend`` (the
+    namespace the program will execute under; artifacts stay host NumPy
+    but entries never cross namespaces).  Pass ``cache=None`` to force a
+    fresh compilation.
     """
     width = resolve_fusion_width(max_width)
     if width is None:
@@ -307,7 +375,7 @@ def compile_parametric(
             'compile_parametric called with compilation disabled ("off")'
         )
     if cache is not None:
-        key = ("parametric", width) + template_fingerprint(circuit)
+        key = ("parametric", width, array_backend) + template_fingerprint(circuit)
         return cache.get_by_key(
             key, lambda: compile_parametric(circuit, width, cache=None)
         )

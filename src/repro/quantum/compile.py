@@ -124,34 +124,59 @@ class CompiledCircuit:
             return 0.0
         return 1.0 - self.num_blocks / self.source_gates
 
-    def apply(self, states: np.ndarray) -> np.ndarray:
+    def apply(self, states: np.ndarray, *, xp=None) -> np.ndarray:
         """Evolve ``states`` (1-D state or ``(batch, 2**n)``) through the program.
 
         The batch stays in ``(batch, 2, ..., 2)`` tensor form across all
         blocks -- one BLAS-grade :func:`numpy.tensordot` per fused block and
         a single contiguity copy at the end, instead of the per-gate
         reshape/copy round-trips of the naive engine.
+
+        ``xp`` selects the array namespace (:mod:`repro.xp`): ``None`` or
+        native NumPy keeps this body bit-identical; otherwise the same
+        tensordot walk runs on that library, with block matrices moved
+        host->device once per namespace via the constant memo.
         """
-        states = np.asarray(states, dtype=np.complex128)
+        if xp is None or xp.native:
+            states = np.asarray(states, dtype=np.complex128)
+            squeeze = states.ndim == 1
+            batch = states[None, :] if squeeze else states
+            if batch.ndim != 2 or batch.shape[1] != 2**self.num_qubits:
+                raise ValueError(
+                    f"state shape {states.shape} incompatible with {self.num_qubits} qubits"
+                )
+            b, dim = batch.shape
+            tensor = batch.reshape((b,) + (2,) * self.num_qubits)
+            for block in self.blocks:
+                k = block.width
+                gate = block.matrix.reshape((2,) * (2 * k))
+                axes = [1 + q for q in block.qubits]
+                # tensordot output: k gate-output axes first, then the untouched
+                # axes in original relative order; moveaxis restores the layout
+                # (block.qubits is sorted ascending, matching the gate's local
+                # big-endian ordering).
+                tensor = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), axes))
+                tensor = np.moveaxis(tensor, range(k), axes)
+            out = np.ascontiguousarray(tensor.reshape(b, dim))
+            return out[0] if squeeze else out
+
+        states = xp.ascomplex(states)
         squeeze = states.ndim == 1
         batch = states[None, :] if squeeze else states
-        if batch.ndim != 2 or batch.shape[1] != 2**self.num_qubits:
+        if batch.ndim != 2 or int(batch.shape[1]) != 2**self.num_qubits:
             raise ValueError(
-                f"state shape {states.shape} incompatible with {self.num_qubits} qubits"
+                f"state shape {tuple(states.shape)} incompatible with "
+                f"{self.num_qubits} qubits"
             )
-        b, dim = batch.shape
+        b, dim = (int(s) for s in batch.shape)
         tensor = batch.reshape((b,) + (2,) * self.num_qubits)
         for block in self.blocks:
             k = block.width
-            gate = block.matrix.reshape((2,) * (2 * k))
+            gate = xp.to_device_cached(block.matrix).reshape((2,) * (2 * k))
             axes = [1 + q for q in block.qubits]
-            # tensordot output: k gate-output axes first, then the untouched
-            # axes in original relative order; moveaxis restores the layout
-            # (block.qubits is sorted ascending, matching the gate's local
-            # big-endian ordering).
-            tensor = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), axes))
-            tensor = np.moveaxis(tensor, range(k), axes)
-        out = np.ascontiguousarray(tensor.reshape(b, dim))
+            tensor = xp.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), axes))
+            tensor = xp.moveaxis(tensor, tuple(range(k)), tuple(axes))
+        out = xp.ascontiguous(tensor.reshape(b, dim))
         return out[0] if squeeze else out
 
     def run(self, state: np.ndarray | None = None) -> np.ndarray:
@@ -286,10 +311,12 @@ class CacheInfo:
 class CompileCache:
     """Thread-safe LRU map from circuit fingerprint to compiled program.
 
-    Keys come from :meth:`Circuit.fingerprint` plus the fusion width, so the
-    same structure bound at different angles occupies distinct entries while
-    a re-bound identical circuit hits.  Bounded so long sweeps over
-    per-sample encoders cannot grow memory without limit.
+    Keys come from :meth:`Circuit.fingerprint` plus the fusion width and the
+    array-backend name, so the same structure bound at different angles
+    occupies distinct entries while a re-bound identical circuit hits, and
+    switching ``array_backend`` mid-session can never serve a program
+    associated with another library's device state.  Bounded so long sweeps
+    over per-sample encoders cannot grow memory without limit.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -301,9 +328,11 @@ class CompileCache:
         self._hits = 0
         self._misses = 0
 
-    def get(self, circuit: Circuit, max_width: int) -> CompiledCircuit:
+    def get(
+        self, circuit: Circuit, max_width: int, array_backend: str = "numpy"
+    ) -> CompiledCircuit:
         """Fetch (or compile and insert) the fused program for ``circuit``."""
-        key = (max_width,) + circuit.fingerprint()
+        key = (max_width, array_backend) + circuit.fingerprint()
         return self.get_by_key(key, lambda: _compile_bound(circuit, max_width))
 
     def get_by_key(self, key: tuple, factory):
@@ -354,12 +383,16 @@ def compile_circuit(
     max_width: int | str = DEFAULT_FUSION_WIDTH,
     params: Sequence[float] | None = None,
     cache: CompileCache | None = GLOBAL_COMPILE_CACHE,
+    array_backend: str = "numpy",
 ) -> CompiledCircuit:
     """Compile ``circuit`` into a fused program.
 
     ``max_width`` accepts the same values as the ``compile`` knob minus
     ``"off"`` (``"auto"`` or an int >= 1).  Unbound circuits require
     ``params``.  Pass ``cache=None`` to force a fresh compilation.
+    ``array_backend`` names the array namespace the program will execute
+    under -- it only partitions the cache (compiled artifacts are always
+    host NumPy), so programs can never leak across namespaces.
     """
     width = resolve_fusion_width(max_width)
     if width is None:
@@ -374,7 +407,7 @@ def compile_circuit(
         raise ValueError("params given for an already-bound circuit")
     if cache is None:
         return _compile_bound(circuit, width)
-    return cache.get(circuit, width)
+    return cache.get(circuit, width, array_backend)
 
 
 def compile_cache_info() -> CacheInfo:

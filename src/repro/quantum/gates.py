@@ -45,6 +45,7 @@ __all__ = [
     "ry_batch",
     "rz_batch",
     "phase_batch",
+    "rotation_batch_xp",
     "FIXED_GATES",
     "PARAMETRIC_GATES",
     "GATE_NUM_QUBITS",
@@ -124,6 +125,34 @@ def phase_batch(angles: np.ndarray) -> np.ndarray:
     out[:, 0, 0] = 1.0
     out[:, 1, 1] = np.exp(1j * angles)
     return out
+
+
+def rotation_batch_xp(kind: str, angles, xp) -> "np.ndarray":
+    """xp-generic ``(batch, 2, 2)`` rotation stacks (see the ``*_batch``
+    builders above for the NumPy fast path these mirror).
+
+    ``angles`` may already live on ``xp``'s device; all trig runs in
+    complex128 from the start, so the same expression works on libraries
+    (torch) that refuse complex-scalar x float-tensor arithmetic.
+    """
+    a = xp.ascomplex(angles)
+    if kind == "rx":
+        c, s = xp.cos(a / 2.0), xp.sin(a / 2.0)
+        rows = (c, -1j * s), (-1j * s, c)
+    elif kind == "ry":
+        c, s = xp.cos(a / 2.0), xp.sin(a / 2.0)
+        rows = (c, -s), (s, c)
+    elif kind == "rz":
+        e = xp.exp(-0.5j * a)
+        rows = (e, 0.0 * e), (0.0 * e, xp.conj(e))
+    elif kind == "phase":
+        e = xp.exp(1j * a)
+        rows = (1.0 + 0.0 * e, 0.0 * e), (0.0 * e, e)
+    else:
+        raise KeyError(f"unknown batched rotation {kind!r}")
+    return xp.stack(
+        [xp.stack(list(row), axis=-1) for row in rows], axis=-2
+    )
 
 
 def ry(theta: float) -> np.ndarray:

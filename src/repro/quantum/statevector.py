@@ -85,16 +85,54 @@ def apply_matrix(
 
 
 def apply_matrix_batch(
-    states: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+    states: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], *, xp=None
 ) -> np.ndarray:
     """Batched unitary application; ``states`` must be ``(batch, 2**n)``.
 
     ``matrix`` may be ``(2**k, 2**k)`` (shared across the batch) or
     ``(batch, 2**k, 2**k)`` (a distinct matrix per batch element -- used by
     data-encoding layers where each sample carries its own rotation angle).
+
+    ``xp`` selects the array namespace (:mod:`repro.xp`).  ``None`` -- or a
+    native NumPy namespace -- runs the original NumPy body unchanged
+    (bit-identical); any other namespace runs the same contraction through
+    that library's ops, and inputs/outputs stay on its device.
     """
-    states = np.ascontiguousarray(states, dtype=np.complex128)
-    b, dim = states.shape
+    if xp is None or xp.native:
+        states = np.ascontiguousarray(states, dtype=np.complex128)
+        b, dim = states.shape
+        n = check_power_of_two(dim, "state dimension")
+        qubits = [int(q) for q in qubits]
+        k = len(qubits)
+        if len(set(qubits)) != k:
+            raise ValueError(f"duplicate qubits {qubits}")
+        for q in qubits:
+            if not 0 <= q < n:
+                raise ValueError(f"qubit {q} out of range for n={n}")
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        per_sample = matrix.ndim == 3
+        expected = (b, 2**k, 2**k) if per_sample else (2**k, 2**k)
+        if matrix.shape != expected:
+            raise ValueError(f"matrix shape {matrix.shape} != expected {expected}")
+
+        # Move target qubit axes to the front (after batch), apply, move back.
+        tensor = states.reshape((b,) + (2,) * n)
+        src = [1 + q for q in qubits]
+        dst = list(range(1, 1 + k))
+        tensor = np.moveaxis(tensor, src, dst)
+        rest = tensor.shape[1 + k :]
+        tensor = tensor.reshape(b, 2**k, -1)
+        if per_sample:
+            tensor = np.einsum("bij,bjr->bir", matrix, tensor)
+        else:
+            tensor = np.einsum("ij,bjr->bir", matrix, tensor)
+        tensor = tensor.reshape((b,) + (2,) * k + rest)
+        tensor = np.moveaxis(tensor, dst, src)
+        return np.ascontiguousarray(tensor.reshape(b, dim))
+
+    # Generic device path: identical contraction, the namespace's ops.
+    states = xp.ascomplex(states)
+    b, dim = (int(s) for s in states.shape)
     n = check_power_of_two(dim, "state dimension")
     qubits = [int(q) for q in qubits]
     k = len(qubits)
@@ -103,26 +141,24 @@ def apply_matrix_batch(
     for q in qubits:
         if not 0 <= q < n:
             raise ValueError(f"qubit {q} out of range for n={n}")
-    matrix = np.asarray(matrix, dtype=np.complex128)
+    matrix = xp.ascomplex(matrix)
     per_sample = matrix.ndim == 3
     expected = (b, 2**k, 2**k) if per_sample else (2**k, 2**k)
-    if matrix.shape != expected:
-        raise ValueError(f"matrix shape {matrix.shape} != expected {expected}")
-
-    # Move target qubit axes to the front (after batch), apply, move back.
+    if tuple(matrix.shape) != expected:
+        raise ValueError(f"matrix shape {tuple(matrix.shape)} != expected {expected}")
     tensor = states.reshape((b,) + (2,) * n)
     src = [1 + q for q in qubits]
     dst = list(range(1, 1 + k))
-    tensor = np.moveaxis(tensor, src, dst)
-    rest = tensor.shape[1 + k :]
+    tensor = xp.moveaxis(tensor, src, dst)
+    rest = tuple(tensor.shape[1 + k :])
     tensor = tensor.reshape(b, 2**k, -1)
     if per_sample:
-        tensor = np.einsum("bij,bjr->bir", matrix, tensor)
+        tensor = xp.einsum("bij,bjr->bir", matrix, tensor)
     else:
-        tensor = np.einsum("ij,bjr->bir", matrix, tensor)
+        tensor = xp.einsum("ij,bjr->bir", matrix, tensor)
     tensor = tensor.reshape((b,) + (2,) * k + rest)
-    tensor = np.moveaxis(tensor, dst, src)
-    return np.ascontiguousarray(tensor.reshape(b, dim))
+    tensor = xp.moveaxis(tensor, dst, src)
+    return xp.ascontiguous(tensor.reshape(b, dim))
 
 
 def run_circuit(

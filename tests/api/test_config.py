@@ -302,3 +302,36 @@ def test_shards_merged_combinator():
     assert sharded.shards == 2
     assert isinstance(sharded.backend, DistributedStatevectorBackend)
     assert cfg.shards == 1  # original untouched
+
+
+# ------------------------------------------------------------- array backend
+def test_array_backend_default_is_numpy():
+    cfg = ExecutionConfig()
+    assert cfg.array_backend == "numpy"
+    assert cfg.resolved_array_backend == "numpy"
+
+
+@pytest.mark.parametrize("bad", ["bogus", "Numpy", "", 1, None, True])
+def test_array_backend_unknown_names_raise_at_construction(bad):
+    with pytest.raises(ValueError, match="array_backend"):
+        ExecutionConfig(array_backend=bad)
+
+
+def test_array_backend_json_roundtrip():
+    cfg = ExecutionConfig(array_backend="auto", estimator="shots", shots=3)
+    data = json.loads(cfg.to_json())
+    assert data["array_backend"] == "auto"
+    assert ExecutionConfig.from_json(cfg.to_json()) == cfg
+    # Wire forms written before the knob existed still load (field default).
+    legacy = cfg.to_dict()
+    del legacy["array_backend"]
+    assert ExecutionConfig.from_dict(legacy).array_backend == "numpy"
+
+
+def test_array_backend_merged_combinator():
+    cfg = ExecutionConfig()
+    merged = cfg.merged(array_backend="auto")
+    assert merged.array_backend == "auto"
+    assert cfg.array_backend == "numpy"  # original untouched
+    with pytest.raises(ValueError):
+        cfg.merged(array_backend="gpu")

@@ -4,8 +4,9 @@ Pins ``vectorize="auto"`` to the per-sample oracle (``vectorize="off"``)
 across estimators, strategies, compile settings and executor backends: the
 job grid and per-task seed derivation are shared, so exact sweeps agree to
 1e-10 and stochastic sweeps are seed-for-seed identical.  Also covers the
-graceful fallback on backends without batched execution, the cost-model
-wiring and the pipeline/session surfaces.
+batched stacked-superoperator path on noisy/mitigated backends, the graceful
+fallback on backends without batched execution, the cost-model wiring and
+the pipeline/session surfaces.
 """
 
 from __future__ import annotations
@@ -28,8 +29,14 @@ from repro.core.strategies import (
 )
 from repro.data.encoding import encoding_template
 from repro.hpc.executor import ParallelExecutor
-from repro.quantum.backends import DensityMatrixBackend, MitigatedBackend
+from repro.quantum.backends import (
+    DensityMatrixBackend,
+    DistributedStatevectorBackend,
+    MitigatedBackend,
+    StatevectorBackend,
+)
 from repro.quantum.batched import compile_parametric, extend_template
+from repro.quantum.noise import NoiseModel
 
 STRATEGIES = [
     pytest.param(AnsatzExpansion(circuit=fig8_ansatz(4, 2), order=1), id="expansion"),
@@ -104,14 +111,74 @@ def test_dispatch_policy_independence(angles, policy):
     assert np.array_equal(reference, got)
 
 
-# ------------------------------------------------------------------ fallback
-def test_density_backend_falls_back_to_per_sample():
-    """vectorize="auto" is a no-op on gate-level-noise backends, exactly
-    like compile="auto": same answer as the per-sample path, bit for bit."""
+# -------------------------------------------------- noisy regimes vectorize
+def _noisy_angles(rows: int = 7):
     rng = np.random.default_rng(0)
-    angles = rng.uniform(0, 2 * np.pi, size=(5, 2, 2))
+    return rng.uniform(0, 2 * np.pi, size=(rows, 2, 2))
+
+
+def test_density_backend_vectorizes():
+    """Gate-level-noise backends now run the batched stacked-superoperator
+    path under vectorize="auto" -- same answer as per-sample, to 1e-10."""
+    angles = _noisy_angles()
     strategy = ObservableConstruction(qubits=2, locality=1)
-    backend = DensityMatrixBackend()
+    backend = DensityMatrixBackend(NoiseModel.depolarizing(0.01))
+    assert backend.supports_vectorize
+    off = generate_features(
+        strategy, angles, config=ExecutionConfig(backend=backend, vectorize="off")
+    )
+    auto = generate_features(
+        strategy, angles, config=ExecutionConfig(backend=backend, vectorize="auto")
+    )
+    assert np.abs(auto - off).max() < 1e-10
+
+
+def test_mitigated_sweep_vectorizes_seed_identical():
+    """Regression: mitigated sweeps used to silently fall back to the
+    per-sample path (supports_vectorize was False); the batched folded
+    programs must now produce the same seed-contracted draws bit for bit."""
+    angles = _noisy_angles()
+    strategy = ObservableConstruction(qubits=2, locality=1)
+
+    def cfg(vectorize):
+        backend = MitigatedBackend(DensityMatrixBackend(NoiseModel.depolarizing(0.01)))
+        assert backend.supports_vectorize
+        return ExecutionConfig(
+            backend=backend, vectorize=vectorize, estimator="shots", shots=64, seed=7
+        )
+
+    off = generate_features(strategy, angles, config=cfg("off"))
+    auto = generate_features(strategy, angles, config=cfg("auto"))
+    assert np.array_equal(off, auto)
+
+    exact_off = generate_features(
+        strategy, angles,
+        config=ExecutionConfig(
+            backend=MitigatedBackend(DensityMatrixBackend(NoiseModel.depolarizing(0.01))),
+            vectorize="off",
+        ),
+    )
+    exact_auto = generate_features(
+        strategy, angles,
+        config=ExecutionConfig(
+            backend=MitigatedBackend(DensityMatrixBackend(NoiseModel.depolarizing(0.01))),
+            vectorize="auto",
+        ),
+    )
+    assert np.abs(exact_auto - exact_off).max() < 1e-10
+
+
+def test_backends_without_batched_execution_fall_back():
+    """vectorize="auto" stays a bit-exact no-op where no batched program
+    exists: sharded statevector execution and statevector-wrapped ZNE."""
+    assert not DistributedStatevectorBackend(shards=2).supports_vectorize
+    assert not MitigatedBackend(StatevectorBackend()).supports_vectorize
+    assert MitigatedBackend(DensityMatrixBackend()).supports_vectorize
+
+    rng = np.random.default_rng(1)
+    angles = rng.uniform(0, 2 * np.pi, size=(5, 4, 4))
+    strategy = ObservableConstruction(qubits=4, locality=1)
+    backend = DistributedStatevectorBackend(shards=2)
     off = generate_features(
         strategy, angles, config=ExecutionConfig(backend=backend, vectorize="off")
     )
@@ -119,7 +186,6 @@ def test_density_backend_falls_back_to_per_sample():
         strategy, angles, config=ExecutionConfig(backend=backend, vectorize="auto")
     )
     assert np.array_equal(off, auto)
-    assert not MitigatedBackend(DensityMatrixBackend()).supports_vectorize
 
 
 # ----------------------------------------------------------------- cost model

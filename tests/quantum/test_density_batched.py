@@ -1,0 +1,205 @@
+"""Batched density engine: compilation, stacked evolution, step folding.
+
+Everything pins against the per-sample reference walk
+(:func:`run_circuit_density` over bound circuits), which the rest of the
+suite already validates against analytic channels -- so the batched engine
+inherits the same ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.encoding import encoding_template
+from repro.quantum.batched import extend_template
+from repro.quantum.circuit import Circuit
+from repro.quantum.density import (
+    BatchedDensityProgram,
+    apply_kraus,
+    compile_density_template,
+    concat_density_programs,
+    fold_density_program,
+    pure_density,
+    run_batched_density,
+    run_circuit_density,
+)
+from repro.quantum.mitigation import fold_circuit
+from repro.quantum.noise import NoiseModel
+from repro.quantum.statevector import run_circuit
+
+
+def _template(rows=3, cols=2):
+    return encoding_template(rows, cols)
+
+
+def _ansatz(n=2):
+    c = Circuit(n, name="ansatz")
+    c.append("ry", 0, 0.4).append("cnot", (0, 1)).append("rz", 1, -0.9)
+    c.append("ry", 1, 1.3).append("cnot", (1, 0))
+    return c
+
+
+def _angles(batch, slots, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 2 * np.pi, size=(batch, slots))
+
+
+def _per_sample(template, angles, noise=None, scale=1):
+    out = []
+    for row in angles:
+        bound = template.bind(row)
+        if scale != 1:
+            bound = fold_circuit(bound, scale)
+        out.append(run_circuit_density(bound, noise_model=noise))
+    return np.stack(out)
+
+
+# ---------------------------------------------------------------- compilation
+def test_compile_structure_and_pass_count():
+    noise = NoiseModel.depolarizing(0.01)
+    template = extend_template(_template(), _ansatz())
+    program = compile_density_template(template, noise)
+    assert isinstance(program, BatchedDensityProgram)
+    assert program.num_qubits == 2
+    assert program.num_slots == 6
+    assert program.num_steps == len(template.operations)
+    # One superoperator pass per gate plus one per inserted channel (the
+    # channel's Kraus sum collapses into a single pass at compile time).
+    expected = 0
+    for op in template.operations:
+        expected += 1 + len(list(noise.channels_after(op)))
+    assert program.num_kernel_passes == expected
+    assert program.num_kernel_passes > program.num_steps
+
+
+def test_compile_rejects_parametric_non_rotation():
+    c = Circuit(2)
+    c.append("crz", (0, 1), "theta")
+    with pytest.raises(ValueError, match="parametric"):
+        compile_density_template(c)
+
+
+def test_slot_order_matches_registration():
+    program = compile_density_template(_template())
+    slots = [s.slot for s in program.steps if s.matrix is None]
+    assert slots == list(range(program.num_slots))
+
+
+# ----------------------------------------------------------------- evolution
+@pytest.mark.parametrize("noise", [None, NoiseModel.depolarizing(0.02)],
+                         ids=["ideal", "depolarizing"])
+def test_batched_matches_per_sample_walk(noise):
+    template = extend_template(_template(), _ansatz())
+    program = compile_density_template(template, noise)
+    angles = _angles(5, program.num_slots)
+    batched = run_batched_density(program, angles)
+    oracle = _per_sample(template, angles, noise)
+    assert np.abs(batched - oracle).max() < 1e-10
+
+
+def test_noiseless_density_matches_statevector_projector():
+    """Ideal batched density evolution is the pure projector of the
+    statevector run -- the cross-engine micro-assert."""
+    template = extend_template(_template(), _ansatz())
+    program = compile_density_template(template)
+    angles = _angles(4, program.num_slots, seed=3)
+    batched = run_batched_density(program, angles)
+    for rho, row in zip(batched, angles):
+        psi = run_circuit(template.bind(row))
+        assert np.abs(rho - pure_density(psi)).max() < 1e-10
+
+
+def test_trace_preserved_under_noise():
+    program = compile_density_template(
+        _template(), NoiseModel.depolarizing(0.05, 0.2)
+    )
+    batched = run_batched_density(program, _angles(3, program.num_slots))
+    traces = np.trace(batched, axis1=1, axis2=2)
+    assert np.abs(traces - 1.0).max() < 1e-12
+
+
+def test_angles_shape_validated():
+    program = compile_density_template(_template())
+    with pytest.raises(ValueError, match="angle slots"):
+        run_batched_density(program, np.zeros((4, program.num_slots + 1)))
+
+
+def test_trailing_axes_flattened_c_order():
+    program = compile_density_template(_template(3, 2))
+    flat = _angles(4, 6, seed=9)
+    shaped = flat.reshape(4, 3, 2)
+    assert np.array_equal(
+        run_batched_density(program, flat), run_batched_density(program, shaped)
+    )
+
+
+# ------------------------------------------------------------------- folding
+@pytest.mark.parametrize("scale", [1, 3, 5])
+def test_fold_matches_per_sample_fold_circuit(scale):
+    noise = NoiseModel.depolarizing(0.02)
+    template = extend_template(_template(), _ansatz())
+    program = fold_density_program(compile_density_template(template, noise), scale)
+    angles = _angles(4, program.num_slots, seed=1)
+    batched = run_batched_density(program, angles)
+    oracle = _per_sample(template, angles, noise, scale=scale)
+    assert np.abs(batched - oracle).max() < 1e-10
+
+
+def test_fold_scale_one_is_identity():
+    program = compile_density_template(_template())
+    assert fold_density_program(program, 1) is program
+
+
+@pytest.mark.parametrize("scale", [0, 2, 4, -1])
+def test_fold_scale_must_be_odd_positive(scale):
+    program = compile_density_template(_template())
+    with pytest.raises(ValueError, match="odd"):
+        fold_density_program(program, scale)
+
+
+def test_fold_multiplies_pass_count():
+    noise = NoiseModel.depolarizing(0.01)
+    program = compile_density_template(_template(), noise)
+    folded = fold_density_program(program, 3)
+    assert folded.num_kernel_passes == 3 * program.num_kernel_passes
+
+
+# ------------------------------------------------------------------- concat
+def test_concat_appends_steps():
+    first = compile_density_template(_template())
+    second = compile_density_template(_ansatz())
+    combined = concat_density_programs(first, second)
+    assert combined.num_steps == first.num_steps + second.num_steps
+    assert combined.num_slots == first.num_slots
+
+
+def test_concat_validation():
+    with pytest.raises(ValueError, match="at least one"):
+        concat_density_programs()
+    two_q = compile_density_template(_template(2, 2))
+    three_q = compile_density_template(encoding_template(2, 3))
+    with pytest.raises(ValueError, match="qubit count"):
+        concat_density_programs(two_q, three_q)
+    bound = compile_density_template(_ansatz())
+    with pytest.raises(ValueError, match="angle slots"):
+        concat_density_programs(bound, two_q)
+
+
+# --------------------------------------------------------------- apply_kraus
+def test_apply_kraus_empty_channel_gives_zeros():
+    rho = pure_density(np.array([1.0, 0.0]))
+    out = apply_kraus(rho, [], [0])
+    assert out.shape == rho.shape
+    assert np.all(out == 0)
+
+
+def test_apply_kraus_does_not_mutate_input():
+    rng = np.random.default_rng(2)
+    psi = rng.normal(size=4) + 1j * rng.normal(size=4)
+    psi /= np.linalg.norm(psi)
+    rho = pure_density(psi)
+    before = rho.copy()
+    kraus = NoiseModel.depolarizing(0.3).one_qubit
+    apply_kraus(rho, kraus, [1])
+    assert np.array_equal(rho, before)

@@ -1,0 +1,310 @@
+"""repro.xp shim: knob validation, "auto" resolution, kernel equivalence.
+
+The equivalence suite runs every hot kernel through the generic (device)
+code path and compares against the native NumPy body.  The generic path is
+always exercised via :func:`generic_numpy_namespace` (NumPy-backed,
+``native=False``); torch and CuPy join the parameterization whenever they
+are installed (the CI torch leg) and are *skipped*, never failed, when
+absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.xp as xp_module
+from repro.api import ExecutionConfig
+from repro.core.features import generate_features
+from repro.core.strategies import ObservableConstruction
+from repro.data.encoding import encoding_template
+from repro.quantum.backends import DensityMatrixBackend
+from repro.quantum.batched import compile_parametric
+from repro.quantum.circuit import Circuit
+from repro.quantum.compile import CompileCache, compile_circuit
+from repro.quantum.density import (
+    apply_kraus,
+    compile_density_template,
+    run_batched_density,
+    run_circuit_density,
+)
+from repro.quantum.noise import NoiseModel, depolarizing_channel
+from repro.quantum.statevector import apply_matrix_batch, zero_state
+from repro.xp import (
+    ARRAY_BACKENDS,
+    backend_available,
+    generic_numpy_namespace,
+    get_namespace,
+    resolve_array_backend,
+    validate_array_backend,
+)
+
+
+def _accelerators_absent(monkeypatch):
+    monkeypatch.setattr(
+        xp_module, "backend_available", lambda name: name == "numpy"
+    )
+
+
+# ----------------------------------------------------------------- selection
+def test_auto_resolves_to_numpy_without_accelerators(monkeypatch):
+    _accelerators_absent(monkeypatch)
+    assert resolve_array_backend("auto") == "numpy"
+
+
+def test_auto_prefers_cupy(monkeypatch):
+    monkeypatch.setattr(xp_module, "backend_available", lambda name: True)
+    assert resolve_array_backend("auto") == "cupy"
+
+
+def test_auto_skips_cpu_only_torch(monkeypatch):
+    """A CPU-only torch install is not faster than NumPy; auto only picks
+    torch when it can reach a CUDA device."""
+    monkeypatch.setattr(
+        xp_module, "backend_available", lambda name: name in ("numpy", "torch")
+    )
+    monkeypatch.setattr(xp_module, "_torch_has_cuda", lambda: False)
+    assert resolve_array_backend("auto") == "numpy"
+    monkeypatch.setattr(xp_module, "_torch_has_cuda", lambda: True)
+    assert resolve_array_backend("auto") == "torch"
+
+
+@pytest.mark.parametrize("bad", ["bogus", "NUMPY", "", None, 3, ("numpy",)])
+def test_unknown_names_raise(bad):
+    with pytest.raises(ValueError, match="array_backend"):
+        validate_array_backend(bad)
+
+
+def test_explicit_backend_requires_install(monkeypatch):
+    _accelerators_absent(monkeypatch)
+    for name in ("cupy", "torch"):
+        with pytest.raises(ValueError, match="not installed"):
+            validate_array_backend(name)
+    # "auto" stays symbolic at validation time: it resolves later.
+    assert validate_array_backend("auto") == "auto"
+
+
+def test_config_validates_at_construction(monkeypatch):
+    """Unknown/not-installed backends fail at the ExecutionConfig call
+    site, not deep inside a worker."""
+    with pytest.raises(ValueError, match="array_backend"):
+        ExecutionConfig(array_backend="tensorflow")
+    _accelerators_absent(monkeypatch)
+    with pytest.raises(ValueError, match="not installed"):
+        ExecutionConfig(array_backend="cupy")
+    assert ExecutionConfig(array_backend="auto").resolved_array_backend == "numpy"
+
+
+def test_backend_tuple_spelling():
+    assert ARRAY_BACKENDS == ("auto", "numpy", "cupy", "torch")
+    assert backend_available("numpy")
+    assert not backend_available("definitely_not_a_module_xyz")
+
+
+def test_get_namespace_singletons():
+    a = get_namespace("numpy")
+    assert a is get_namespace("numpy")
+    assert a.native and a.name == "numpy"
+    g = generic_numpy_namespace()
+    assert not g.native and g.name == "numpy"
+    assert g is not generic_numpy_namespace()  # fresh memo per instance
+
+
+# ------------------------------------------------------------- transfer memo
+def test_to_device_cached_memoizes_by_identity():
+    ns = generic_numpy_namespace()
+    a = np.eye(2, dtype=np.complex128)
+    d1 = ns.to_device_cached(a)
+    assert ns.to_device_cached(a) is d1
+
+
+def test_to_device_cached_rejects_stale_id_hits():
+    """A recycled id must never serve another array's device copy."""
+    ns = generic_numpy_namespace()
+    a = np.eye(2, dtype=np.complex128)
+    b = np.zeros((2, 2), dtype=np.complex128)
+    sentinel = object()
+    ns._device_cache[id(b)] = (a, sentinel)  # stale entry keyed at b's id
+    out = ns.to_device_cached(b)
+    assert out is not sentinel
+    assert np.array_equal(np.asarray(out), b)
+
+
+def test_to_device_cached_bounded():
+    ns = generic_numpy_namespace()
+    arrays = [np.full((1,), i, dtype=np.complex128) for i in range(600)]
+    for a in arrays:
+        ns.to_device_cached(a)
+    assert len(ns._device_cache) <= 512
+
+
+# ------------------------------------------------------- kernel equivalence
+def _xp_params():
+    params = [pytest.param("generic", id="generic-numpy")]
+    for name in ("torch", "cupy"):
+        params.append(
+            pytest.param(
+                name,
+                id=name,
+                marks=pytest.mark.skipif(
+                    not backend_available(name), reason=f"{name} not installed"
+                ),
+            )
+        )
+    return params
+
+
+@pytest.fixture(params=_xp_params())
+def xp(request):
+    if request.param == "generic":
+        return generic_numpy_namespace()
+    return get_namespace(request.param)
+
+
+def _bound_circuit(n=3):
+    c = Circuit(n, name="bound")
+    for q in range(n):
+        c.append("h", q)
+        c.append("ry", q, 0.3 + 0.2 * q)
+    c.append("cnot", (0, 1)).append("cnot", (1, 2)).append("rz", 0, 0.7)
+    c.append("cz", (0, 2))
+    return c
+
+
+def test_apply_matrix_batch_matches_native(xp):
+    rng = np.random.default_rng(3)
+    states = rng.normal(size=(6, 8)) + 1j * rng.normal(size=(6, 8))
+    states /= np.linalg.norm(states, axis=1, keepdims=True)
+    q, _ = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))
+    native = apply_matrix_batch(states, q, (0, 2))
+    via_xp = xp.to_numpy(
+        apply_matrix_batch(xp.to_device(states), xp.to_device(q), (0, 2), xp=xp)
+    )
+    assert np.abs(via_xp - native).max() < 1e-12
+
+
+def test_compiled_circuit_apply_matches_native(xp):
+    program = compile_circuit(_bound_circuit(), cache=None)
+    states = zero_state(3, batch=4)
+    native = program.apply(states)
+    via_xp = xp.to_numpy(program.apply(xp.to_device(states), xp=xp))
+    assert np.abs(via_xp - native).max() < 1e-12
+
+
+def test_apply_batch_matches_native(xp):
+    template = encoding_template(3, 3)
+    program = compile_parametric(template, cache=None)
+    rng = np.random.default_rng(5)
+    angles = rng.uniform(0, 2 * np.pi, size=(7, 9))
+    native = program.apply_batch(angles)
+    via_xp = program.apply_batch(angles, xp=xp)
+    assert np.abs(np.asarray(via_xp) - native).max() < 1e-12
+
+
+def test_run_batched_density_matches_native(xp):
+    template = encoding_template(2, 2)
+    noise = NoiseModel.depolarizing(0.02)
+    program = compile_density_template(template, noise)
+    rng = np.random.default_rng(6)
+    angles = rng.uniform(0, 2 * np.pi, size=(5, 4))
+    native = run_batched_density(program, angles)
+    via_xp = run_batched_density(program, angles, xp=xp)
+    assert np.abs(via_xp - native).max() < 1e-12
+
+
+def test_apply_kraus_matches_native(xp):
+    rng = np.random.default_rng(7)
+    psi = rng.normal(size=8) + 1j * rng.normal(size=8)
+    psi /= np.linalg.norm(psi)
+    rho = np.outer(psi, psi.conj())
+    kraus = depolarizing_channel(0.1)
+    native = apply_kraus(rho, kraus, [1])
+    via_xp = xp.to_numpy(apply_kraus(xp.to_device(rho), kraus, [1], xp=xp))
+    assert np.abs(via_xp - native).max() < 1e-12
+
+
+def test_run_circuit_density_matches_native(xp):
+    circuit = _bound_circuit()
+    noise = NoiseModel.depolarizing(0.01)
+    native = run_circuit_density(circuit, noise_model=noise)
+    via_xp = run_circuit_density(circuit, noise_model=noise, xp=xp)
+    assert np.abs(via_xp - native).max() < 1e-12
+
+
+# --------------------------------------------------------- cache partition
+def test_compile_cache_partitions_by_array_backend():
+    """Two devices with different array backends in one process must never
+    share a compiled program entry (device constants are memoized per
+    namespace, and a cached program served across namespaces would leak
+    one device's constants into the other's schedule)."""
+    cache = CompileCache(maxsize=8)
+    circuit = _bound_circuit()
+    a = cache.get(circuit, 4, "numpy")
+    b = cache.get(circuit, 4, "torch")
+    assert a is not b
+    assert cache.get(circuit, 4, "numpy") is a
+    assert cache.get(circuit, 4, "torch") is b
+
+
+def test_parametric_cache_partitions_by_array_backend():
+    cache = CompileCache(maxsize=8)
+    template = encoding_template(2, 2)
+    a = compile_parametric(template, cache=cache, array_backend="numpy")
+    b = compile_parametric(template, cache=cache, array_backend="torch")
+    assert a is not b
+    assert compile_parametric(template, cache=cache, array_backend="numpy") is a
+
+
+def test_density_cache_partitions_by_backend_and_noise():
+    cache = CompileCache(maxsize=8)
+    template = encoding_template(2, 2)
+    noise = NoiseModel.depolarizing(0.01)
+    ideal = compile_density_template(template, None, cache=cache)
+    noisy = compile_density_template(template, noise, cache=cache)
+    other = compile_density_template(template, None, cache=cache, array_backend="torch")
+    assert ideal is not noisy and ideal is not other
+    assert compile_density_template(template, None, cache=cache) is ideal
+
+
+# ------------------------------------------------------------- end to end
+def test_sweep_results_identical_across_spellings():
+    """"numpy" and "auto" (resolving to numpy here) are one device path:
+    two devices in one process produce bit-identical feature matrices."""
+    rng = np.random.default_rng(9)
+    angles = rng.uniform(0, 2 * np.pi, size=(5, 2, 2))
+    strategy = ObservableConstruction(qubits=2, locality=1)
+    explicit = generate_features(
+        strategy, angles,
+        config=ExecutionConfig(vectorize="auto", array_backend="numpy"),
+    )
+    auto = generate_features(
+        strategy, angles,
+        config=ExecutionConfig(vectorize="auto", array_backend="auto"),
+    )
+    assert np.array_equal(explicit, auto)
+
+
+@pytest.mark.skipif(not backend_available("torch"), reason="torch not installed")
+@pytest.mark.parametrize("backend", ["statevector", "density"])
+def test_torch_sweep_matches_numpy(backend):
+    rng = np.random.default_rng(10)
+    angles = rng.uniform(0, 2 * np.pi, size=(6, 2, 2))
+    strategy = ObservableConstruction(qubits=2, locality=1)
+    exec_backend = (
+        DensityMatrixBackend(NoiseModel.depolarizing(0.01))
+        if backend == "density"
+        else None
+    )
+    reference = generate_features(
+        strategy, angles,
+        config=ExecutionConfig(
+            backend=exec_backend, vectorize="auto", array_backend="numpy"
+        ),
+    )
+    via_torch = generate_features(
+        strategy, angles,
+        config=ExecutionConfig(
+            backend=exec_backend, vectorize="auto", array_backend="torch"
+        ),
+    )
+    assert np.abs(via_torch - reference).max() < 1e-10
