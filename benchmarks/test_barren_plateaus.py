@@ -62,7 +62,7 @@ def test_barren_plateaus(benchmark):
 
     print("\n=== E14: gradient variance vs qubits (3 layers, random init) ===")
     print(f"{'n':>3} {'Var global cost':>16} {'Var local cost':>15}")
-    for n, g, loc in zip(qubit_counts, global_cost, local_cost):
+    for n, g, loc in zip(qubit_counts, global_cost, local_cost, strict=True):
         print(f"{n:>3} {g.variance:>16.2e} {loc.variance:>15.2e}")
     print(
         f"identity-init gradient (Fig. 8, local cost, encoded-data input): "
@@ -78,7 +78,7 @@ def test_barren_plateaus(benchmark):
     # Global-cost variance decays steeply with n.
     g = [r.variance for r in global_cost]
     assert g[0] > 10 * g[-1]
-    assert all(b <= a * 1.5 for a, b in zip(g, g[1:]))  # near-monotone decay
+    assert all(b <= a * 1.5 for a, b in zip(g, g[1:], strict=False))  # near-monotone decay
     # Local cost retains a larger fraction of its small-n gradient variance
     # (polynomial vs exponential concentration, visible even at n <= 6).
     v_local = [r.variance for r in local_cost]

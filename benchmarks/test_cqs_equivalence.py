@@ -59,7 +59,7 @@ def test_cqs_equivalence(benchmark):
     for rec in records:
         # Residual decreases along the tree and reaches ~0 at full span.
         residuals = [r for _, r, _ in rec["series"]]
-        assert all(b <= a + 1e-9 for a, b in zip(residuals, residuals[1:]))
+        assert all(b <= a + 1e-9 for a, b in zip(residuals, residuals[1:], strict=False))
         assert residuals[-1] < 1e-6
         # Eqs. 10-13.
         assert abs(rec["l_ham"] - rec["combo"]) < 1e-9

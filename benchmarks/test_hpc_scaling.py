@@ -79,7 +79,7 @@ def test_hpc_scaling(benchmark, small_split):
     assert by_nodes[8].efficiency > 0.85
     # Speedup is monotone in node count.
     speedups = [p.speedup for p in strong]
-    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:], strict=False))
     # But efficiency decays once nodes outnumber work granularity.
     assert by_nodes[64].efficiency <= by_nodes[2].efficiency + 1e-9
 

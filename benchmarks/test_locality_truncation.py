@@ -57,8 +57,8 @@ def test_locality_truncation(benchmark, small_split):
         kept = [rec["errors"][loc][1] for loc in (1, 2, 3, 4)]
         # Full locality is exact; error shrinks, weight grows with L.
         assert errors[-1] < 1e-10
-        assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:]))
-        assert all(b >= a - 1e-12 for a, b in zip(kept, kept[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:], strict=False))
+        assert all(b >= a - 1e-12 for a, b in zip(kept, kept[1:], strict=False))
         assert kept[-1] > 0.999
     # Small-angle regime: the observable stays essentially 2-local
     # (the derivative circuits' "limited extension" beyond L, Sec. IV.C).

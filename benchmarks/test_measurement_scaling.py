@@ -60,7 +60,7 @@ def test_measurement_scaling(benchmark, small_split):
     )
 
     print("\n=== Proposition 1: direct-measurement error vs shots ===")
-    for shots, err in zip(shot_grid, direct_errors):
+    for shots, err in zip(shot_grid, direct_errors, strict=True):
         print(f"shots={shots:>6}  max|Qhat - Q| = {err:.4f}  (1/sqrt = {1/np.sqrt(shots):.4f})")
     print("=== Proposition 2: shadow error vs observable locality (6000 snapshots) ===")
     for loc, err in shadow_errors.items():

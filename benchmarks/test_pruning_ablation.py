@@ -84,6 +84,6 @@ def test_pruning_ablation(benchmark, small_split):
     # Train accuracy is monotone non-increasing with pruning (more features
     # can only help a convex head in-sample), up to solver tolerance.
     train = [r["train_acc"] for r in rows]
-    assert all(b <= a + 0.01 for a, b in zip(train, train[1:]))
+    assert all(b <= a + 0.01 for a, b in zip(train, train[1:], strict=False))
     # The Eq. 23-25 ordering holds on the realised scores.
     assert np.all(fid.scores >= grad.scores - 1e-9)

@@ -83,7 +83,7 @@ def run_benchmark():
 
     max_err = max(
         float(np.abs(a - b).max())
-        for a, b in zip(per_call_results, persistent_results)
+        for a, b in zip(per_call_results, persistent_results, strict=True)
     )
     return {
         "benchmark": "runtime_persistence",

@@ -36,7 +36,7 @@ def main() -> None:
     alphas, observables = decompose_hamiltonian_loss(a, b, result)
     rho_b = np.outer(b, b.conj())
     combo = float(
-        sum(al * np.trace(o @ rho_b).real for al, o in zip(alphas, observables))
+        sum(al * np.trace(o @ rho_b).real for al, o in zip(alphas, observables, strict=True))
     )
     print("\nSec. III.E identity (post-variational view of CQS):")
     print(f"  L_Ham                    = {result.hamiltonian_loss:.6e}")

@@ -48,7 +48,7 @@ def main() -> None:
     cm = confusion_matrix(split.y_test, model.predict(split.x_test), 10)
     short = [name[:6] for name in CLASS_NAMES]
     print(" " * 8 + " ".join(f"{s:>6}" for s in short))
-    for name, row in zip(short, cm):
+    for name, row in zip(short, cm, strict=True):
         print(f"{name:>8} " + " ".join(f"{v:>6}" for v in row))
 
 

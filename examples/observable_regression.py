@@ -43,7 +43,7 @@ def main() -> None:
 
     # The fitted alpha IS the Pauli decomposition of the hidden observable.
     recovered = dict(
-        zip((o.string for o in strategy.observables()), model.model_.coef_)
+        zip((o.string for o in strategy.observables()), model.model_.coef_, strict=True)
     )
     print("recovered coefficients vs truth (nonzero terms):")
     for coeff, pauli in hidden.items():

@@ -39,7 +39,7 @@ def main() -> None:
 
     print(f"one encoded image, {len(paulis)} one-local Paulis, budget {budget} shots")
     print(f"{'Pauli':>6} {'exact':>8} {'shadows':>8} {'direct':>8}   (direct gets {per_obs}/obs)")
-    for p, est in zip(paulis, estimates):
+    for p, est in zip(paulis, estimates, strict=True):
         exact = expectation(psi, p)
         direct = measure_pauli(psi, p, per_obs, seed=1)
         print(f"{p.string:>6} {exact:>8.3f} {est:>8.3f} {direct:>8.3f}")

@@ -1,0 +1,54 @@
+"""Static diagnostics engine: program, config/plan, and codebase lint.
+
+Three layers behind one stable-code surface (``RPAxxx``,
+:data:`~repro.analysis.diagnostics.DIAGNOSTIC_CODES`):
+
+* :func:`lint_circuit` -- circuit/template IR analysis, no execution;
+* :func:`lint_config`  -- cross-field ``ExecutionConfig`` plan checks;
+* :mod:`repro.analysis.astlint` -- repo-invariant AST lint
+  (``python -m repro.analysis.astlint src/``).
+
+Entry points: the ``repro lint`` CLI subcommand,
+``QuantumDevice.check(program)``, ``ExecutionConfig.diagnose()``, and the
+opt-in ``ExecutionConfig(preflight=...)`` knob that runs
+:func:`run_preflight` at job-build time.
+"""
+
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    CodeSpec,
+    Diagnostic,
+    DiagnosticReport,
+)
+from repro.analysis.plan import lint_config
+from repro.analysis.preflight import (
+    PREFLIGHT_MODES,
+    PreflightError,
+    PreflightWarning,
+    resolve_preflight,
+    run_preflight,
+)
+from repro.analysis.program import lint_circuit, lint_noise_model
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "CodeSpec",
+    "Diagnostic",
+    "DiagnosticReport",
+    "PREFLIGHT_MODES",
+    "PreflightError",
+    "PreflightWarning",
+    "lint_circuit",
+    "lint_config",
+    "lint_noise_model",
+    "resolve_preflight",
+    "run_preflight",
+]

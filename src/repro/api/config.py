@@ -31,7 +31,8 @@ import dataclasses
 import json
 import warnings
 from dataclasses import dataclass
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 
@@ -75,9 +76,9 @@ EXPENSIVE_CHUNK_SIZE = 8
 class _Unset:
     """Sentinel distinguishing 'kwarg not passed' from any real value."""
 
-    _instance: "_Unset | None" = None
+    _instance: _Unset | None = None
 
-    def __new__(cls) -> "_Unset":
+    def __new__(cls) -> _Unset:
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
@@ -153,7 +154,14 @@ class ExecutionConfig:
       (:mod:`repro.xp`): ``"numpy"`` (default, bit-identical to the
       historical path), ``"cupy"`` / ``"torch"`` (must be installed), or
       ``"auto"`` (best available accelerator, resolved once per sweep via
-      :attr:`resolved_array_backend`).
+      :attr:`resolved_array_backend`);
+    * ``preflight``       -- static analysis at job-build time
+      (:mod:`repro.analysis`): ``"off"`` (default) skips it, ``"warn"``
+      surfaces every finding as a
+      :class:`~repro.analysis.preflight.PreflightWarning`, ``"error"``
+      rejects jobs with error-severity findings
+      (:class:`~repro.analysis.preflight.PreflightError`) before any
+      dispatch.
 
     Validation is centralized in ``__post_init__``; instances are picklable
     and round-trip through :meth:`to_dict` / :meth:`from_dict` / JSON.
@@ -170,6 +178,7 @@ class ExecutionConfig:
     vectorize: str | None = "off"
     shards: int = 1
     array_backend: str = "numpy"
+    preflight: str | None = "off"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backend", resolve_backend(self.backend))
@@ -230,7 +239,18 @@ class ExecutionConfig:
             object.__setattr__(self, "compile", "off")
         # Validates the knob (raises on typos) without storing the width:
         # the compile field keeps its user-facing spelling for round-trips.
-        resolve_fusion_width(self.compile)
+        try:
+            resolve_fusion_width(self.compile)
+        except ValueError as exc:
+            # The width-range error speaks of "fusion width"; re-raise
+            # naming the config field, like every other knob's error.
+            if "compile" in str(exc):
+                raise
+            raise ValueError(f"compile: {exc}") from None
+        # Lazy import: repro.analysis type-checks against this module.
+        from repro.analysis.preflight import resolve_preflight
+
+        object.__setattr__(self, "preflight", resolve_preflight(self.preflight))
         # Same canonicalization as compile: None is the legacy "off".
         object.__setattr__(self, "vectorize", resolve_vectorize(self.vectorize))
         # Fails here -- at construction -- on typos and on explicitly
@@ -242,6 +262,19 @@ class ExecutionConfig:
                 f"unknown dispatch_policy {self.dispatch_policy!r}; "
                 f"choose from {SCHEDULING_POLICIES}"
             )
+
+    # -------------------------------------------------------------- analysis
+    def diagnose(self, *, num_qubits: int | None = None) -> Any:
+        """Cross-field plan lint of this config: a
+        :class:`~repro.analysis.diagnostics.DiagnosticReport`.
+
+        Pure inspection regardless of the ``preflight`` knob (that knob
+        only decides what happens at job-build time).  ``num_qubits``
+        enables the register-width checks (shards vs ``2^n``).
+        """
+        from repro.analysis.plan import lint_config
+
+        return lint_config(self, num_qubits=num_qubits)
 
     # ------------------------------------------------------------- derived
     @property
@@ -258,7 +291,7 @@ class ExecutionConfig:
         return resolve_array_backend(self.array_backend)
 
     # ---------------------------------------------------------- combinators
-    def merged(self, **overrides: Any) -> "ExecutionConfig":
+    def merged(self, **overrides: Any) -> ExecutionConfig:
         """A new config with ``overrides`` applied (and re-validated).
 
         Unknown keys raise ``TypeError``; ``UNSET`` values are ignored, so
@@ -289,10 +322,11 @@ class ExecutionConfig:
             "vectorize": self.vectorize,
             "shards": self.shards,
             "array_backend": self.array_backend,
+            "preflight": self.preflight,
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionConfig":
+    def from_dict(cls, data: Mapping[str, Any]) -> ExecutionConfig:
         """Build (and validate) a config from :meth:`to_dict` output."""
         data = dict(data)
         backend = data.pop("backend", None)
@@ -308,7 +342,7 @@ class ExecutionConfig:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
-    def from_json(cls, text: str) -> "ExecutionConfig":
+    def from_json(cls, text: str) -> ExecutionConfig:
         return cls.from_dict(json.loads(text))
 
 

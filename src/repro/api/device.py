@@ -21,13 +21,17 @@ models::
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.api.config import ExecutionConfig
 from repro.hpc.executor import ParallelExecutor
 from repro.hpc.runtime import DispatchReport, ExecutionRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diagnostics import DiagnosticReport
 
 __all__ = ["QuantumDevice"]
 
@@ -51,7 +55,7 @@ class QuantumDevice:
         max_workers: int | str | None = None,
         start_method: str | None = None,
         runtime: ExecutionRuntime | ParallelExecutor | None = None,
-    ):
+    ) -> None:
         if config is None:
             config = ExecutionConfig()
         if not isinstance(config, ExecutionConfig):
@@ -92,7 +96,7 @@ class QuantumDevice:
         return self._closed or self._runtime.closed
 
     # ------------------------------------------------------------- lifecycle
-    def warm(self) -> "QuantumDevice":
+    def warm(self) -> QuantumDevice:
         """Spawn the worker pool now instead of on the first sweep."""
         self._check_open()
         self._runtime.warm()
@@ -104,7 +108,7 @@ class QuantumDevice:
         if self._owns_runtime:
             self._runtime.shutdown()
 
-    def __enter__(self) -> "QuantumDevice":
+    def __enter__(self) -> QuantumDevice:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -115,7 +119,7 @@ class QuantumDevice:
             raise RuntimeError("device session is closed; create a new QuantumDevice")
 
     # ----------------------------------------------------------- combinators
-    def reconfigured(self, **overrides) -> "QuantumDevice":
+    def reconfigured(self, **overrides: Any) -> QuantumDevice:
         """A device with ``config.merged(**overrides)`` sharing this runtime.
 
         The new device does not own the pool, so closing it never tears the
@@ -123,6 +127,35 @@ class QuantumDevice:
         """
         self._check_open()
         return QuantumDevice(self.config.merged(**overrides), runtime=self._runtime)
+
+    # -------------------------------------------------------------- analysis
+    def check(
+        self, program: Any = None, *, num_qubits: int | None = None
+    ) -> DiagnosticReport:
+        """Static pre-flight report for this session (no execution).
+
+        Lints the bound config (:func:`~repro.analysis.plan.lint_config`)
+        and, when ``program`` is given, the circuit under this config's
+        plan -- sharding table, batched-template admissibility, the
+        backend's noise channels
+        (:func:`~repro.analysis.program.lint_circuit`).  Always returns
+        the report regardless of the config's ``preflight`` knob; raising
+        is the knob's job at job-build time, not this inspector's.
+        """
+        from repro.analysis.plan import lint_config
+        from repro.analysis.preflight import _backend_noise_model
+        from repro.analysis.program import lint_circuit
+
+        if program is not None and num_qubits is None:
+            num_qubits = program.num_qubits
+        report = lint_config(self.config, num_qubits=num_qubits)
+        if program is not None:
+            report = report + lint_circuit(
+                program,
+                shards=self.config.shards,
+                noise_model=_backend_noise_model(self.config),
+            )
+        return report
 
     # ------------------------------------------------------------- execution
     def prepare(self, angles: np.ndarray) -> np.ndarray:
@@ -143,7 +176,7 @@ class QuantumDevice:
 
     def run(
         self,
-        strategy,
+        strategy: Any,
         angles: np.ndarray,
         *,
         out: np.ndarray | None = None,
@@ -167,7 +200,7 @@ class QuantumDevice:
 
     def evaluate(
         self,
-        strategy,
+        strategy: Any,
         states: np.ndarray,
         *,
         out: np.ndarray | None = None,
@@ -186,7 +219,7 @@ class QuantumDevice:
             config=self.config,
         )
 
-    def stream(self, strategy, states: np.ndarray) -> Iterator[tuple]:
+    def stream(self, strategy: Any, states: np.ndarray) -> Iterator[tuple]:
         """Q-blocks as ``(FeatureJob, block)`` pairs in completion order."""
         from repro.core.features import iter_feature_blocks
 

@@ -45,7 +45,7 @@ class QuantumFeatureMap:
         *,
         config: ExecutionConfig | None = None,
         device: QuantumDevice | None = None,
-    ):
+    ) -> None:
         if strategy is None:
             raise ValueError("strategy is required")
         if config is not None and device is not None:
@@ -62,7 +62,7 @@ class QuantumFeatureMap:
     def get_params(self, deep: bool = True) -> dict:
         return {"strategy": self.strategy, "config": self.config, "device": self.device}
 
-    def set_params(self, **params: Any) -> "QuantumFeatureMap":
+    def set_params(self, **params: Any) -> QuantumFeatureMap:
         unknown = [k for k in params if k not in ("strategy", "config", "device")]
         if unknown:
             raise ValueError(
@@ -119,7 +119,7 @@ class QuantumFeatureMap:
             self._owned_device.close()
             self._owned_device = None
 
-    def __enter__(self) -> "QuantumFeatureMap":
+    def __enter__(self) -> QuantumFeatureMap:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -146,7 +146,7 @@ class QuantumFeatureMap:
         raise ValueError(f"X must be 2-D or 3-D, got shape {X.shape}")
 
     # ------------------------------------------------------------ fit/transform
-    def fit(self, X: np.ndarray, y: Any = None) -> "QuantumFeatureMap":
+    def fit(self, X: np.ndarray, y: Any = None) -> QuantumFeatureMap:
         """Validate ``X`` and freeze the input width (the ensemble is fixed,
         so fitting performs no quantum work)."""
         angles = self._as_angles(X)

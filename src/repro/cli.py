@@ -8,6 +8,8 @@ Usage::
     python -m repro budgets  [--epsilon E] [--delta D]
     python -m repro counts
     python -m repro config   [execution flags]
+    python -m repro lint     [paths ...] [--num-qubits N] [--json]
+                             [--strict] [execution flags]
 
 Execution flags (``--estimator``, ``--shots``, ``--snapshots``,
 ``--chunk-size``, ``--policy``, ``--compile``, ``--seed``, ``--backend
@@ -24,6 +26,7 @@ benchmark (see benchmarks/ for the full definitions and assertions).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
@@ -42,14 +45,13 @@ def _compile_knob(text: str) -> str | int:
 
     knob: str | int = text
     if text not in ("auto", "off"):
-        try:
+        # Non-int text falls through for resolve_fusion_width's canonical error.
+        with contextlib.suppress(ValueError):
             knob = int(text)
-        except ValueError:
-            pass  # let resolve_fusion_width produce the canonical message
     try:
         resolve_fusion_width(knob)
     except ValueError as exc:
-        raise argparse.ArgumentTypeError(str(exc))
+        raise argparse.ArgumentTypeError(str(exc)) from None
     return knob
 
 
@@ -60,7 +62,9 @@ def _int_at_least(minimum: int):
         try:
             value = int(text)
         except ValueError:
-            raise argparse.ArgumentTypeError(f"must be an int >= {minimum}, got {text!r}")
+            raise argparse.ArgumentTypeError(
+                f"must be an int >= {minimum}, got {text!r}"
+            ) from None
         if value < minimum:
             raise argparse.ArgumentTypeError(f"must be >= {minimum}, got {value}")
         return value
@@ -157,12 +161,35 @@ def _config_from_args(args: argparse.Namespace):
         )
     except ValueError as exc:
         print(f"repro: invalid execution flags: {exc}", file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from None
 
 
 def _cmd_config(args: argparse.Namespace) -> int:
     print(_config_from_args(args).to_json(indent=2))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis: config/plan lint + repo-invariant AST lint.
+
+    With source paths, runs :mod:`repro.analysis.astlint` over them; the
+    execution flags are always linted as a plan
+    (:func:`repro.analysis.plan.lint_config`), so ``repro lint`` with no
+    paths is a pure pre-flight check of a prospective run.  Exit status: 0
+    clean, 1 findings at error severity (or any finding under
+    ``--strict``), 2 invalid flags.
+    """
+    from repro.analysis.astlint import lint_paths
+    from repro.analysis.plan import lint_config
+
+    config = _config_from_args(args)
+    report = lint_config(config, num_qubits=args.num_qubits)
+    if args.paths:
+        report = report + lint_paths(args.paths)
+    print(report.to_json(indent=2) if args.json else report.render())
+    if args.strict:
+        return 0 if report.clean else 1
+    return 0 if report.ok else 1
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
@@ -291,6 +318,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_execution_flags(cf)
     cf.set_defaults(fn=_cmd_config)
+
+    li = sub.add_parser(
+        "lint",
+        help="static analysis: plan lint of the execution flags + "
+        "repo-invariant AST lint of any given source paths",
+    )
+    li.add_argument(
+        "paths", nargs="*",
+        help="files/directories for the AST lint (codes RPA3xx); "
+        "omit to lint only the execution flags",
+    )
+    li.add_argument(
+        "--num-qubits", type=_int_at_least(1), default=None,
+        help="register width of the intended workload (enables the "
+        "shards-vs-2^n check)",
+    )
+    li.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    li.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on any finding, not just errors",
+    )
+    _add_execution_flags(li)
+    li.set_defaults(fn=_cmd_lint)
 
     sc = sub.add_parser("scaling", help="simulated-cluster strong scaling")
     sc.add_argument("--tasks", type=int, default=128)

@@ -90,15 +90,16 @@ def generate_features_spmd(
         )
     angles = np.asarray(angles, dtype=float)
     rows = block_partition(angles.shape[0], comm.size)[comm.rank]
-    if rows.size:
-        block = generate_features(
+    block = (
+        generate_features(
             strategy,
             angles[rows],
             executor=executor,
             config=cfg.merged(seed=int(cfg.seed) + int(rows[0])),
         )
-    else:
-        block = np.empty((0, strategy.num_features))
+        if rows.size
+        else np.empty((0, strategy.num_features))
+    )
     if not allgather:
         return rows, block
     gathered = comm.allgather((rows, block))
@@ -152,7 +153,7 @@ def fit_logistic_spmd(
     w = np.zeros(m)
     b = 0.0
     loss = np.inf
-    for it in range(iterations):
+    for _it in range(iterations):
         z = q_local @ w + b
         p = sigmoid(z)
         local_grad_w = q_local.T @ (p - y_local)
@@ -170,4 +171,4 @@ def fit_logistic_spmd(
             loss = new_loss
             break
         loss = new_loss
-    return SpmdFitResult(coef=w, intercept=b, iterations=it + 1, final_loss=float(loss))
+    return SpmdFitResult(coef=w, intercept=b, iterations=_it + 1, final_loss=float(loss))

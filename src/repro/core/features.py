@@ -54,7 +54,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -166,6 +166,38 @@ def _use_vectorized(cfg: ExecutionConfig) -> bool:
     return cfg.vectorize == "auto" and cfg.backend.supports_vectorize
 
 
+def _run_preflight(
+    strategy: Strategy,
+    angles: np.ndarray | None,
+    cfg: ExecutionConfig,
+    owner: str,
+) -> None:
+    """Static analysis at job-build time, per ``cfg.preflight``.
+
+    Lints what the sweep will actually run: the *unbound* encoder template
+    (its rotation slots are exactly what the batched engine must chain) and
+    the first bound Ansatz instance -- Ansatz gates are bound before
+    execution, so linting them unbound would spuriously flag RPA003.  In
+    mode ``"error"`` this raises before any state is prepared or any job
+    is submitted.
+    """
+    from repro.analysis.preflight import run_preflight
+
+    circuits = []
+    if angles is not None:
+        from repro.data.encoding import encoding_template
+
+        circuits.append(encoding_template(angles.shape[1], angles.shape[2]))
+    for params in strategy.parameter_sets():
+        bound = _bound_ansatz(strategy, params)
+        if bound is not None:
+            circuits.append(bound)
+        break
+    run_preflight(
+        cfg, num_qubits=strategy.num_qubits, circuits=circuits, owner=owner
+    )
+
+
 def _ansatz_programs(
     strategy: Strategy, compile: str | int, backend: QuantumBackend
 ) -> list[Circuit | CompiledCircuit | None]:
@@ -228,20 +260,16 @@ def _evaluate_block(
     never reaches backend signatures, so third-party backends without the
     keyword keep working.
     """
-    if getattr(program, "consumes_angles", False):
-        # vectorize="auto": the chunk is raw (chunk, rows, cols) angles and
-        # encoding + Ansatz evolution happen in one stacked pass.
-        evolved = (
-            backend.evolve_batch(states, program)
-            if xp is None
-            else backend.evolve_batch(states, program, xp=xp)
-        )
-    else:
-        evolved = (
-            backend.evolve(states, program)
-            if xp is None
-            else backend.evolve(states, program, xp=xp)
-        )
+    # vectorize="auto" templates consume raw (chunk, rows, cols) angles and
+    # run encoding + Ansatz evolution in one stacked pass (evolve_batch).
+    evolve = (
+        backend.evolve_batch
+        if getattr(program, "consumes_angles", False)
+        else backend.evolve
+    )
+    evolved = (
+        evolve(states, program) if xp is None else evolve(states, program, xp=xp)
+    )
     q = len(observables)
     if estimator == "exact":
         block = np.empty((states.shape[0], q))
@@ -357,14 +385,15 @@ def feature_circuit_tasks(
         chunk = job.hi - job.lo
         program = programs[job.ansatz_index]
         ops = _program_ops(program)
-        if getattr(program, "num_kernel_passes", None) is not None:
-            # Vectorized density programs count every stacked pass directly
-            # (Kraus operators and folded ZNE copies included), so they are
-            # priced at the raw density state size -- multiplying by the
-            # mitigated backend's fold weight too would double-count.
-            flops = stacked_pass_flops(chunk, num_qubits, ops, q)
-        else:
-            flops = float(chunk * dim * (4 * ops + q))
+        # Vectorized density programs count every stacked pass directly
+        # (Kraus operators and folded ZNE copies included), so they are
+        # priced at the raw density state size -- multiplying by the
+        # mitigated backend's fold weight too would double-count.
+        flops = (
+            stacked_pass_flops(chunk, num_qubits, ops, q)
+            if getattr(program, "num_kernel_passes", None) is not None
+            else float(chunk * dim * (4 * ops + q))
+        )
         tasks.append(
             CircuitTask(
                 num_circuits=chunk,
@@ -556,6 +585,8 @@ def generate_features(
         raise ValueError(
             f"angles encode {angles.shape[2]} qubits, strategy expects {strategy.num_qubits}"
         )
+    if cfg.preflight != "off":
+        _run_preflight(strategy, angles, cfg, owner="generate_features")
     if _use_vectorized(cfg):
         from repro.data.encoding import encoding_template
 
@@ -594,7 +625,8 @@ def generate_features(
         executor=executor,
         out=out,
         return_report=return_report,
-        config=cfg,
+        # Preflight already ran above; don't lint (and warn) twice.
+        config=cfg.merged(preflight="off"),
     )
 
 
@@ -651,6 +683,10 @@ def evaluate_features(
         ),
         owner="evaluate_features",
     )
+    if cfg.preflight != "off":
+        # Prepared states have already lost their encoding template, so
+        # only the config/plan layer (+ the bound Ansatz) can be linted.
+        _run_preflight(strategy, None, cfg, owner="evaluate_features")
     states = cfg.backend.coerce_states(np.asarray(states))
     return _assemble_features(strategy, states, cfg, executor, out, return_report)
 

@@ -47,7 +47,7 @@ class QuantumKernelClassifier:
     alpha_: np.ndarray | None = field(default=None, repr=False)
     train_states_: np.ndarray | None = field(default=None, repr=False)
 
-    def fit(self, angles: np.ndarray, y: np.ndarray) -> "QuantumKernelClassifier":
+    def fit(self, angles: np.ndarray, y: np.ndarray) -> QuantumKernelClassifier:
         y = np.asarray(y).ravel().astype(int)
         if set(np.unique(y)) - {0, 1}:
             raise ValueError("binary labels must be 0/1")

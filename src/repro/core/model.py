@@ -134,7 +134,7 @@ class PostVariationalRegressor(_ConfiguredModelMixin):
             return ConstrainedLeastSquares()
         raise ValueError(f"unknown head {self.head!r}")
 
-    def fit(self, angles: np.ndarray, y: np.ndarray) -> "PostVariationalRegressor":
+    def fit(self, angles: np.ndarray, y: np.ndarray) -> PostVariationalRegressor:
         self.q_train_ = self._features(angles)
         self.model_ = self._make_head().fit(self.q_train_, np.asarray(y, dtype=float))
         return self
@@ -198,7 +198,7 @@ class PostVariationalClassifier(_ConfiguredModelMixin):
             return LogisticRegression(l2=self.l2)
         return SoftmaxRegression(num_classes=self.num_classes, l2=self.l2)
 
-    def fit(self, angles: np.ndarray, y: np.ndarray) -> "PostVariationalClassifier":
+    def fit(self, angles: np.ndarray, y: np.ndarray) -> PostVariationalClassifier:
         self.q_train_ = self._features(angles)
         self.model_ = self._make_head().fit(self.q_train_, np.asarray(y))
         return self

@@ -191,7 +191,7 @@ class HybridPipeline(ConfigMirrorMixin):
         )
 
     # ----------------------------------------------------------------- fit
-    def fit(self, angles: np.ndarray, y: np.ndarray) -> "HybridPipeline":
+    def fit(self, angles: np.ndarray, y: np.ndarray) -> HybridPipeline:
         timer = StageTimer()
         counter = Counter()
         angles = np.asarray(angles, dtype=float)

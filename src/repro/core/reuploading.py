@@ -84,7 +84,7 @@ class ReuploadingClassifier:
         return np.asarray(expectation(states, self._observable))
 
     # ------------------------------------------------------------- train
-    def fit(self, angles: np.ndarray, y: np.ndarray) -> "ReuploadingClassifier":
+    def fit(self, angles: np.ndarray, y: np.ndarray) -> ReuploadingClassifier:
         angles = np.asarray(angles, dtype=float)
         y = np.asarray(y).ravel().astype(int)
         targets = 2.0 * y - 1.0

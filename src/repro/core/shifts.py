@@ -49,7 +49,7 @@ class ShiftConfiguration:
         )
         if theta.shape != (self.num_parameters,):
             raise ValueError("base vector length mismatch")
-        for index, sign in zip(self.subset, self.signs):
+        for index, sign in zip(self.subset, self.signs, strict=True):
             theta[index] += sign * _SHIFT
         return theta
 
@@ -59,7 +59,7 @@ class ShiftConfiguration:
         if not self.subset:
             return "d0[]"
         inner = ",".join(
-            f"{'+' if s > 0 else '-'}{i}" for i, s in zip(self.subset, self.signs)
+            f"{'+' if s > 0 else '-'}{i}" for i, s in zip(self.subset, self.signs, strict=True)
         )
         return f"d{self.order}[{inner}]"
 

@@ -70,7 +70,7 @@ class VariationalClassifier:
         return grouped
 
     # ---------------------------------------------------------------- train
-    def fit(self, angles: np.ndarray, y: np.ndarray) -> "VariationalClassifier":
+    def fit(self, angles: np.ndarray, y: np.ndarray) -> VariationalClassifier:
         states = encode_batch(np.asarray(angles, dtype=float))
         y = np.asarray(y).ravel().astype(int)
         k = self.circuit.num_parameters

@@ -42,7 +42,7 @@ def random_pauli_operator(
     chosen = rng.choice(len(pool), size=num_terms, replace=False)
     coeffs = rng.uniform(-1.0, 1.0, size=num_terms)
     terms: list[tuple[complex, PauliString]] = [
-        (complex(c), pool[i]) for c, i in zip(coeffs, chosen)
+        (complex(c), pool[i]) for c, i in zip(coeffs, chosen, strict=True)
     ]
     if identity_weight:
         terms.append((complex(identity_weight), PauliString("I" * num_qubits)))

@@ -17,7 +17,7 @@ The model captures the three regimes the paper's workflow exposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

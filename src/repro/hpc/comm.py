@@ -22,7 +22,8 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -143,7 +144,7 @@ class Communicator:
                     raise threading.BrokenBarrierError(
                         f"rank {self._rank}: a peer rank failed while this "
                         f"rank was blocked in recv(source={source}, tag={tag})"
-                    )
+                    ) from None
                 continue
             if (source in (ANY_SOURCE, src)) and t == tag:
                 return obj
@@ -215,9 +216,10 @@ class Communicator:
 
     def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
         """Root supplies one item per rank; each rank gets its item."""
-        if self._rank == root:
-            if sendobj is None or len(sendobj) != self._world.size:
-                raise ValueError("scatter requires size items at root")
+        if self._rank == root and (
+            sendobj is None or len(sendobj) != self._world.size
+        ):
+            raise ValueError("scatter requires size items at root")
         items = self.bcast(list(sendobj) if self._rank == root else None, root)
         return items[self._rank]
 

@@ -22,7 +22,8 @@ are bit-for-bit interchangeable -- the property the tests pin down.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.hpc.runtime import ExecutionRuntime, ExecutorConfig
 
@@ -83,7 +84,7 @@ class ParallelExecutor:
         if runtime is not None:
             runtime.shutdown(wait=wait)
 
-    def __enter__(self) -> "ParallelExecutor":
+    def __enter__(self) -> ParallelExecutor:
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -46,7 +46,8 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, NamedTuple, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any, NamedTuple
 
 import numpy as np
 
@@ -197,7 +198,7 @@ class DispatchReport:
         predicted_costs: Sequence[float],
         records: Sequence[TaskCompletion],
         wall_seconds: float,
-    ) -> "DispatchReport":
+    ) -> DispatchReport:
         seconds = np.zeros(len(predicted_costs))
         for rec in records:
             seconds[rec.index] = rec.seconds
@@ -344,7 +345,7 @@ class ExecutionRuntime:
         """Alias for :meth:`shutdown`, matching the executor facade."""
         self.shutdown(wait=wait)
 
-    def __enter__(self) -> "ExecutionRuntime":
+    def __enter__(self) -> ExecutionRuntime:
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -13,7 +13,7 @@ feeds its persistent worker pool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

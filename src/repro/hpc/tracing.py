@@ -8,7 +8,7 @@ which is not available offline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["TraceEvent", "Trace"]
 
@@ -56,7 +56,7 @@ class Trace:
         return busy / (span * num_nodes)
 
     @classmethod
-    def from_assignment(cls, assignment, costs: Sequence[float]) -> "Trace":
+    def from_assignment(cls, assignment, costs: Sequence[float]) -> Trace:
         """Materialise a trace from a scheduler assignment (back-to-back)."""
         trace = cls()
         for node, tasks in enumerate(assignment.tasks_per_node):

@@ -50,7 +50,7 @@ class ConstrainedLeastSquares:
     coef_: np.ndarray | None = field(default=None, repr=False)
     n_iter_: int = 0
 
-    def fit(self, q: np.ndarray, y: np.ndarray) -> "ConstrainedLeastSquares":
+    def fit(self, q: np.ndarray, y: np.ndarray) -> ConstrainedLeastSquares:
         q = np.asarray(q, dtype=float)
         y = np.asarray(y, dtype=float)
         d, m = q.shape
@@ -59,7 +59,7 @@ class ConstrainedLeastSquares:
         alpha = np.zeros(m)
         momentum = alpha.copy()
         t_prev = 1.0
-        for it in range(self.max_iter):
+        for _it in range(self.max_iter):
             grad = (2.0 / d) * (q.T @ (q @ momentum - y))
             new = project_l2_ball(momentum - step * grad, self.radius)
             t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t_prev**2))
@@ -69,7 +69,7 @@ class ConstrainedLeastSquares:
             if shift < self.tol * max(1.0, np.linalg.norm(alpha)):
                 break
         self.coef_ = alpha
-        self.n_iter_ = it + 1
+        self.n_iter_ = _it + 1
         return self
 
     def predict(self, q: np.ndarray) -> np.ndarray:
@@ -97,7 +97,7 @@ class ConstrainedLogistic:
     intercept_: float = 0.0
     n_iter_: int = 0
 
-    def fit(self, q: np.ndarray, y: np.ndarray) -> "ConstrainedLogistic":
+    def fit(self, q: np.ndarray, y: np.ndarray) -> ConstrainedLogistic:
         q = np.asarray(q, dtype=float)
         y = np.asarray(y, dtype=float)
         design = np.hstack([q, np.ones((q.shape[0], 1))]) if self.fit_intercept else q
@@ -108,7 +108,7 @@ class ConstrainedLogistic:
         alpha = np.zeros(m)
         momentum = alpha.copy()
         t_prev = 1.0
-        for it in range(self.max_iter):
+        for _it in range(self.max_iter):
             p = sigmoid(design @ momentum)
             grad = design.T @ (p - y) / d
             new = self._project(momentum - step * grad)
@@ -122,7 +122,7 @@ class ConstrainedLogistic:
             self.coef_, self.intercept_ = alpha[:-1], float(alpha[-1])
         else:
             self.coef_, self.intercept_ = alpha, 0.0
-        self.n_iter_ = it + 1
+        self.n_iter_ = _it + 1
         return self
 
     def _project(self, v: np.ndarray) -> np.ndarray:

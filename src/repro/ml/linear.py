@@ -45,7 +45,7 @@ class LinearRegression:
             return np.hstack([q, np.ones((q.shape[0], 1))])
         return q
 
-    def fit(self, q: np.ndarray, y: np.ndarray) -> "LinearRegression":
+    def fit(self, q: np.ndarray, y: np.ndarray) -> LinearRegression:
         design = self._design(q)
         sol = lstsq_pinv(design, np.asarray(y, dtype=float))
         if self.fit_intercept:
@@ -82,7 +82,7 @@ class RidgeRegression:
         if self.lambda_ < 0:
             raise ValueError("lambda_ must be >= 0")
 
-    def fit(self, q: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+    def fit(self, q: np.ndarray, y: np.ndarray) -> RidgeRegression:
         q = np.asarray(q, dtype=float)
         y = np.asarray(y, dtype=float)
         if self.fit_intercept:

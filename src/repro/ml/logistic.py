@@ -35,7 +35,7 @@ class LogisticRegression:
     coef_: np.ndarray | None = field(default=None, repr=False)
     intercept_: float = 0.0
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+    def fit(self, x: np.ndarray, y: np.ndarray) -> LogisticRegression:
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float).ravel()
         if set(np.unique(y)) - {0.0, 1.0}:
@@ -97,7 +97,7 @@ class SoftmaxRegression:
     coef_: np.ndarray | None = field(default=None, repr=False)  # (m, C)
     intercept_: np.ndarray | None = field(default=None, repr=False)  # (C,)
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "SoftmaxRegression":
+    def fit(self, x: np.ndarray, y: np.ndarray) -> SoftmaxRegression:
         x = np.asarray(x, dtype=float)
         y = np.asarray(y).ravel().astype(int)
         d, m = x.shape

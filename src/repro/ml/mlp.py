@@ -51,7 +51,7 @@ class MLPClassifier:
             raise ValueError("epochs must be >= 1")
 
     # ----------------------------------------------------------------- train
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+    def fit(self, x: np.ndarray, y: np.ndarray) -> MLPClassifier:
         x = np.asarray(x, dtype=float)
         y = np.asarray(y).ravel().astype(int)
         d, m = x.shape

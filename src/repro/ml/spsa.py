@@ -13,7 +13,7 @@ Implements the canonical Spall gain sequences ``a_k = a/(k+1+A)^alpha``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -128,10 +128,11 @@ class AngleChain:
         if xp is None or xp.native:
             out: np.ndarray | None = None
             for kind, payload in self.factors:
-                if kind == _FIXED:
-                    m = payload
-                else:
-                    m = BATCHED_ROTATIONS[kind](angles[:, payload])
+                m = (
+                    payload
+                    if kind == _FIXED
+                    else BATCHED_ROTATIONS[kind](angles[:, payload])
+                )
                 # (2,2) @ (B,2,2) and (B,2,2) @ (B,2,2) both broadcast; factors
                 # apply left-to-right, so later factors multiply from the left.
                 out = m if out is None else np.matmul(m, out)
@@ -140,10 +141,11 @@ class AngleChain:
             return out
         out = None
         for kind, payload in self.factors:
-            if kind == _FIXED:
-                m = xp.to_device_cached(payload)
-            else:
-                m = rotation_batch_xp(kind, angles[:, payload], xp)
+            m = (
+                xp.to_device_cached(payload)
+                if kind == _FIXED
+                else rotation_batch_xp(kind, angles[:, payload], xp)
+            )
             out = m if out is None else xp.matmul(m, out)
         return out
 

@@ -14,7 +14,7 @@ fidelity tests (paper Eq. 25).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class Operation:
         """True when this operation carries no unbound symbol."""
         return not isinstance(self.param, Parameter)
 
-    def bound(self, values: Sequence[float]) -> "Operation":
+    def bound(self, values: Sequence[float]) -> Operation:
         """Return a copy with any symbolic parameter resolved from ``values``."""
         if isinstance(self.param, Parameter):
             return replace(self, param=float(values[self.param.index]))
@@ -98,7 +98,7 @@ class Circuit:
         gate: str,
         qubits: int | Sequence[int],
         param: float | str | Parameter | None = None,
-    ) -> "Circuit":
+    ) -> Circuit:
         """Append a gate; returns ``self`` for chaining.
 
         ``param`` may be a float (bound), a string (auto-registered symbol),
@@ -187,7 +187,7 @@ class Circuit:
         )
 
     # ------------------------------------------------------------- transforms
-    def bind(self, values: Sequence[float]) -> "Circuit":
+    def bind(self, values: Sequence[float]) -> Circuit:
         """Return a concrete copy with parameter ``i`` set to ``values[i]``."""
         values = np.asarray(values, dtype=float)
         if values.shape != (self.num_parameters,):
@@ -198,7 +198,7 @@ class Circuit:
         out.operations = [op.bound(values) for op in self.operations]
         return out
 
-    def compose(self, other: "Circuit") -> "Circuit":
+    def compose(self, other: Circuit) -> Circuit:
         """Return ``self`` followed by ``other`` (both must be bound).
 
         Composition of unbound circuits would require merging parameter
@@ -213,7 +213,7 @@ class Circuit:
         out.operations = list(self.operations) + list(other.operations)
         return out
 
-    def inverse(self) -> "Circuit":
+    def inverse(self) -> Circuit:
         """Return the adjoint circuit (bound circuits only).
 
         Uses gate-level inverses: self-inverse gates stay, rotations negate
@@ -228,7 +228,7 @@ class Circuit:
             out.operations.append(_inverse_op(op))
         return out
 
-    def copy(self) -> "Circuit":
+    def copy(self) -> Circuit:
         out = Circuit(self.num_qubits, name=self.name)
         out.operations = list(self.operations)
         out._parameters = dict(self._parameters)

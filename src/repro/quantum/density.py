@@ -34,7 +34,7 @@ import dataclasses
 import string
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -153,12 +153,11 @@ def run_circuit_density(
 def expectation_density(rho: np.ndarray, observable) -> float:
     """``tr(O rho)`` for PauliString / PauliSum / dense observable."""
     rho = check_square(np.asarray(rho, dtype=np.complex128), "rho")
-    if isinstance(observable, PauliString):
-        matrix = observable.to_matrix()
-    elif isinstance(observable, PauliSum):
-        matrix = observable.to_matrix()
-    else:
-        matrix = np.asarray(observable, dtype=np.complex128)
+    matrix = (
+        observable.to_matrix()
+        if isinstance(observable, (PauliString, PauliSum))
+        else np.asarray(observable, dtype=np.complex128)
+    )
     return float(np.trace(matrix @ rho).real)
 
 
@@ -461,7 +460,7 @@ def _apply_superop(tensor, superop_dev, qubits, xp):
     out_labels = _SUPEROP_AXES[:k]
     gate_sub = out_labels + "".join(sub[a] for a in axes)
     out = list(sub)
-    for label, axis in zip(out_labels, axes):
+    for label, axis in zip(out_labels, axes, strict=True):
         out[axis] = label
     return xp.einsum(f"{gate_sub},{sub}->{''.join(out)}", superop_dev, tensor)
 
@@ -510,10 +509,11 @@ def run_batched_density(
     for step in program.steps:
         if step.matrix is None:
             slot_angles = step.sign * a_dev[:, step.slot]
-            if xp.native:
-                mats = rotations[step.gate](slot_angles)
-            else:
-                mats = rotation_batch_xp(step.gate, slot_angles, xp)
+            mats = (
+                rotations[step.gate](slot_angles)
+                if xp.native
+                else rotation_batch_xp(step.gate, slot_angles, xp)
+            )
             superops = xp.einsum("bij,bkl->bikjl", mats, xp.conj(mats)).reshape(
                 b, 4, 4
             )

@@ -451,7 +451,7 @@ def _remap(dist: DistributedState, layout: _Layout, target_globals) -> None:
     target = set(target_globals)
     outgoing = [p for p in range(g) if layout.phys_to_logical[p] not in target]
     incoming = [q for q in sorted(target) if layout.logical_to_phys[q] >= g]
-    for p, q in zip(outgoing, incoming):
+    for p, q in zip(outgoing, incoming, strict=True):
         s = layout.logical_to_phys[q]
         _swap_global_local(dist, p, s)
         layout.record_swap(p, s)

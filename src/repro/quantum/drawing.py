@@ -80,7 +80,7 @@ def draw_circuit(circuit: Circuit, max_width: int = 120) -> str:
     body = [r[prefix:] for r in rows]
     heads = [r[:prefix] for r in rows]
     while start < len(body[0]):
-        chunk = [h + b[start : start + body_width] for h, b in zip(heads, body)]
+        chunk = [h + b[start : start + body_width] for h, b in zip(heads, body, strict=True)]
         panels.append("\n".join(chunk))
         start += body_width
     return ("\n" + "." * 8 + "\n").join(panels)

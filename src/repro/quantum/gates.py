@@ -17,7 +17,7 @@ exactly (paper Sec. IV.A).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -127,7 +127,7 @@ def phase_batch(angles: np.ndarray) -> np.ndarray:
     return out
 
 
-def rotation_batch_xp(kind: str, angles, xp) -> "np.ndarray":
+def rotation_batch_xp(kind: str, angles, xp) -> np.ndarray:
     """xp-generic ``(batch, 2, 2)`` rotation stacks (see the ``*_batch``
     builders above for the NumPy fast path these mirror).
 

@@ -39,7 +39,7 @@ def qubit_wise_commute(a: PauliString, b: PauliString) -> bool:
     if a.num_qubits != b.num_qubits:
         raise ValueError("qubit count mismatch")
     return all(
-        ca == "I" or cb == "I" or ca == cb for ca, cb in zip(a.string, b.string)
+        ca == "I" or cb == "I" or ca == cb for ca, cb in zip(a.string, b.string, strict=True)
     )
 
 

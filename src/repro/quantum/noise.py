@@ -10,7 +10,7 @@ tested.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -120,7 +120,7 @@ class NoiseModel:
             if a is None or b is None:
                 return a is b
             return len(a) == len(b) and all(
-                np.array_equal(x, y) for x, y in zip(a, b)
+                np.array_equal(x, y) for x, y in zip(a, b, strict=True)
             )
 
         return same(self.one_qubit, other.one_qubit) and same(
@@ -151,7 +151,7 @@ class NoiseModel:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "NoiseModel":
+    def from_dict(cls, data: dict) -> NoiseModel:
         """Inverse of :meth:`to_dict`; completeness is re-validated."""
         one = _kraus_from_json(data.get("one_qubit"))
         two = _kraus_from_json(data.get("two_qubit"))
@@ -169,7 +169,7 @@ class NoiseModel:
             yield chan, (q,)
 
     @classmethod
-    def depolarizing(cls, p1: float, p2: float | None = None) -> "NoiseModel":
+    def depolarizing(cls, p1: float, p2: float | None = None) -> NoiseModel:
         """Depolarizing after every gate: ``p1`` for 1q gates, ``p2`` for 2q
         (default ``10 * p1``, the usual hardware ratio)."""
         p2 = 10 * p1 if p2 is None else p2

@@ -15,7 +15,7 @@ is the most significant bit (consistent with the simulator).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -85,25 +85,25 @@ class PauliString:
         return float(4**self.locality)
 
     # ------------------------------------------------------------- algebra
-    def __mul__(self, other: "PauliString") -> tuple[complex, "PauliString"]:
+    def __mul__(self, other: PauliString) -> tuple[complex, PauliString]:
         """Product ``self @ other`` as (phase, PauliString)."""
         if self.num_qubits != other.num_qubits:
             raise ValueError("qubit count mismatch in Pauli product")
         phase: complex = 1.0
         chars = []
-        for a, b in zip(self.string, other.string):
+        for a, b in zip(self.string, other.string, strict=True):
             ph, c = _MULT[(a, b)]
             phase *= ph
             chars.append(c)
         return phase, PauliString("".join(chars))
 
-    def commutes_with(self, other: "PauliString") -> bool:
+    def commutes_with(self, other: PauliString) -> bool:
         """True iff the strings commute (even number of anticommuting sites)."""
         if self.num_qubits != other.num_qubits:
             raise ValueError("qubit count mismatch")
         anti = sum(
             1
-            for a, b in zip(self.string, other.string)
+            for a, b in zip(self.string, other.string, strict=True)
             if a != "I" and b != "I" and a != b
         )
         return anti % 2 == 0
@@ -165,13 +165,13 @@ class PauliSum:
         key = string.string if isinstance(string, PauliString) else string
         return self._terms.get(key, 0.0)
 
-    def __add__(self, other: "PauliSum") -> "PauliSum":
+    def __add__(self, other: PauliSum) -> PauliSum:
         return PauliSum(list(self.items()) + list(other.items()))
 
-    def __rmul__(self, scalar: complex) -> "PauliSum":
+    def __rmul__(self, scalar: complex) -> PauliSum:
         return PauliSum([(scalar * c, p) for c, p in self.items()])
 
-    def __matmul__(self, other: "PauliSum") -> "PauliSum":
+    def __matmul__(self, other: PauliSum) -> PauliSum:
         """Operator product, expanded term by term."""
         out: list[tuple[complex, PauliString]] = []
         for ca, pa in self.items():
@@ -180,7 +180,7 @@ class PauliSum:
                 out.append((ca * cb * phase, pc))
         return PauliSum(out)
 
-    def adjoint(self) -> "PauliSum":
+    def adjoint(self) -> PauliSum:
         """Hermitian adjoint (conjugate coefficients; strings are Hermitian)."""
         return PauliSum([(np.conj(c), p) for c, p in self.items()])
 
@@ -213,7 +213,7 @@ def local_pauli_strings(num_qubits: int, locality: int) -> list[PauliString]:
     for subset in bounded_subsets(num_qubits, locality):
         for letters in signed_assignments(subset, "XYZ"):
             chars = ["I"] * num_qubits
-            for pos, letter in zip(subset, letters):
+            for pos, letter in zip(subset, letters, strict=True):
                 chars[pos] = letter
             out.append(PauliString("".join(chars)))
     return out

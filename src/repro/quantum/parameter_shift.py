@@ -18,7 +18,7 @@ to exact simulation, finite shots, or hardware backends.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

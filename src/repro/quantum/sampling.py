@@ -8,7 +8,7 @@ eigenbasis of the Pauli string and averaging +-1 eigenvalue outcomes over
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

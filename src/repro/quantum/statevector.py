@@ -17,7 +17,7 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -122,10 +122,8 @@ def apply_matrix_batch(
         tensor = np.moveaxis(tensor, src, dst)
         rest = tensor.shape[1 + k :]
         tensor = tensor.reshape(b, 2**k, -1)
-        if per_sample:
-            tensor = np.einsum("bij,bjr->bir", matrix, tensor)
-        else:
-            tensor = np.einsum("ij,bjr->bir", matrix, tensor)
+        spec = "bij,bjr->bir" if per_sample else "ij,bjr->bir"
+        tensor = np.einsum(spec, matrix, tensor)
         tensor = tensor.reshape((b,) + (2,) * k + rest)
         tensor = np.moveaxis(tensor, dst, src)
         return np.ascontiguousarray(tensor.reshape(b, dim))
@@ -152,10 +150,8 @@ def apply_matrix_batch(
     tensor = xp.moveaxis(tensor, src, dst)
     rest = tuple(tensor.shape[1 + k :])
     tensor = tensor.reshape(b, 2**k, -1)
-    if per_sample:
-        tensor = xp.einsum("bij,bjr->bir", matrix, tensor)
-    else:
-        tensor = xp.einsum("ij,bjr->bir", matrix, tensor)
+    spec = "bij,bjr->bir" if per_sample else "ij,bjr->bir"
+    tensor = xp.einsum(spec, matrix, tensor)
     tensor = tensor.reshape((b,) + (2,) * k + rest)
     tensor = xp.moveaxis(tensor, dst, src)
     return xp.ascontiguous(tensor.reshape(b, dim))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from itertools import combinations, product
 from math import comb
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 __all__ = ["bounded_subsets", "signed_assignments", "count_bounded_subsets"]
 

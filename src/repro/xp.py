@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import importlib.util
 from collections import OrderedDict
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -123,9 +124,16 @@ class ArrayNamespace:
     name: str
     native: bool
 
-    def __init__(self, name: str, native: bool) -> None:
+    def __init__(
+        self, name: str, native: bool, device_cache_size: int = _DEVICE_CACHE_SIZE
+    ) -> None:
+        if device_cache_size < 1:
+            raise ValueError(
+                f"device_cache_size={device_cache_size} must be >= 1"
+            )
         self.name = name
         self.native = native
+        self.device_cache_size = int(device_cache_size)
         self._device_cache: OrderedDict[int, tuple[Any, Any]] = OrderedDict()
 
     # ------------------------------------------------------------ transfer
@@ -151,7 +159,7 @@ class ArrayNamespace:
         device = self.to_device(array)
         self._device_cache[key] = (array, device)
         self._device_cache.move_to_end(key)
-        while len(self._device_cache) > _DEVICE_CACHE_SIZE:
+        while len(self._device_cache) > self.device_cache_size:
             self._device_cache.popitem(last=False)
         return device
 
@@ -204,8 +212,10 @@ class _NumpyNamespace(ArrayNamespace):
     ``native=False`` variant exists to exercise the generic device path on
     CPU (:func:`generic_numpy_namespace`)."""
 
-    def __init__(self, native: bool = True) -> None:
-        super().__init__("numpy", native)
+    def __init__(
+        self, native: bool = True, device_cache_size: int = _DEVICE_CACHE_SIZE
+    ) -> None:
+        super().__init__("numpy", native, device_cache_size)
 
     def to_device(self, array):
         return np.asarray(array)

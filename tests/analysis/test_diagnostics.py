@@ -1,0 +1,92 @@
+"""Diagnostic value objects: registry, severity fill, report algebra."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    DiagnosticReport,
+)
+
+
+def test_registry_covers_all_layers():
+    codes = set(DIAGNOSTIC_CODES)
+    assert len(codes) >= 10
+    assert any(c.startswith("RPA0") for c in codes)  # program lint
+    assert any(c.startswith("RPA1") for c in codes)  # config/plan lint
+    assert any(c.startswith("RPA3") for c in codes)  # codebase lint
+    for code, spec in DIAGNOSTIC_CODES.items():
+        assert spec.code == code
+        assert spec.default_severity in SEVERITIES
+        assert spec.title
+
+
+def test_severity_defaults_from_registry():
+    d = Diagnostic("RPA101", "too many shards")
+    assert d.severity == ERROR
+    assert Diagnostic("RPA104", "tiny chunks").severity == WARNING
+    assert Diagnostic("RPA107", "no compile").severity == INFO
+    # Explicit severity wins over the registry default.
+    assert Diagnostic("RPA104", "promoted", severity=ERROR).severity == ERROR
+
+
+def test_unregistered_code_rejected():
+    with pytest.raises(ValueError, match="unregistered"):
+        Diagnostic("RPA999", "no such code")
+    with pytest.raises(ValueError, match="severity"):
+        Diagnostic("RPA101", "bad", severity="fatal")
+
+
+def test_render_and_to_dict():
+    d = Diagnostic("RPA101", "msg", fix_hint="do X", location="config.shards")
+    line = d.render()
+    assert "RPA101" in line and "config.shards" in line and "do X" in line
+    assert d.to_dict() == {
+        "code": "RPA101",
+        "severity": "error",
+        "message": "msg",
+        "fix_hint": "do X",
+        "location": "config.shards",
+    }
+    assert d.title == DIAGNOSTIC_CODES["RPA101"].title
+
+
+def test_report_sorts_most_severe_first():
+    report = DiagnosticReport.collect(
+        [
+            Diagnostic("RPA107", "info"),
+            Diagnostic("RPA101", "error"),
+            Diagnostic("RPA104", "warning"),
+        ]
+    )
+    assert [d.severity for d in report] == ["error", "warning", "info"]
+    assert report.codes() == ("RPA101", "RPA104", "RPA107")
+    assert len(report.errors) == len(report.warnings) == len(report.infos) == 1
+
+
+def test_report_verdicts_and_merge():
+    empty = DiagnosticReport()
+    assert empty.ok and empty.clean and len(empty) == 0
+
+    warn_only = DiagnosticReport.collect([Diagnostic("RPA104", "w")])
+    assert warn_only.ok and not warn_only.clean
+
+    merged = warn_only + DiagnosticReport.collect([Diagnostic("RPA101", "e")])
+    assert not merged.ok
+    assert merged.diagnostics[0].code == "RPA101"  # re-sorted on merge
+
+
+def test_report_renderers_round_trip():
+    report = DiagnosticReport.collect(
+        [Diagnostic("RPA101", "e"), Diagnostic("RPA104", "w")]
+    )
+    text = report.render()
+    assert text.endswith("1 error(s), 1 warning(s), 0 info(s)")
+    payload = json.loads(report.to_json())
+    assert [entry["code"] for entry in payload] == ["RPA101", "RPA104"]

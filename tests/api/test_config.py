@@ -192,7 +192,7 @@ def test_noise_model_hash_consistent_across_dtypes():
 def test_noise_model_kraus_roundtrip_exact():
     noise = NoiseModel.depolarizing(0.013, 0.1)
     restored = NoiseModel.from_dict(noise.to_dict())
-    for a, b in zip(noise.one_qubit, restored.one_qubit):
+    for a, b in zip(noise.one_qubit, restored.one_qubit, strict=True):
         assert np.array_equal(a, b)  # JSON doubles round-trip bit-exactly
     assert restored == noise
 

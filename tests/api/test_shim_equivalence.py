@@ -113,25 +113,24 @@ def test_config_plus_legacy_kwargs_rejected(strategy, angles):
 
 
 def test_device_plus_config_rejected(strategy, angles):
-    with QuantumDevice() as device:
-        with pytest.raises(TypeError, match="not both"):
-            generate_features(
-                strategy, angles, config=ExecutionConfig(), device=device
-            )
+    with QuantumDevice() as device, pytest.raises(TypeError, match="not both"):
+        generate_features(strategy, angles, config=ExecutionConfig(), device=device)
 
 
 def test_device_plus_executor_rejected(strategy, angles):
-    with QuantumDevice() as device, ParallelExecutor() as executor:
-        with pytest.raises(TypeError, match="runtime"):
-            generate_features(strategy, angles, device=device, executor=executor)
+    with (
+        QuantumDevice() as device,
+        ParallelExecutor() as executor,
+        pytest.raises(TypeError, match="runtime"),
+    ):
+        generate_features(strategy, angles, device=device, executor=executor)
 
 
 def test_non_device_passed_as_device_rejected(strategy, angles):
     # A ParallelExecutor also binds a pool and has .config/.runtime -- the
     # plausible mix-up must fail fast, not deep inside the sweep.
-    with ParallelExecutor() as executor:
-        with pytest.raises(TypeError, match="QuantumDevice"):
-            generate_features(strategy, angles, device=executor)
+    with ParallelExecutor() as executor, pytest.raises(TypeError, match="QuantumDevice"):
+        generate_features(strategy, angles, device=executor)
     # Config-bearing non-devices (a feature map) are equally rejected.
     from repro.api import QuantumFeatureMap
 
@@ -147,12 +146,14 @@ def test_pipeline_warning_names_callers_spelling(strategy):
 
 def test_pipeline_legacy_equals_config(strategy, angles):
     y = np.array([0, 1, 0, 1, 0])
-    with pytest.warns(DeprecationWarning) as caught:
-        with HybridPipeline(
+    with (
+        pytest.warns(DeprecationWarning) as caught,
+        HybridPipeline(
             strategy=strategy, estimator="exact", chunk_size=2,
             scheduling_policy="lpt", compile="auto",
-        ) as legacy:
-            legacy.fit(angles, y)
+        ) as legacy,
+    ):
+        legacy.fit(angles, y)
     assert all(w.filename == __file__ for w in caught)
     # Mirrors PIPELINE_DEFAULT_CONFIG (what the legacy kwargs fold into),
     # which since PR 5 also turns on batched execution.

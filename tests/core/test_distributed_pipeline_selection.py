@@ -144,7 +144,7 @@ def test_greedy_loss_monotone():
     y = rng.normal(size=80)
     result = greedy_forward_selection(q, y, max_features=10)
     path = result.train_loss_path
-    assert all(b <= a + 1e-12 for a, b in zip(path, path[1:]))
+    assert all(b <= a + 1e-12 for a, b in zip(path, path[1:], strict=False))
 
 
 def test_greedy_validation_path():

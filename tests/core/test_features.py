@@ -34,10 +34,11 @@ def manual_algorithm1(strategy, angles):
     q_cols = []
     for params in strategy.parameter_sets():
         circuit = strategy.ansatz
-        if circuit is not None and circuit.num_parameters:
-            evolved = run_circuit(circuit.bind(params), state=states)
-        else:
-            evolved = states
+        evolved = (
+            run_circuit(circuit.bind(params), state=states)
+            if circuit is not None and circuit.num_parameters
+            else states
+        )
         for obs in strategy.observables():
             q_cols.append(expectation(evolved, obs))
     return np.stack(q_cols, axis=1)

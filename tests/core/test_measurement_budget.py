@@ -108,7 +108,7 @@ def test_theorem4_guarantee_empirical():
     y = q @ alpha + 0.05 * rng.normal(size=d)
     epsilon = 0.25
     budget = theorem4_required_entry_error(m, epsilon)
-    for trial in range(5):
+    for _ in range(5):
         noise = rng.uniform(-budget, budget, size=(d, m))
         delta_loss = rmse_loss_difference(q, q + noise, y, constrained=True)
         assert delta_loss < epsilon
@@ -123,7 +123,7 @@ def test_theorem3_guarantee_empirical():
     epsilon = 0.3
     budget = theorem3_required_entry_error(q, y, epsilon)
     assert budget > 0
-    for trial in range(5):
+    for _ in range(5):
         noise = rng.uniform(-budget, budget, size=(d, m))
         delta_loss = rmse_loss_difference(q, q + noise, y, constrained=False)
         assert delta_loss < epsilon

@@ -24,9 +24,8 @@ def test_stage_timer_accumulates():
 
 def test_stage_timer_records_on_exception():
     timer = StageTimer()
-    with pytest.raises(RuntimeError):
-        with timer.stage("boom"):
-            raise RuntimeError()
+    with pytest.raises(RuntimeError), timer.stage("boom"):
+        raise RuntimeError()
     assert timer.counts["boom"] == 1
 
 

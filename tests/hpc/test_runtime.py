@@ -161,9 +161,11 @@ def test_submit_exception_propagates_via_future():
 
 
 def test_task_exception_propagates_from_stream():
-    with ExecutionRuntime("thread", 2) as rt:
-        with pytest.raises(RuntimeError, match="task failed"):
-            list(rt.stream(boom, [1, 2]))
+    with (
+        ExecutionRuntime("thread", 2) as rt,
+        pytest.raises(RuntimeError, match="task failed"),
+    ):
+        list(rt.stream(boom, [1, 2]))
 
 
 @pytest.mark.parametrize("backend,workers", [("serial", 1), ("thread", 3)])

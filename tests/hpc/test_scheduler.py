@@ -25,7 +25,7 @@ def test_every_policy_assigns_all_tasks_once(costs, nodes, policy):
     assert assigned == list(range(len(costs)))
     assert a.num_nodes == nodes
     # Loads consistent with costs.
-    for node_tasks, load in zip(a.tasks_per_node, a.loads):
+    for node_tasks, load in zip(a.tasks_per_node, a.loads, strict=True):
         assert load == pytest.approx(sum(costs[i] for i in node_tasks))
 
 

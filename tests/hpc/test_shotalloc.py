@@ -59,7 +59,7 @@ def test_variance_reduction_of_weighted_allocation():
     weighted = allocate_shots(total, 3, coefficients=coeffs, policy="weighted")
 
     def estimator_variance(shots):
-        return sum(c**2 / s for c, s in zip(coeffs, shots))
+        return sum(c**2 / s for c, s in zip(coeffs, shots, strict=True))
 
     assert estimator_variance(weighted) < estimator_variance(uniform)
 

@@ -205,7 +205,7 @@ def test_cost_model_prices_batched_segments(angles):
     )
     assert len(tasks) == len(jobs)
     segments = programs[0].num_segments
-    for task, job in zip(tasks, jobs):
+    for task, job in zip(tasks, jobs, strict=True):
         chunk = job.hi - job.lo
         expected = float(chunk * 16 * (4 * segments + strategy.num_observables))
         assert task.classical_flops == expected

@@ -73,9 +73,9 @@ def test_pauli_sum_expectation_linearity(seed):
     pool = local_pauli_strings(3, 2)
     picks = rng.choice(len(pool), size=4, replace=False)
     coeffs = rng.uniform(-2, 2, size=4)
-    ps = PauliSum([(c, pool[i]) for c, i in zip(coeffs, picks)])
+    ps = PauliSum([(c, pool[i]) for c, i in zip(coeffs, picks, strict=True)])
     direct = expectation(psi, ps)
-    termwise = sum(c * expectation(psi, pool[i]) for c, i in zip(coeffs, picks))
+    termwise = sum(c * expectation(psi, pool[i]) for c, i in zip(coeffs, picks, strict=True))
     assert direct == pytest.approx(termwise, abs=1e-10)
 
 

@@ -248,7 +248,7 @@ def test_distributed_backend_matches_statevector(shards):
     rng = np.random.default_rng(31)
     sv = StatevectorBackend()
     dist = DistributedStatevectorBackend(shards=shards)
-    for trial in range(4):
+    for _ in range(4):
         circuit = random_circuit(4, depth=15, rng=rng)
         assert np.abs(dist.run_bound(circuit) - sv.run_bound(circuit)).max() <= 1e-10
         states = sv.prepare(rng.uniform(0, 2 * np.pi, size=(3, 4, 4)))

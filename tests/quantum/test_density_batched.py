@@ -105,7 +105,7 @@ def test_noiseless_density_matches_statevector_projector():
     program = compile_density_template(template)
     angles = _angles(4, program.num_slots, seed=3)
     batched = run_batched_density(program, angles)
-    for rho, row in zip(batched, angles):
+    for rho, row in zip(batched, angles, strict=True):
         psi = run_circuit(template.bind(row))
         assert np.abs(rho - pure_density(psi)).max() < 1e-10
 

@@ -218,7 +218,7 @@ def test_property_full_gate_set_random_circuits(size):
         return outs
 
     results = run_spmd(prog, size, timeout=120.0)[0]
-    for (out, ez), psi in zip(results, references):
+    for (out, ez), psi in zip(results, references, strict=True):
         assert np.allclose(out, psi, atol=1e-10)
         exact = expectation(psi, PauliString("Z" + "I" * (n - 1)))
         assert ez == pytest.approx(exact, abs=1e-10)

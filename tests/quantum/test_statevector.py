@@ -31,7 +31,7 @@ def dense_embed(matrix: np.ndarray, qubits: list[int], n: int) -> np.ndarray:
     for col in range(dim):
         col_bits = [(col >> (n - 1 - q)) & 1 for q in range(n)]
         sub_col = 0
-        for i, q in enumerate(qubits):
+        for q in qubits:
             sub_col = (sub_col << 1) | col_bits[q]
         for sub_row in range(2**k):
             val = matrix[sub_row, sub_col]

@@ -138,6 +138,35 @@ def test_to_device_cached_bounded():
     assert len(ns._device_cache) <= 512
 
 
+def test_to_device_cached_evicts_least_recently_used():
+    """The bound is an LRU, not FIFO: a re-touched entry survives eviction."""
+    ns = xp_module._NumpyNamespace(native=False, device_cache_size=3)
+    keep = np.full((1,), -1.0, dtype=np.complex128)
+    kept_device = ns.to_device_cached(keep)
+    fillers = [np.full((1,), i, dtype=np.complex128) for i in range(4)]
+    for a in fillers:
+        ns.to_device_cached(a)
+        # Touch the pinned entry between inserts so it stays most-recent.
+        assert ns.to_device_cached(keep) is kept_device
+    assert len(ns._device_cache) == 3
+    assert id(keep) in ns._device_cache
+    # The oldest untouched fillers were the ones evicted.
+    assert id(fillers[0]) not in ns._device_cache
+    assert id(fillers[-1]) in ns._device_cache
+
+
+def test_device_cache_size_validated():
+    with pytest.raises(ValueError, match="device_cache_size"):
+        xp_module._NumpyNamespace(native=False, device_cache_size=0)
+    ns = xp_module._NumpyNamespace(native=False, device_cache_size=1)
+    a = np.eye(2, dtype=np.complex128)
+    b = np.zeros((2, 2), dtype=np.complex128)
+    ns.to_device_cached(a)
+    ns.to_device_cached(b)
+    assert len(ns._device_cache) == 1
+    assert id(b) in ns._device_cache
+
+
 # ------------------------------------------------------- kernel equivalence
 def _xp_params():
     params = [pytest.param("generic", id="generic-numpy")]
