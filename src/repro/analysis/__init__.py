@@ -24,13 +24,14 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     DiagnosticReport,
 )
-from repro.analysis.plan import lint_config
+from repro.analysis.plan import lint_config, lint_serve_config
 from repro.analysis.preflight import (
     PREFLIGHT_MODES,
     PreflightError,
     PreflightWarning,
     resolve_preflight,
     run_preflight,
+    run_serve_preflight,
 )
 from repro.analysis.program import lint_circuit, lint_noise_model
 
@@ -49,6 +50,8 @@ __all__ = [
     "lint_circuit",
     "lint_config",
     "lint_noise_model",
+    "lint_serve_config",
     "resolve_preflight",
     "run_preflight",
+    "run_serve_preflight",
 ]

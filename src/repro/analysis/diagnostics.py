@@ -11,7 +11,8 @@ Code ranges, by analysis layer:
 
 * ``RPA0xx`` -- program lint (circuit / template IR, no execution);
 * ``RPA1xx`` -- config/plan lint (cross-field :class:`ExecutionConfig`
-  checks beyond per-field validation);
+  checks beyond per-field validation; ``RPA11x`` covers the serving
+  layer's :class:`ServeConfig`);
 * ``RPA3xx`` -- codebase lint (repo invariants enforced over source ASTs
   by :mod:`repro.analysis.astlint`).
 """
@@ -79,6 +80,11 @@ DIAGNOSTIC_CODES: dict[str, CodeSpec] = _registry(
     CodeSpec("RPA105", "vectorize requested but backend runs per-sample", WARNING),
     CodeSpec("RPA106", "stochastic estimator with a zero measurement budget", ERROR),
     CodeSpec("RPA107", "sharded execution without the grouped compiled engine", INFO),
+    # ------------------------------------------- serve-plan lint (RPA11x)
+    CodeSpec("RPA110", "micro-batch window is zero or negative", WARNING),
+    CodeSpec("RPA111", "result caching enabled with a zero-entry cache", WARNING),
+    CodeSpec("RPA112", "tenant fairness weight starves a tenant", ERROR),
+    CodeSpec("RPA113", "micro-batching without vectorized execution", WARNING),
     # ------------------------------------------------ codebase lint (RPA3xx)
     CodeSpec("RPA301", "xp-parameterized kernel hardwires NumPy ops", ERROR),
     CodeSpec("RPA302", "frozen-dataclass mutation outside __post_init__", ERROR),

@@ -24,12 +24,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.analysis.diagnostics import ERROR, Diagnostic, DiagnosticReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.api.config import ExecutionConfig
+    from repro.api.config import ExecutionConfig, ServeConfig
 
-__all__ = ["MIN_EFFICIENT_CHUNK", "lint_config"]
+__all__ = ["MIN_EFFICIENT_CHUNK", "lint_config", "lint_serve_config"]
 
 #: Work-grid rows below which per-job dispatch overhead (future plumbing,
 #: pickling, scheduler bookkeeping priced in ``cluster.task_costs``)
@@ -212,3 +212,114 @@ def lint_config(
     found += _lint_budget(config)
     found += _lint_shard_compile(config)
     return DiagnosticReport.collect(found)
+
+
+# --------------------------------------------------------------- serve plan
+
+
+def _lint_batch_window(config: ServeConfig) -> list[Diagnostic]:
+    """RPA110: a zero/negative window never coalesces anything."""
+    if config.batch_window_ms > 0:
+        return []
+    if config.batch_window_ms < 0:
+        # Provably wrong at runtime (the service refuses to start on it):
+        # override the registered warning severity up to error.
+        return [
+            Diagnostic(
+                "RPA110",
+                f"batch_window_ms={config.batch_window_ms} is negative; "
+                f"there is no such thing as a flush before admission",
+                severity=ERROR,
+                fix_hint="use a positive window (milliseconds), or 0 to "
+                "disable coalescing explicitly",
+                location="serve.batch_window_ms",
+            )
+        ]
+    return [
+        Diagnostic(
+            "RPA110",
+            "batch_window_ms=0 flushes every request alone: concurrent "
+            "requests sharing a template fingerprint never coalesce into "
+            "one stacked pass",
+            fix_hint="use a small positive window (1-10 ms) to let "
+            "in-flight peers share evolve_batch calls",
+            location="serve.batch_window_ms",
+        )
+    ]
+
+
+def _lint_result_cache(config: ServeConfig) -> list[Diagnostic]:
+    """RPA111: caching switched on with nowhere to store a result."""
+    if not config.cache_results or config.result_cache_size > 0:
+        return []
+    return [
+        Diagnostic(
+            "RPA111",
+            "cache_results=True with result_cache_size=0: every lookup "
+            "misses and every store is dropped, so the cache is pure "
+            "bookkeeping overhead",
+            fix_hint="set result_cache_size >= 1, or cache_results=False "
+            "to document that caching is off",
+            location="serve.result_cache_size",
+        )
+    ]
+
+
+def _lint_tenant_weights(config: ServeConfig) -> list[Diagnostic]:
+    """RPA112: a non-positive weight starves that tenant forever."""
+    return [
+        Diagnostic(
+            "RPA112",
+            f"tenant_weights[{name!r}]={weight} can never win a "
+            f"weighted-round-robin pick while any positive-weight tenant "
+            f"has pending requests; tenant {name!r} starves under load",
+            fix_hint="give every named tenant a positive weight (shares "
+            "are relative; unnamed tenants weigh 1.0)",
+            location=f"serve.tenant_weights[{name!r}]",
+        )
+        for name, weight in config.tenant_weights
+        if weight <= 0
+    ]
+
+
+def _lint_serve_vectorize(config: ServeConfig) -> list[Diagnostic]:
+    """RPA113: micro-batching pays off through the batched engine only."""
+    execution = config.execution
+    assert execution is not None  # ServeConfig canonicalized it
+    if (
+        config.batch_window_ms <= 0
+        or config.max_batch_size <= 1
+        or execution.vectorize == "auto"
+    ):
+        return []
+    return [
+        Diagnostic(
+            "RPA113",
+            f"batch_window_ms={config.batch_window_ms} with "
+            f"execution.vectorize={execution.vectorize!r}: coalesced "
+            f"requests fall back to per-request dispatch (no stacked "
+            f"apply_batch pass), so the window only adds latency",
+            fix_hint="set execution vectorize='auto' (the serving "
+            "default), or batch_window_ms=0 to serve per-request",
+            location="serve.execution.vectorize",
+        )
+    ]
+
+
+def lint_serve_config(
+    config: ServeConfig, *, num_qubits: int | None = None
+) -> DiagnosticReport:
+    """Cross-field lint of one (already-validated) serving config.
+
+    Merges the serve-layer checks (RPA110-RPA113) with the nested
+    execution config's plan lint, so ``repro lint --serve`` and
+    :meth:`ServeConfig.diagnose` see the whole plan a service would run.
+    """
+    execution = config.execution
+    assert execution is not None  # ServeConfig canonicalized it
+    report = lint_config(execution, num_qubits=num_qubits)
+    found = _lint_batch_window(config)
+    found += _lint_result_cache(config)
+    found += _lint_tenant_weights(config)
+    found += _lint_serve_vectorize(config)
+    return report + DiagnosticReport.collect(found)

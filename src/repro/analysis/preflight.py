@@ -25,7 +25,7 @@ from repro.analysis.plan import lint_config
 from repro.analysis.program import lint_circuit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.api.config import ExecutionConfig
+    from repro.api.config import ExecutionConfig, ServeConfig
     from repro.quantum.circuit import Circuit
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "PreflightWarning",
     "resolve_preflight",
     "run_preflight",
+    "run_serve_preflight",
 ]
 
 #: Legal values of the ``preflight`` config knob.
@@ -105,6 +106,42 @@ def run_preflight(
     for circuit in circuits:
         report = report + lint_circuit(
             circuit, shards=config.shards, noise_model=noise_model
+        )
+    if mode == "error" and not report.ok:
+        raise PreflightError(report, owner)
+    for diagnostic in report:
+        warnings.warn(
+            f"{owner}: {diagnostic.render()}", PreflightWarning, stacklevel=3
+        )
+    return report
+
+
+def run_serve_preflight(
+    config: ServeConfig,
+    *,
+    num_qubits: int | None = None,
+    circuits: Iterable[Circuit] = (),
+    owner: str = "serve-preflight",
+) -> DiagnosticReport:
+    """The serving layer's pre-flight: serve-plan lint + program lint.
+
+    The consequence knob is the *nested* execution config's ``preflight``
+    (one knob governs both layers): ``"off"`` short-circuits, ``"warn"``
+    warns per finding, ``"error"`` raises :class:`PreflightError` before
+    the service starts or a template registers.
+    """
+    from repro.analysis.plan import lint_serve_config
+
+    execution = config.execution
+    assert execution is not None  # ServeConfig canonicalized it
+    mode = resolve_preflight(execution.preflight)
+    if mode == "off":
+        return DiagnosticReport()
+    report = lint_serve_config(config, num_qubits=num_qubits)
+    noise_model = _backend_noise_model(execution)
+    for circuit in circuits:
+        report = report + lint_circuit(
+            circuit, shards=execution.shards, noise_model=noise_model
         )
     if mode == "error" and not report.ok:
         raise PreflightError(report, owner)

@@ -27,8 +27,10 @@ from __future__ import annotations
 
 from repro.api.config import (
     ESTIMATORS,
+    SERVE_POOLS,
     UNSET,
     ExecutionConfig,
+    ServeConfig,
     check_regime,
     resolve_call,
     resolve_chunk_size,
@@ -38,7 +40,9 @@ __all__ = [
     "ExecutionConfig",
     "QuantumDevice",
     "QuantumFeatureMap",
+    "ServeConfig",
     "ESTIMATORS",
+    "SERVE_POOLS",
     "UNSET",
     "check_regime",
     "resolve_call",

@@ -55,7 +55,10 @@ __all__ = [
     "CONFIG_FIELDS",
     "DEFAULT_CHUNK_SIZE",
     "EXPENSIVE_CHUNK_SIZE",
+    "SERVE_CONFIG_FIELDS",
+    "SERVE_POOLS",
     "ExecutionConfig",
+    "ServeConfig",
     "check_regime",
     "resolve_chunk_size",
     "resolve_call",
@@ -349,6 +352,246 @@ class ExecutionConfig:
 #: The execution-knob field names, in declaration order -- orchestrator
 #: dataclasses (models, pipeline) mirror exactly these as attributes.
 CONFIG_FIELDS = tuple(f.name for f in dataclasses.fields(ExecutionConfig))
+
+
+#: Worker-pool kinds a :class:`ServeConfig` may ask its owned device for.
+SERVE_POOLS = ("serial", "thread", "process")
+
+
+def _require_number(
+    name: str, value: Any, *, minimum: float | None = None, strict: bool = False
+) -> float:
+    """Validate one real-valued serve knob (bool is never a number here)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+    out = float(value)
+    if not np.isfinite(out):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if minimum is not None and (out < minimum or (strict and out == minimum)):
+        bound = f"> {minimum}" if strict else f">= {minimum}"
+        raise ValueError(f"{name}={value!r} must be {bound}")
+    return out
+
+
+def _require_count(name: str, value: Any, minimum: int) -> int:
+    """Validate one integer serve knob (bool is not an int here)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an int >= {minimum}, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name}={value} must be >= {minimum}")
+    return int(value)
+
+
+def _canonical_weights(value: Any) -> tuple[tuple[str, float], ...]:
+    """Canonicalize ``tenant_weights`` to a sorted, hashable pair tuple.
+
+    Accepts a mapping or an iterable of (name, weight) pairs; weights must
+    be finite numbers but may be non-positive -- a starving weight is a
+    *lint* finding (RPA112, and a service-start refusal), not a
+    construction error, so ``repro lint --serve`` can describe it.
+    """
+    if value is None:
+        return ()
+    items = list(value.items()) if isinstance(value, Mapping) else list(value)
+    out: list[tuple[str, float]] = []
+    seen: set[str] = set()
+    for item in items:
+        try:
+            name, weight = item
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"tenant_weights entries must be (name, weight) pairs, got {item!r}"
+            ) from None
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"tenant names must be non-empty strings, got {name!r}")
+        if name in seen:
+            raise ValueError(f"duplicate tenant {name!r} in tenant_weights")
+        seen.add(name)
+        out.append((name, _require_number(f"tenant_weights[{name!r}]", weight)))
+    return tuple(sorted(out))
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Frozen value object bundling every serving-layer knob.
+
+    The serving layer (:mod:`repro.serve`) is configured exactly like
+    execution is: one picklable, JSON-round-trippable dataclass with
+    centralized validation.  An :class:`ExecutionConfig` nests inside it --
+    the service executes requests under ``execution`` verbatim, so a served
+    response is bit-equal to ``generate_features(..., config=execution)``.
+
+    * ``execution``          -- the nested per-request execution config;
+      ``None`` picks the serving default (``vectorize="auto"``,
+      ``compile="auto"``: micro-batching coalesces requests into stacked
+      ``apply_batch`` passes, which needs the batched engine);
+    * ``batch_window_ms``    -- how long an admitted request may wait for
+      peers to coalesce with before its micro-batch flushes.  ``0`` flushes
+      every request alone (coalescing off; RPA110 lints it), negative
+      values are constructible for lint but rejected at service start;
+    * ``max_batch_size``     -- requests per flush; a full batch flushes
+      before the window expires;
+    * ``max_queue_depth``    -- admitted-but-unflushed requests allowed
+      *per tenant*; admission beyond it raises
+      :class:`~repro.serve.fairness.BackpressureError`;
+    * ``max_queue_cost``     -- optional per-tenant bound in
+      :class:`~repro.hpc.cluster.CircuitTask` cost units (the scheduler's
+      cost model prices each request at admission);
+    * ``tenant_weights``     -- weighted-round-robin shares for named
+      tenants (unnamed tenants weigh 1.0); canonicalized to a sorted tuple
+      of ``(name, weight)`` pairs;
+    * ``cache_results``      -- serve repeated ``(template, x, config)``
+      requests from a bounded LRU result cache;
+    * ``result_cache_size``  -- LRU entry bound (0 disables storage;
+      RPA111 lints the combination with ``cache_results=True``);
+    * ``result_cache_ttl_s`` -- optional time-to-live per cached entry;
+    * ``pool`` / ``max_workers`` -- the worker pool of the service-owned
+      :class:`~repro.api.device.QuantumDevice` (ignored when a device is
+      passed in); flushes are the pool's unit of parallelism.
+
+    Validation is centralized in ``__post_init__``; instances are picklable
+    and round-trip through :meth:`to_dict` / :meth:`from_dict` / JSON.
+    """
+
+    execution: ExecutionConfig | None = None
+    batch_window_ms: float = 2.0
+    max_batch_size: int = 32
+    max_queue_depth: int = 256
+    max_queue_cost: float | None = None
+    tenant_weights: Any = ()
+    cache_results: bool = True
+    result_cache_size: int = 1024
+    result_cache_ttl_s: float | None = None
+    pool: str = "thread"
+    max_workers: int | str | None = "auto"
+
+    def __post_init__(self) -> None:
+        execution = self.execution
+        if execution is None:
+            execution = ExecutionConfig(vectorize="auto", compile="auto")
+        if not isinstance(execution, ExecutionConfig):
+            raise ValueError(
+                f"execution must be an ExecutionConfig or None, got {execution!r}"
+            )
+        object.__setattr__(self, "execution", execution)
+        # Zero/negative windows stay constructible: RPA110 describes them.
+        object.__setattr__(
+            self, "batch_window_ms", _require_number("batch_window_ms", self.batch_window_ms)
+        )
+        object.__setattr__(
+            self, "max_batch_size", _require_count("max_batch_size", self.max_batch_size, 1)
+        )
+        object.__setattr__(
+            self, "max_queue_depth", _require_count("max_queue_depth", self.max_queue_depth, 1)
+        )
+        if self.max_queue_cost is not None:
+            object.__setattr__(
+                self,
+                "max_queue_cost",
+                _require_number("max_queue_cost", self.max_queue_cost, minimum=0, strict=True),
+            )
+        object.__setattr__(self, "tenant_weights", _canonical_weights(self.tenant_weights))
+        if not isinstance(self.cache_results, bool):
+            raise ValueError(f"cache_results must be a bool, got {self.cache_results!r}")
+        object.__setattr__(
+            self,
+            "result_cache_size",
+            _require_count("result_cache_size", self.result_cache_size, 0),
+        )
+        if self.result_cache_ttl_s is not None:
+            object.__setattr__(
+                self,
+                "result_cache_ttl_s",
+                _require_number(
+                    "result_cache_ttl_s", self.result_cache_ttl_s, minimum=0, strict=True
+                ),
+            )
+        if self.pool not in SERVE_POOLS:
+            raise ValueError(f"unknown pool {self.pool!r}; choose from {SERVE_POOLS}")
+        # Validates the knob without storing the resolved count (the field
+        # keeps its user-facing spelling, like ExecutionConfig.compile).
+        # Lazy import: hpc.runtime is not needed at config-import time.
+        from repro.hpc.runtime import resolve_max_workers
+
+        if self.max_workers is not None:
+            resolve_max_workers(self.max_workers)
+
+    # -------------------------------------------------------------- analysis
+    def diagnose(self, *, num_qubits: int | None = None) -> Any:
+        """Serve-plan lint of this config: a
+        :class:`~repro.analysis.diagnostics.DiagnosticReport` merging the
+        serve-layer checks (RPA110-RPA113) with the nested execution
+        config's plan lint.  Pure inspection regardless of the nested
+        ``preflight`` knob."""
+        from repro.analysis.plan import lint_serve_config
+
+        return lint_serve_config(self, num_qubits=num_qubits)
+
+    # ------------------------------------------------------------- derived
+    @property
+    def batch_window_s(self) -> float:
+        """The coalescing window in seconds (the event loop's unit)."""
+        return self.batch_window_ms / 1e3
+
+    def weights(self) -> dict[str, float]:
+        """``tenant_weights`` as a plain dict (the WRR selector's input)."""
+        return dict(self.tenant_weights)
+
+    # ---------------------------------------------------------- combinators
+    def merged(self, **overrides: Any) -> ServeConfig:
+        """A new config with ``overrides`` applied (and re-validated).
+
+        Unknown keys raise ``TypeError``; ``UNSET`` values are ignored,
+        mirroring :meth:`ExecutionConfig.merged`.
+        """
+        overrides = {k: v for k, v in overrides.items() if v is not UNSET}
+        if not overrides:
+            return self
+        return dataclasses.replace(self, **overrides)
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-safe dict (inverse: :meth:`from_dict`)."""
+        execution = self.execution
+        assert execution is not None  # __post_init__ canonicalized it
+        return {
+            "execution": execution.to_dict(),
+            "batch_window_ms": self.batch_window_ms,
+            "max_batch_size": self.max_batch_size,
+            "max_queue_depth": self.max_queue_depth,
+            "max_queue_cost": self.max_queue_cost,
+            "tenant_weights": dict(self.tenant_weights),
+            "cache_results": self.cache_results,
+            "result_cache_size": self.result_cache_size,
+            "result_cache_ttl_s": self.result_cache_ttl_s,
+            "pool": self.pool,
+            "max_workers": self.max_workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> ServeConfig:
+        """Build (and validate) a config from :meth:`to_dict` output."""
+        data = dict(data)
+        execution = data.pop("execution", None)
+        if isinstance(execution, Mapping):
+            execution = ExecutionConfig.from_dict(execution)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown ServeConfig fields {unknown}")
+        return cls(execution=execution, **data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> ServeConfig:
+        return cls.from_dict(json.loads(text))
+
+
+#: The serving-knob field names, in declaration order (CLI flags and the
+#: load generator mirror these).
+SERVE_CONFIG_FIELDS = tuple(f.name for f in dataclasses.fields(ServeConfig))
 
 
 def values_differ(a: Any, b: Any) -> bool:

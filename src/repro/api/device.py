@@ -21,6 +21,7 @@ models::
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 from typing import TYPE_CHECKING, Any
 
@@ -45,6 +46,15 @@ class QuantumDevice:
     (a bare :class:`ExecutionRuntime` or a :class:`ParallelExecutor`
     facade) to bind an existing, possibly shared, pool -- the device then
     follows the library-wide ownership rule and never shuts it down.
+
+    A device is **thread-safe**: ``run`` / ``evaluate`` / ``stream`` may be
+    called concurrently from multiple threads (the serving layer drives one
+    shared device from many coroutines).  Results are bit-equal to
+    sequential execution -- per-task RNG streams are derived from the task
+    *index*, never from shared mutable state -- and the runtime serializes
+    pool management under its own lock.  ``close()`` is idempotent and safe
+    to race against in-flight sweeps: the session flips closed exactly once
+    and late sweeps fail with the ordinary closed-session ``RuntimeError``.
     """
 
     def __init__(
@@ -84,6 +94,11 @@ class QuantumDevice:
             )
             self._owns_runtime = True
         self._closed = False
+        # Serializes the closed-flag transition only: concurrent close()
+        # calls (or close racing a sweep's _check_open) must tear the owned
+        # pool down exactly once.  Sweeps themselves never take this lock;
+        # the runtime has its own for pool management.
+        self._state_lock = threading.Lock()
 
     # ------------------------------------------------------------ properties
     @property
@@ -103,8 +118,16 @@ class QuantumDevice:
         return self
 
     def close(self) -> None:
-        """End the session; an *owned* runtime's pool is shut down."""
-        self._closed = True
+        """End the session; an *owned* runtime's pool is shut down.
+
+        Idempotent and thread-safe: exactly one caller performs the
+        shutdown, every other (concurrent or repeated) call returns
+        immediately.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._owns_runtime:
             self._runtime.shutdown()
 

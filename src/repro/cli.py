@@ -9,7 +9,11 @@ Usage::
     python -m repro counts
     python -m repro config   [execution flags]
     python -m repro lint     [paths ...] [--num-qubits N] [--json]
-                             [--strict] [execution flags]
+                             [--strict] [--serve [serve flags]]
+                             [execution flags]
+    python -m repro serve    [--requests N] [--concurrency N] [--samples K]
+                             [--templates N] [--tenants N] [--qubits N]
+                             [--rows N] [serve flags] [execution flags]
 
 Execution flags (``--estimator``, ``--shots``, ``--snapshots``,
 ``--chunk-size``, ``--policy``, ``--compile``, ``--seed``, ``--backend
@@ -18,6 +22,15 @@ Execution flags (``--estimator``, ``--shots``, ``--snapshots``,
 :class:`~repro.api.config.ExecutionConfig` shared by every model in the
 run; ``repro config`` prints the resolved config as JSON (the same wire
 form ``ExecutionConfig.from_json`` accepts).
+
+Serve flags (``--window-ms``, ``--max-batch``, ``--queue-depth``,
+``--queue-cost``, ``--tenant-weight NAME=W`` repeatable, ``--no-cache``,
+``--cache-size``, ``--cache-ttl``, ``--pool {serial,thread,process}``,
+``--workers``) build one :class:`~repro.api.config.ServeConfig` around the
+execution flags.  ``repro serve`` runs an in-process multi-tenant load
+test through the micro-batching feature service and prints the load report
+plus the service metrics snapshot as JSON; ``repro lint --serve`` lints
+the combined serve+execution plan (codes RPA11x).
 
 Each experiment subcommand is a reduced-size version of the corresponding
 benchmark (see benchmarks/ for the full definitions and assertions).
@@ -72,8 +85,18 @@ def _int_at_least(minimum: int):
     return parse
 
 
-def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
-    """The unified execution knobs, one flag per ExecutionConfig field."""
+def _add_execution_flags(
+    parser: argparse.ArgumentParser,
+    *,
+    vectorize_default: str = "off",
+    compile_default: str = "off",
+) -> None:
+    """The unified execution knobs, one flag per ExecutionConfig field.
+
+    The defaults are the library's reference path (``vectorize=off``,
+    ``compile=off``); serving flips both to ``auto`` because coalescing
+    without batched execution forfeits the payoff (lint RPA113).
+    """
     from repro.hpc.scheduler import SCHEDULING_POLICIES
 
     group = parser.add_argument_group("execution")
@@ -92,8 +115,9 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="live dispatch submission order (default: work_stealing)",
     )
     group.add_argument(
-        "--compile", type=_compile_knob, default="off",
-        help='circuit engine: "auto", "off" or a fusion width (default: off)',
+        "--compile", type=_compile_knob, default=compile_default,
+        help='circuit engine: "auto", "off" or a fusion width '
+        f"(default: {compile_default})",
     )
     group.add_argument("--seed", type=int, default=0)
     group.add_argument(
@@ -101,9 +125,9 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="execution regime (default: ideal statevector)",
     )
     group.add_argument(
-        "--vectorize", choices=["auto", "off"], default="off",
+        "--vectorize", choices=["auto", "off"], default=vectorize_default,
         help="batched structure-shared Q-matrix execution where the backend "
-        "supports it (default: off, the per-sample reference path)",
+        f"supports it (default: {vectorize_default})",
     )
     group.add_argument(
         "--noise-p1", type=float, default=None,
@@ -121,6 +145,96 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="array namespace for the hot kernels (repro.xp); auto picks "
         "the best installed accelerator (default: numpy)",
     )
+
+
+def _tenant_weight(text: str) -> tuple[str, float]:
+    """argparse type for --tenant-weight NAME=WEIGHT pairs."""
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=WEIGHT, got {text!r}"
+        )
+    try:
+        weight = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"weight must be a number, got {raw!r}"
+        ) from None
+    return (name, weight)
+
+
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    """The serving knobs, one flag per ServeConfig field."""
+    from repro.api.config import SERVE_POOLS
+
+    group = parser.add_argument_group("serving")
+    group.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="micro-batch coalescing window in ms; 0 disables (default: 2)",
+    )
+    group.add_argument(
+        "--max-batch", type=_int_at_least(1), default=32,
+        help="flush a group early at this many coalesced requests "
+        "(default: 32)",
+    )
+    group.add_argument(
+        "--queue-depth", type=_int_at_least(1), default=256,
+        help="per-tenant admitted-request bound; overflow is rejected with "
+        "backpressure (default: 256)",
+    )
+    group.add_argument(
+        "--queue-cost", type=float, default=None,
+        help="per-tenant admitted cost-unit bound (default: unbounded)",
+    )
+    group.add_argument(
+        "--tenant-weight", type=_tenant_weight, action="append", default=[],
+        metavar="NAME=W",
+        help="fairness weight for a named tenant (repeatable; unnamed "
+        "tenants get weight 1)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    group.add_argument(
+        "--cache-size", type=_int_at_least(0), default=1024,
+        help="result-cache entries (default: 1024)",
+    )
+    group.add_argument(
+        "--cache-ttl", type=float, default=None,
+        help="result-cache TTL in seconds (default: no expiry)",
+    )
+    group.add_argument(
+        "--pool", choices=list(SERVE_POOLS), default="thread",
+        help="worker pool the shared device runs on (default: thread)",
+    )
+    group.add_argument(
+        "--workers", type=_int_at_least(1), default=None,
+        help="pool size (default: auto)",
+    )
+
+
+def _serve_config_from_args(args: argparse.Namespace):
+    """Build the ServeConfig from the serve + execution flag groups."""
+    from repro.api import ServeConfig
+
+    execution = _config_from_args(args)
+    try:
+        return ServeConfig(
+            execution=execution,
+            batch_window_ms=args.window_ms,
+            max_batch_size=args.max_batch,
+            max_queue_depth=args.queue_depth,
+            max_queue_cost=args.queue_cost,
+            tenant_weights=tuple(args.tenant_weight),
+            cache_results=not args.no_cache,
+            result_cache_size=args.cache_size,
+            result_cache_ttl_s=args.cache_ttl,
+            pool=args.pool,
+            max_workers="auto" if args.workers is None else args.workers,
+        )
+    except ValueError as exc:
+        print(f"repro: invalid serve flags: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _config_from_args(args: argparse.Namespace):
@@ -175,21 +289,70 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     With source paths, runs :mod:`repro.analysis.astlint` over them; the
     execution flags are always linted as a plan
     (:func:`repro.analysis.plan.lint_config`), so ``repro lint`` with no
-    paths is a pure pre-flight check of a prospective run.  Exit status: 0
+    paths is a pure pre-flight check of a prospective run; ``--serve``
+    lints the serve flags too (RPA11x via
+    :func:`repro.analysis.plan.lint_serve_config`).  Exit status: 0
     clean, 1 findings at error severity (or any finding under
     ``--strict``), 2 invalid flags.
     """
     from repro.analysis.astlint import lint_paths
-    from repro.analysis.plan import lint_config
+    from repro.analysis.plan import lint_config, lint_serve_config
 
-    config = _config_from_args(args)
-    report = lint_config(config, num_qubits=args.num_qubits)
+    if args.serve:
+        serve_config = _serve_config_from_args(args)
+        report = lint_serve_config(serve_config, num_qubits=args.num_qubits)
+    else:
+        config = _config_from_args(args)
+        report = lint_config(config, num_qubits=args.num_qubits)
     if args.paths:
         report = report + lint_paths(args.paths)
     print(report.to_json(indent=2) if args.json else report.render())
     if args.strict:
         return 0 if report.clean else 1
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """In-process multi-tenant load test through the feature service.
+
+    Registers ``--templates`` distinct encodings (observable-construction
+    strategies of alternating locality), then drives ``--requests``
+    concurrent requests from ``--tenants`` round-robin tenants through the
+    micro-batcher.  Prints ``{"load": ..., "metrics": ...}`` as JSON --
+    the CI smoke asserts ``metrics.coalesce_ratio > 1`` on this output.
+    """
+    import asyncio
+    import json
+
+    from repro.core.strategies import strategy_from_name
+    from repro.serve import FeatureService, run_load
+
+    config = _serve_config_from_args(args)
+    service = FeatureService(config)
+    for i in range(args.templates):
+        strategy = strategy_from_name(
+            "observable", num_qubits=args.qubits, locality=1 + i % 2
+        )
+        service.register(f"template-{i}", strategy, rows=args.rows + i // 2)
+    tenants = tuple(f"tenant-{i}" for i in range(args.tenants))
+
+    async def drive():
+        async with service:
+            report = await run_load(
+                service,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                samples=args.samples,
+                tenants=tenants,
+                seed=args.seed,
+            )
+            return report, service.metrics()
+
+    report, metrics = asyncio.run(drive())
+    print(json.dumps(
+        {"load": report.to_dict(), "metrics": metrics.to_dict()}, indent=2
+    ))
+    return 0 if report.completed == report.requests else 1
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
@@ -341,8 +504,41 @@ def main(argv: list[str] | None = None) -> int:
         "--strict", action="store_true",
         help="exit nonzero on any finding, not just errors",
     )
+    li.add_argument(
+        "--serve", action="store_true",
+        help="lint the serve flags as a ServeConfig plan (codes RPA11x)",
+    )
     _add_execution_flags(li)
+    _add_serve_flags(li)
     li.set_defaults(fn=_cmd_lint)
+
+    sv = sub.add_parser(
+        "serve",
+        help="in-process multi-tenant load test of the micro-batching "
+        "feature service (JSON load report + metrics)",
+    )
+    sv.add_argument("--requests", type=_int_at_least(1), default=64)
+    sv.add_argument("--concurrency", type=_int_at_least(1), default=16)
+    sv.add_argument(
+        "--samples", type=_int_at_least(1), default=2,
+        help="samples per request (default: 2)",
+    )
+    sv.add_argument(
+        "--templates", type=_int_at_least(1), default=2,
+        help="distinct registered templates (default: 2)",
+    )
+    sv.add_argument(
+        "--tenants", type=_int_at_least(1), default=2,
+        help="round-robin tenant count (default: 2)",
+    )
+    sv.add_argument("--qubits", type=_int_at_least(1), default=4)
+    sv.add_argument(
+        "--rows", type=_int_at_least(1), default=2,
+        help="encoding rows per sample (default: 2)",
+    )
+    _add_serve_flags(sv)
+    _add_execution_flags(sv, vectorize_default="auto", compile_default="auto")
+    sv.set_defaults(fn=_cmd_serve)
 
     sc = sub.add_parser("scaling", help="simulated-cluster strong scaling")
     sc.add_argument("--tasks", type=int, default=128)

@@ -93,6 +93,7 @@ __all__ = [
     "evaluate_features",
     "iter_feature_blocks",
     "feature_circuit_tasks",
+    "measure_block",
     "prepare_states",
     "resolve_chunk_size",
 ]
@@ -270,13 +271,37 @@ def _evaluate_block(
     evolved = (
         evolve(states, program) if xp is None else evolve(states, program, xp=xp)
     )
+    return measure_block(
+        evolved, observables, estimator, shots, snapshots, rng, backend
+    )
+
+
+def measure_block(
+    evolved: np.ndarray,
+    observables: list[PauliString],
+    estimator: str,
+    shots: int,
+    snapshots: int,
+    rng: np.random.Generator | None,
+    backend: QuantumBackend,
+) -> np.ndarray:
+    """Feature block from *already-evolved* states: the measurement half of
+    :func:`_evaluate_block`, shared verbatim with the serving layer
+    (:mod:`repro.serve.engine`), whose coalesced flushes must measure
+    exactly like a standalone sweep to stay bit-equal per request.
+
+    ``evolved`` has data points on axis 0 in the backend's evolved
+    representation (statevectors, density matrices, or a mitigated
+    ``(d, scales, ...)`` fold stack); returns ``(d, q)``.
+    """
     q = len(observables)
+    d = int(evolved.shape[0])
     if estimator == "exact":
-        block = np.empty((states.shape[0], q))
+        block = np.empty((d, q))
         for b, obs in enumerate(observables):
             block[:, b] = backend.expectation(evolved, obs)
     elif estimator == "shots":
-        block = np.empty((states.shape[0], q))
+        block = np.empty((d, q))
         for b, obs in enumerate(observables):
             block[:, b] = backend.sample(evolved, obs, shots, rng)
     elif estimator == "shadows":

@@ -1,0 +1,74 @@
+"""repro.serve -- async multi-tenant feature service with micro-batching.
+
+The serving layer the paper's hybrid HPC-QC deployment implies: many
+clients, one shared device session, cross-request micro-batching so
+concurrent requests for the same template fuse into one stacked kernel
+pass -- with per-request bit-equality to standalone
+``generate_features`` calls preserved (see :mod:`repro.serve.engine`).
+
+Public surface::
+
+    from repro.serve import FeatureService, FeatureClient, ServeConfig
+
+    service = FeatureService(ServeConfig(batch_window_ms=2.0, pool="thread"))
+    service.register("mnist", strategy, rows=2)
+    async with service:
+        features = await service.submit("mnist", angles, tenant="team-a")
+        print(service.metrics().to_dict())
+"""
+
+from repro.api.config import SERVE_POOLS, ServeConfig
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.client import FeatureClient, LoadReport, run_load
+from repro.serve.engine import (
+    FlushRequest,
+    RequestPlan,
+    TemplateArtifacts,
+    build_artifacts,
+    execute_flush,
+    plan_request,
+    request_cost,
+)
+from repro.serve.fairness import (
+    AdmissionController,
+    BackpressureError,
+    WeightedRoundRobin,
+)
+from repro.serve.metrics import (
+    LATENCY_WINDOW,
+    MetricsSnapshot,
+    ServiceMetrics,
+    TenantStats,
+)
+from repro.serve.result_cache import ResultCache, ResultCacheInfo, result_key
+from repro.serve.service import FeatureService, Registration, ServiceClosedError
+
+__all__ = [
+    "ServeConfig",
+    "SERVE_POOLS",
+    "FeatureService",
+    "Registration",
+    "ServiceClosedError",
+    "FeatureClient",
+    "LoadReport",
+    "run_load",
+    "MicroBatcher",
+    "PendingRequest",
+    "AdmissionController",
+    "BackpressureError",
+    "WeightedRoundRobin",
+    "ResultCache",
+    "ResultCacheInfo",
+    "result_key",
+    "ServiceMetrics",
+    "MetricsSnapshot",
+    "TenantStats",
+    "LATENCY_WINDOW",
+    "RequestPlan",
+    "FlushRequest",
+    "TemplateArtifacts",
+    "plan_request",
+    "build_artifacts",
+    "request_cost",
+    "execute_flush",
+]

@@ -1,0 +1,140 @@
+"""Cross-request micro-batching: coalesce, window, flush.
+
+The :class:`MicroBatcher` holds admitted requests grouped by template
+identity (the engine's ``group_key``).  A group flushes when its batch
+window expires or it fills to ``max_batch_size`` -- whichever comes first
+-- and a ``window_s`` of 0 degenerates to per-request flushing (coalescing
+off).  Within a flush, requests are drawn from the group's per-tenant
+queues by the shared :class:`~repro.serve.fairness.WeightedRoundRobin`
+selector, so one flooding tenant cannot monopolise a batch.
+
+Event-loop-confined: every method must run on the service's loop (timers
+are ``loop.call_later`` handles, flushes are ``asyncio`` tasks).  The
+batcher does not execute anything itself -- the service injects the async
+``flush`` callable that bridges to the runtime pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from collections.abc import Awaitable, Callable
+from typing import Any
+
+__all__ = ["PendingRequest", "MicroBatcher"]
+
+
+class PendingRequest:
+    """One admitted request waiting to join a flush."""
+
+    __slots__ = ("tenant", "payload", "cost", "future")
+
+    def __init__(
+        self, tenant: str, payload: Any, cost: float, future: asyncio.Future
+    ) -> None:
+        self.tenant = tenant
+        self.payload = payload
+        self.cost = cost
+        self.future = future
+
+
+class _GroupState:
+    """Pending requests of one coalescing group (per-tenant queues)."""
+
+    __slots__ = ("key", "queues", "count", "timer")
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+        self.queues: dict[str, deque[PendingRequest]] = {}
+        self.count = 0
+        self.timer: asyncio.TimerHandle | None = None
+
+
+FlushFn = Callable[[Any, list[PendingRequest]], Awaitable[None]]
+
+
+class MicroBatcher:
+    """Coalesces admitted requests per group key and flushes micro-batches."""
+
+    def __init__(
+        self,
+        *,
+        window_s: float,
+        max_batch_size: int,
+        selector: Any,
+        flush: FlushFn,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size={max_batch_size} must be >= 1")
+        if window_s < 0:
+            raise ValueError(f"window_s={window_s} must be >= 0")
+        self.window_s = float(window_s)
+        self.max_batch_size = int(max_batch_size)
+        self._selector = selector
+        self._flush = flush
+        self._groups: dict[Any, _GroupState] = {}
+        self._tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet handed to a flush task."""
+        return sum(group.count for group in self._groups.values())
+
+    @property
+    def inflight_flushes(self) -> int:
+        """Flush tasks started and not yet finished."""
+        return len(self._tasks)
+
+    # ------------------------------------------------------------- admission
+    def add(self, key: Any, request: PendingRequest) -> None:
+        """Queue one admitted request under its group, arming the window.
+
+        Flushes immediately when the group fills to ``max_batch_size`` or
+        the window is 0; otherwise the group's first request arms a single
+        ``call_later`` timer for the whole batch.
+        """
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _GroupState(key)
+        group.queues.setdefault(request.tenant, deque()).append(request)
+        group.count += 1
+        if group.count >= self.max_batch_size or self.window_s <= 0:
+            self._flush_group(group)
+        elif group.timer is None:
+            loop = asyncio.get_running_loop()
+            group.timer = loop.call_later(self.window_s, self._flush_group, group)
+
+    # --------------------------------------------------------------- flushing
+    def _flush_group(self, group: _GroupState) -> None:
+        """Drain one group into flush tasks of <= max_batch_size each."""
+        if group.timer is not None:
+            group.timer.cancel()
+            group.timer = None
+        self._groups.pop(group.key, None)
+        while group.count:
+            batch = self._select_batch(group)
+            task = asyncio.ensure_future(self._flush(group.key, batch))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    def _select_batch(self, group: _GroupState) -> list[PendingRequest]:
+        """Draw up to ``max_batch_size`` requests, WRR-fair across tenants."""
+        batch: list[PendingRequest] = []
+        while group.count and len(batch) < self.max_batch_size:
+            candidates = sorted(t for t, q in group.queues.items() if q)
+            winner = self._selector.pick(candidates)
+            batch.append(group.queues[winner].popleft())
+            group.count -= 1
+        return batch
+
+    def flush_all(self) -> None:
+        """Flush every pending group now (shutdown / drain path)."""
+        for group in list(self._groups.values()):
+            self._flush_group(group)
+
+    async def drain(self) -> None:
+        """Flush everything and wait for every in-flight flush to finish."""
+        self.flush_all()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

@@ -1,0 +1,132 @@
+"""Admission control and per-tenant fairness for the feature service.
+
+Two cooperating pieces, both event-loop-confined (the service calls them
+from its loop only; no locks needed):
+
+* :class:`AdmissionController` -- bounded admission per tenant, counted in
+  requests and optionally in :class:`~repro.hpc.cluster.CircuitTask` cost
+  units (the same model that prices the runtime's dispatch order).
+  Overflow raises :class:`BackpressureError` *before* the request enters a
+  queue, so a flooding tenant is rejected at the door instead of growing
+  unbounded state.
+* :class:`WeightedRoundRobin` -- smooth weighted round-robin (the nginx
+  algorithm) over tenants with pending work.  Each pick raises every
+  candidate's credit by its weight and charges the winner the total, so a
+  weight-3 tenant wins 3 of every 4 picks against a weight-1 tenant
+  without ever bursting -- picks interleave (a a b a), they don't run
+  (a a a b).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["BackpressureError", "AdmissionController", "WeightedRoundRobin"]
+
+
+class BackpressureError(RuntimeError):
+    """Request rejected at admission: the tenant's queue bound is full."""
+
+
+class AdmissionController:
+    """Per-tenant admission bounds: request count always, cost optionally.
+
+    ``max_depth`` bounds the number of admitted-but-unfinished requests a
+    single tenant may hold; ``max_cost`` (``None`` = unbounded) bounds
+    their summed cost units.  The first request of a tenant always admits
+    even when its cost alone exceeds ``max_cost`` -- a bound that can
+    reject *every* request of a legal workload would deadlock clients.
+    """
+
+    def __init__(self, max_depth: int, max_cost: float | None = None) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth={max_depth} must be >= 1")
+        if max_cost is not None and max_cost <= 0:
+            raise ValueError(f"max_cost={max_cost} must be > 0 or None")
+        self.max_depth = int(max_depth)
+        self.max_cost = max_cost
+        self._depth: dict[str, int] = {}
+        self._cost: dict[str, float] = {}
+
+    def try_acquire(self, tenant: str, cost: float = 0.0) -> None:
+        """Admit one request or raise :class:`BackpressureError`."""
+        depth = self._depth.get(tenant, 0)
+        if depth >= self.max_depth:
+            raise BackpressureError(
+                f"tenant {tenant!r} is at max_queue_depth={self.max_depth} "
+                f"admitted requests; retry after in-flight work drains"
+            )
+        held = self._cost.get(tenant, 0.0)
+        if self.max_cost is not None and depth > 0 and held + cost > self.max_cost:
+            raise BackpressureError(
+                f"tenant {tenant!r} holds {held:.3g} of max_queue_cost="
+                f"{self.max_cost:.3g} cost units; this request costs {cost:.3g}"
+            )
+        self._depth[tenant] = depth + 1
+        self._cost[tenant] = held + cost
+
+    def release(self, tenant: str, cost: float = 0.0) -> None:
+        """Return one request's admission (its ``try_acquire`` mirror)."""
+        depth = self._depth.get(tenant, 0) - 1
+        if depth <= 0:
+            self._depth.pop(tenant, None)
+            self._cost.pop(tenant, None)
+            return
+        self._depth[tenant] = depth
+        self._cost[tenant] = max(0.0, self._cost.get(tenant, 0.0) - cost)
+
+    def depth(self, tenant: str | None = None) -> int:
+        """Outstanding admitted requests, per tenant or in total."""
+        if tenant is not None:
+            return self._depth.get(tenant, 0)
+        return sum(self._depth.values())
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-tenant outstanding depth/cost (feeds the metrics snapshot)."""
+        return {
+            tenant: {"depth": depth, "cost": self._cost.get(tenant, 0.0)}
+            for tenant, depth in sorted(self._depth.items())
+        }
+
+
+class WeightedRoundRobin:
+    """Smooth weighted round-robin over tenants with pending work.
+
+    Stateful across picks (credits persist), deterministic given candidate
+    order.  Tenants absent from ``weights`` get ``default_weight``;
+    non-positive weights are excluded while any positive-weight candidate
+    exists (the starvation RPA112 lints and the service refuses at start),
+    and degrade to equal shares when *every* candidate is non-positive so
+    the selector alone can never deadlock.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, float] | None = None,
+        default_weight: float = 1.0,
+    ) -> None:
+        if default_weight <= 0:
+            raise ValueError(f"default_weight={default_weight} must be > 0")
+        self._weights = dict(weights or {})
+        self._default = float(default_weight)
+        self._credit: dict[str, float] = {}
+
+    def weight(self, tenant: str) -> float:
+        """The configured share of ``tenant`` (default for unnamed ones)."""
+        return float(self._weights.get(tenant, self._default))
+
+    def pick(self, candidates: Sequence[str]) -> str:
+        """The next tenant to serve among ``candidates`` (ties: first wins)."""
+        if not candidates:
+            raise ValueError("pick() needs at least one candidate tenant")
+        weights = {tenant: self.weight(tenant) for tenant in candidates}
+        eligible = [t for t in candidates if weights[t] > 0]
+        if not eligible:
+            eligible = list(candidates)
+            weights = dict.fromkeys(candidates, 1.0)
+        total = sum(weights[t] for t in eligible)
+        for tenant in eligible:
+            self._credit[tenant] = self._credit.get(tenant, 0.0) + weights[tenant]
+        winner = max(eligible, key=lambda t: self._credit[t])
+        self._credit[winner] -= total
+        return winner

@@ -1,0 +1,208 @@
+"""Service observability: counters, coalescing, caches, latency quantiles.
+
+:class:`ServiceMetrics` is the mutable recorder the service drives;
+:meth:`ServiceMetrics.snapshot` freezes it into a :class:`MetricsSnapshot`
+value object (JSON-safe via ``to_dict``) -- the thing ``repro serve`` dumps
+and the CI smoke asserts on.  Latency quantiles are computed over a bounded
+per-tenant reservoir (the most recent :data:`LATENCY_WINDOW` responses), so
+a long-lived service's metrics cost stays O(1).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["LATENCY_WINDOW", "TenantStats", "MetricsSnapshot", "ServiceMetrics"]
+
+#: Per-tenant latency reservoir size (most recent responses kept).
+LATENCY_WINDOW = 4096
+
+
+def _percentile_ms(latencies: deque[float], q: float) -> float:
+    """The q-th percentile of a latency reservoir, in ms (nan when empty)."""
+    if not latencies:
+        return math.nan
+    return float(np.percentile(np.asarray(latencies), q) * 1e3)
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's view: traffic, rejections, latency quantiles."""
+
+    requests: int
+    responses: int
+    rejected: int
+    cache_hits: int
+    outstanding: int
+    p50_ms: float
+    p99_ms: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "rejected": self.rejected,
+            "cache_hits": self.cache_hits,
+            "outstanding": self.outstanding,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Frozen service-wide metrics at one instant.
+
+    ``coalesce_ratio`` is the micro-batcher's payoff: flushed requests per
+    flush (1.0 = no cross-request sharing; the CI smoke asserts > 1 under
+    concurrent same-template load).  ``queue_depth`` counts admitted
+    requests not yet resolved; cache dicts mirror
+    ``CompileCache.info()`` / ``ResultCache.info()``.
+    """
+
+    requests_total: int
+    responses_total: int
+    rejected_total: int
+    errors_total: int
+    cache_hits_total: int
+    flushes_total: int
+    flushed_requests_total: int
+    max_flush_size: int
+    coalesce_ratio: float
+    queue_depth: int
+    compile_cache: dict[str, int]
+    result_cache: dict[str, int]
+    tenants: tuple[tuple[str, TenantStats], ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests_total": self.requests_total,
+            "responses_total": self.responses_total,
+            "rejected_total": self.rejected_total,
+            "errors_total": self.errors_total,
+            "cache_hits_total": self.cache_hits_total,
+            "flushes_total": self.flushes_total,
+            "flushed_requests_total": self.flushed_requests_total,
+            "max_flush_size": self.max_flush_size,
+            "coalesce_ratio": self.coalesce_ratio,
+            "queue_depth": self.queue_depth,
+            "compile_cache": dict(self.compile_cache),
+            "result_cache": dict(self.result_cache),
+            "tenants": {name: stats.to_dict() for name, stats in self.tenants},
+        }
+
+
+class _TenantRecorder:
+    """Mutable per-tenant counters + latency reservoir."""
+
+    __slots__ = ("requests", "responses", "rejected", "cache_hits", "latencies")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.responses = 0
+        self.rejected = 0
+        self.cache_hits = 0
+        self.latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+
+class ServiceMetrics:
+    """The service's mutable recorder.
+
+    Thread-safe (one lock around every mutation): recording happens on the
+    event loop, but ``snapshot()`` may be called from any thread -- e.g. a
+    monitoring hook observing a running service.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantRecorder] = {}
+        self._errors = 0
+        self._flushes = 0
+        self._flushed_requests = 0
+        self._max_flush = 0
+
+    def _tenant(self, tenant: str) -> _TenantRecorder:
+        recorder = self._tenants.get(tenant)
+        if recorder is None:
+            recorder = self._tenants[tenant] = _TenantRecorder()
+        return recorder
+
+    # -------------------------------------------------------------- recording
+    def record_request(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).requests += 1
+
+    def record_rejected(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).rejected += 1
+
+    def record_cache_hit(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).cache_hits += 1
+
+    def record_response(self, tenant: str, latency_s: float) -> None:
+        with self._lock:
+            recorder = self._tenant(tenant)
+            recorder.responses += 1
+            recorder.latencies.append(latency_s)
+
+    def record_error(self, count: int = 1) -> None:
+        with self._lock:
+            self._errors += count
+
+    def record_flush(self, size: int) -> None:
+        with self._lock:
+            self._flushes += 1
+            self._flushed_requests += size
+            self._max_flush = max(self._max_flush, size)
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(
+        self,
+        *,
+        queue_depth: int = 0,
+        outstanding: dict[str, int] | None = None,
+        compile_cache: dict[str, int] | None = None,
+        result_cache: dict[str, int] | None = None,
+    ) -> MetricsSnapshot:
+        """Freeze the current counters into a :class:`MetricsSnapshot`."""
+        outstanding = outstanding or {}
+        with self._lock:
+            tenants = tuple(
+                (
+                    name,
+                    TenantStats(
+                        requests=rec.requests,
+                        responses=rec.responses,
+                        rejected=rec.rejected,
+                        cache_hits=rec.cache_hits,
+                        outstanding=outstanding.get(name, 0),
+                        p50_ms=_percentile_ms(rec.latencies, 50),
+                        p99_ms=_percentile_ms(rec.latencies, 99),
+                    ),
+                )
+                for name, rec in sorted(self._tenants.items())
+            )
+            flushes = self._flushes
+            flushed = self._flushed_requests
+            return MetricsSnapshot(
+                requests_total=sum(r.requests for r in self._tenants.values()),
+                responses_total=sum(r.responses for r in self._tenants.values()),
+                rejected_total=sum(r.rejected for r in self._tenants.values()),
+                errors_total=self._errors,
+                cache_hits_total=sum(r.cache_hits for r in self._tenants.values()),
+                flushes_total=flushes,
+                flushed_requests_total=flushed,
+                max_flush_size=self._max_flush,
+                coalesce_ratio=(flushed / flushes) if flushes else math.nan,
+                queue_depth=queue_depth,
+                compile_cache=dict(compile_cache or {}),
+                result_cache=dict(result_cache or {}),
+                tenants=tenants,
+            )

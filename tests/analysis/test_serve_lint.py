@@ -1,0 +1,173 @@
+"""Serve-plan lint (RPA11x) and the serve preflight gate."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.analysis.diagnostics import DIAGNOSTIC_CODES
+from repro.analysis.plan import lint_serve_config
+from repro.analysis.preflight import (
+    PreflightError,
+    PreflightWarning,
+    run_serve_preflight,
+)
+from repro.api.config import ExecutionConfig, ServeConfig
+
+
+def test_serve_codes_registered():
+    for code in ("RPA110", "RPA111", "RPA112", "RPA113"):
+        assert code in DIAGNOSTIC_CODES
+
+
+def test_default_serve_config_is_clean():
+    assert lint_serve_config(ServeConfig()).clean
+
+
+# ------------------------------------------------- RPA110 (batch window)
+def test_rpa110_zero_window_warns():
+    report = lint_serve_config(ServeConfig(batch_window_ms=0))
+    (finding,) = [d for d in report if d.code == "RPA110"]
+    assert finding.severity == "warning"
+    assert report.ok  # zero is legal, just coalescing-free
+
+
+def test_rpa110_negative_window_is_error():
+    report = lint_serve_config(ServeConfig(batch_window_ms=-2.0))
+    (finding,) = [d for d in report if d.code == "RPA110"]
+    assert finding.severity == "error"
+    assert not report.ok
+
+
+def test_rpa110_not_on_positive_window():
+    assert "RPA110" not in lint_serve_config(
+        ServeConfig(batch_window_ms=2.0)
+    ).codes()
+
+
+# -------------------------------------------------- RPA111 (dead cache)
+def test_rpa111_caching_with_zero_entries():
+    cfg = ServeConfig(cache_results=True, result_cache_size=0)
+    report = lint_serve_config(cfg)
+    assert "RPA111" in report.codes()
+    assert report.ok  # warning
+
+
+def test_rpa111_not_when_cache_disabled_or_sized():
+    assert "RPA111" not in lint_serve_config(
+        ServeConfig(cache_results=False, result_cache_size=0)
+    ).codes()
+    assert "RPA111" not in lint_serve_config(
+        ServeConfig(cache_results=True, result_cache_size=8)
+    ).codes()
+
+
+# -------------------------------------------- RPA112 (starved tenants)
+def test_rpa112_nonpositive_weight_is_error():
+    cfg = ServeConfig(tenant_weights={"paying": 1.0, "free": 0.0})
+    report = lint_serve_config(cfg)
+    findings = [d for d in report if d.code == "RPA112"]
+    assert len(findings) == 1
+    assert "free" in findings[0].message
+    assert not report.ok
+
+
+def test_rpa112_one_finding_per_starved_tenant():
+    cfg = ServeConfig(tenant_weights={"a": -1.0, "b": 0.0, "c": 2.0})
+    report = lint_serve_config(cfg)
+    assert len([d for d in report if d.code == "RPA112"]) == 2
+
+
+def test_rpa112_not_on_positive_weights():
+    cfg = ServeConfig(tenant_weights={"a": 3.0, "b": 1.0})
+    assert "RPA112" not in lint_serve_config(cfg).codes()
+
+
+# ------------------------------------- RPA113 (window without batching)
+def test_rpa113_window_with_vectorize_off():
+    cfg = ServeConfig(
+        batch_window_ms=2.0,
+        execution=ExecutionConfig(vectorize="off"),
+    )
+    report = lint_serve_config(cfg)
+    assert "RPA113" in report.codes()
+    assert report.ok  # warning: correct, just not profitable
+
+
+def test_rpa113_not_when_window_off_or_vectorized():
+    assert "RPA113" not in lint_serve_config(
+        ServeConfig(batch_window_ms=0, execution=ExecutionConfig(vectorize="off"))
+    ).codes()
+    assert "RPA113" not in lint_serve_config(
+        ServeConfig(max_batch_size=1, execution=ExecutionConfig(vectorize="off"))
+    ).codes()
+    assert "RPA113" not in lint_serve_config(ServeConfig()).codes()
+
+
+# ----------------------------------------------- nested execution merge
+def test_nested_execution_findings_merged():
+    cfg = ServeConfig(
+        execution=ExecutionConfig(shards=8, compile="auto", vectorize="auto")
+    )
+    report = lint_serve_config(cfg, num_qubits=2)
+    assert "RPA101" in report.codes()  # the execution-level finding
+
+
+def test_diagnose_matches_lint_serve_config():
+    cfg = ServeConfig(batch_window_ms=0)
+    assert cfg.diagnose().codes() == lint_serve_config(cfg).codes()
+
+
+# ----------------------------------------------------- preflight gate
+def _flagged(preflight: str) -> ServeConfig:
+    return ServeConfig(
+        batch_window_ms=0,
+        execution=ExecutionConfig(
+            vectorize="auto", compile="auto", preflight=preflight
+        ),
+    )
+
+
+def test_serve_preflight_off_is_free():
+    report = run_serve_preflight(_flagged("off"))
+    assert not report.codes()
+
+
+def test_serve_preflight_warn_surfaces_findings():
+    with pytest.warns(PreflightWarning, match="RPA110"):
+        report = run_serve_preflight(_flagged("warn"))
+    assert "RPA110" in report.codes()
+
+
+def test_serve_preflight_error_raises_on_errors_only():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", PreflightWarning)
+        # RPA110-at-zero is a warning: error mode lets it pass.
+        run_serve_preflight(_flagged("error"))
+    starving = ServeConfig(
+        tenant_weights={"a": 0.0},
+        execution=ExecutionConfig(
+            vectorize="auto", compile="auto", preflight="error"
+        ),
+    )
+    with pytest.raises(PreflightError, match="RPA112"):
+        run_serve_preflight(starving)
+
+
+def test_service_register_runs_preflight():
+    from repro.core.strategies import strategy_from_name
+    from repro.serve import FeatureService
+
+    service = FeatureService(
+        ServeConfig(
+            tenant_weights={"ghost": 0.0},
+            execution=ExecutionConfig(
+                vectorize="auto", compile="auto", preflight="error"
+            ),
+        )
+    )
+    with pytest.raises(PreflightError, match="RPA112"):
+        service.register(
+            "t", strategy_from_name("observable", num_qubits=2), rows=2
+        )

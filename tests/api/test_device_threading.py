@@ -1,0 +1,100 @@
+"""QuantumDevice thread-safety: concurrent sweeps, close races, idempotence.
+
+The serving layer drives one shared device from many coroutines (and its
+flush workers from pool threads), so the session facade must deliver
+bit-equal results under concurrency and survive close() racing sweeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionConfig, QuantumDevice
+from repro.core.strategies import strategy_from_name
+
+QUBITS = 3
+ROWS = 2
+
+
+def _angles(seed: int, k: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, np.pi, size=(k, ROWS, QUBITS))
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        ExecutionConfig(seed=5),
+        ExecutionConfig(estimator="shots", shots=64, seed=5),
+        ExecutionConfig(vectorize="auto", compile="auto", seed=5),
+    ],
+    ids=["exact", "shots", "vectorized"],
+)
+def test_concurrent_runs_bit_equal_sequential(config):
+    strategy = strategy_from_name("observable", num_qubits=QUBITS)
+    inputs = [_angles(seed) for seed in range(8)]
+    with QuantumDevice(config) as device:
+        sequential = [device.run(strategy, x)[0] for x in inputs]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            concurrent = list(
+                pool.map(lambda x: device.run(strategy, x)[0], inputs)
+            )
+    for seq, conc in zip(sequential, concurrent):
+        assert np.array_equal(seq, conc)
+
+
+def test_close_is_idempotent():
+    device = QuantumDevice(ExecutionConfig())
+    device.close()
+    device.close()
+    assert device.closed
+    with pytest.raises(RuntimeError, match="closed"):
+        device.run(
+            strategy_from_name("observable", num_qubits=QUBITS), _angles(0)
+        )
+
+
+def test_concurrent_close_races_are_safe():
+    for _ in range(10):
+        device = QuantumDevice(ExecutionConfig(), pool="thread", max_workers=2)
+        device.warm()
+        barrier = threading.Barrier(4)
+
+        def slam(dev=device, gate=barrier):
+            gate.wait()
+            dev.close()
+
+        threads = [threading.Thread(target=slam) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert device.closed
+
+
+def test_close_racing_sweeps_fails_cleanly():
+    strategy = strategy_from_name("observable", num_qubits=QUBITS)
+    device = QuantumDevice(ExecutionConfig(seed=1))
+    reference = device.run(strategy, _angles(1))[0]
+    results: list = []
+
+    def sweep(i: int):
+        try:
+            results.append(device.run(strategy, _angles(1))[0])
+        except RuntimeError as exc:
+            # Late sweeps must fail with the ordinary closed-session error.
+            assert "closed" in str(exc)
+
+    threads = [threading.Thread(target=sweep, args=(i,)) for i in range(6)]
+    for i, t in enumerate(threads):
+        t.start()
+        if i == 2:
+            device.close()
+    for t in threads:
+        t.join()
+    for got in results:
+        assert np.array_equal(got, reference)

@@ -1,0 +1,152 @@
+"""Micro-batcher: windowing, size-triggered flushes, fair batch selection."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.fairness import WeightedRoundRobin
+
+
+class FlushRecorder:
+    """Flush callable that records (key, tenants) per flush."""
+
+    def __init__(self) -> None:
+        self.flushes: list[tuple[object, list[str]]] = []
+
+    async def __call__(self, key, batch) -> None:
+        self.flushes.append((key, [p.tenant for p in batch]))
+        for pending in batch:
+            if not pending.future.done():
+                pending.future.set_result(pending.payload)
+
+
+def _pending(tenant: str, payload: object = None) -> PendingRequest:
+    loop = asyncio.get_running_loop()
+    return PendingRequest(tenant, payload, 1.0, loop.create_future())
+
+
+def _batcher(recorder, **kwargs) -> MicroBatcher:
+    defaults = dict(
+        window_s=0.005,
+        max_batch_size=8,
+        selector=WeightedRoundRobin(),
+        flush=recorder,
+    )
+    defaults.update(kwargs)
+    return MicroBatcher(**defaults)
+
+
+def test_window_coalesces_same_key():
+    recorder = FlushRecorder()
+
+    async def main():
+        batcher = _batcher(recorder)
+        futures = []
+        for i in range(3):
+            req = _pending("t", payload=i)
+            futures.append(req.future)
+            batcher.add("k", req)
+        assert batcher.pending == 3
+        results = await asyncio.gather(*futures)
+        assert sorted(results) == [0, 1, 2]
+
+    asyncio.run(main())
+    assert len(recorder.flushes) == 1
+    assert recorder.flushes[0][0] == "k"
+
+
+def test_distinct_keys_never_share_a_flush():
+    recorder = FlushRecorder()
+
+    async def main():
+        batcher = _batcher(recorder)
+        reqs = [_pending("t") for _ in range(4)]
+        for i, req in enumerate(reqs):
+            batcher.add(f"k{i % 2}", req)
+        await asyncio.gather(*(r.future for r in reqs))
+
+    asyncio.run(main())
+    assert len(recorder.flushes) == 2
+    assert {key for key, _ in recorder.flushes} == {"k0", "k1"}
+
+
+def test_max_batch_size_flushes_early():
+    recorder = FlushRecorder()
+
+    async def main():
+        # A long window that the size trigger must beat.
+        batcher = _batcher(recorder, window_s=30.0, max_batch_size=2)
+        reqs = [_pending("t") for _ in range(4)]
+        for req in reqs:
+            batcher.add("k", req)
+        await asyncio.wait_for(
+            asyncio.gather(*(r.future for r in reqs)), timeout=5.0
+        )
+
+    asyncio.run(main())
+    assert len(recorder.flushes) == 2
+    assert all(len(tenants) == 2 for _, tenants in recorder.flushes)
+
+
+def test_zero_window_flushes_per_request():
+    recorder = FlushRecorder()
+
+    async def main():
+        batcher = _batcher(recorder, window_s=0.0)
+        reqs = [_pending("t") for _ in range(3)]
+        for req in reqs:
+            batcher.add("k", req)
+        await asyncio.gather(*(r.future for r in reqs))
+
+    asyncio.run(main())
+    assert len(recorder.flushes) == 3
+
+
+def test_batch_selection_is_weighted_fair():
+    recorder = FlushRecorder()
+
+    async def main():
+        batcher = _batcher(
+            recorder,
+            window_s=30.0,
+            max_batch_size=4,
+            selector=WeightedRoundRobin({"heavy": 3.0, "light": 1.0}),
+        )
+        reqs = [_pending("heavy") for _ in range(3)] + [_pending("light")]
+        # "light" floods first; the selector still gives "heavy" its share.
+        batcher.add("k", reqs[3])
+        for req in reqs[:3]:
+            batcher.add("k", req)
+        await asyncio.gather(*(r.future for r in reqs))
+
+    asyncio.run(main())
+    (_, tenants), = recorder.flushes
+    assert tenants.count("heavy") == 3 and tenants.count("light") == 1
+    assert tenants[:2] != ["light", "light"]
+
+
+def test_drain_flushes_pending_and_waits():
+    recorder = FlushRecorder()
+
+    async def main():
+        batcher = _batcher(recorder, window_s=30.0)
+        req = _pending("t")
+        batcher.add("k", req)
+        await batcher.drain()
+        assert batcher.pending == 0
+        assert batcher.inflight_flushes == 0
+        assert req.future.done()
+
+    asyncio.run(main())
+    assert len(recorder.flushes) == 1
+
+
+def test_invalid_parameters():
+    recorder = FlushRecorder()
+    with pytest.raises(ValueError, match="max_batch_size"):
+        _batcher(recorder, max_batch_size=0)
+    with pytest.raises(ValueError, match="window_s"):
+        _batcher(recorder, window_s=-1.0)

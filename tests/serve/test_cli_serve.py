@@ -1,0 +1,51 @@
+"""CLI surface: ``repro serve`` load test and ``repro lint --serve``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_serve_command_emits_load_and_metrics(capsys):
+    code = main([
+        "serve",
+        "--requests", "16",
+        "--concurrency", "8",
+        "--samples", "1",
+        "--templates", "2",
+        "--tenants", "2",
+        "--qubits", "2",
+        "--window-ms", "10",
+        "--pool", "serial",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["load"]["completed"] == 16
+    assert payload["load"]["rejected"] == 0
+    assert payload["metrics"]["coalesce_ratio"] >= 1.0
+    assert set(payload["metrics"]["tenants"]) == {"tenant-0", "tenant-1"}
+
+
+def test_lint_serve_flags_finds_rpa11x(capsys):
+    code = main([
+        "lint", "--serve", "--json", "--window-ms", "0",
+        "--tenant-weight", "free=0",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1  # RPA112 is an error
+    codes = {d["code"] for d in json.loads(out)}
+    assert {"RPA110", "RPA112"} <= codes
+
+
+def test_lint_without_serve_ignores_serve_flags(capsys):
+    code = main(["lint", "--window-ms", "0"])
+    assert code == 0
+    assert "RPA110" not in capsys.readouterr().out
+
+
+def test_serve_rejects_bad_tenant_weight():
+    with pytest.raises(SystemExit):
+        main(["serve", "--tenant-weight", "nonsense"])

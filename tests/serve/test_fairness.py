@@ -1,0 +1,94 @@
+"""Admission control and smooth weighted round-robin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.fairness import (
+    AdmissionController,
+    BackpressureError,
+    WeightedRoundRobin,
+)
+
+
+class TestAdmissionController:
+    def test_depth_bound_per_tenant(self):
+        ctrl = AdmissionController(max_depth=2)
+        ctrl.try_acquire("a")
+        ctrl.try_acquire("a")
+        with pytest.raises(BackpressureError, match="max_queue_depth"):
+            ctrl.try_acquire("a")
+        ctrl.try_acquire("b")  # other tenants unaffected
+        ctrl.release("a")
+        ctrl.try_acquire("a")  # freed capacity admits again
+
+    def test_cost_bound(self):
+        ctrl = AdmissionController(max_depth=10, max_cost=5.0)
+        ctrl.try_acquire("a", cost=3.0)
+        with pytest.raises(BackpressureError, match="cost"):
+            ctrl.try_acquire("a", cost=3.0)
+        ctrl.try_acquire("a", cost=2.0)  # exactly at the bound admits
+
+    def test_first_request_always_admits(self):
+        ctrl = AdmissionController(max_depth=10, max_cost=1.0)
+        ctrl.try_acquire("a", cost=100.0)  # oversize but first: admitted
+
+    def test_release_clears_state(self):
+        ctrl = AdmissionController(max_depth=4)
+        ctrl.try_acquire("a", cost=2.0)
+        assert ctrl.depth("a") == 1
+        assert ctrl.depth() == 1
+        ctrl.release("a", cost=2.0)
+        assert ctrl.depth("a") == 0
+        assert ctrl.snapshot() == {}
+
+    def test_snapshot_shape(self):
+        ctrl = AdmissionController(max_depth=4, max_cost=10.0)
+        ctrl.try_acquire("b", cost=1.5)
+        ctrl.try_acquire("a", cost=2.5)
+        snap = ctrl.snapshot()
+        assert list(snap) == ["a", "b"]  # sorted
+        assert snap["a"] == {"depth": 1, "cost": 2.5}
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            AdmissionController(max_depth=0)
+        with pytest.raises(ValueError, match="max_cost"):
+            AdmissionController(max_depth=1, max_cost=0.0)
+
+
+class TestWeightedRoundRobin:
+    def test_equal_weights_alternate(self):
+        wrr = WeightedRoundRobin()
+        picks = [wrr.pick(["a", "b"]) for _ in range(4)]
+        assert sorted(picks[:2]) == ["a", "b"]
+        assert sorted(picks[2:]) == ["a", "b"]
+
+    def test_three_to_one_interleaves_smoothly(self):
+        wrr = WeightedRoundRobin({"a": 3.0, "b": 1.0})
+        picks = [wrr.pick(["a", "b"]) for _ in range(8)]
+        assert picks.count("a") == 6 and picks.count("b") == 2
+        # Smooth WRR interleaves (a a b a), never bursts (a a a b).
+        assert picks[:4] in (["a", "a", "b", "a"], ["a", "b", "a", "a"])
+
+    def test_sole_candidate_wins(self):
+        wrr = WeightedRoundRobin({"a": 0.5})
+        assert wrr.pick(["a"]) == "a"
+
+    def test_nonpositive_weight_excluded_while_positive_exists(self):
+        wrr = WeightedRoundRobin({"bad": 0.0})
+        picks = {wrr.pick(["bad", "good"]) for _ in range(6)}
+        assert picks == {"good"}
+
+    def test_all_nonpositive_degrades_to_equal_share(self):
+        wrr = WeightedRoundRobin({"a": 0.0, "b": -1.0})
+        picks = [wrr.pick(["a", "b"]) for _ in range(4)]
+        assert picks.count("a") == 2 and picks.count("b") == 2
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="candidate"):
+            WeightedRoundRobin().pick([])
+
+    def test_default_weight_must_be_positive(self):
+        with pytest.raises(ValueError, match="default_weight"):
+            WeightedRoundRobin(default_weight=0.0)

@@ -1,0 +1,88 @@
+"""Result cache: LRU order, TTL expiry, defensive copies, disabled mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.result_cache import ResultCache, result_key
+
+
+def test_result_key_distinguishes_payload_and_seed():
+    x = np.arange(6.0).reshape(1, 2, 3)
+    base = result_key("g", x, 1)
+    assert base == result_key("g", x.copy(), 1)
+    assert base != result_key("g", x + 1e-300, 1)
+    assert base != result_key("g", x, 2)
+    assert base != result_key("other", x, 1)
+
+
+def test_result_key_is_dtype_and_shape_sensitive():
+    x = np.zeros((2, 3))
+    assert result_key("g", x, None) != result_key("g", x.reshape(3, 2), None)
+    assert result_key("g", x, None) != result_key(
+        "g", np.zeros((2, 3), dtype=np.float32), None
+    )
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(maxsize=2)
+    cache.put("a", np.array([1.0]))
+    cache.put("b", np.array([2.0]))
+    assert cache.get("a") is not None  # refresh "a"
+    cache.put("c", np.array([3.0]))  # evicts "b", the least recent
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+    info = cache.info()
+    assert info.evictions == 1
+    assert info.currsize == 2
+
+
+def test_returned_arrays_are_copies():
+    cache = ResultCache(maxsize=4)
+    original = np.array([1.0, 2.0])
+    cache.put("k", original)
+    original[0] = 99.0  # caller mutates after put
+    first = cache.get("k")
+    assert first is not None and first[0] == 1.0
+    first[1] = -5.0  # caller mutates a response
+    second = cache.get("k")
+    assert second is not None and second[1] == 2.0
+
+
+def test_ttl_expiry_with_injected_clock():
+    now = [0.0]
+    cache = ResultCache(maxsize=4, ttl_s=10.0, clock=lambda: now[0])
+    cache.put("k", np.array([1.0]))
+    now[0] = 9.0
+    assert cache.get("k") is not None
+    now[0] = 20.1
+    assert cache.get("k") is None
+    info = cache.info()
+    assert info.expirations == 1
+    assert info.currsize == 0
+
+
+def test_maxsize_zero_disables_storage():
+    cache = ResultCache(maxsize=0)
+    cache.put("k", np.array([1.0]))
+    assert cache.get("k") is None
+    assert len(cache) == 0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError, match="maxsize"):
+        ResultCache(maxsize=-1)
+    with pytest.raises(ValueError, match="ttl_s"):
+        ResultCache(maxsize=1, ttl_s=0)
+
+
+def test_info_counts_hits_and_misses():
+    cache = ResultCache(maxsize=2)
+    assert cache.get("nope") is None
+    cache.put("k", np.array([1.0]))
+    assert cache.get("k") is not None
+    info = cache.info()
+    assert (info.hits, info.misses) == (1, 1)
+    assert info.to_dict()["maxsize"] == 2

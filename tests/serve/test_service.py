@@ -1,0 +1,288 @@
+"""FeatureService lifecycle, caching, backpressure, metrics, errors."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api.config import ExecutionConfig
+from repro.api.device import QuantumDevice
+from repro.core.strategies import strategy_from_name
+from repro.serve import (
+    BackpressureError,
+    FeatureClient,
+    FeatureService,
+    ServeConfig,
+    ServiceClosedError,
+)
+
+QUBITS = 3
+ROWS = 2
+
+
+def make_service(**overrides) -> FeatureService:
+    defaults = dict(
+        batch_window_ms=2.0,
+        pool="serial",
+        execution=ExecutionConfig(vectorize="auto", compile="auto", seed=7),
+    )
+    defaults.update(overrides)
+    service = FeatureService(ServeConfig(**defaults))
+    service.register(
+        "t", strategy_from_name("observable", num_qubits=QUBITS), rows=ROWS
+    )
+    return service
+
+
+def angles(k: int = 2, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, np.pi, size=(k, ROWS, QUBITS))
+
+
+def test_submit_requires_start():
+    service = make_service()
+
+    async def main():
+        with pytest.raises(ServiceClosedError, match="not started"):
+            await service.submit("t", angles())
+
+    asyncio.run(main())
+
+
+def test_submit_after_stop_rejected():
+    async def main():
+        service = make_service()
+        async with service:
+            pass
+        with pytest.raises(ServiceClosedError, match="stopped"):
+            await service.submit("t", angles())
+
+    asyncio.run(main())
+
+
+def test_unknown_template_rejected():
+    async def main():
+        async with make_service() as service:
+            with pytest.raises(KeyError, match="unknown template"):
+                await service.submit("nope", angles())
+
+    asyncio.run(main())
+
+
+def test_bad_shape_rejected():
+    async def main():
+        async with make_service() as service:
+            with pytest.raises(ValueError, match="expects"):
+                await service.submit("t", np.zeros((2, ROWS, QUBITS + 1)))
+
+    asyncio.run(main())
+
+
+def test_single_sample_round_trip():
+    async def main():
+        async with make_service() as service:
+            x = angles(k=1)
+            single = await service.submit("t", x[0])
+            batch = await service.submit("t", x)
+            assert single.ndim == 1
+            assert np.array_equal(single, batch[0])
+
+    asyncio.run(main())
+
+
+def test_duplicate_registration_rejected():
+    service = make_service()
+    with pytest.raises(ValueError, match="already registered"):
+        service.register(
+            "t", strategy_from_name("observable", num_qubits=QUBITS), rows=ROWS
+        )
+
+
+def test_template_shape_and_templates():
+    service = make_service()
+    assert service.templates() == ("t",)
+    assert service.template_shape("t") == (ROWS, QUBITS)
+
+
+def test_start_refuses_starving_weights():
+    service = make_service(tenant_weights={"a": 0.0})
+
+    async def main():
+        with pytest.raises(ValueError, match="RPA112"):
+            await service.start()
+
+    asyncio.run(main())
+
+
+def test_cache_hits_identical_requests():
+    async def main():
+        async with make_service() as service:
+            x = angles()
+            first = await service.submit("t", x)
+            second = await service.submit("t", x)
+            assert np.array_equal(first, second)
+            metrics = service.metrics()
+            assert metrics.cache_hits_total == 1
+            assert metrics.flushes_total == 1
+            # Responses are copies: mutating one never poisons the cache.
+            second[0, 0] = 1e9
+            third = await service.submit("t", x)
+            assert np.array_equal(first, third)
+
+    asyncio.run(main())
+
+
+def test_stochastic_seedless_requests_bypass_cache():
+    async def main():
+        service = make_service(
+            execution=ExecutionConfig(
+                estimator="shots", shots=64, vectorize="auto",
+                compile="auto", seed=None,
+            )
+        )
+        async with service:
+            x = angles()
+            await service.submit("t", x)
+            await service.submit("t", x)
+            assert service.metrics().cache_hits_total == 0
+
+    asyncio.run(main())
+
+
+def test_backpressure_rejects_and_counts():
+    async def main():
+        # Depth 1 with a long window: the second concurrent request of the
+        # same tenant must bounce at admission.
+        service = make_service(
+            max_queue_depth=1, batch_window_ms=50.0, cache_results=False
+        )
+        async with service:
+            first = asyncio.ensure_future(service.submit("t", angles(seed=1)))
+            await asyncio.sleep(0)  # first request reaches the batcher
+            with pytest.raises(BackpressureError):
+                await service.submit("t", angles(seed=2))
+            assert await first is not None
+        metrics = service.metrics()
+        assert metrics.rejected_total == 1
+        assert metrics.tenants[0][1].rejected == 1
+
+    asyncio.run(main())
+
+
+def test_metrics_snapshot_shape():
+    async def main():
+        async with make_service() as service:
+            await asyncio.gather(
+                service.submit("t", angles(seed=1), tenant="a"),
+                service.submit("t", angles(seed=2), tenant="b"),
+            )
+            snap = service.metrics().to_dict()
+            assert snap["requests_total"] == 2
+            assert snap["responses_total"] == 2
+            assert snap["queue_depth"] == 0
+            assert set(snap["tenants"]) == {"a", "b"}
+            assert "hits" in snap["compile_cache"]
+            assert "hits" in snap["result_cache"]
+            assert snap["coalesce_ratio"] >= 1.0
+
+    asyncio.run(main())
+
+
+def test_flush_error_fans_out_and_counts(monkeypatch):
+    def boom(artifacts, requests):
+        raise RuntimeError("kernel exploded")
+
+    monkeypatch.setattr("repro.serve.service.execute_flush", boom)
+
+    async def main():
+        async with make_service(cache_results=False) as service:
+            results = await asyncio.gather(
+                service.submit("t", angles(seed=1)),
+                service.submit("t", angles(seed=2)),
+                return_exceptions=True,
+            )
+            # The failure fans out: every waiter resolves with the error,
+            # nothing wedges the loop.
+            assert len(results) == 2
+            assert all(isinstance(r, RuntimeError) for r in results)
+            metrics = service.metrics()
+            assert metrics.errors_total == 2
+            assert metrics.queue_depth == 0
+
+    asyncio.run(main())
+
+
+def test_injected_device_not_closed_by_service():
+    async def main():
+        device = QuantumDevice(
+            ExecutionConfig(vectorize="auto", compile="auto", seed=7)
+        )
+        service = FeatureService(ServeConfig(pool="serial"), device=device)
+        service.register(
+            "t", strategy_from_name("observable", num_qubits=QUBITS), rows=ROWS
+        )
+        async with service:
+            await service.submit("t", angles())
+        assert not device.closed
+        device.close()
+
+    asyncio.run(main())
+
+
+def test_generator_seed_rejected():
+    async def main():
+        async with make_service() as service:
+            with pytest.raises(TypeError, match="Generator"):
+                await service.submit(
+                    "t", angles(), seed=np.random.default_rng(0)
+                )
+
+    asyncio.run(main())
+
+
+def test_predict_requires_head_and_uses_it():
+    class DoubleHead:
+        def predict(self, features):
+            return features * 2
+
+    async def main():
+        service = make_service()
+        service.register(
+            "headed",
+            strategy_from_name("observable", num_qubits=QUBITS),
+            rows=ROWS,
+            head=DoubleHead(),
+        )
+        async with service:
+            with pytest.raises(ValueError, match="no head"):
+                await service.predict("t", angles())
+            x = angles()
+            features = await service.submit("headed", x)
+            predicted = await service.predict("headed", x)
+            assert np.array_equal(predicted, features * 2)
+
+    asyncio.run(main())
+
+
+def test_feature_client_pins_tenant():
+    async def main():
+        async with make_service(cache_results=False) as service:
+            client = FeatureClient(service, tenant="team-a")
+            await client.features("t", angles())
+            metrics = service.metrics()
+            assert metrics.tenants[0][0] == "team-a"
+
+    asyncio.run(main())
+
+
+def test_stop_is_idempotent():
+    async def main():
+        service = make_service()
+        await service.start()
+        await service.stop()
+        await service.stop()
+        assert service.closed
+
+    asyncio.run(main())
