@@ -3,12 +3,16 @@
 Shows the serving layer end to end:
 
 1. one :class:`FeatureService` over a shared device, two registered
-   templates (a locality-2 observable map and a hybrid strategy);
+   templates (a locality-2 observable map and a hybrid strategy), exposed
+   over a real TCP socket by :class:`FeatureServer`;
 2. two tenants with 3:1 fairness weights submitting concurrent bursts
-   through :class:`FeatureClient` handles;
+   through transport-agnostic :class:`FeatureClient` handles -- one on
+   the in-process transport, one through a socket client speaking the
+   length-prefixed wire protocol;
 3. requests sharing a template coalesce into stacked flushes (watch
-   ``coalesce_ratio``), repeated inputs hit the result cache, and every
-   response stays bit-equal to a standalone ``generate_features`` call;
+   ``coalesce_ratio``) *across both transports*, repeated inputs hit the
+   result cache, and every response stays bit-equal to a standalone
+   ``generate_features`` call no matter how it travelled;
 4. the metrics snapshot: per-tenant traffic, latency quantiles, cache and
    batcher counters.
 
@@ -23,7 +27,13 @@ import numpy as np
 from repro.api import ExecutionConfig, ServeConfig
 from repro.core import HybridStrategy, ObservableConstruction
 from repro.core.features import generate_features
-from repro.serve import FeatureClient, FeatureService
+from repro.serve import (
+    FeatureClient,
+    FeatureServer,
+    FeatureService,
+    InProcessTransport,
+    TcpTransport,
+)
 
 QUBITS = 4
 ROWS = 2
@@ -64,12 +74,17 @@ async def tenant_burst(client: FeatureClient, template: str, n: int, seed: int):
 
 async def main() -> None:
     service = build_service()
-    async with service:
-        team_a = FeatureClient(service, tenant="team-a")
-        team_b = FeatureClient(service, tenant="team-b")
+    async with service, FeatureServer(service) as server:
+        host, port = server.address
+        tcp = await TcpTransport.connect(host, port)
+        # Transport-agnostic clients: team-a stays in process, team-b
+        # rides the wire protocol -- the call surface is identical.
+        team_a = FeatureClient(transport=InProcessTransport(service), tenant="team-a")
+        team_b = FeatureClient(transport=tcp, tenant="team-b")
 
         # Concurrent bursts from both tenants over both templates: requests
-        # that share a template fingerprint fuse into one stacked pass.
+        # that share a template fingerprint fuse into one stacked pass,
+        # socket and in-process traffic coalescing together.
         (a_in, a_out), (b_in, b_out) = await asyncio.gather(
             tenant_burst(team_a, "fashion-observable", 8, seed=1),
             tenant_burst(team_b, "fashion-observable", 8, seed=2),
@@ -81,13 +96,15 @@ async def main() -> None:
         assert np.array_equal(again, a_out[0])
 
         # The bit-equality contract: a served response IS the standalone
-        # sweep, no matter which requests shared its flush.
+        # sweep, no matter which requests shared its flush or which
+        # transport carried it -- float64 rows travel as raw bytes.
         reference = generate_features(
             ObservableConstruction(qubits=QUBITS, locality=2),
             b_in[0],
             config=service.config.execution,
         )
         assert np.array_equal(b_out[0], reference)
+        await tcp.aclose()
 
         snapshot = service.metrics()
         print("=== service metrics ===")

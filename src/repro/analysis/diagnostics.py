@@ -85,6 +85,9 @@ DIAGNOSTIC_CODES: dict[str, CodeSpec] = _registry(
     CodeSpec("RPA111", "result caching enabled with a zero-entry cache", WARNING),
     CodeSpec("RPA112", "tenant fairness weight starves a tenant", ERROR),
     CodeSpec("RPA113", "micro-batching without vectorized execution", WARNING),
+    CodeSpec("RPA114", "request deadline shorter than the batch window", WARNING),
+    CodeSpec("RPA115", "max_frame_bytes cannot carry one feature row", ERROR),
+    CodeSpec("RPA116", "stream threshold set on a non-streaming transport", WARNING),
     # ------------------------------------------------ codebase lint (RPA3xx)
     CodeSpec("RPA301", "xp-parameterized kernel hardwires NumPy ops", ERROR),
     CodeSpec("RPA302", "frozen-dataclass mutation outside __post_init__", ERROR),

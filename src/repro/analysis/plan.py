@@ -306,14 +306,88 @@ def _lint_serve_vectorize(config: ServeConfig) -> list[Diagnostic]:
     ]
 
 
+def _lint_transport_timeout(config: ServeConfig) -> list[Diagnostic]:
+    """RPA114: a deadline inside the batch window times every request out."""
+    transport = config.transport
+    if transport is None or transport.request_timeout_s is None:
+        return []
+    if transport.request_timeout_s * 1e3 >= config.batch_window_ms:
+        return []
+    return [
+        Diagnostic(
+            "RPA114",
+            f"transport.request_timeout_s={transport.request_timeout_s} is "
+            f"shorter than batch_window_ms={config.batch_window_ms}: a "
+            f"request's deadline can expire while it is still waiting for "
+            f"its coalescing window, so every served request times out "
+            f"before any flush starts",
+            fix_hint="raise request_timeout_s well above the window (plus "
+            "expected flush time), or shrink batch_window_ms",
+            location="serve.transport.request_timeout_s",
+        )
+    ]
+
+
+def _lint_frame_bytes(
+    config: ServeConfig, num_qubits: int | None
+) -> list[Diagnostic]:
+    """RPA115: a frame bound below one feature row can carry no response."""
+    transport = config.transport
+    if transport is None:
+        return []
+    from repro.serve.protocol import FRAME_OVERHEAD
+
+    cols = num_qubits if num_qubits is not None else 1
+    floor = FRAME_OVERHEAD + 8 * cols
+    if transport.max_frame_bytes >= floor:
+        return []
+    return [
+        Diagnostic(
+            "RPA115",
+            f"transport.max_frame_bytes={transport.max_frame_bytes} is below "
+            f"the {floor}-byte floor of one frame prefix plus one float64 "
+            f"feature row of {cols} column(s): even a maximally streamed "
+            f"response cannot fit any frame, so every request fails",
+            fix_hint=f"use max_frame_bytes >= {floor} (generously larger in "
+            f"practice; the default is 16 MiB)",
+            location="serve.transport.max_frame_bytes",
+        )
+    ]
+
+
+def _lint_stream_threshold(config: ServeConfig) -> list[Diagnostic]:
+    """RPA116: a stream threshold on a non-streaming transport is dead."""
+    transport = config.transport
+    if (
+        transport is None
+        or transport.streaming
+        or transport.stream_threshold_rows is None
+    ):
+        return []
+    return [
+        Diagnostic(
+            "RPA116",
+            f"transport.stream_threshold_rows="
+            f"{transport.stream_threshold_rows} with streaming=False: the "
+            f"threshold can never trigger, and responses above "
+            f"max_frame_bytes fail instead of streaming",
+            fix_hint="set streaming=True (the default), or drop "
+            "stream_threshold_rows to document single-frame responses",
+            location="serve.transport.stream_threshold_rows",
+        )
+    ]
+
+
 def lint_serve_config(
     config: ServeConfig, *, num_qubits: int | None = None
 ) -> DiagnosticReport:
     """Cross-field lint of one (already-validated) serving config.
 
-    Merges the serve-layer checks (RPA110-RPA113) with the nested
+    Merges the serve-layer checks (RPA110-RPA116) with the nested
     execution config's plan lint, so ``repro lint --serve`` and
     :meth:`ServeConfig.diagnose` see the whole plan a service would run.
+    The transport checks (RPA114-RPA116) only apply when the config
+    carries a :class:`~repro.api.config.TransportConfig`.
     """
     execution = config.execution
     assert execution is not None  # ServeConfig canonicalized it
@@ -322,4 +396,7 @@ def lint_serve_config(
     found += _lint_result_cache(config)
     found += _lint_tenant_weights(config)
     found += _lint_serve_vectorize(config)
+    found += _lint_transport_timeout(config)
+    found += _lint_frame_bytes(config, num_qubits)
+    found += _lint_stream_threshold(config)
     return report + DiagnosticReport.collect(found)

@@ -31,6 +31,7 @@ from repro.api.config import (
     UNSET,
     ExecutionConfig,
     ServeConfig,
+    TransportConfig,
     check_regime,
     resolve_call,
     resolve_chunk_size,
@@ -41,6 +42,7 @@ __all__ = [
     "QuantumDevice",
     "QuantumFeatureMap",
     "ServeConfig",
+    "TransportConfig",
     "ESTIMATORS",
     "SERVE_POOLS",
     "UNSET",

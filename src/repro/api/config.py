@@ -57,8 +57,10 @@ __all__ = [
     "EXPENSIVE_CHUNK_SIZE",
     "SERVE_CONFIG_FIELDS",
     "SERVE_POOLS",
+    "TRANSPORT_CONFIG_FIELDS",
     "ExecutionConfig",
     "ServeConfig",
+    "TransportConfig",
     "check_regime",
     "resolve_chunk_size",
     "resolve_call",
@@ -412,6 +414,112 @@ def _canonical_weights(value: Any) -> tuple[tuple[str, float], ...]:
 
 
 @dataclass(frozen=True)
+class TransportConfig:
+    """Frozen value object for the serving layer's network transport.
+
+    Nested inside :class:`ServeConfig` exactly like
+    :class:`ExecutionConfig` nests there: one picklable,
+    JSON-round-trippable dataclass with centralized validation, so the
+    socket front (:mod:`repro.serve.transport`) is configured through the
+    same surface as everything else in :mod:`repro.api` and loose
+    transport kwargs are rejected at construction.
+
+    * ``host`` / ``port``       -- the TCP listen address; port ``0``
+      binds an ephemeral port (the bound address is reported by
+      ``FeatureServer.address``);
+    * ``request_timeout_s``     -- default per-request deadline applied to
+      socket requests that do not carry their own; ``None`` disables the
+      default.  A deadline shorter than the batch window is lintable
+      (RPA114) but constructible;
+    * ``max_frame_bytes``       -- per-frame size bound (header +
+      payload) enforced on both read and write; a bound too small to
+      carry one feature row lints at error severity (RPA115);
+    * ``stream_threshold_rows`` -- responses with more than this many
+      feature rows stream as one frame per ansatz block instead of a
+      single ``result`` frame; ``None`` streams only when a request asks;
+    * ``streaming``             -- master switch for chunked responses; a
+      threshold configured while this is off lints (RPA116).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    request_timeout_s: float | None = 30.0
+    max_frame_bytes: int = 16 * 2**20
+    stream_threshold_rows: int | None = None
+    streaming: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ValueError(f"host must be a non-empty string, got {self.host!r}")
+        port = _require_count("port", self.port, 0)
+        if port > 65535:
+            raise ValueError(f"port={port} must be <= 65535")
+        object.__setattr__(self, "port", port)
+        if self.request_timeout_s is not None:
+            object.__setattr__(
+                self,
+                "request_timeout_s",
+                _require_number(
+                    "request_timeout_s", self.request_timeout_s, minimum=0, strict=True
+                ),
+            )
+        # Tiny frame bounds stay constructible: RPA115 describes them.
+        object.__setattr__(
+            self, "max_frame_bytes", _require_count("max_frame_bytes", self.max_frame_bytes, 1)
+        )
+        if self.stream_threshold_rows is not None:
+            object.__setattr__(
+                self,
+                "stream_threshold_rows",
+                _require_count("stream_threshold_rows", self.stream_threshold_rows, 1),
+            )
+        if not isinstance(self.streaming, bool):
+            raise ValueError(f"streaming must be a bool, got {self.streaming!r}")
+
+    # ---------------------------------------------------------- combinators
+    def merged(self, **overrides: Any) -> TransportConfig:
+        """A new config with ``overrides`` applied (and re-validated)."""
+        overrides = {k: v for k, v in overrides.items() if v is not UNSET}
+        if not overrides:
+            return self
+        return dataclasses.replace(self, **overrides)
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-safe dict (inverse: :meth:`from_dict`)."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "request_timeout_s": self.request_timeout_s,
+            "max_frame_bytes": self.max_frame_bytes,
+            "stream_threshold_rows": self.stream_threshold_rows,
+            "streaming": self.streaming,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> TransportConfig:
+        """Build (and validate) a config from :meth:`to_dict` output."""
+        data = dict(data)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown TransportConfig fields {unknown}")
+        return cls(**data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> TransportConfig:
+        return cls.from_dict(json.loads(text))
+
+
+#: The transport-knob field names, in declaration order (CLI flags mirror
+#: these).
+TRANSPORT_CONFIG_FIELDS = tuple(f.name for f in dataclasses.fields(TransportConfig))
+
+
+@dataclass(frozen=True)
 class ServeConfig:
     """Frozen value object bundling every serving-layer knob.
 
@@ -447,7 +555,10 @@ class ServeConfig:
     * ``result_cache_ttl_s`` -- optional time-to-live per cached entry;
     * ``pool`` / ``max_workers`` -- the worker pool of the service-owned
       :class:`~repro.api.device.QuantumDevice` (ignored when a device is
-      passed in); flushes are the pool's unit of parallelism.
+      passed in); flushes are the pool's unit of parallelism;
+    * ``transport``          -- the nested :class:`TransportConfig` for
+      the TCP front (:mod:`repro.serve.transport`); ``None`` means the
+      service is in-process only (no socket server).
 
     Validation is centralized in ``__post_init__``; instances are picklable
     and round-trip through :meth:`to_dict` / :meth:`from_dict` / JSON.
@@ -464,8 +575,13 @@ class ServeConfig:
     result_cache_ttl_s: float | None = None
     pool: str = "thread"
     max_workers: int | str | None = "auto"
+    transport: TransportConfig | None = None
 
     def __post_init__(self) -> None:
+        if self.transport is not None and not isinstance(self.transport, TransportConfig):
+            raise ValueError(
+                f"transport must be a TransportConfig or None, got {self.transport!r}"
+            )
         execution = self.execution
         if execution is None:
             execution = ExecutionConfig(vectorize="auto", compile="auto")
@@ -566,6 +682,7 @@ class ServeConfig:
             "result_cache_ttl_s": self.result_cache_ttl_s,
             "pool": self.pool,
             "max_workers": self.max_workers,
+            "transport": None if self.transport is None else self.transport.to_dict(),
         }
 
     @classmethod
@@ -575,11 +692,14 @@ class ServeConfig:
         execution = data.pop("execution", None)
         if isinstance(execution, Mapping):
             execution = ExecutionConfig.from_dict(execution)
+        transport = data.pop("transport", None)
+        if isinstance(transport, Mapping):
+            transport = TransportConfig.from_dict(transport)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(f"unknown ServeConfig fields {unknown}")
-        return cls(execution=execution, **data)
+        return cls(execution=execution, transport=transport, **data)
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)

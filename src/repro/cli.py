@@ -13,7 +13,8 @@ Usage::
                              [execution flags]
     python -m repro serve    [--requests N] [--concurrency N] [--samples K]
                              [--templates N] [--tenants N] [--qubits N]
-                             [--rows N] [serve flags] [execution flags]
+                             [--rows N] [--listen [HOST:PORT]]
+                             [serve flags] [execution flags]
 
 Execution flags (``--estimator``, ``--shots``, ``--snapshots``,
 ``--chunk-size``, ``--policy``, ``--compile``, ``--seed``, ``--backend
@@ -27,10 +28,15 @@ Serve flags (``--window-ms``, ``--max-batch``, ``--queue-depth``,
 ``--queue-cost``, ``--tenant-weight NAME=W`` repeatable, ``--no-cache``,
 ``--cache-size``, ``--cache-ttl``, ``--pool {serial,thread,process}``,
 ``--workers``) build one :class:`~repro.api.config.ServeConfig` around the
-execution flags.  ``repro serve`` runs an in-process multi-tenant load
-test through the micro-batching feature service and prints the load report
-plus the service metrics snapshot as JSON; ``repro lint --serve`` lints
-the combined serve+execution plan (codes RPA11x).
+execution flags; transport flags (``--listen [HOST:PORT]``,
+``--request-timeout``, ``--max-frame-bytes``, ``--stream-threshold``,
+``--no-stream``) nest a :class:`~repro.api.config.TransportConfig` inside
+it.  ``repro serve`` runs a multi-tenant load test through the
+micro-batching feature service -- in-process by default; with ``--listen``
+it starts a real TCP server and drives the same load through a socket
+client -- and prints the load report plus the service metrics snapshot as
+JSON; ``repro lint --serve`` lints the combined
+serve+transport+execution plan (codes RPA11x).
 
 Each experiment subcommand is a reduced-size version of the corresponding
 benchmark (see benchmarks/ for the full definitions and assertions).
@@ -211,14 +217,64 @@ def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
         "--workers", type=_int_at_least(1), default=None,
         help="pool size (default: auto)",
     )
+    group = parser.add_argument_group("transport")
+    group.add_argument(
+        "--listen", nargs="?", const="127.0.0.1:0", default=None,
+        metavar="HOST:PORT",
+        help="serve over TCP and drive the load through a real socket "
+        "client (port 0 picks a free port; bare --listen means "
+        "127.0.0.1:0)",
+    )
+    group.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="S",
+        help="per-request deadline in seconds; 0 disables (default: 30)",
+    )
+    group.add_argument(
+        "--max-frame-bytes", type=_int_at_least(1), default=16 * 2**20,
+        help="wire frame size bound in bytes (default: 16 MiB)",
+    )
+    group.add_argument(
+        "--stream-threshold", type=_int_at_least(1), default=None,
+        metavar="ROWS",
+        help="stream responses above this many rows as per-ansatz blocks "
+        "(default: stream only when a single frame would not fit)",
+    )
+    group.add_argument(
+        "--no-stream", action="store_true",
+        help="never stream responses (oversized responses then fail)",
+    )
+
+
+def _listen_address(raw: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` --listen value into its parts."""
+    host, sep, port = raw.rpartition(":")
+    if not sep or not host:
+        print(
+            f"repro: --listen expects HOST:PORT, got {raw!r}", file=sys.stderr
+        )
+        raise SystemExit(2)
+    try:
+        return host, int(port)
+    except ValueError:
+        print(f"repro: --listen port must be an int, got {port!r}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _serve_config_from_args(args: argparse.Namespace):
-    """Build the ServeConfig from the serve + execution flag groups."""
-    from repro.api import ServeConfig
+    """Build the ServeConfig from the serve + execution + transport flags."""
+    from repro.api import ServeConfig, TransportConfig
 
     execution = _config_from_args(args)
+    host, port = _listen_address(args.listen) if args.listen else ("127.0.0.1", 0)
     try:
+        transport = TransportConfig(
+            host=host,
+            port=port,
+            request_timeout_s=args.request_timeout or None,
+            max_frame_bytes=args.max_frame_bytes,
+            stream_threshold_rows=args.stream_threshold,
+            streaming=not args.no_stream,
+        )
         return ServeConfig(
             execution=execution,
             batch_window_ms=args.window_ms,
@@ -231,6 +287,7 @@ def _serve_config_from_args(args: argparse.Namespace):
             result_cache_ttl_s=args.cache_ttl,
             pool=args.pool,
             max_workers="auto" if args.workers is None else args.workers,
+            transport=transport,
         )
     except ValueError as exc:
         print(f"repro: invalid serve flags: {exc}", file=sys.stderr)
@@ -313,19 +370,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """In-process multi-tenant load test through the feature service.
+    """Multi-tenant load test through the feature service.
 
     Registers ``--templates`` distinct encodings (observable-construction
     strategies of alternating locality), then drives ``--requests``
     concurrent requests from ``--tenants`` round-robin tenants through the
-    micro-batcher.  Prints ``{"load": ..., "metrics": ...}`` as JSON --
-    the CI smoke asserts ``metrics.coalesce_ratio > 1`` on this output.
+    micro-batcher -- in-process by default, or through a real TCP server
+    plus socket client with ``--listen``.  Prints ``{"load": ...,
+    "metrics": ...}`` as JSON -- the CI smoke asserts
+    ``metrics.coalesce_ratio > 1`` on this output for both paths.
     """
     import asyncio
     import json
 
     from repro.core.strategies import strategy_from_name
-    from repro.serve import FeatureService, run_load
+    from repro.serve import FeatureServer, FeatureService, TcpTransport, run_load
 
     config = _serve_config_from_args(args)
     service = FeatureService(config)
@@ -335,23 +394,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         service.register(f"template-{i}", strategy, rows=args.rows + i // 2)
     tenants = tuple(f"tenant-{i}" for i in range(args.tenants))
+    load_kwargs = dict(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        samples=args.samples,
+        tenants=tenants,
+        seed=args.seed,
+    )
 
     async def drive():
         async with service:
-            report = await run_load(
-                service,
-                requests=args.requests,
-                concurrency=args.concurrency,
-                samples=args.samples,
-                tenants=tenants,
-                seed=args.seed,
-            )
-            return report, service.metrics()
+            report = await run_load(service, **load_kwargs)
+            return report, service.metrics(), None
 
-    report, metrics = asyncio.run(drive())
-    print(json.dumps(
-        {"load": report.to_dict(), "metrics": metrics.to_dict()}, indent=2
-    ))
+    async def drive_tcp():
+        async with service, FeatureServer(service) as server:
+            host, port = server.address
+            async with await TcpTransport.connect(
+                host, port, config=config.transport
+            ) as transport:
+                report = await run_load(transport, **load_kwargs)
+            return report, service.metrics(), {"host": host, "port": port}
+
+    report, metrics, address = asyncio.run(drive_tcp() if args.listen else drive())
+    payload = {"load": report.to_dict(), "metrics": metrics.to_dict()}
+    if address is not None:
+        payload["transport"] = address
+    print(json.dumps(payload, indent=2))
     return 0 if report.completed == report.requests else 1
 
 

@@ -15,11 +15,31 @@ Public surface::
     async with service:
         features = await service.submit("mnist", angles, tenant="team-a")
         print(service.metrics().to_dict())
+
+and over the network (same bits, different wire -- see
+:mod:`repro.serve.transport` / :mod:`repro.serve.protocol`)::
+
+    async with service, FeatureServer(service) as server:
+        host, port = server.address
+        async with await TcpTransport.connect(host, port) as transport:
+            client = FeatureClient(transport=transport, tenant="team-a")
+            features = await client.features("mnist", angles)
 """
 
-from repro.api.config import SERVE_POOLS, ServeConfig
+from repro.api.config import (
+    SERVE_POOLS,
+    TRANSPORT_CONFIG_FIELDS,
+    ServeConfig,
+    TransportConfig,
+)
 from repro.serve.batcher import MicroBatcher, PendingRequest
-from repro.serve.client import FeatureClient, LoadReport, run_load
+from repro.serve.client import (
+    FeatureClient,
+    InProcessTransport,
+    LoadReport,
+    Transport,
+    run_load,
+)
 from repro.serve.engine import (
     FlushRequest,
     RequestPlan,
@@ -40,18 +60,53 @@ from repro.serve.metrics import (
     ServiceMetrics,
     TenantStats,
 )
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR_CODES,
+    FRAME_MAGIC,
+    FRAME_OVERHEAD,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_array,
+    encode_array,
+    pack_frame,
+    read_frame,
+)
 from repro.serve.result_cache import ResultCache, ResultCacheInfo, result_key
-from repro.serve.service import FeatureService, Registration, ServiceClosedError
+from repro.serve.service import (
+    FeatureService,
+    Registration,
+    RequestTimeoutError,
+    ServiceClosedError,
+)
+from repro.serve.transport import FeatureServer, TcpTransport
 
 __all__ = [
     "ServeConfig",
     "SERVE_POOLS",
+    "TransportConfig",
+    "TRANSPORT_CONFIG_FIELDS",
     "FeatureService",
     "Registration",
     "ServiceClosedError",
+    "RequestTimeoutError",
     "FeatureClient",
+    "Transport",
+    "InProcessTransport",
+    "TcpTransport",
+    "FeatureServer",
     "LoadReport",
     "run_load",
+    "PROTOCOL_VERSION",
+    "FRAME_MAGIC",
+    "FRAME_OVERHEAD",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "ERROR_CODES",
+    "ProtocolError",
+    "pack_frame",
+    "read_frame",
+    "encode_array",
+    "decode_array",
     "MicroBatcher",
     "PendingRequest",
     "AdmissionController",

@@ -105,6 +105,34 @@ class MicroBatcher:
             loop = asyncio.get_running_loop()
             group.timer = loop.call_later(self.window_s, self._flush_group, group)
 
+    def discard(self, key: Any, request: PendingRequest) -> bool:
+        """Withdraw one still-queued request (deadline hit / client gone).
+
+        Returns ``True`` when the request was waiting in its group and is
+        now removed -- it will never join a flush, so its coalesced peers
+        flush without it.  ``False`` means the request already left the
+        queue (flushed, or never added): the caller's future-level
+        handling (cancel / timeout error) is all that applies, and the
+        in-flight flush skips resolved futures on its own.
+        """
+        group = self._groups.get(key)
+        if group is None:
+            return False
+        queue = group.queues.get(request.tenant)
+        if not queue:
+            return False
+        try:
+            queue.remove(request)
+        except ValueError:
+            return False
+        group.count -= 1
+        if group.count == 0:
+            if group.timer is not None:
+                group.timer.cancel()
+                group.timer = None
+            self._groups.pop(group.key, None)
+        return True
+
     # --------------------------------------------------------------- flushing
     def _flush_group(self, group: _GroupState) -> None:
         """Drain one group into flush tasks of <= max_batch_size each."""
@@ -114,6 +142,8 @@ class MicroBatcher:
         self._groups.pop(group.key, None)
         while group.count:
             batch = self._select_batch(group)
+            if not batch:
+                continue  # every drawn request had already been abandoned
             task = asyncio.ensure_future(self._flush(group.key, batch))
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
@@ -124,8 +154,14 @@ class MicroBatcher:
         while group.count and len(batch) < self.max_batch_size:
             candidates = sorted(t for t, q in group.queues.items() if q)
             winner = self._selector.pick(candidates)
-            batch.append(group.queues[winner].popleft())
+            request = group.queues[winner].popleft()
             group.count -= 1
+            # A request whose future already resolved (deadline elapsed,
+            # client disconnected) must not stall or skew its flush-mates:
+            # drop it here, never shipping it to the flush worker.
+            if request.future.done():
+                continue
+            batch.append(request)
         return batch
 
     def flush_all(self) -> None:

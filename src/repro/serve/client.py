@@ -1,22 +1,38 @@
-"""In-process async client and load generator for a :class:`FeatureService`.
+"""Transport-agnostic client and load generator for the serving layer.
 
 :class:`FeatureClient` is the tenant-side handle tests and demos use -- it
 pins a tenant name so call sites read like remote clients would
-(``await client.features("mnist", x)``).  :func:`run_load` drives a whole
-closed-loop benchmark: N concurrent logical clients submitting requests
+(``await client.features("mnist", x)``).  Since the network transport
+landed, the client speaks to any :class:`Transport`:
+
+* :class:`InProcessTransport` -- same-loop calls straight into a
+  :class:`FeatureService` (zero copies, zero sockets);
+* :class:`~repro.serve.transport.TcpTransport` -- the length-prefixed
+  wire protocol over a socket (see :mod:`repro.serve.protocol`).
+
+The two are interchangeable by construction: the TCP response is decoded
+from the raw bytes of the in-process array, so swapping transports never
+changes a single bit of a response.  ``FeatureClient(service)`` still
+works as a deprecated shim for ``FeatureClient(transport=
+InProcessTransport(service))``.
+
+:func:`run_load` drives a whole closed-loop benchmark over a service,
+transport, or client: N concurrent logical clients submitting requests
 round-robin over templates, returning a :class:`LoadReport` with
 throughput and latency quantiles.  The perf-guard benchmark runs it twice
 (micro-batched vs sequential per-request dispatch) and asserts on the
-ratio.
+ratio; the transport benchmark runs it once per transport and asserts
+on *that* ratio.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -24,25 +40,193 @@ from repro.api.config import UNSET
 from repro.serve.metrics import _percentile_ms
 from repro.serve.service import FeatureService
 
-__all__ = ["FeatureClient", "LoadReport", "run_load"]
+__all__ = [
+    "Transport",
+    "InProcessTransport",
+    "FeatureClient",
+    "LoadReport",
+    "run_load",
+]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a client needs from any serving transport.
+
+    ``templates()`` / ``template_shape()`` are synchronous because every
+    transport knows its catalog up front (in-process: the registry; TCP:
+    the ``welcome`` handshake).  ``submit`` / ``predict`` mirror
+    :meth:`FeatureService.submit` / :meth:`~FeatureService.predict`
+    exactly -- same tri-state seed, same deadline semantics, same typed
+    errors -- so code written against a transport cannot tell where the
+    service lives.
+    """
+
+    def templates(self) -> tuple[str, ...]: ...
+
+    def template_shape(self, name: str) -> tuple[int, int]: ...
+
+    async def submit(
+        self,
+        template: str,
+        x: np.ndarray,
+        *,
+        tenant: str = "default",
+        seed: Any = UNSET,
+        timeout_s: float | None = None,
+    ) -> np.ndarray: ...
+
+    async def predict(
+        self,
+        template: str,
+        x: np.ndarray,
+        *,
+        tenant: str = "default",
+        seed: Any = UNSET,
+        timeout_s: float | None = None,
+    ) -> np.ndarray: ...
+
+    async def aclose(self) -> None: ...
+
+
+class InProcessTransport:
+    """The null transport: direct same-loop calls into a service.
+
+    ``aclose()`` is a no-op -- the transport borrows the service, it does
+    not own its lifecycle (stop the service itself, or use it as an async
+    context manager).
+    """
+
+    def __init__(self, service: FeatureService) -> None:
+        if not isinstance(service, FeatureService):
+            raise TypeError(f"service must be a FeatureService, got {service!r}")
+        self.service = service
+
+    def templates(self) -> tuple[str, ...]:
+        return self.service.templates()
+
+    def template_shape(self, name: str) -> tuple[int, int]:
+        return self.service.template_shape(name)
+
+    async def submit(
+        self,
+        template: str,
+        x: np.ndarray,
+        *,
+        tenant: str = "default",
+        seed: Any = UNSET,
+        timeout_s: float | None = None,
+    ) -> np.ndarray:
+        return await self.service.submit(
+            template, x, tenant=tenant, seed=seed, timeout_s=timeout_s
+        )
+
+    async def predict(
+        self,
+        template: str,
+        x: np.ndarray,
+        *,
+        tenant: str = "default",
+        seed: Any = UNSET,
+        timeout_s: float | None = None,
+    ) -> np.ndarray:
+        return await self.service.predict(
+            template, x, tenant=tenant, seed=seed, timeout_s=timeout_s
+        )
+
+    async def aclose(self) -> None:
+        return None
+
+
+def _as_transport(target: Any, *, owner: str) -> Transport:
+    """Normalize a service / transport / client into a transport."""
+    if isinstance(target, FeatureClient):
+        return target.transport
+    if isinstance(target, FeatureService):
+        return InProcessTransport(target)
+    if isinstance(target, Transport):
+        return target
+    raise TypeError(
+        f"{owner} needs a FeatureService, a Transport, or a FeatureClient; "
+        f"got {target!r}"
+    )
 
 
 class FeatureClient:
-    """A tenant's handle on an in-process service."""
+    """A tenant's handle on a serving transport.
 
-    def __init__(self, service: FeatureService, tenant: str = "default") -> None:
-        self.service = service
+    Build it over any transport::
+
+        client = FeatureClient(transport=InProcessTransport(service))
+        client = FeatureClient(transport=await TcpTransport.connect(host, port))
+
+    The pre-transport form ``FeatureClient(service)`` still works but is
+    deprecated: it wraps the service in an :class:`InProcessTransport`
+    and warns at the caller's frame.
+    """
+
+    def __init__(
+        self,
+        service: FeatureService | Transport | None = None,
+        tenant: str = "default",
+        *,
+        transport: Transport | None = None,
+    ) -> None:
+        if (service is None) == (transport is None):
+            raise TypeError(
+                "FeatureClient takes exactly one of a positional transport "
+                "or transport=...; FeatureClient(service) is the deprecated "
+                "spelling of FeatureClient(transport=InProcessTransport(service))"
+            )
+        if transport is None:
+            if isinstance(service, FeatureService):
+                warnings.warn(
+                    "FeatureClient(service) is deprecated; pass "
+                    "FeatureClient(transport=InProcessTransport(service)) "
+                    "(or any other Transport) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                transport = InProcessTransport(service)
+            else:
+                transport = _as_transport(service, owner="FeatureClient")
+        elif not isinstance(transport, Transport):
+            raise TypeError(f"transport must implement Transport, got {transport!r}")
+        self.transport = transport
         self.tenant = tenant
 
+    @property
+    def service(self) -> FeatureService | None:
+        """The in-process service behind the transport, when there is one."""
+        return getattr(self.transport, "service", None)
+
     async def features(
-        self, template: str, x: np.ndarray, *, seed: Any = UNSET
+        self,
+        template: str,
+        x: np.ndarray,
+        *,
+        seed: Any = UNSET,
+        timeout_s: float | None = None,
     ) -> np.ndarray:
-        return await self.service.submit(template, x, tenant=self.tenant, seed=seed)
+        return await self.transport.submit(
+            template, x, tenant=self.tenant, seed=seed, timeout_s=timeout_s
+        )
 
     async def predict(
-        self, template: str, x: np.ndarray, *, seed: Any = UNSET
+        self,
+        template: str,
+        x: np.ndarray,
+        *,
+        seed: Any = UNSET,
+        timeout_s: float | None = None,
     ) -> np.ndarray:
-        return await self.service.predict(template, x, tenant=self.tenant, seed=seed)
+        return await self.transport.predict(
+            template, x, tenant=self.tenant, seed=seed, timeout_s=timeout_s
+        )
+
+    async def aclose(self) -> None:
+        """Close the underlying transport (no-op for in-process)."""
+        await self.transport.aclose()
 
 
 @dataclass(frozen=True)
@@ -74,7 +258,7 @@ class LoadReport:
 
 
 async def run_load(
-    service: FeatureService,
+    target: FeatureService | Transport | FeatureClient,
     *,
     requests: int,
     concurrency: int,
@@ -84,26 +268,30 @@ async def run_load(
     seed: int = 0,
     sequential: bool = False,
 ) -> LoadReport:
-    """Drive ``requests`` total requests at ``concurrency`` through a service.
+    """Drive ``requests`` total requests at ``concurrency`` through ``target``.
 
-    Request ``i`` targets template ``templates[i % len(templates)]`` as
-    tenant ``tenants[i % len(tenants)]`` with deterministic angles drawn
-    from ``seed`` and request seed ``seed + i`` -- so two runs over the
-    same service config produce bit-identical responses.
-    ``sequential=True`` awaits requests one at a time (the
-    no-coalescing baseline); rejected requests (backpressure) are counted,
-    not retried.
+    ``target`` is a service (driven in-process, no deprecation -- the
+    wrap is internal), any :class:`Transport`, or a
+    :class:`FeatureClient` (its transport is used; per-request tenants
+    still come from ``tenants``).  Request ``i`` targets template
+    ``templates[i % len(templates)]`` as tenant ``tenants[i %
+    len(tenants)]`` with deterministic angles drawn from ``seed`` and
+    request seed ``seed + i`` -- so two runs over the same service config
+    (on any transport) produce bit-identical responses.
+    ``sequential=True`` awaits requests one at a time (the no-coalescing
+    baseline); rejected requests (backpressure) are counted, not retried.
     """
     if requests < 1:
         raise ValueError(f"requests={requests} must be >= 1")
     if concurrency < 1:
         raise ValueError(f"concurrency={concurrency} must be >= 1")
-    names = templates if templates is not None else service.templates()
+    transport = _as_transport(target, owner="run_load")
+    names = templates if templates is not None else transport.templates()
     if not names:
         raise ValueError("run_load needs at least one registered template")
     rng = np.random.default_rng(seed)
     inputs = {
-        name: rng.uniform(0, np.pi, size=(samples, *service.template_shape(name)))
+        name: rng.uniform(0, np.pi, size=(samples, *transport.template_shape(name)))
         for name in names
     }
     latencies: list[float] = []
@@ -115,7 +303,7 @@ async def run_load(
         tenant = tenants[i % len(tenants)]
         t0 = time.perf_counter()
         try:
-            await service.submit(name, inputs[name], tenant=tenant, seed=seed + i)
+            await transport.submit(name, inputs[name], tenant=tenant, seed=seed + i)
         except Exception:
             rejected += 1
             return

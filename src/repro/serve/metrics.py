@@ -38,6 +38,7 @@ class TenantStats:
     requests: int
     responses: int
     rejected: int
+    timeouts: int
     cache_hits: int
     outstanding: int
     p50_ms: float
@@ -48,6 +49,7 @@ class TenantStats:
             "requests": self.requests,
             "responses": self.responses,
             "rejected": self.rejected,
+            "timeouts": self.timeouts,
             "cache_hits": self.cache_hits,
             "outstanding": self.outstanding,
             "p50_ms": self.p50_ms,
@@ -69,6 +71,7 @@ class MetricsSnapshot:
     requests_total: int
     responses_total: int
     rejected_total: int
+    timeouts_total: int
     errors_total: int
     cache_hits_total: int
     flushes_total: int
@@ -85,6 +88,7 @@ class MetricsSnapshot:
             "requests_total": self.requests_total,
             "responses_total": self.responses_total,
             "rejected_total": self.rejected_total,
+            "timeouts_total": self.timeouts_total,
             "errors_total": self.errors_total,
             "cache_hits_total": self.cache_hits_total,
             "flushes_total": self.flushes_total,
@@ -101,12 +105,20 @@ class MetricsSnapshot:
 class _TenantRecorder:
     """Mutable per-tenant counters + latency reservoir."""
 
-    __slots__ = ("requests", "responses", "rejected", "cache_hits", "latencies")
+    __slots__ = (
+        "requests",
+        "responses",
+        "rejected",
+        "timeouts",
+        "cache_hits",
+        "latencies",
+    )
 
     def __init__(self) -> None:
         self.requests = 0
         self.responses = 0
         self.rejected = 0
+        self.timeouts = 0
         self.cache_hits = 0
         self.latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
 
@@ -141,6 +153,10 @@ class ServiceMetrics:
     def record_rejected(self, tenant: str) -> None:
         with self._lock:
             self._tenant(tenant).rejected += 1
+
+    def record_timeout(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).timeouts += 1
 
     def record_cache_hit(self, tenant: str) -> None:
         with self._lock:
@@ -181,6 +197,7 @@ class ServiceMetrics:
                         requests=rec.requests,
                         responses=rec.responses,
                         rejected=rec.rejected,
+                        timeouts=rec.timeouts,
                         cache_hits=rec.cache_hits,
                         outstanding=outstanding.get(name, 0),
                         p50_ms=_percentile_ms(rec.latencies, 50),
@@ -195,6 +212,7 @@ class ServiceMetrics:
                 requests_total=sum(r.requests for r in self._tenants.values()),
                 responses_total=sum(r.responses for r in self._tenants.values()),
                 rejected_total=sum(r.rejected for r in self._tenants.values()),
+                timeouts_total=sum(r.timeouts for r in self._tenants.values()),
                 errors_total=self._errors,
                 cache_hits_total=sum(r.cache_hits for r in self._tenants.values()),
                 flushes_total=flushes,

@@ -48,11 +48,41 @@ from repro.serve.fairness import AdmissionController, WeightedRoundRobin
 from repro.serve.metrics import MetricsSnapshot, ServiceMetrics
 from repro.serve.result_cache import ResultCache, result_key
 
-__all__ = ["ServiceClosedError", "Registration", "FeatureService"]
+__all__ = [
+    "ServiceClosedError",
+    "RequestTimeoutError",
+    "Registration",
+    "FeatureService",
+]
 
 
 class ServiceClosedError(RuntimeError):
     """The service is not accepting requests (not started, or stopped)."""
+
+
+class RequestTimeoutError(TimeoutError):
+    """One request exceeded its deadline; its flush-mates are unaffected.
+
+    Structured (``template`` / ``tenant`` / ``timeout_s`` attributes plus
+    the stable wire ``code``) so the transport layer can answer the one
+    timed-out client with a typed error frame while coalesced peers in
+    the same flush complete normally.
+    """
+
+    code = "timeout"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        template: str = "",
+        tenant: str = "",
+        timeout_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.template = template
+        self.tenant = tenant
+        self.timeout_s = timeout_s
 
 
 @dataclass(frozen=True)
@@ -135,6 +165,25 @@ class FeatureService:
         """The ``(rows, cols)`` one sample of template ``name`` encodes."""
         registration = self._require_registration(name)
         return (registration.rows, registration.strategy.num_qubits)
+
+    def template_info(self, name: str) -> dict[str, Any]:
+        """Wire-facing description of one registration.
+
+        This is what the transport handshake advertises per template:
+        input shape (``rows`` x ``cols``), feature ``layout``
+        ``[num_ansatze, num_observables]`` (the response's column blocks),
+        whether a classical ``head`` is registered, and the template's
+        resolved ``chunk_size`` (the streaming block granularity).
+        """
+        registration = self._require_registration(name)
+        strategy = registration.strategy
+        return {
+            "rows": registration.rows,
+            "cols": strategy.num_qubits,
+            "layout": [strategy.num_ansatze, strategy.num_observables],
+            "head": registration.head is not None,
+            "chunk_size": registration.artifacts.cfg.resolved_chunk_size,
+        }
 
     # ---------------------------------------------------------- registration
     def register(
@@ -262,6 +311,7 @@ class FeatureService:
         *,
         tenant: str = "default",
         seed: Any = UNSET,
+        timeout_s: float | None = None,
     ) -> np.ndarray:
         """Features for ``x`` under ``template``; coalesces with peers.
 
@@ -273,8 +323,19 @@ class FeatureService:
         bit for bit.  Raises
         :class:`~repro.serve.fairness.BackpressureError` when the tenant's
         admission bounds are full.
+
+        ``timeout_s`` is this request's deadline, covering the batch
+        window *and* the flush: on expiry the request is withdrawn from
+        its coalescing group (still-queued) or abandoned (mid-flush) and
+        :class:`RequestTimeoutError` is raised -- its flush-mates complete
+        normally either way.  Cancelling the coroutine (a disconnected
+        client) withdraws the request the same way.
         """
         self._check_serving()
+        if timeout_s is not None and (
+            not isinstance(timeout_s, (int, float)) or not timeout_s > 0
+        ):
+            raise ValueError(f"timeout_s={timeout_s!r} must be > 0 or None")
         registration = self._require_registration(template)
         artifacts = registration.artifacts
         cfg = artifacts.cfg
@@ -315,24 +376,63 @@ class FeatureService:
             self._metrics.record_rejected(tenant)
             raise
         start = time.perf_counter()
-        assert self._loop is not None and self._batcher is not None
-        future: asyncio.Future = self._loop.create_future()
-        plan = plan_request(
-            registration.strategy.num_ansatze, x.shape[0], cfg, seed
-        )
-        payload = FlushRequest(angles=x, seed=seed, plan=plan)
+        # Everything between admission and resolution runs under this
+        # try/finally: an exception anywhere (planning, enqueueing, the
+        # flush itself, a deadline, a cancelled caller) must release the
+        # tenant's admission units, or a failing group would permanently
+        # leak capacity and eventually backpressure a healthy tenant.
         try:
-            self._batcher.add(
-                artifacts.group_key,
-                PendingRequest(tenant, payload, cost, future),
+            assert self._loop is not None and self._batcher is not None
+            future: asyncio.Future = self._loop.create_future()
+            plan = plan_request(
+                registration.strategy.num_ansatze, x.shape[0], cfg, seed
             )
-            result = await future
+            payload = FlushRequest(angles=x, seed=seed, plan=plan)
+            pending = PendingRequest(tenant, payload, cost, future)
+            self._batcher.add(artifacts.group_key, pending)
+            try:
+                if timeout_s is None:
+                    result = await future
+                else:
+                    try:
+                        result = await asyncio.wait_for(
+                            asyncio.shield(future), timeout_s
+                        )
+                    except asyncio.TimeoutError:
+                        self._abandon(artifacts.group_key, pending)
+                        self._metrics.record_timeout(tenant)
+                        raise RequestTimeoutError(
+                            f"request for template {template!r} (tenant "
+                            f"{tenant!r}) exceeded its {timeout_s} s deadline; "
+                            f"coalesced peers are unaffected",
+                            template=template,
+                            tenant=tenant,
+                            timeout_s=timeout_s,
+                        ) from None
+            except asyncio.CancelledError:
+                # Disconnected client: withdraw from the window (queued)
+                # or leave the flush to skip the resolved future (inflight).
+                self._abandon(artifacts.group_key, pending)
+                raise
         finally:
             self._admission.release(tenant, cost)
         self._metrics.record_response(tenant, time.perf_counter() - start)
         if cache_key is not None:
             self._cache.put(cache_key, result)
         return result[0] if single else result
+
+    def _abandon(self, group_key: Any, pending: PendingRequest) -> None:
+        """Withdraw one request: dequeue if still windowed, resolve future."""
+        assert self._batcher is not None
+        self._batcher.discard(group_key, pending)
+        future = pending.future
+        if not future.done():
+            future.cancel()
+        elif not future.cancelled():
+            # Lost race: the flush resolved just as the deadline fired.
+            # Retrieve a possible exception so the loop never logs an
+            # "exception was never retrieved" for an abandoned request.
+            future.exception()
 
     async def predict(
         self,
@@ -341,6 +441,7 @@ class FeatureService:
         *,
         tenant: str = "default",
         seed: Any = UNSET,
+        timeout_s: float | None = None,
     ) -> np.ndarray:
         """Features via :meth:`submit`, then the template's classical head."""
         registration = self._require_registration(template)
@@ -349,7 +450,9 @@ class FeatureService:
                 f"template {template!r} has no head; register(head=...) to "
                 f"serve predictions"
             )
-        features = await self.submit(template, x, tenant=tenant, seed=seed)
+        features = await self.submit(
+            template, x, tenant=tenant, seed=seed, timeout_s=timeout_s
+        )
         if features.ndim == 1:
             features = features[None]
         return np.asarray(registration.head.predict(features))
@@ -389,11 +492,11 @@ class FeatureService:
 
     async def _run_flush(self, key: Any, batch: list[PendingRequest]) -> None:
         """Bridge one coalesced batch to the runtime pool and resolve it."""
-        artifacts = self._artifacts_by_key[key]
-        requests = [pending.payload for pending in batch]
         self._metrics.record_flush(len(batch))
-        assert self._device is not None
         try:
+            artifacts = self._artifacts_by_key[key]
+            requests = [pending.payload for pending in batch]
+            assert self._device is not None
             results = await asyncio.wrap_future(
                 self._device.runtime.submit(execute_flush, artifacts, requests)
             )

@@ -13,11 +13,11 @@ from repro.analysis.preflight import (
     PreflightWarning,
     run_serve_preflight,
 )
-from repro.api.config import ExecutionConfig, ServeConfig
+from repro.api.config import ExecutionConfig, ServeConfig, TransportConfig
 
 
 def test_serve_codes_registered():
-    for code in ("RPA110", "RPA111", "RPA112", "RPA113"):
+    for code in ("RPA110", "RPA111", "RPA112", "RPA113", "RPA114", "RPA115", "RPA116"):
         assert code in DIAGNOSTIC_CODES
 
 
@@ -103,6 +103,85 @@ def test_rpa113_not_when_window_off_or_vectorized():
         ServeConfig(max_batch_size=1, execution=ExecutionConfig(vectorize="off"))
     ).codes()
     assert "RPA113" not in lint_serve_config(ServeConfig()).codes()
+
+
+# ------------------------------------ RPA114 (deadline inside the window)
+def test_rpa114_timeout_shorter_than_window():
+    cfg = ServeConfig(
+        batch_window_ms=5.0,
+        transport=TransportConfig(request_timeout_s=0.001),
+    )
+    report = lint_serve_config(cfg)
+    (finding,) = [d for d in report if d.code == "RPA114"]
+    assert finding.severity == "warning"
+    assert report.ok
+
+
+def test_rpa114_not_on_sane_or_absent_deadline():
+    assert "RPA114" not in lint_serve_config(
+        ServeConfig(batch_window_ms=5.0, transport=TransportConfig())
+    ).codes()
+    assert "RPA114" not in lint_serve_config(
+        ServeConfig(
+            batch_window_ms=5.0,
+            transport=TransportConfig(request_timeout_s=None),
+        )
+    ).codes()
+    assert "RPA114" not in lint_serve_config(
+        ServeConfig(batch_window_ms=5.0)  # no transport at all
+    ).codes()
+
+
+# ---------------------------------------- RPA115 (frame below one row)
+def test_rpa115_tiny_frame_is_error():
+    cfg = ServeConfig(transport=TransportConfig(max_frame_bytes=16))
+    report = lint_serve_config(cfg, num_qubits=4)
+    (finding,) = [d for d in report if d.code == "RPA115"]
+    assert finding.severity == "error"
+    assert not report.ok
+
+
+def test_rpa115_scales_with_qubits():
+    from repro.serve.protocol import FRAME_OVERHEAD
+
+    # Enough for a 2-qubit row, too small for a 16-qubit one.
+    cfg = ServeConfig(
+        transport=TransportConfig(max_frame_bytes=FRAME_OVERHEAD + 8 * 2)
+    )
+    assert "RPA115" not in lint_serve_config(cfg, num_qubits=2).codes()
+    assert "RPA115" in lint_serve_config(cfg, num_qubits=16).codes()
+
+
+def test_rpa115_not_on_default_frame_bound():
+    assert "RPA115" not in lint_serve_config(
+        ServeConfig(transport=TransportConfig()), num_qubits=20
+    ).codes()
+
+
+# ------------------------------ RPA116 (dead threshold, streaming off)
+def test_rpa116_threshold_without_streaming():
+    cfg = ServeConfig(
+        transport=TransportConfig(streaming=False, stream_threshold_rows=64)
+    )
+    report = lint_serve_config(cfg)
+    (finding,) = [d for d in report if d.code == "RPA116"]
+    assert finding.severity == "warning"
+    assert report.ok
+
+
+def test_rpa116_not_when_streaming_or_thresholdless():
+    assert "RPA116" not in lint_serve_config(
+        ServeConfig(transport=TransportConfig(stream_threshold_rows=64))
+    ).codes()
+    assert "RPA116" not in lint_serve_config(
+        ServeConfig(transport=TransportConfig(streaming=False))
+    ).codes()
+
+
+def test_transport_defaults_are_clean():
+    assert lint_serve_config(
+        ServeConfig(transport=TransportConfig()), num_qubits=8
+    ).clean
 
 
 # ----------------------------------------------- nested execution merge

@@ -6,8 +6,8 @@ import pickle
 
 import pytest
 
-from repro.api import SERVE_POOLS, ExecutionConfig, ServeConfig
-from repro.api.config import SERVE_CONFIG_FIELDS
+from repro.api import SERVE_POOLS, ExecutionConfig, ServeConfig, TransportConfig
+from repro.api.config import SERVE_CONFIG_FIELDS, TRANSPORT_CONFIG_FIELDS
 
 
 def test_defaults_canonicalize_execution():
@@ -99,6 +99,98 @@ def test_serve_pools_registry():
     assert set(SERVE_POOLS) == {"serial", "thread", "process"}
     for pool in SERVE_POOLS:
         assert ServeConfig(pool=pool).pool == pool
+
+
+# ------------------------------------------------------ TransportConfig
+def test_transport_defaults():
+    transport = TransportConfig()
+    assert transport.host == "127.0.0.1"
+    assert transport.port == 0  # ephemeral: bind picks a free port
+    assert transport.request_timeout_s == 30.0
+    assert transport.max_frame_bytes == 16 * 2**20
+    assert transport.stream_threshold_rows is None
+    assert transport.streaming is True
+
+
+def test_transport_field_registry_matches_dataclass():
+    assert set(TRANSPORT_CONFIG_FIELDS) == set(TransportConfig().to_dict())
+
+
+@pytest.mark.parametrize(
+    "kwargs,match",
+    [
+        (dict(host=""), "host"),
+        (dict(host=7), "host"),
+        (dict(port=-1), "port"),
+        (dict(port=65536), "port"),
+        (dict(request_timeout_s=0.0), "request_timeout_s"),
+        (dict(request_timeout_s=-1.0), "request_timeout_s"),
+        (dict(request_timeout_s=float("nan")), "request_timeout_s"),
+        (dict(max_frame_bytes=0), "max_frame_bytes"),
+        (dict(stream_threshold_rows=0), "stream_threshold_rows"),
+        (dict(streaming="yes"), "streaming"),
+    ],
+)
+def test_transport_invalid_fields_rejected(kwargs, match):
+    with pytest.raises((ValueError, TypeError), match=match):
+        TransportConfig(**kwargs)
+
+
+def test_transport_unknown_kwargs_rejected():
+    with pytest.raises(TypeError):
+        TransportConfig(portt=8080)
+    with pytest.raises(ValueError, match="unknown"):
+        TransportConfig.from_dict({"port": 8080, "compression": "zstd"})
+
+
+def test_transport_merged_overrides_and_preserves():
+    base = TransportConfig(port=9000, stream_threshold_rows=64)
+    merged = base.merged(port=9001)
+    assert merged.port == 9001
+    assert merged.stream_threshold_rows == 64
+    assert base.port == 9000
+
+
+def test_transport_json_round_trip():
+    transport = TransportConfig(
+        host="0.0.0.0",
+        port=8443,
+        request_timeout_s=None,
+        max_frame_bytes=2**16,
+        stream_threshold_rows=128,
+        streaming=True,
+    )
+    assert TransportConfig.from_json(transport.to_json()) == transport
+
+
+def test_transport_pickle_round_trip():
+    transport = TransportConfig(port=1234)
+    assert pickle.loads(pickle.dumps(transport)) == transport
+
+
+def test_serve_config_nests_transport():
+    config = ServeConfig(transport=TransportConfig(port=7000))
+    assert config.to_dict()["transport"]["port"] == 7000
+    restored = ServeConfig.from_json(config.to_json())
+    assert restored == config
+    assert isinstance(restored.transport, TransportConfig)
+    # transport stays optional: the default config has none and
+    # round-trips that way too.
+    bare = ServeConfig()
+    assert bare.transport is None
+    assert ServeConfig.from_json(bare.to_json()).transport is None
+
+
+def test_serve_config_rejects_non_transport():
+    with pytest.raises((ValueError, TypeError), match="transport"):
+        ServeConfig(transport={"port": 7000})
+
+
+def test_transport_diagnose_covered_by_serve_lint():
+    config = ServeConfig(
+        transport=TransportConfig(streaming=False, stream_threshold_rows=4)
+    )
+    assert any(d.code == "RPA116" for d in config.diagnose())
 
 
 def test_diagnose_merges_nested_execution_findings():

@@ -144,6 +144,76 @@ def test_drain_flushes_pending_and_waits():
     assert len(recorder.flushes) == 1
 
 
+def test_discard_withdraws_queued_request():
+    recorder = FlushRecorder()
+
+    async def main():
+        batcher = _batcher(recorder, window_s=0.005)
+        keep = _pending("t", payload="keep")
+        drop = _pending("t", payload="drop")
+        batcher.add("k", keep)
+        batcher.add("k", drop)
+        assert batcher.discard("k", drop) is True
+        assert batcher.pending == 1
+        assert await keep.future == "keep"
+        assert not drop.future.done()  # withdrawal never resolves it
+
+    asyncio.run(main())
+    # The survivor flushed alone; the discarded request never joined.
+    assert recorder.flushes == [("k", ["t"])]
+
+
+def test_discard_last_request_cancels_group_timer():
+    recorder = FlushRecorder()
+
+    async def main():
+        batcher = _batcher(recorder, window_s=30.0)
+        req = _pending("t")
+        batcher.add("k", req)
+        assert batcher.discard("k", req) is True
+        assert batcher.pending == 0
+        # The 30 s window timer is gone: drain returns immediately with
+        # nothing to flush.
+        await asyncio.wait_for(batcher.drain(), timeout=1.0)
+
+    asyncio.run(main())
+    assert recorder.flushes == []
+
+
+def test_discard_after_flush_returns_false():
+    recorder = FlushRecorder()
+
+    async def main():
+        batcher = _batcher(recorder, window_s=0.0)  # flushes immediately
+        req = _pending("t")
+        batcher.add("k", req)
+        await req.future
+        assert batcher.discard("k", req) is False
+        assert batcher.discard("other", req) is False  # never added there
+
+    asyncio.run(main())
+
+
+def test_selection_skips_resolved_futures():
+    recorder = FlushRecorder()
+
+    async def main():
+        batcher = _batcher(recorder, window_s=30.0, max_batch_size=3)
+        reqs = [_pending("t", payload=i) for i in range(3)]
+        for req in reqs[:2]:
+            batcher.add("k", req)
+        # Request 1's future resolves while queued (deadline elapsed /
+        # client vanished) without a discard call: the size-triggered
+        # flush must drop it rather than ship it to the flush worker.
+        reqs[1].future.cancel()
+        batcher.add("k", reqs[2])
+        await asyncio.gather(reqs[0].future, reqs[2].future)
+
+    asyncio.run(main())
+    (_, tenants), = recorder.flushes
+    assert len(tenants) == 2
+
+
 def test_invalid_parameters():
     recorder = FlushRecorder()
     with pytest.raises(ValueError, match="max_batch_size"):

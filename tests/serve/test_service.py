@@ -14,9 +14,11 @@ from repro.serve import (
     BackpressureError,
     FeatureClient,
     FeatureService,
+    InProcessTransport,
     ServeConfig,
     ServiceClosedError,
 )
+from repro.serve.engine import plan_request
 
 QUBITS = 3
 ROWS = 2
@@ -269,10 +271,77 @@ def test_predict_requires_head_and_uses_it():
 def test_feature_client_pins_tenant():
     async def main():
         async with make_service(cache_results=False) as service:
-            client = FeatureClient(service, tenant="team-a")
+            client = FeatureClient(
+                transport=InProcessTransport(service), tenant="team-a"
+            )
             await client.features("t", angles())
             metrics = service.metrics()
             assert metrics.tenants[0][0] == "team-a"
+
+    asyncio.run(main())
+
+
+def test_feature_client_service_form_is_deprecated_shim():
+    async def main():
+        async with make_service(cache_results=False) as service:
+            with pytest.warns(DeprecationWarning, match="InProcessTransport"):
+                client = FeatureClient(service, tenant="team-a")
+            assert client.service is service  # the accessor still works
+            x = angles()
+            via_shim = await client.features("t", x, seed=3)
+            direct = await service.submit("t", x, tenant="team-a", seed=3)
+            assert np.array_equal(via_shim, direct)
+
+    asyncio.run(main())
+
+
+def test_feature_client_requires_exactly_one_target():
+    service = make_service()
+    with pytest.raises(TypeError, match="exactly one"):
+        FeatureClient()
+    with pytest.raises(TypeError, match="exactly one"):
+        FeatureClient(service, transport=InProcessTransport(service))
+
+
+def test_admission_released_when_flush_fails(monkeypatch):
+    def boom(artifacts, requests):
+        raise RuntimeError("kernel exploded")
+
+    monkeypatch.setattr("repro.serve.service.execute_flush", boom)
+
+    async def main():
+        service = make_service(max_queue_depth=1, cache_results=False)
+        async with service:
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                await service.submit("t", angles(seed=1))
+            # The failed request's admission units came back: depth is 0
+            # and the tenant is re-admittable (a leak would bounce this
+            # immediately with BackpressureError at depth 1).
+            assert service.metrics().queue_depth == 0
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                await service.submit("t", angles(seed=2))
+
+    asyncio.run(main())
+
+
+def test_admission_released_when_planning_fails(monkeypatch):
+    def bad_plan(num_ansatze, num_samples, cfg, seed):
+        raise RuntimeError("planner exploded")
+
+    monkeypatch.setattr("repro.serve.service.plan_request", bad_plan)
+
+    async def main():
+        service = make_service(max_queue_depth=1, cache_results=False)
+        async with service:
+            with pytest.raises(RuntimeError, match="planner exploded"):
+                await service.submit("t", angles(seed=1))
+            assert service.metrics().queue_depth == 0
+            monkeypatch.setattr(
+                "repro.serve.service.plan_request", plan_request
+            )
+            # Capacity leaked between try_acquire and enqueue would make
+            # this healthy retry bounce at depth 1.
+            assert (await service.submit("t", angles(seed=2))) is not None
 
     asyncio.run(main())
 

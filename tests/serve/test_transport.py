@@ -1,0 +1,486 @@
+"""Network transport: framing, bit-equality over TCP, streaming, errors."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api.config import ExecutionConfig, ServeConfig, TransportConfig
+from repro.core.features import generate_features
+from repro.core.strategies import strategy_from_name
+from repro.serve import (
+    BackpressureError,
+    FeatureClient,
+    FeatureServer,
+    FeatureService,
+    ProtocolError,
+    RequestTimeoutError,
+    TcpTransport,
+    decode_array,
+    encode_array,
+    pack_frame,
+    read_frame,
+    run_load,
+)
+
+QUBITS = 3
+ROWS = 2
+
+FAST_EXECUTION = ExecutionConfig(vectorize="auto", compile="auto", seed=7)
+FALLBACK_EXECUTION = ExecutionConfig(vectorize="off", seed=7)
+
+
+def make_service(execution: ExecutionConfig = FAST_EXECUTION, **overrides):
+    defaults = dict(batch_window_ms=2.0, pool="serial", execution=execution)
+    defaults.update(overrides)
+    service = FeatureService(ServeConfig(**defaults))
+    service.register(
+        "t", strategy_from_name("observable", num_qubits=QUBITS), rows=ROWS
+    )
+    return service
+
+
+def angles(k: int = 4, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, np.pi, size=(k, ROWS, QUBITS))
+
+
+# ---------------------------------------------------------------- framing
+def _pipe() -> tuple[asyncio.StreamReader, asyncio.StreamReader]:
+    """A loopback: feed bytes into a reader directly."""
+    return asyncio.StreamReader(), asyncio.StreamReader()
+
+
+def test_frame_round_trip():
+    async def main():
+        header = {"type": "submit", "id": "r1", "seed": None}
+        payload = np.arange(6, dtype=np.float64).tobytes()
+        reader = asyncio.StreamReader()
+        reader.feed_data(pack_frame(header, payload))
+        reader.feed_eof()
+        got_header, got_payload = await read_frame(reader)
+        assert got_header == header
+        assert got_payload == payload
+        assert await read_frame(reader) is None  # clean EOF after
+
+    asyncio.run(main())
+
+
+def test_frame_bad_magic_rejected():
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"HTTP/1.1 200 OK\r\n\r\n")
+        reader.feed_eof()
+        with pytest.raises(ProtocolError, match="magic"):
+            await read_frame(reader)
+
+    asyncio.run(main())
+
+
+def test_frame_version_mismatch_rejected():
+    async def main():
+        frame = bytearray(pack_frame({"type": "hello"}))
+        frame[4] = 99  # the version byte follows the 4-byte magic
+        reader = asyncio.StreamReader()
+        reader.feed_data(bytes(frame))
+        reader.feed_eof()
+        with pytest.raises(ProtocolError, match="version 99"):
+            await read_frame(reader)
+
+    asyncio.run(main())
+
+
+def test_frame_oversize_rejected_before_allocation():
+    async def main():
+        frame = pack_frame({"type": "submit"}, b"x" * 1024)
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame)
+        reader.feed_eof()
+        with pytest.raises(ProtocolError, match="max_frame_bytes"):
+            await read_frame(reader, max_frame_bytes=128)
+
+    asyncio.run(main())
+
+
+def test_frame_mid_frame_close_rejected():
+    async def main():
+        frame = pack_frame({"type": "submit"}, b"x" * 64)
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame[:-10])
+        reader.feed_eof()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            await read_frame(reader)
+
+    asyncio.run(main())
+
+
+def test_array_codec_is_bit_exact():
+    x = np.random.default_rng(3).standard_normal((5, 7))
+    meta, payload = encode_array(x)
+    assert np.array_equal(decode_array(meta, payload), x)
+    # Non-contiguous views encode their logical content.
+    sliced = x[::2, 1:]
+    meta, payload = encode_array(sliced)
+    assert np.array_equal(decode_array(meta, payload), sliced)
+    with pytest.raises(ProtocolError, match="does not match"):
+        decode_array({"shape": [5, 7]}, payload)
+
+
+# --------------------------------------------------------- the equality chain
+@pytest.mark.parametrize(
+    "execution", [FAST_EXECUTION, FALLBACK_EXECUTION], ids=["fast", "fallback"]
+)
+def test_tcp_response_bit_equal_to_in_process_and_standalone(execution):
+    """The PR's contract: TCP == in-process submit == generate_features."""
+
+    async def main():
+        service = make_service(execution)
+        x = angles(k=4)
+        async with service:
+            in_process = await service.submit("t", x, seed=5)
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    over_tcp = await transport.submit("t", x, seed=5)
+        return in_process, over_tcp
+
+    in_process, over_tcp = asyncio.run(main())
+    strategy = strategy_from_name("observable", num_qubits=QUBITS)
+    execution_cfg = execution if execution.seed == 5 else execution.merged(seed=5)
+    standalone = np.asarray(
+        generate_features(strategy, angles(k=4), config=execution_cfg)
+    )
+    assert np.array_equal(over_tcp, in_process)
+    assert np.array_equal(over_tcp, standalone)
+
+
+def test_streamed_response_bit_equal():
+    async def main():
+        # Threshold 2 with 6 samples: the response must stream, and a
+        # forced stream of the same request must agree bit for bit.
+        service = make_service(
+            transport=TransportConfig(stream_threshold_rows=2)
+        )
+        x = angles(k=6)
+        async with service:
+            in_process = await service.submit("t", x, seed=9)
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    thresholded = await transport.submit("t", x, seed=9)
+                    forced = await transport.submit("t", x, seed=9, stream=True)
+        assert np.array_equal(thresholded, in_process)
+        assert np.array_equal(forced, in_process)
+
+    asyncio.run(main())
+
+
+def test_oversized_response_streams_automatically():
+    async def main():
+        # A frame bound too small for the whole response but fine for
+        # per-chunk blocks: the server must stream without being asked.
+        service = make_service(
+            transport=TransportConfig(max_frame_bytes=2048),
+            execution=FAST_EXECUTION.merged(chunk_size=2),
+        )
+        k = 32
+        x = angles(k=k)
+        async with service:
+            in_process = await service.submit("t", x, seed=1)
+            assert in_process.nbytes + 512 > 2048  # single frame cannot fit
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    over_tcp = await transport.submit("t", x, seed=1)
+        assert np.array_equal(over_tcp, in_process)
+
+    asyncio.run(main())
+
+
+def test_oversized_response_fails_cleanly_when_streaming_disabled():
+    async def main():
+        service = make_service(
+            transport=TransportConfig(max_frame_bytes=2048, streaming=False),
+            execution=FAST_EXECUTION.merged(chunk_size=2),
+        )
+        async with service:
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    with pytest.raises(ProtocolError, match="max_frame_bytes"):
+                        await transport.submit("t", angles(k=32), seed=1)
+                    # The connection survives: a small request still works.
+                    small = await transport.submit("t", angles(k=1), seed=1)
+                    assert small.shape[0] == 1
+
+    asyncio.run(main())
+
+
+def test_single_sample_round_trip_over_tcp():
+    async def main():
+        service = make_service()
+        x = angles(k=1)
+        async with service:
+            in_process = await service.submit("t", x[0], seed=2)
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    over_tcp = await transport.submit("t", x[0], seed=2)
+        assert over_tcp.ndim == 1
+        assert np.array_equal(over_tcp, in_process)
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------- coalescing over TCP
+def test_concurrent_tcp_requests_coalesce():
+    async def main():
+        service = make_service(batch_window_ms=20.0, cache_results=False)
+        async with service:
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    results = await asyncio.gather(
+                        *(
+                            transport.submit("t", angles(seed=i), seed=i)
+                            for i in range(8)
+                        )
+                    )
+            assert len(results) == 8
+            metrics = service.metrics()
+            assert metrics.flushed_requests_total == 8
+            assert metrics.coalesce_ratio > 1.0
+
+    asyncio.run(main())
+
+
+def test_run_load_over_tcp_transport():
+    async def main():
+        service = make_service(cache_results=False)
+        async with service:
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    report = await run_load(
+                        transport, requests=12, concurrency=6, seed=0
+                    )
+            assert report.completed == 12
+            assert report.rejected == 0
+            assert service.metrics().coalesce_ratio > 1.0
+
+    asyncio.run(main())
+
+
+# ------------------------------------------------------------ typed errors
+def test_error_codes_map_to_typed_exceptions():
+    async def main():
+        service = make_service(max_queue_depth=1, batch_window_ms=50.0,
+                               cache_results=False)
+        async with service:
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    with pytest.raises(KeyError, match="unknown template"):
+                        await transport.submit("nope", angles())
+                    with pytest.raises(ValueError, match="expects"):
+                        await transport.submit(
+                            "t", np.zeros((2, ROWS, QUBITS + 1))
+                        )
+                    first = asyncio.ensure_future(
+                        transport.submit("t", angles(seed=1))
+                    )
+                    # Give the first submit time to cross the socket and
+                    # occupy the only admission slot.
+                    for _ in range(50):
+                        await asyncio.sleep(0.001)
+                        if service.metrics().queue_depth > 0:
+                            break
+                    with pytest.raises(BackpressureError):
+                        await transport.submit("t", angles(seed=2))
+                    assert (await first) is not None
+
+    asyncio.run(main())
+
+
+def test_timeout_over_tcp_is_structured(monkeypatch):
+    from repro.serve import engine
+
+    real_execute = engine.execute_flush
+
+    def slow_execute(artifacts, requests):
+        import time as _time
+
+        _time.sleep(0.25)
+        return real_execute(artifacts, requests)
+
+    monkeypatch.setattr("repro.serve.service.execute_flush", slow_execute)
+
+    async def main():
+        service = make_service(cache_results=False)
+        async with service:
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    with pytest.raises(RequestTimeoutError) as info:
+                        await transport.submit(
+                            "t", angles(seed=1), timeout_s=0.05
+                        )
+                    assert info.value.template == "t"
+                    assert info.value.timeout_s == 0.05
+            # The abandoned flush still drains without orphaned futures.
+        assert service.metrics().timeouts_total == 1
+
+    asyncio.run(main())
+
+
+def test_protocol_violation_answered_then_disconnected():
+    async def main():
+        service = make_service()
+        async with service:
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET / HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                frame = await read_frame(reader)
+                assert frame is not None
+                header, _ = frame
+                assert header["type"] == "error"
+                assert header["code"] == "protocol"
+                assert await reader.read() == b""  # server hung up
+                writer.close()
+                await writer.wait_closed()
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------- disconnects and draining
+def test_client_disconnect_cancels_server_side():
+    async def main():
+        service = make_service(batch_window_ms=200.0, cache_results=False)
+        async with service:
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                transport = await TcpTransport.connect(host, port)
+                submit = asyncio.ensure_future(
+                    transport.submit("t", angles(seed=1))
+                )
+                for _ in range(100):
+                    await asyncio.sleep(0.001)
+                    if service.metrics().queue_depth > 0:
+                        break
+                assert service.metrics().queue_depth == 1
+                # Vanishing mid-window withdraws the queued request and
+                # releases its admission units.
+                await transport.aclose()
+                with pytest.raises(ConnectionError):
+                    await submit
+                for _ in range(100):
+                    await asyncio.sleep(0.001)
+                    if service.metrics().queue_depth == 0:
+                        break
+                assert service.metrics().queue_depth == 0
+
+    asyncio.run(main())
+
+
+def test_graceful_drain_finishes_inflight_then_refuses():
+    async def main():
+        service = make_service(batch_window_ms=30.0, cache_results=False)
+        async with service:
+            server = FeatureServer(service)
+            await server.start()
+            host, port = server.address
+            transport = await TcpTransport.connect(host, port)
+            inflight = asyncio.ensure_future(
+                transport.submit("t", angles(seed=1), seed=1)
+            )
+            for _ in range(100):
+                await asyncio.sleep(0.001)
+                if service.metrics().queue_depth > 0:
+                    break
+            stop = asyncio.ensure_future(server.stop())
+            # The in-flight request completes (and bit-equal at that).
+            result = await inflight
+            await stop
+            expected = await service.submit("t", angles(seed=1), seed=1)
+            assert np.array_equal(result, expected)
+            # New connections are refused after drain.
+            with pytest.raises(OSError):
+                await TcpTransport.connect(host, port)
+            await transport.aclose()
+
+    asyncio.run(main())
+
+
+def test_server_requires_started_service():
+    async def main():
+        service = make_service()
+        server = FeatureServer(service)
+        with pytest.raises(Exception, match="started"):
+            await server.start()
+
+    asyncio.run(main())
+
+
+def test_server_uses_serve_config_transport():
+    async def main():
+        service = make_service(
+            transport=TransportConfig(host="127.0.0.1", port=0)
+        )
+        async with service:
+            async with FeatureServer(service) as server:
+                assert server.config is service.config.transport
+                host, _port = server.address
+                assert host == "127.0.0.1"
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------- the client
+def test_feature_client_over_tcp_matches_in_process():
+    async def main():
+        service = make_service(cache_results=False)
+        x = angles(k=3)
+        async with service:
+            in_process = await service.submit("t", x, tenant="a", seed=4)
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    client = FeatureClient(transport=transport, tenant="a")
+                    assert client.service is None  # remote: no local handle
+                    over_tcp = await client.features("t", x, seed=4)
+        assert np.array_equal(over_tcp, in_process)
+
+    asyncio.run(main())
+
+
+def test_predict_over_tcp():
+    class DoubleHead:
+        def predict(self, features):
+            return features * 2
+
+    async def main():
+        service = make_service()
+        service.register(
+            "headed",
+            strategy_from_name("observable", num_qubits=QUBITS),
+            rows=ROWS,
+            head=DoubleHead(),
+        )
+        x = angles(k=2)
+        async with service:
+            in_process = await service.predict("headed", x, seed=6)
+            async with FeatureServer(service) as server:
+                host, port = server.address
+                async with await TcpTransport.connect(host, port) as transport:
+                    assert transport.templates() == ("headed", "t")
+                    assert transport.template_shape("headed") == (ROWS, QUBITS)
+                    over_tcp = await transport.predict("headed", x, seed=6)
+                    with pytest.raises(ValueError, match="no head"):
+                        await transport.predict("t", x)
+        assert np.array_equal(over_tcp, in_process)
+
+    asyncio.run(main())
